@@ -1,0 +1,64 @@
+//! Criterion bench of the semantic engines: litmus checking (Table 1 /
+//! Figures 3–8) and C/C++11 mapping verification (Table 4 / Appendix A).
+
+use cc11::{verify::corpus, verify_mapping, Mapping};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmw_types::Atomicity;
+
+fn bench_litmus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_litmus");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("classic_corpus", |b| {
+        b.iter(|| {
+            let failures = litmus::run_all(&litmus::classic::all());
+            assert!(failures.is_empty());
+        })
+    });
+    group.bench_function("paper_corpus", |b| {
+        b.iter(|| {
+            let failures = litmus::run_all(&litmus::paper::all());
+            assert!(failures.is_empty());
+        })
+    });
+    group.bench_function("table1_matrix", |b| {
+        b.iter(|| {
+            let rows = litmus::table1();
+            assert_eq!(rows.len(), 3);
+        })
+    });
+    group.finish();
+}
+
+fn bench_cc11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_cc11");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for mapping in Mapping::ALL {
+        for atomicity in Atomicity::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(mapping.to_string(), atomicity),
+                &(mapping, atomicity),
+                |b, &(m, a)| {
+                    b.iter(|| {
+                        for (_, prog) in corpus() {
+                            let r = verify_mapping(&prog, m, a);
+                            // A sound mapping passes every program; an
+                            // unsound one may still pass some.
+                            if m.sound_for(a) {
+                                assert!(r.is_ok());
+                            }
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_litmus, bench_cc11);
+criterion_main!(benches);

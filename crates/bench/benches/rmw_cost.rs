@@ -1,0 +1,50 @@
+//! Criterion bench over the Fig. 11 experiment kernel: simulating each
+//! benchmark under each RMW type. Reports simulated-RMW-cost figures via
+//! `eprintln` once per configuration, and wall-clock throughput of the
+//! simulator as the measured quantity.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmw_types::Atomicity;
+use tso_sim::Machine;
+use workloads::Benchmark;
+
+const CORES: usize = 4;
+const MEMOPS: usize = 4_000;
+
+fn bench_rmw_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_rmw_cost");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for bench in [Benchmark::Radiosity, Benchmark::Bayes, Benchmark::WsqMstRr] {
+        for atomicity in Atomicity::ALL {
+            // Report the simulated metric once, outside the timed loop.
+            let cfg = bench::config_for(CORES, atomicity);
+            let traces = workloads::benchmark(bench, CORES, MEMOPS, bench::SEED);
+            let r = Machine::new(cfg, traces).run();
+            eprintln!(
+                "[fig11a] {bench} {atomicity}: avg RMW cost {:.1} cycles (WB {:.1} + RaWa {:.1}); overhead {:.2}%",
+                r.stats.avg_rmw_cost(),
+                r.stats.rmw_cost.write_buffer_cycles as f64 / r.stats.rmw_count.max(1) as f64,
+                r.stats.rmw_cost.ra_wa_cycles as f64 / r.stats.rmw_count.max(1) as f64,
+                100.0 * r.stats.rmw_overhead_fraction(),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), atomicity),
+                &atomicity,
+                |b, &a| {
+                    b.iter(|| {
+                        let cfg = bench::config_for(CORES, a);
+                        let traces = workloads::benchmark(bench, CORES, MEMOPS, bench::SEED);
+                        Machine::new(cfg, traces).run().stats.cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmw_cost);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benches of the substrates: Bloom filter operations
+//! (§3.2 hardware cost sanity) and mesh latency computation.
+
+use bloom::BloomFilter;
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use interconnect::{Mesh, MeshConfig};
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_filter");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("insert_paper_config", |b| {
+        let mut f = BloomFilter::paper_config();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            f.insert(black_box(k))
+        })
+    });
+    group.bench_function("query_hit", |b| {
+        let mut f = BloomFilter::paper_config();
+        for k in 0..64u64 {
+            f.insert(k);
+        }
+        b.iter(|| f.maybe_contains(black_box(13)))
+    });
+    group.bench_function("query_miss", |b| {
+        let mut f = BloomFilter::paper_config();
+        for k in 0..64u64 {
+            f.insert(k);
+        }
+        b.iter(|| f.maybe_contains(black_box(0xDEAD_BEEF)))
+    });
+    group.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mesh = Mesh::new(MeshConfig::paper_32());
+    let mut group = c.benchmark_group("mesh");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("pairwise_latency", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for a in 0..32 {
+                for z in 0..32 {
+                    acc += mesh.latency(black_box(a), black_box(z));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("broadcast_ack_latency", |b| {
+        b.iter(|| mesh.broadcast_ack_latency(black_box(0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom, bench_mesh);
+criterion_main!(benches);

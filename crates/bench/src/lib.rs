@@ -1,0 +1,127 @@
+//! Experiment harness: shared runners behind the table/figure binaries.
+//!
+//! Every binary prints the same rows/series as the corresponding paper
+//! artefact (see `DESIGN.md` for the index and `EXPERIMENTS.md` for the
+//! recorded paper-vs-measured comparison):
+//!
+//! | binary          | paper artefact |
+//! |-----------------|----------------|
+//! | `table3`        | Table 3 (benchmark characteristics) |
+//! | `fig11a`        | Fig. 11(a) (RMW cost split, type-1/2/3) |
+//! | `fig11b`        | Fig. 11(b) (RMW share of execution time) |
+//! | `intro_latency` | §1's 67-cycle / mfence hypothesis check |
+//! | `bloom_ablation`| §3.2 design choice: filter size / hash count |
+//! | `dirlock_ablation` | §3.3 design choice: directory locking |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rmw_types::Atomicity;
+use tso_sim::{Machine, SimConfig, SimResult};
+use workloads::Benchmark;
+
+/// Default core count for experiment binaries (paper: 32; override with the
+/// first CLI argument — smaller is faster for a smoke run).
+pub const DEFAULT_CORES: usize = 8;
+/// Default memory operations per core.
+pub const DEFAULT_MEMOPS: usize = 20_000;
+/// Seed used by all experiments (results are deterministic).
+pub const SEED: u64 = 0xD15EA5E;
+
+/// Parses `[cores] [memops]` from the command line with defaults.
+pub fn cli_scale() -> (usize, usize) {
+    let mut args = std::env::args().skip(1);
+    let cores = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_CORES);
+    let memops = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_MEMOPS);
+    (cores, memops)
+}
+
+/// A simulator configuration scaled down from Table 2 to `cores` cores
+/// (the mesh shrinks accordingly; all latencies stay at paper values).
+pub fn config_for(cores: usize, atomicity: Atomicity) -> SimConfig {
+    let mut cfg = if cores == 32 {
+        SimConfig::paper_table2()
+    } else {
+        let mut c = SimConfig::paper_table2();
+        c.coherence.num_cores = cores;
+        // Keep a near-square mesh.
+        let width = (cores as f64).sqrt().ceil() as usize;
+        let height = cores.div_ceil(width);
+        c.coherence.mesh.width = width;
+        c.coherence.mesh.height = height;
+        c
+    };
+    cfg.rmw_atomicity = atomicity;
+    cfg
+}
+
+/// Runs one benchmark under one RMW implementation.
+pub fn run(bench: Benchmark, atomicity: Atomicity, cores: usize, memops: usize) -> SimResult {
+    let cfg = config_for(cores, atomicity);
+    let traces = workloads::benchmark(bench, cores, memops, SEED);
+    let result = Machine::new(cfg, traces).run();
+    assert!(
+        !result.deadlocked,
+        "{bench} deadlocked under {atomicity} — the avoidance scheme failed"
+    );
+    result
+}
+
+/// Per-benchmark, per-type results for the Fig. 11 experiments.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Results for type-1, type-2, type-3 (in that order).
+    pub by_type: [SimResult; 3],
+}
+
+/// Runs all benchmarks under all three RMW types.
+pub fn fig11_sweep(cores: usize, memops: usize) -> Vec<Fig11Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&bench| Fig11Row {
+            bench,
+            by_type: [
+                run(bench, Atomicity::Type1, cores, memops),
+                run(bench, Atomicity::Type2, cores, memops),
+                run(bench, Atomicity::Type3, cores, memops),
+            ],
+        })
+        .collect()
+}
+
+/// Formats a float with fixed width for the table printers.
+pub fn f(v: f64) -> String {
+    format!("{v:8.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_scaling_keeps_paper_latencies() {
+        let c = config_for(8, Atomicity::Type2);
+        assert_eq!(c.num_cores(), 8);
+        assert_eq!(c.coherence.l1_latency, 2);
+        assert_eq!(c.coherence.memory_latency, 300);
+        assert!(c.mesh().num_nodes() >= 8);
+        assert!(c.validate().is_ok());
+        let full = config_for(32, Atomicity::Type1);
+        assert_eq!(full.mesh().num_nodes(), 32);
+    }
+
+    #[test]
+    fn smoke_run_radiosity() {
+        let r = run(Benchmark::Radiosity, Atomicity::Type2, 2, 1_000);
+        assert!(r.stats.rmw_count > 0);
+        assert!(r.stats.cycles > 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Bloom filter used to maintain the *addr-list* of unique RMW addresses
+//! (paper §3.2).
+//!
+//! The paper keeps, per processor, a small Bloom filter holding every cache
+//! line address that has been the target of an RMW on any processor. Before
+//! a type-2/type-3 RMW may retire with pending writes in the write buffer,
+//! the pending writes are checked against the filter: a hit (which may be a
+//! false positive) forces a conservative write-buffer drain, preserving the
+//! deadlock-safety property. A Bloom filter has **no false negatives**, which
+//! is what makes the scheme sound; false positives only cost performance.
+//!
+//! The paper's configuration is a **128-byte filter with 3 hash functions**;
+//! [`BloomFilter::paper_config`] builds exactly that.
+//!
+//! # Example
+//!
+//! ```
+//! use bloom::BloomFilter;
+//!
+//! let mut f = BloomFilter::paper_config();
+//! assert!(!f.maybe_contains(0xdead_beef));
+//! f.insert(0xdead_beef);
+//! assert!(f.maybe_contains(0xdead_beef)); // never a false negative
+//! f.reset();
+//! assert!(f.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// A fixed-size Bloom filter over `u64` keys with `k` independent hashes.
+///
+/// Bits are stored in a boxed `u64` word array. Hashing is a seeded
+/// SplitMix64-style mixer, which is deterministic across runs — important
+/// because the simulator must be reproducible.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Box<[u64]>,
+    num_bits: usize,
+    num_hashes: u32,
+    insertions: u64,
+}
+
+impl fmt::Debug for BloomFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BloomFilter")
+            .field("num_bits", &self.num_bits)
+            .field("num_hashes", &self.num_hashes)
+            .field("insertions", &self.insertions)
+            .field("ones", &self.count_ones())
+            .finish()
+    }
+}
+
+impl BloomFilter {
+    /// Creates a filter with `size_bytes` of bit storage and `num_hashes`
+    /// hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` or `num_hashes` is zero.
+    pub fn new(size_bytes: usize, num_hashes: u32) -> Self {
+        assert!(size_bytes > 0, "bloom filter size must be nonzero");
+        assert!(num_hashes > 0, "bloom filter must use at least one hash");
+        let num_bits = size_bytes * 8;
+        let num_words = size_bytes.div_ceil(8);
+        BloomFilter {
+            words: vec![0u64; num_words].into_boxed_slice(),
+            num_bits,
+            num_hashes,
+            insertions: 0,
+        }
+    }
+
+    /// The configuration evaluated in the paper: 128 bytes, 3 hash functions.
+    pub fn paper_config() -> Self {
+        BloomFilter::new(128, 3)
+    }
+
+    /// Number of bits of storage.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Number of keys inserted since construction or the last [`reset`].
+    ///
+    /// The hardware uses this as the *reset threshold counter*: when it
+    /// exceeds a configured bound the filters of all processors are reset
+    /// (paper §3.2, "False Positives").
+    ///
+    /// [`reset`]: BloomFilter::reset
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// True if no key has ever been inserted (all bits clear).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Inserts `key`, returning `true` if the filter *changed* (i.e. the key
+    /// was not already reported present). The paper broadcasts the RMW
+    /// address exactly when this returns `true`.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let mut changed = false;
+        for i in 0..self.num_hashes {
+            let bit = self.bit_index(key, i);
+            let (w, b) = (bit / 64, bit % 64);
+            let mask = 1u64 << b;
+            if self.words[w] & mask == 0 {
+                self.words[w] |= mask;
+                changed = true;
+            }
+        }
+        self.insertions += 1;
+        changed
+    }
+
+    /// Membership query. `false` means *definitely absent*; `true` means
+    /// *possibly present* (may be a false positive, never a false negative).
+    pub fn maybe_contains(&self, key: u64) -> bool {
+        (0..self.num_hashes).all(|i| {
+            let bit = self.bit_index(key, i);
+            self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Clears all bits and the insertion counter. Models the coordinated
+    /// filter reset (all processors quiesce in-flight RMWs first).
+    pub fn reset(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.insertions = 0;
+    }
+
+    /// Merges another filter's bits into this one (bitwise OR). Used when a
+    /// processor joins or when reconstructing a filter from broadcasts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two filters have different configurations.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            (self.num_bits, self.num_hashes),
+            (other.num_bits, other.num_hashes),
+            "cannot union bloom filters of different configurations"
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+        self.insertions += other.insertions;
+    }
+
+    /// Number of set bits — used by tests and the ablation bench to track
+    /// saturation.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Theoretical false-positive probability after `n` distinct insertions:
+    /// `(1 - e^{-k n / m})^k`. Used by the ablation bench to pick a reset
+    /// threshold.
+    pub fn theoretical_fpp(&self, n: u64) -> f64 {
+        let k = f64::from(self.num_hashes);
+        let m = self.num_bits as f64;
+        (1.0 - (-k * n as f64 / m).exp()).powf(k)
+    }
+
+    /// Occupancy fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        f64::from(self.count_ones()) / self.num_bits as f64
+    }
+
+    fn bit_index(&self, key: u64, hash_index: u32) -> usize {
+        (mix64(key ^ SEEDS[hash_index as usize % SEEDS.len()]
+            .wrapping_add(u64::from(hash_index).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            % self.num_bits as u64) as usize
+    }
+}
+
+/// Per-hash seeds (arbitrary odd constants).
+const SEEDS: [u64; 8] = [
+    0x243F_6A88_85A3_08D3,
+    0x1319_8A2E_0370_7344,
+    0xA409_3822_299F_31D0,
+    0x082E_FA98_EC4E_6C89,
+    0x4528_21E6_38D0_1377,
+    0xBE54_66CF_34E9_0C6C,
+    0xC0AC_29B7_C97C_50DD,
+    0x3F84_D5B5_B547_0917,
+];
+
+/// SplitMix64 finalizer: a strong deterministic 64-bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_dimensions() {
+        let f = BloomFilter::paper_config();
+        assert_eq!(f.num_bits(), 128 * 8);
+        assert_eq!(f.num_hashes(), 3);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn insert_then_query() {
+        let mut f = BloomFilter::paper_config();
+        assert!(!f.maybe_contains(42));
+        assert!(f.insert(42), "first insert changes the filter");
+        assert!(f.maybe_contains(42));
+        assert!(!f.insert(42), "re-insert does not change the filter");
+        assert_eq!(f.insertions(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = BloomFilter::paper_config();
+        for k in 0..100 {
+            f.insert(k);
+        }
+        assert!(!f.is_empty());
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.insertions(), 0);
+        assert_eq!(f.count_ones(), 0);
+        for k in 0..100 {
+            assert!(!f.maybe_contains(k), "after reset, {k} is definitely absent");
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_dense() {
+        let mut f = BloomFilter::new(64, 3);
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            assert!(f.maybe_contains(k), "false negative for {k:#x}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_paper_scale() {
+        // Paper: ~1% of dynamic RMWs are to unique addresses, so filters hold
+        // few entries. With 50 entries in a 1024-bit, 3-hash filter the FPP
+        // should be tiny.
+        let mut f = BloomFilter::paper_config();
+        for k in 0..50u64 {
+            f.insert(mix64(k));
+        }
+        let mut fp = 0usize;
+        let probes = 10_000;
+        for k in 0..probes as u64 {
+            if f.maybe_contains(mix64(k + 1_000_000)) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.02, "false positive rate too high: {rate}");
+        // and consistent with theory within a loose factor
+        let theory = f.theoretical_fpp(50);
+        assert!(rate < theory * 10.0 + 0.01, "rate {rate} vs theory {theory}");
+    }
+
+    #[test]
+    fn union_behaves_like_inserting_both_sets() {
+        let mut a = BloomFilter::new(128, 3);
+        let mut b = BloomFilter::new(128, 3);
+        a.insert(1);
+        a.insert(2);
+        b.insert(3);
+        a.union_with(&b);
+        for k in [1, 2, 3] {
+            assert!(a.maybe_contains(k));
+        }
+        assert_eq!(a.insertions(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn union_rejects_mismatched_configs() {
+        let mut a = BloomFilter::new(128, 3);
+        let b = BloomFilter::new(64, 3);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_rejected() {
+        let _ = BloomFilter::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn zero_hashes_rejected() {
+        let _ = BloomFilter::new(16, 0);
+    }
+
+    #[test]
+    fn theoretical_fpp_monotone_in_n() {
+        let f = BloomFilter::paper_config();
+        let mut last = 0.0;
+        for n in [0, 10, 100, 1000, 10_000] {
+            let p = f.theoretical_fpp(n);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= last, "fpp must grow with insertions");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn occupancy_grows_then_saturates() {
+        let mut f = BloomFilter::new(16, 3); // tiny, saturates fast
+        assert_eq!(f.occupancy(), 0.0);
+        for k in 0..10_000u64 {
+            f.insert(mix64(k));
+        }
+        assert!(f.occupancy() > 0.99, "tiny filter should saturate");
+        // saturated filter reports everything present
+        assert!(f.maybe_contains(987654321));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let f = BloomFilter::paper_config();
+        assert!(!format!("{f:?}").is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the Bloom filter: the soundness of the paper's
+//! deadlock-avoidance scheme rests on "no false negatives".
+
+use bloom::BloomFilter;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every inserted key is reported present, for arbitrary key sets and
+    /// filter configurations.
+    #[test]
+    fn no_false_negatives(
+        keys in proptest::collection::vec(any::<u64>(), 0..200),
+        size_bytes in 1usize..256,
+        num_hashes in 1u32..6,
+    ) {
+        let mut f = BloomFilter::new(size_bytes, num_hashes);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.maybe_contains(k));
+        }
+    }
+
+    /// Reset restores the pristine state: definite absence of everything.
+    #[test]
+    fn reset_is_complete(keys in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let mut f = BloomFilter::paper_config();
+        let fresh = BloomFilter::paper_config();
+        for &k in &keys {
+            f.insert(k);
+        }
+        f.reset();
+        prop_assert_eq!(&f, &fresh);
+        prop_assert!(f.is_empty());
+    }
+
+    /// Union over-approximates both operands.
+    #[test]
+    fn union_superset(
+        ka in proptest::collection::vec(any::<u64>(), 0..50),
+        kb in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let mut a = BloomFilter::paper_config();
+        let mut b = BloomFilter::paper_config();
+        for &k in &ka { a.insert(k); }
+        for &k in &kb { b.insert(k); }
+        let mut u = a.clone();
+        u.union_with(&b);
+        for &k in ka.iter().chain(kb.iter()) {
+            prop_assert!(u.maybe_contains(k));
+        }
+    }
+
+    /// A query result of `false` is authoritative: inserting then querying a
+    /// *different* key either misses (fine) or hits (false positive, fine),
+    /// but a miss implies the key was truly never inserted.
+    #[test]
+    fn insert_reports_change_consistently(keys in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let mut f = BloomFilter::paper_config();
+        for &k in &keys {
+            let was_present = f.maybe_contains(k);
+            let changed = f.insert(k);
+            // If the filter already claimed presence, inserting cannot change it.
+            if was_present {
+                prop_assert!(!changed);
+            }
+            prop_assert!(f.maybe_contains(k));
+        }
+    }
+
+    /// Insertion counter tracks the number of insert calls exactly.
+    #[test]
+    fn insertion_counter(n in 0u64..500) {
+        let mut f = BloomFilter::paper_config();
+        for k in 0..n {
+            f.insert(k);
+        }
+        prop_assert_eq!(f.insertions(), n);
+    }
+}

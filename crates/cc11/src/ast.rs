@@ -1,0 +1,191 @@
+//! The C/C++11 program fragment: atomic loads and stores with a memory
+//! order, in straight-line threads (control flow unfolded, as in the
+//! axiomatic treatment).
+
+use rmw_types::{Addr, ThreadId, Value};
+
+/// The memory orders relevant to the paper's mappings. On TSO everything
+/// except `SeqCst` is free (plain `mov`s suffice, Batty et al.), so the
+/// fragment only distinguishes SC from everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOrder {
+    /// `memory_order_seq_cst`.
+    SeqCst,
+    /// Any weaker order (relaxed / acquire / release): compiles to a plain
+    /// access on TSO.
+    Relaxed,
+}
+
+/// One instruction of the C/C++11 fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcInstr {
+    /// An atomic load.
+    Read(Addr, MemOrder),
+    /// An atomic store of a constant.
+    Write(Addr, Value, MemOrder),
+}
+
+impl CcInstr {
+    /// The accessed address.
+    pub fn addr(&self) -> Addr {
+        match *self {
+            CcInstr::Read(a, _) | CcInstr::Write(a, _, _) => a,
+        }
+    }
+
+    /// The instruction's memory order.
+    pub fn order(&self) -> MemOrder {
+        match *self {
+            CcInstr::Read(_, o) | CcInstr::Write(_, _, o) => o,
+        }
+    }
+
+    /// True for loads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, CcInstr::Read(..))
+    }
+}
+
+/// A straight-line multi-threaded C/C++11 program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CcProgram {
+    threads: Vec<Vec<CcInstr>>,
+}
+
+impl CcProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        CcProgram::default()
+    }
+
+    /// Appends a thread, returning its id.
+    pub fn add_thread(&mut self, instrs: Vec<CcInstr>) -> ThreadId {
+        self.threads.push(instrs);
+        ThreadId(self.threads.len() - 1)
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Instructions of one thread.
+    pub fn thread(&self, tid: ThreadId) -> &[CcInstr] {
+        &self.threads[tid.index()]
+    }
+
+    /// Iterates `(ThreadId, &[CcInstr])`.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, &[CcInstr])> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ThreadId(i), t.as_slice()))
+    }
+
+    /// Number of source-level reads, in `(thread, po)` order.
+    pub fn num_reads(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|i| i.is_read())
+            .count()
+    }
+
+    /// True if every instruction is `SeqCst` — the fragment for which the
+    /// model-based SC check is complete.
+    pub fn is_all_sc(&self) -> bool {
+        self.threads
+            .iter()
+            .flatten()
+            .all(|i| i.order() == MemOrder::SeqCst)
+    }
+}
+
+/// Builder for [`CcProgram`].
+#[derive(Debug, Default)]
+pub struct CcProgramBuilder {
+    threads: Vec<Vec<CcInstr>>,
+}
+
+impl CcProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CcProgramBuilder::default()
+    }
+
+    /// Starts a new thread.
+    pub fn thread(&mut self) -> CcThreadBuilder<'_> {
+        self.threads.push(Vec::new());
+        let idx = self.threads.len() - 1;
+        CcThreadBuilder { b: self, idx }
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> CcProgram {
+        CcProgram {
+            threads: self.threads,
+        }
+    }
+}
+
+/// Appends instructions to one thread.
+#[derive(Debug)]
+pub struct CcThreadBuilder<'a> {
+    b: &'a mut CcProgramBuilder,
+    idx: usize,
+}
+
+impl CcThreadBuilder<'_> {
+    /// `atomic_load(seq_cst)`.
+    pub fn sc_read(&mut self, a: Addr) -> &mut Self {
+        self.push(CcInstr::Read(a, MemOrder::SeqCst))
+    }
+
+    /// `atomic_store(v, seq_cst)`.
+    pub fn sc_write(&mut self, a: Addr, v: Value) -> &mut Self {
+        self.push(CcInstr::Write(a, v, MemOrder::SeqCst))
+    }
+
+    /// A weaker-than-SC load.
+    pub fn relaxed_read(&mut self, a: Addr) -> &mut Self {
+        self.push(CcInstr::Read(a, MemOrder::Relaxed))
+    }
+
+    /// A weaker-than-SC store.
+    pub fn relaxed_write(&mut self, a: Addr, v: Value) -> &mut Self {
+        self.push(CcInstr::Write(a, v, MemOrder::Relaxed))
+    }
+
+    fn push(&mut self, i: CcInstr) -> &mut Self {
+        self.b.threads[self.idx].push(i);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let (x, y) = (Addr(0), Addr(1));
+        let mut b = CcProgramBuilder::new();
+        b.thread().sc_write(x, 1).sc_read(y);
+        b.thread().relaxed_write(y, 1).relaxed_read(x);
+        let p = b.build();
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.num_reads(), 2);
+        assert!(!p.is_all_sc());
+        assert_eq!(p.thread(ThreadId(0))[0], CcInstr::Write(x, 1, MemOrder::SeqCst));
+        assert_eq!(p.thread(ThreadId(0))[0].addr(), x);
+        assert_eq!(p.thread(ThreadId(0))[1].order(), MemOrder::SeqCst);
+        assert!(p.thread(ThreadId(0))[1].is_read());
+    }
+
+    #[test]
+    fn all_sc_detection() {
+        let mut b = CcProgramBuilder::new();
+        b.thread().sc_write(Addr(0), 1).sc_read(Addr(1));
+        assert!(b.build().is_all_sc());
+    }
+}

@@ -1,0 +1,239 @@
+//! The three C/C++11 → x86-TSO compilation mappings of the paper's Table 4.
+//!
+//! | operation    | read-write-mapping | read-mapping   | write-mapping |
+//! |--------------|--------------------|----------------|---------------|
+//! | non-SC read  | `mov`              | `mov`          | `mov`         |
+//! | SC read      | `lock xadd(0)`     | `lock xadd(0)` | `mov`         |
+//! | non-SC write | `mov`              | `mov`          | `mov`         |
+//! | SC write     | `lock xchg`        | `mov`          | `lock xchg`   |
+//!
+//! [`compile`] lowers a [`CcProgram`] to a [`tso_model::Program`], with the
+//! RMWs given a chosen [`Atomicity`]. It also returns a [`ReadProjection`]
+//! that maps TSO-level read outcomes back to source-level read outcomes
+//! (the `lock xchg` of an SC write introduces a read event that does not
+//! exist in the source program).
+
+use crate::ast::{CcInstr, CcProgram, MemOrder};
+use rmw_types::{Atomicity, RmwKind, Value};
+use tso_model::{Instr, Program};
+
+/// Which of the Table 4 mappings to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mapping {
+    /// Table 4(a): both SC reads and SC writes become RMWs.
+    ReadWrite,
+    /// Table 4(b): only SC reads become RMWs.
+    Read,
+    /// Table 4(c): only SC writes become RMWs.
+    Write,
+}
+
+impl Mapping {
+    /// All three mappings.
+    pub const ALL: [Mapping; 3] = [Mapping::ReadWrite, Mapping::Read, Mapping::Write];
+
+    /// Does this mapping lower SC reads to RMWs?
+    pub fn maps_reads(self) -> bool {
+        matches!(self, Mapping::ReadWrite | Mapping::Read)
+    }
+
+    /// Does this mapping lower SC writes to RMWs?
+    pub fn maps_writes(self) -> bool {
+        matches!(self, Mapping::ReadWrite | Mapping::Write)
+    }
+
+    /// Per the paper (Appendix A), is this mapping sound for the given RMW
+    /// atomicity? Everything works except write-mapping × type-3.
+    pub fn sound_for(self, atomicity: Atomicity) -> bool {
+        !(self == Mapping::Write && atomicity == Atomicity::Type3)
+    }
+}
+
+impl core::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Mapping::ReadWrite => "read-write-mapping",
+            Mapping::Read => "read-mapping",
+            Mapping::Write => "write-mapping",
+        })
+    }
+}
+
+/// Maps TSO-level read outcomes back to source-level read outcomes.
+///
+/// `source_read_slots[i]` is the index, within the compiled program's read
+/// vector (in `(thread, po)` order, RMW reads included), of the TSO read
+/// that realizes the source program's `i`-th read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadProjection {
+    source_read_slots: Vec<usize>,
+}
+
+impl ReadProjection {
+    /// Projects a compiled-program read vector onto source reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tso_reads` is shorter than the projection expects.
+    pub fn project(&self, tso_reads: &[Value]) -> Vec<Value> {
+        self.source_read_slots
+            .iter()
+            .map(|&i| tso_reads[i])
+            .collect()
+    }
+
+    /// Number of source-level reads.
+    pub fn num_source_reads(&self) -> usize {
+        self.source_read_slots.len()
+    }
+}
+
+/// Compiles a C/C++11 program to TSO under `mapping`, with every emitted
+/// RMW using `atomicity`.
+pub fn compile(
+    prog: &CcProgram,
+    mapping: Mapping,
+    atomicity: Atomicity,
+) -> (Program, ReadProjection) {
+    let mut out = Program::new();
+    let mut source_read_slots = Vec::new();
+    let mut tso_read_count = 0usize;
+
+    for (_, instrs) in prog.iter() {
+        let mut lowered = Vec::new();
+        for &i in instrs {
+            match i {
+                CcInstr::Read(a, MemOrder::SeqCst) if mapping.maps_reads() => {
+                    // lock xadd(0): the RMW's read is the source read.
+                    source_read_slots.push(tso_read_count);
+                    tso_read_count += 1;
+                    lowered.push(Instr::Rmw {
+                        addr: a,
+                        kind: RmwKind::FetchAndAdd(0),
+                        atomicity,
+                    });
+                }
+                CcInstr::Read(a, _) => {
+                    source_read_slots.push(tso_read_count);
+                    tso_read_count += 1;
+                    lowered.push(Instr::Read(a));
+                }
+                CcInstr::Write(a, v, MemOrder::SeqCst) if mapping.maps_writes() => {
+                    // lock xchg: introduces a read event that is NOT a
+                    // source read.
+                    tso_read_count += 1;
+                    lowered.push(Instr::Rmw {
+                        addr: a,
+                        kind: RmwKind::Exchange(v),
+                        atomicity,
+                    });
+                }
+                CcInstr::Write(a, v, _) => {
+                    lowered.push(Instr::Write(a, v));
+                }
+            }
+        }
+        out.add_thread(lowered);
+    }
+    (
+        out,
+        ReadProjection {
+            source_read_slots,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CcProgramBuilder;
+    use rmw_types::Addr;
+
+    const X: Addr = Addr(0);
+    const Y: Addr = Addr(1);
+
+    fn sb() -> CcProgram {
+        let mut b = CcProgramBuilder::new();
+        b.thread().sc_write(X, 1).sc_read(Y);
+        b.thread().sc_write(Y, 1).sc_read(X);
+        b.build()
+    }
+
+    #[test]
+    fn read_write_mapping_lowers_both() {
+        let (p, proj) = compile(&sb(), Mapping::ReadWrite, Atomicity::Type2);
+        // Each thread: RMW (xchg) + RMW (xadd) = 4 RMW instrs total.
+        let rmws = p
+            .iter()
+            .flat_map(|(_, i)| i.iter())
+            .filter(|i| matches!(i, Instr::Rmw { .. }))
+            .count();
+        assert_eq!(rmws, 4);
+        // TSO reads: 4 RMW reads; source reads: 2 (slots 1 and 3).
+        assert_eq!(proj.num_source_reads(), 2);
+        assert_eq!(proj.project(&[9, 1, 9, 0]), vec![1, 0]);
+    }
+
+    #[test]
+    fn read_mapping_lowers_reads_only() {
+        let (p, proj) = compile(&sb(), Mapping::Read, Atomicity::Type3);
+        let rmws = p
+            .iter()
+            .flat_map(|(_, i)| i.iter())
+            .filter(|i| matches!(i, Instr::Rmw { kind: RmwKind::FetchAndAdd(0), .. }))
+            .count();
+        assert_eq!(rmws, 2);
+        // writes stayed plain
+        let writes = p
+            .iter()
+            .flat_map(|(_, i)| i.iter())
+            .filter(|i| matches!(i, Instr::Write(..)))
+            .count();
+        assert_eq!(writes, 2);
+        assert_eq!(proj.project(&[5, 6]), vec![5, 6]);
+    }
+
+    #[test]
+    fn write_mapping_lowers_writes_only() {
+        let (p, proj) = compile(&sb(), Mapping::Write, Atomicity::Type1);
+        let xchgs = p
+            .iter()
+            .flat_map(|(_, i)| i.iter())
+            .filter(|i| matches!(i, Instr::Rmw { kind: RmwKind::Exchange(_), .. }))
+            .count();
+        assert_eq!(xchgs, 2);
+        // TSO read order per thread: RMW-read (xchg), plain read.
+        assert_eq!(proj.project(&[0, 7, 0, 8]), vec![7, 8]);
+    }
+
+    #[test]
+    fn relaxed_accesses_stay_plain_under_all_mappings() {
+        let mut b = CcProgramBuilder::new();
+        b.thread().relaxed_write(X, 1).relaxed_read(Y);
+        let prog = b.build();
+        for m in Mapping::ALL {
+            let (p, _) = compile(&prog, m, Atomicity::Type1);
+            assert!(p
+                .iter()
+                .flat_map(|(_, i)| i.iter())
+                .all(|i| matches!(i, Instr::Read(_) | Instr::Write(..))));
+        }
+    }
+
+    #[test]
+    fn soundness_table_matches_paper() {
+        for m in Mapping::ALL {
+            for a in Atomicity::ALL {
+                let expect = !(m == Mapping::Write && a == Atomicity::Type3);
+                assert_eq!(m.sound_for(a), expect, "{m} × {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_display() {
+        assert_eq!(Mapping::ReadWrite.to_string(), "read-write-mapping");
+        assert_eq!(Mapping::Read.to_string(), "read-mapping");
+        assert_eq!(Mapping::Write.to_string(), "write-mapping");
+    }
+}

@@ -1,0 +1,180 @@
+//! Model-based verification of the compilation mappings (Appendix A).
+//!
+//! For an all-SC source program, correctness of a mapping means: every
+//! behaviour the TSO model allows for the compiled program is an SC
+//! behaviour of the source. [`verify_mapping`] decides this by exhaustive
+//! enumeration on both sides; on failure it returns the offending outcome
+//! as a [`CounterExample`].
+
+use crate::ast::CcProgram;
+use crate::mapping::{compile, Mapping};
+use crate::sc_ref::sc_outcomes;
+use rmw_types::{Atomicity, Value};
+use std::collections::BTreeSet;
+use tso_model::allowed_outcomes;
+
+/// A TSO-allowed behaviour that is not sequentially consistent — evidence
+/// that a mapping is unsound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterExample {
+    /// The mapping under test.
+    pub mapping: Mapping,
+    /// The RMW atomicity under test.
+    pub atomicity: Atomicity,
+    /// Source-level read values observed on TSO but impossible under SC.
+    pub source_reads: Vec<Value>,
+}
+
+impl core::fmt::Display for CounterExample {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} with {} RMWs admits non-SC outcome {:?}",
+            self.mapping, self.atomicity, self.source_reads
+        )
+    }
+}
+
+/// Verifies `mapping` with `atomicity` RMWs on one source program.
+///
+/// # Errors
+///
+/// Returns the first non-SC behaviour found, if any.
+///
+/// # Panics
+///
+/// Panics if the program is not all-SC (the SC reference is only complete
+/// for that fragment).
+pub fn verify_mapping(
+    prog: &CcProgram,
+    mapping: Mapping,
+    atomicity: Atomicity,
+) -> Result<(), CounterExample> {
+    assert!(
+        prog.is_all_sc(),
+        "verify_mapping requires an all-SC source program"
+    );
+    let sc: BTreeSet<Vec<Value>> = sc_outcomes(prog);
+    let (tso_prog, projection) = compile(prog, mapping, atomicity);
+    for outcome in allowed_outcomes(&tso_prog) {
+        let src = projection.project(&outcome.read_values());
+        if !sc.contains(&src) {
+            return Err(CounterExample {
+                mapping,
+                atomicity,
+                source_reads: src,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The verification corpus: small all-SC programs exercising the shapes the
+/// proofs care about (W→R reordering, write serialization, independent
+/// reads).
+pub fn corpus() -> Vec<(&'static str, CcProgram)> {
+    use crate::ast::CcProgramBuilder;
+    use rmw_types::Addr;
+    const X: Addr = Addr(0);
+    const Y: Addr = Addr(1);
+
+    let mut tests = Vec::new();
+
+    let mut b = CcProgramBuilder::new();
+    b.thread().sc_write(X, 1).sc_read(Y);
+    b.thread().sc_write(Y, 1).sc_read(X);
+    tests.push(("SB", b.build()));
+
+    let mut b = CcProgramBuilder::new();
+    b.thread().sc_write(X, 1).sc_write(Y, 1);
+    b.thread().sc_read(Y).sc_read(X);
+    tests.push(("MP", b.build()));
+
+    let mut b = CcProgramBuilder::new();
+    b.thread().sc_read(X).sc_write(Y, 1);
+    b.thread().sc_read(Y).sc_write(X, 1);
+    tests.push(("LB", b.build()));
+
+    let mut b = CcProgramBuilder::new();
+    b.thread().sc_write(X, 1);
+    b.thread().sc_write(X, 2).sc_read(X).sc_read(Y);
+    tests.push(("coherence+dep", b.build()));
+
+    let mut b = CcProgramBuilder::new();
+    b.thread().sc_write(X, 1).sc_read(X).sc_read(Y);
+    b.thread().sc_write(Y, 1).sc_read(Y).sc_read(X);
+    tests.push(("SB+own-read", b.build()));
+
+    tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Appendix A, executable: all mappings × atomicities are sound on the
+    /// corpus **except** write-mapping × type-3.
+    #[test]
+    fn appendix_a_soundness_matrix() {
+        for (name, prog) in corpus() {
+            for mapping in Mapping::ALL {
+                for atomicity in Atomicity::ALL {
+                    let result = verify_mapping(&prog, mapping, atomicity);
+                    if mapping.sound_for(atomicity) {
+                        assert!(
+                            result.is_ok(),
+                            "{name}: {mapping} × {atomicity} should be sound, got {:?}",
+                            result.err()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The write-mapping × type-3 unsoundness is *witnessed* on SB — the
+    /// Dekker counterexample of paper Fig. 3 manifests as a non-SC outcome.
+    #[test]
+    fn write_mapping_type3_counterexample_on_sb() {
+        let (_, sb) = corpus().remove(0);
+        let err = verify_mapping(&sb, Mapping::Write, Atomicity::Type3)
+            .expect_err("write-mapping × type-3 must be unsound on SB");
+        assert_eq!(err.source_reads, vec![0, 0], "the classic 0/0 violation");
+        assert!(!err.to_string().is_empty());
+    }
+
+    /// Write-mapping is sound for type-1 and type-2 on the whole corpus
+    /// (the paper's positive result for type-2).
+    #[test]
+    fn write_mapping_sound_for_type1_and_type2() {
+        for (name, prog) in corpus() {
+            for atomicity in [Atomicity::Type1, Atomicity::Type2] {
+                assert!(
+                    verify_mapping(&prog, Mapping::Write, atomicity).is_ok(),
+                    "{name}: write-mapping × {atomicity}"
+                );
+            }
+        }
+    }
+
+    /// Read-mapping is sound even for type-3 (the paper's §2.5 result).
+    #[test]
+    fn read_mapping_sound_for_type3() {
+        for (name, prog) in corpus() {
+            assert!(
+                verify_mapping(&prog, Mapping::Read, Atomicity::Type3).is_ok(),
+                "{name}: read-mapping × type-3"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-SC")]
+    fn relaxed_program_rejected() {
+        use crate::ast::CcProgramBuilder;
+        use rmw_types::Addr;
+        let mut b = CcProgramBuilder::new();
+        b.thread().relaxed_read(Addr(0));
+        let _ = verify_mapping(&b.build(), Mapping::Read, Atomicity::Type1);
+    }
+}

@@ -1,0 +1,697 @@
+//! MOESI distributed-directory coherence over the mesh, with the line
+//! locking mechanisms of the paper's RMW implementations (§3.1–3.3).
+//!
+//! The model is *transaction-level*: each access resolves immediately into
+//! a protocol outcome (hit / forward / memory fetch / upgrade) whose
+//! **latency** is composed from L1/L2/memory access times and mesh
+//! traversals, and whose **state transitions** are applied atomically. This
+//! preserves exactly the timing structure the paper's claims rest on —
+//! write-buffer drains cost serialized coherence transactions, RMW reads to
+//! shared lines cost invalidation round-trips, and type-3's directory
+//! locking avoids those invalidations — without simulating individual
+//! protocol races (which GEM5 does but the paper does not measure).
+//!
+//! Two lock flavors (paper §3.2–3.3):
+//!
+//! * [`LockKind::Local`] — the line is locked in the holder's L1 after
+//!   acquiring read/write permission (type-1/2 RMWs, and type-3 when the
+//!   holder already owns the line). All other cores' coherence requests to
+//!   the line are **denied** until unlock.
+//! * [`LockKind::Directory`] — the line is locked at its home directory in
+//!   shared state (type-3 RMWs): other cores may keep *reading* their S
+//!   copies (type-3 atomicity permits reads between `Ra` and `Wa`), but any
+//!   request that needs the directory (misses, upgrades, other RMWs) is
+//!   denied.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use interconnect::{Cycle, Mesh, MeshConfig};
+use rmw_types::CacheLine;
+use std::collections::HashMap;
+
+/// Per-core MOESI state of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LineState {
+    /// Modified: sole valid copy, dirty.
+    M,
+    /// Owned: dirty, shared with S copies; this core supplies data.
+    O,
+    /// Exclusive: sole valid copy, clean.
+    E,
+    /// Shared: clean copy, possibly many.
+    S,
+    /// Invalid.
+    #[default]
+    I,
+}
+
+impl LineState {
+    /// Valid (readable) states.
+    pub fn is_valid(self) -> bool {
+        self != LineState::I
+    }
+
+    /// States granting write permission without a coherence transaction.
+    pub fn is_writable(self) -> bool {
+        matches!(self, LineState::M | LineState::E)
+    }
+
+    /// States that make this core the designated data supplier.
+    pub fn is_owner(self) -> bool {
+        matches!(self, LineState::M | LineState::O | LineState::E)
+    }
+}
+
+/// Which locking protocol holds a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// Locked in the holder's L1 (holder has exclusive permission).
+    Local,
+    /// Locked at the home directory (holder has read permission; other
+    /// S copies remain readable).
+    Directory,
+}
+
+/// An active line lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineLock {
+    /// The locking core.
+    pub holder: usize,
+    /// The protocol flavor.
+    pub kind: LockKind,
+}
+
+/// Why an access could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Denied {
+    /// The line is locked by another core's in-flight RMW; retry after it
+    /// unlocks. Carries the holder for deadlock diagnosis.
+    LockedBy(usize),
+}
+
+/// Timing/protocol outcome of a successful access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Cycle at which the access completes.
+    pub done_at: Cycle,
+    /// True if serviced entirely by the local L1.
+    pub hit: bool,
+    /// Number of invalidations sent to other cores.
+    pub invalidations: usize,
+    /// True if the line had to come from memory (cold miss).
+    pub from_memory: bool,
+}
+
+/// Latency and geometry parameters (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceConfig {
+    /// Number of cores (= L2 banks = directory slices).
+    pub num_cores: usize,
+    /// L1 access latency (paper: 2 cycles).
+    pub l1_latency: Cycle,
+    /// L2 bank access latency (paper: 6 cycles).
+    pub l2_latency: Cycle,
+    /// Main-memory latency (paper: 300 cycles).
+    pub memory_latency: Cycle,
+    /// The NoC the protocol messages travel on.
+    pub mesh: MeshConfig,
+}
+
+impl CoherenceConfig {
+    /// The paper's Table 2 configuration.
+    pub fn paper_table2() -> Self {
+        CoherenceConfig {
+            num_cores: 32,
+            l1_latency: 2,
+            l2_latency: 6,
+            memory_latency: 300,
+            mesh: MeshConfig::paper_32(),
+        }
+    }
+
+    /// A small 4-core configuration for tests.
+    pub fn small(num_cores: usize) -> Self {
+        CoherenceConfig {
+            num_cores,
+            l1_latency: 2,
+            l2_latency: 6,
+            memory_latency: 50,
+            mesh: MeshConfig {
+                width: num_cores.max(1),
+                height: 1,
+                link_latency: 1,
+                router_latency: 4,
+            },
+        }
+    }
+}
+
+/// Aggregate protocol statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoherenceStats {
+    /// L1 hits.
+    pub hits: u64,
+    /// L1 misses (any cause).
+    pub misses: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// Cache-to-cache forwards.
+    pub forwards: u64,
+    /// Cold fetches from memory.
+    pub memory_fetches: u64,
+    /// Requests denied because the target line was locked.
+    pub lock_denials: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Line {
+    states: Vec<LineState>,
+    lock: Option<LineLock>,
+    /// Whether the line has ever been brought on-chip (false ⇒ next access
+    /// pays the memory latency).
+    on_chip: bool,
+}
+
+/// The coherence system: per-line MOESI state, a home directory slice per
+/// core, and the lock table.
+#[derive(Debug, Clone)]
+pub struct CoherenceSystem {
+    config: CoherenceConfig,
+    mesh: Mesh,
+    lines: HashMap<CacheLine, Line>,
+    stats: CoherenceStats,
+}
+
+impl CoherenceSystem {
+    /// Creates a system with all lines invalid everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or exceeds the mesh size.
+    pub fn new(config: CoherenceConfig) -> Self {
+        assert!(config.num_cores > 0, "need at least one core");
+        assert!(
+            config.num_cores <= config.mesh.num_nodes(),
+            "more cores than mesh nodes"
+        );
+        CoherenceSystem {
+            config,
+            mesh: Mesh::new(config.mesh),
+            lines: HashMap::new(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CoherenceConfig {
+        self.config
+    }
+
+    /// Protocol statistics so far.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// The home node (directory slice / L2 bank) of a line: address
+    /// interleaved across cores.
+    pub fn home_of(&self, line: CacheLine) -> usize {
+        ((line.0 >> 6) % self.config.num_cores as u64) as usize
+    }
+
+    /// Time for a coherence request from `core` to *reach* the line's home
+    /// directory (L1 lookup + mesh traversal). The simulator uses this to
+    /// model requests in flight: a request is checked against line locks
+    /// when it **arrives**, not when it is sent — which is what makes the
+    /// Fig. 10 write-deadlock physically possible.
+    pub fn request_latency(&self, core: usize, line: CacheLine) -> Cycle {
+        self.config.l1_latency + self.mesh.latency(core, self.home_of(line))
+    }
+
+    /// Current MOESI state of `line` in `core`'s L1.
+    pub fn state_of(&self, core: usize, line: CacheLine) -> LineState {
+        self.lines
+            .get(&line)
+            .map_or(LineState::I, |l| l.states[core])
+    }
+
+    /// The lock on `line`, if any.
+    pub fn lock_of(&self, line: CacheLine) -> Option<LineLock> {
+        self.lines.get(&line).and_then(|l| l.lock)
+    }
+
+    fn line_mut(&mut self, line: CacheLine) -> &mut Line {
+        let n = self.config.num_cores;
+        self.lines.entry(line).or_insert_with(|| Line {
+            states: vec![LineState::I; n],
+            lock: None,
+            on_chip: false,
+        })
+    }
+
+    /// Checks whether `core`'s prospective access is denied by a lock.
+    /// `needs_coherence` is true when the access cannot be satisfied from
+    /// the local L1 (miss or upgrade) and so must consult the directory.
+    fn lock_denies(&self, core: usize, line: CacheLine, needs_coherence: bool) -> Option<usize> {
+        let lock = self.lock_of(line)?;
+        if lock.holder == core {
+            return None;
+        }
+        match lock.kind {
+            // A local lock implies the holder holds the sole valid copy, so
+            // any other core's access needs coherence and is denied.
+            LockKind::Local => Some(lock.holder),
+            // A directory lock only blocks requests that reach the
+            // directory; local S-state reads proceed.
+            LockKind::Directory => needs_coherence.then_some(lock.holder),
+        }
+    }
+
+    /// A load by `core` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`Denied::LockedBy`] if the line is locked by another core and the
+    /// access needs a coherence transaction.
+    pub fn read(&mut self, core: usize, line: CacheLine, now: Cycle) -> Result<Access, Denied> {
+        let state = self.state_of(core, line);
+        let needs_coherence = !state.is_valid();
+        if let Some(holder) = self.lock_denies(core, line, needs_coherence) {
+            self.stats.lock_denials += 1;
+            return Err(Denied::LockedBy(holder));
+        }
+        if state.is_valid() {
+            self.stats.hits += 1;
+            return Ok(Access {
+                done_at: now + self.config.l1_latency,
+                hit: true,
+                invalidations: 0,
+                from_memory: false,
+            });
+        }
+        self.stats.misses += 1;
+        let home = self.home_of(line);
+        let mut t = now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
+        let mut from_memory = false;
+
+        let owner = self.owner_of(line);
+        if let Some(owner_core) = owner {
+            // forward: home → owner → requester
+            t += self.mesh.latency(home, owner_core)
+                + self.config.l1_latency
+                + self.mesh.latency(owner_core, core);
+            self.stats.forwards += 1;
+        } else {
+            if !self.lines.get(&line).is_some_and(|l| l.on_chip) {
+                t += self.config.memory_latency;
+                from_memory = true;
+                self.stats.memory_fetches += 1;
+            }
+            t += self.mesh.latency(home, core);
+        }
+
+        // State transitions.
+        let any_other_valid = {
+            let l = self.line_mut(line);
+            l.states
+                .iter()
+                .enumerate()
+                .any(|(c, s)| c != core && s.is_valid())
+        };
+        {
+            let l = self.line_mut(line);
+            l.on_chip = true;
+            if let Some(oc) = owner {
+                // owner downgrades: M→O, E→S, O stays O
+                l.states[oc] = match l.states[oc] {
+                    LineState::M => LineState::O,
+                    LineState::E => LineState::S,
+                    s => s,
+                };
+            }
+            l.states[core] = if any_other_valid {
+                LineState::S
+            } else {
+                LineState::E
+            };
+        }
+        Ok(Access {
+            done_at: t,
+            hit: false,
+            invalidations: 0,
+            from_memory,
+        })
+    }
+
+    /// A store (or read-exclusive) by `core` at time `now`: on completion
+    /// the core holds the line in `M`, everyone else in `I`.
+    ///
+    /// # Errors
+    ///
+    /// [`Denied::LockedBy`] if the line is locked by another core.
+    pub fn write(&mut self, core: usize, line: CacheLine, now: Cycle) -> Result<Access, Denied> {
+        let state = self.state_of(core, line);
+        let needs_coherence = !state.is_writable();
+        if let Some(holder) = self.lock_denies(core, line, needs_coherence) {
+            self.stats.lock_denials += 1;
+            return Err(Denied::LockedBy(holder));
+        }
+        if state.is_writable() {
+            self.stats.hits += 1;
+            self.line_mut(line).states[core] = LineState::M;
+            return Ok(Access {
+                done_at: now + self.config.l1_latency,
+                hit: true,
+                invalidations: 0,
+                from_memory: false,
+            });
+        }
+        self.stats.misses += 1;
+        let home = self.home_of(line);
+        let mut t = now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
+        let mut from_memory = false;
+
+        // Data supply if we don't have a valid copy at all.
+        let owner = self.owner_of(line);
+        if state == LineState::I {
+            if let Some(owner_core) = owner {
+                t += self.mesh.latency(home, owner_core)
+                    + self.config.l1_latency
+                    + self.mesh.latency(owner_core, core);
+                self.stats.forwards += 1;
+            } else if !self.lines.get(&line).is_some_and(|l| l.on_chip) {
+                t += self.config.memory_latency + self.mesh.latency(home, core);
+                from_memory = true;
+                self.stats.memory_fetches += 1;
+            } else {
+                t += self.mesh.latency(home, core);
+            }
+        }
+
+        // Invalidate every other valid copy; acks return to the requester
+        // in parallel — latest ack dominates.
+        let sharers: Vec<usize> = (0..self.config.num_cores)
+            .filter(|&c| c != core && self.state_of(c, line).is_valid())
+            .collect();
+        let mut inv_done = t;
+        for &s in &sharers {
+            let ack = t
+                + self.mesh.latency(home, s)
+                + self.config.l1_latency
+                + self.mesh.latency(s, core);
+            inv_done = inv_done.max(ack);
+            self.stats.invalidations += 1;
+        }
+
+        {
+            let l = self.line_mut(line);
+            l.on_chip = true;
+            for c in 0..l.states.len() {
+                l.states[c] = LineState::I;
+            }
+            l.states[core] = LineState::M;
+        }
+        Ok(Access {
+            done_at: inv_done,
+            hit: false,
+            invalidations: sharers.len(),
+            from_memory,
+        })
+    }
+
+    /// Locks a line. For [`LockKind::Local`] the holder must have write
+    /// permission (acquired via [`write`]); for [`LockKind::Directory`] the
+    /// holder must hold the line in a valid state (acquired via [`read`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Denied::LockedBy`] if another core already holds a lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permission precondition is violated (an internal
+    /// simulator bug, not a program behaviour).
+    ///
+    /// [`write`]: CoherenceSystem::write
+    /// [`read`]: CoherenceSystem::read
+    pub fn lock(&mut self, core: usize, line: CacheLine, kind: LockKind) -> Result<(), Denied> {
+        if let Some(l) = self.lock_of(line) {
+            if l.holder != core {
+                self.stats.lock_denials += 1;
+                return Err(Denied::LockedBy(l.holder));
+            }
+        }
+        let state = self.state_of(core, line);
+        match kind {
+            LockKind::Local => assert!(
+                state.is_writable(),
+                "local lock requires M/E permission, have {state:?}"
+            ),
+            LockKind::Directory => assert!(
+                state.is_valid(),
+                "directory lock requires a valid copy, have {state:?}"
+            ),
+        }
+        self.line_mut(line).lock = Some(LineLock {
+            holder: core,
+            kind,
+        });
+        Ok(())
+    }
+
+    /// Releases `core`'s lock on `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` does not hold the lock (internal bug).
+    pub fn unlock(&mut self, core: usize, line: CacheLine) {
+        let l = self.line_mut(line);
+        match l.lock {
+            Some(LineLock { holder, .. }) if holder == core => l.lock = None,
+            other => panic!("core {core} unlocking {line} it does not hold: {other:?}"),
+        }
+    }
+
+    /// The core currently designated to supply data (M/O/E), if any.
+    pub fn owner_of(&self, line: CacheLine) -> Option<usize> {
+        let l = self.lines.get(&line)?;
+        l.states.iter().position(|s| s.is_owner())
+    }
+
+    /// Invariant check used by tests: at most one core in `M`/`E`, and if a
+    /// core is in `M` or `E`, no other core holds a valid copy.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (line, l) in &self.lines {
+            let exclusive: Vec<usize> = l
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_writable())
+                .map(|(c, _)| c)
+                .collect();
+            if exclusive.len() > 1 {
+                return Err(format!("{line}: multiple exclusive copies: {exclusive:?}"));
+            }
+            if let Some(&e) = exclusive.first() {
+                let others: Vec<usize> = l
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter(|&(c, s)| c != e && s.is_valid())
+                    .map(|(c, _)| c)
+                    .collect();
+                if !others.is_empty() {
+                    return Err(format!(
+                        "{line}: core {e} exclusive but {others:?} hold valid copies"
+                    ));
+                }
+            }
+            let owners = l.states.iter().filter(|s| s.is_owner()).count();
+            if owners > 1 {
+                return Err(format!("{line}: {owners} owners"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: CacheLine = CacheLine(0x40);
+    const L2: CacheLine = CacheLine(0x80);
+
+    fn sys() -> CoherenceSystem {
+        CoherenceSystem::new(CoherenceConfig::small(4))
+    }
+
+    #[test]
+    fn cold_read_pays_memory_and_becomes_exclusive() {
+        let mut s = sys();
+        let a = s.read(0, L, 0).unwrap();
+        assert!(!a.hit);
+        assert!(a.from_memory);
+        assert_eq!(s.state_of(0, L), LineState::E);
+        assert!(a.done_at >= s.config().memory_latency);
+        // second read is a pure L1 hit
+        let b = s.read(0, L, a.done_at).unwrap();
+        assert!(b.hit);
+        assert_eq!(b.done_at, a.done_at + s.config().l1_latency);
+    }
+
+    #[test]
+    fn second_reader_gets_shared_via_forward() {
+        let mut s = sys();
+        s.read(0, L, 0).unwrap(); // core 0: E
+        let a = s.read(1, L, 100).unwrap();
+        assert!(!a.hit);
+        assert!(!a.from_memory, "data forwarded, not fetched");
+        assert_eq!(s.state_of(0, L), LineState::S, "E downgrades to S");
+        assert_eq!(s.state_of(1, L), LineState::S);
+        assert_eq!(s.stats().forwards, 1);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut s = sys();
+        s.read(0, L, 0).unwrap();
+        s.read(1, L, 100).unwrap();
+        s.read(2, L, 200).unwrap();
+        let a = s.write(3, L, 300).unwrap();
+        assert_eq!(a.invalidations, 3);
+        assert_eq!(s.state_of(3, L), LineState::M);
+        for c in 0..3 {
+            assert_eq!(s.state_of(c, L), LineState::I);
+        }
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade() {
+        let mut s = sys();
+        s.read(0, L, 0).unwrap(); // E
+        let a = s.write(0, L, 100).unwrap();
+        assert!(a.hit, "E→M is a hit");
+        assert_eq!(s.state_of(0, L), LineState::M);
+    }
+
+    #[test]
+    fn dirty_owner_downgrades_to_o_on_foreign_read() {
+        let mut s = sys();
+        s.write(0, L, 0).unwrap(); // M
+        s.read(1, L, 100).unwrap();
+        assert_eq!(s.state_of(0, L), LineState::O, "M→O on snoop read (MOESI)");
+        assert_eq!(s.state_of(1, L), LineState::S);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn upgrade_from_shared_costs_invalidations_not_data() {
+        let mut s = sys();
+        s.write(0, L, 0).unwrap();
+        s.read(1, L, 100).unwrap(); // 0: O, 1: S
+        let a = s.write(1, L, 200).unwrap();
+        assert!(!a.hit);
+        assert!(!a.from_memory);
+        assert_eq!(a.invalidations, 1); // invalidate core 0
+        assert_eq!(s.state_of(1, L), LineState::M);
+        assert_eq!(s.state_of(0, L), LineState::I);
+    }
+
+    #[test]
+    fn local_lock_denies_all_foreign_access() {
+        let mut s = sys();
+        s.write(0, L, 0).unwrap();
+        s.lock(0, L, LockKind::Local).unwrap();
+        assert_eq!(s.read(1, L, 10), Err(Denied::LockedBy(0)));
+        assert_eq!(s.write(2, L, 10), Err(Denied::LockedBy(0)));
+        // the holder itself is unaffected
+        assert!(s.read(0, L, 10).is_ok());
+        assert!(s.write(0, L, 10).is_ok());
+        s.unlock(0, L);
+        assert!(s.read(1, L, 20).is_ok());
+        assert!(s.stats().lock_denials >= 2);
+    }
+
+    #[test]
+    fn directory_lock_allows_shared_reads_but_denies_coherence() {
+        let mut s = sys();
+        s.read(0, L, 0).unwrap();
+        s.read(1, L, 50).unwrap(); // both S
+        s.lock(0, L, LockKind::Directory).unwrap();
+        // core 1 still reads its S copy — type-3 permits reads between Ra/Wa
+        assert!(s.read(1, L, 100).is_ok());
+        // but a write (upgrade) or a miss by core 2 is denied
+        assert_eq!(s.write(1, L, 100), Err(Denied::LockedBy(0)));
+        assert_eq!(s.read(2, L, 100), Err(Denied::LockedBy(0)));
+        s.unlock(0, L);
+        assert!(s.write(1, L, 200).is_ok());
+    }
+
+    #[test]
+    fn second_lock_attempt_denied() {
+        let mut s = sys();
+        s.write(0, L, 0).unwrap();
+        s.lock(0, L, LockKind::Local).unwrap();
+        // core 1 cannot even acquire permission, but test the lock API too:
+        // pretend it had a stale valid state — lock() itself must refuse.
+        assert_eq!(
+            s.lock(1, L, LockKind::Directory),
+            Err(Denied::LockedBy(0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires M/E")]
+    fn local_lock_requires_write_permission() {
+        let mut s = sys();
+        s.read(0, L, 0).unwrap();
+        s.read(1, L, 10).unwrap(); // downgrades 0 to S
+        s.lock(0, L, LockKind::Local).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn unlock_requires_holding() {
+        let mut s = sys();
+        s.write(0, L, 0).unwrap();
+        s.lock(0, L, LockKind::Local).unwrap();
+        s.unlock(1, L);
+    }
+
+    #[test]
+    fn distinct_lines_are_independent() {
+        let mut s = sys();
+        s.write(0, L, 0).unwrap();
+        s.lock(0, L, LockKind::Local).unwrap();
+        assert!(s.write(1, L2, 10).is_ok(), "other lines unaffected by lock");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn home_distribution_covers_all_cores() {
+        let s = sys();
+        let homes: std::collections::BTreeSet<usize> = (0..64u64)
+            .map(|i| s.home_of(CacheLine(i * 64)))
+            .collect();
+        assert_eq!(homes.len(), 4, "interleaving reaches every slice");
+    }
+
+    #[test]
+    fn read_to_shared_line_cheaper_than_write() {
+        // The type-3 advantage: acquiring read permission on a widely
+        // shared line costs no invalidations; acquiring write permission
+        // pays the full invalidation round-trip.
+        let mut s = sys();
+        s.read(0, L, 0).unwrap();
+        s.read(1, L, 100).unwrap();
+        s.read(2, L, 200).unwrap();
+        let mut s_read = s.clone();
+        let read = s_read.read(3, L, 1000).unwrap();
+        let write = s.write(3, L, 1000).unwrap();
+        assert!(read.done_at - 1000 < write.done_at - 1000);
+        assert_eq!(read.invalidations, 0);
+        assert_eq!(write.invalidations, 3);
+    }
+}

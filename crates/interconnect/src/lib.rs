@@ -1,0 +1,405 @@
+//! 2D-mesh network-on-chip model (paper Table 2: 1-cycle links, 4-cycle
+//! routers, XY dimension-order routing).
+//!
+//! The simulator composes memory-system latencies out of mesh traversal
+//! times, and counts traffic — in particular the **RMW address broadcasts**
+//! of the type-2/type-3 deadlock-avoidance scheme (§3.2), whose network
+//! overhead the paper reports as negligible (<0.5 %).
+//!
+//! Two layers are provided:
+//!
+//! * [`Mesh`] — pure geometry/latency: hop counts and traversal latency
+//!   between nodes, plus broadcast latency;
+//! * [`Network`] — an event-queue wrapper delivering typed messages at
+//!   computed times, with per-kind traffic statistics.
+//!
+//! ```
+//! use interconnect::{Mesh, MeshConfig};
+//!
+//! let mesh = Mesh::new(MeshConfig::paper_32());
+//! // corner to corner on an 8×4 mesh: (7 + 3) hops
+//! assert_eq!(mesh.hops(0, 31), 10);
+//! assert!(mesh.latency(0, 31) > mesh.latency(0, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Cycle count type used throughout the simulator.
+pub type Cycle = u64;
+
+/// Mesh geometry and per-hop latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Number of columns.
+    pub width: usize,
+    /// Number of rows.
+    pub height: usize,
+    /// Per-link traversal latency in cycles (paper: 1).
+    pub link_latency: Cycle,
+    /// Per-router latency in cycles (paper: 4).
+    pub router_latency: Cycle,
+}
+
+impl MeshConfig {
+    /// The paper's 32-core configuration: an 8×4 mesh with 1-cycle links
+    /// and 4-cycle routers (Table 2).
+    pub fn paper_32() -> Self {
+        MeshConfig {
+            width: 8,
+            height: 4,
+            link_latency: 1,
+            router_latency: 4,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// A 2D mesh with XY routing.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    config: MeshConfig,
+}
+
+impl Mesh {
+    /// Creates a mesh from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(config: MeshConfig) -> Self {
+        assert!(
+            config.width > 0 && config.height > 0,
+            "mesh dimensions must be nonzero"
+        );
+        Mesh { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MeshConfig {
+        self.config
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.config.num_nodes()
+    }
+
+    /// `(x, y)` coordinates of a node id (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.num_nodes(), "node {node} out of range");
+        (node % self.config.width, node / self.config.width)
+    }
+
+    /// Manhattan hop count between two nodes (XY routing path length).
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// One-way traversal latency from `a` to `b`: each hop crosses a link
+    /// and a router, plus the injection router at the source. A self-send
+    /// still pays one router traversal.
+    pub fn latency(&self, a: usize, b: usize) -> Cycle {
+        let hops = self.hops(a, b) as Cycle;
+        self.config.router_latency
+            + hops * (self.config.link_latency + self.config.router_latency)
+    }
+
+    /// Latency until *all* nodes have received a broadcast from `src`
+    /// (messages travel in parallel; the farthest node dominates).
+    pub fn broadcast_latency(&self, src: usize) -> Cycle {
+        (0..self.num_nodes())
+            .filter(|&n| n != src)
+            .map(|n| self.latency(src, n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latency of a broadcast followed by acknowledgements collected back
+    /// at `src` — the cost of publishing a new RMW address (§3.2).
+    pub fn broadcast_ack_latency(&self, src: usize) -> Cycle {
+        (0..self.num_nodes())
+            .filter(|&n| n != src)
+            .map(|n| self.latency(src, n) + self.latency(n, src))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Classification of messages for traffic accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Data/coherence request (GetS/GetM, etc.).
+    Request,
+    /// Data or ownership response.
+    Response,
+    /// Invalidation or its acknowledgement.
+    Invalidation,
+    /// RMW address broadcast of the deadlock-avoidance scheme.
+    RmwBroadcast,
+}
+
+/// An in-flight message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight<T> {
+    deliver_at: Cycle,
+    seq: u64,
+    dst: usize,
+    payload: T,
+}
+
+/// Event-queue network: messages are sent with [`Network::send`] and appear
+/// from [`Network::deliver_ready`] once simulated time reaches their
+/// delivery cycle.
+#[derive(Debug, Clone)]
+pub struct Network<T> {
+    mesh: Mesh,
+    queue: BinaryHeap<Reverse<(Cycle, u64)>>,
+    messages: HashMap<u64, InFlight<T>>,
+    next_seq: u64,
+    sent_by_class: HashMap<TrafficClass, u64>,
+    hops_by_class: HashMap<TrafficClass, u64>,
+}
+
+impl<T> Network<T> {
+    /// Creates an empty network over the given mesh.
+    pub fn new(mesh: Mesh) -> Self {
+        Network {
+            mesh,
+            queue: BinaryHeap::new(),
+            messages: HashMap::new(),
+            next_seq: 0,
+            sent_by_class: HashMap::new(),
+            hops_by_class: HashMap::new(),
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Sends `payload` from `src` to `dst` at time `now`; returns the
+    /// delivery cycle.
+    pub fn send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: T,
+        now: Cycle,
+        class: TrafficClass,
+    ) -> Cycle {
+        let deliver_at = now + self.mesh.latency(src, dst);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse((deliver_at, seq)));
+        self.messages.insert(
+            seq,
+            InFlight {
+                deliver_at,
+                seq,
+                dst,
+                payload,
+            },
+        );
+        *self.sent_by_class.entry(class).or_insert(0) += 1;
+        *self.hops_by_class.entry(class).or_insert(0) += self.mesh.hops(src, dst) as u64;
+        deliver_at
+    }
+
+    /// Broadcasts `payload` to every node except `src` (cloning it), at
+    /// time `now`; returns the cycle by which all copies have arrived.
+    pub fn broadcast(&mut self, src: usize, payload: T, now: Cycle, class: TrafficClass) -> Cycle
+    where
+        T: Clone,
+    {
+        let mut done = now;
+        for dst in 0..self.mesh.num_nodes() {
+            if dst != src {
+                done = done.max(self.send(src, dst, payload.clone(), now, class));
+            }
+        }
+        done
+    }
+
+    /// Pops every message whose delivery time is `<= now`, in delivery
+    /// order, as `(dst, payload)` pairs.
+    pub fn deliver_ready(&mut self, now: Cycle) -> Vec<(usize, T)> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((t, seq))) = self.queue.peek() {
+            if t > now {
+                break;
+            }
+            self.queue.pop();
+            let m = self
+                .messages
+                .remove(&seq)
+                .expect("queued message has a body");
+            debug_assert_eq!(m.deliver_at, t);
+            debug_assert_eq!(m.seq, seq);
+            out.push((m.dst, m.payload));
+        }
+        out
+    }
+
+    /// Number of messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Messages sent so far, by class.
+    pub fn sent(&self, class: TrafficClass) -> u64 {
+        self.sent_by_class.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent across all classes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_by_class.values().sum()
+    }
+
+    /// Link traversals (hop count) accumulated per class — the paper's
+    /// network-traffic metric for quantifying broadcast overhead.
+    pub fn hop_traffic(&self, class: TrafficClass) -> u64 {
+        self.hops_by_class.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total hop traffic across classes.
+    pub fn total_hop_traffic(&self) -> u64 {
+        self.hops_by_class.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(MeshConfig::paper_32())
+    }
+
+    #[test]
+    fn paper_config_geometry() {
+        let m = mesh();
+        assert_eq!(m.num_nodes(), 32);
+        assert_eq!(m.coords(0), (0, 0));
+        assert_eq!(m.coords(7), (7, 0));
+        assert_eq!(m.coords(8), (0, 1));
+        assert_eq!(m.coords(31), (7, 3));
+    }
+
+    #[test]
+    fn hops_are_manhattan_and_symmetric() {
+        let m = mesh();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 7), 7);
+        assert_eq!(m.hops(0, 31), 10);
+        for (a, b) in [(0, 5), (3, 28), (12, 19)] {
+            assert_eq!(m.hops(a, b), m.hops(b, a));
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let m = mesh();
+        // self-send: one router traversal
+        assert_eq!(m.latency(0, 0), 4);
+        // one hop: injection router + (link + router)
+        assert_eq!(m.latency(0, 1), 4 + 5);
+        assert_eq!(m.latency(0, 31), 4 + 10 * 5);
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let m = mesh();
+        for a in 0..32 {
+            for b in 0..32 {
+                for c in [0usize, 13, 31] {
+                    assert!(m.hops(a, b) <= m.hops(a, c) + m.hops(c, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_latency_is_max_pairwise() {
+        let m = mesh();
+        let expect = (1..32).map(|n| m.latency(0, n)).max().unwrap();
+        assert_eq!(m.broadcast_latency(0), expect);
+        // a central node reaches everyone faster than a corner
+        assert!(m.broadcast_latency(11) < m.broadcast_latency(0));
+        // ack round-trip is at most double the one-way broadcast
+        assert!(m.broadcast_ack_latency(0) <= 2 * m.broadcast_latency(0));
+        assert!(m.broadcast_ack_latency(0) >= m.broadcast_latency(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coords_bounds_checked() {
+        let _ = mesh().coords(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = Mesh::new(MeshConfig {
+            width: 0,
+            height: 4,
+            link_latency: 1,
+            router_latency: 4,
+        });
+    }
+
+    #[test]
+    fn network_delivers_in_time_order() {
+        let mut net: Network<&'static str> = Network::new(mesh());
+        let t_far = net.send(0, 31, "far", 0, TrafficClass::Request);
+        let t_near = net.send(0, 1, "near", 0, TrafficClass::Request);
+        assert!(t_near < t_far);
+        assert_eq!(net.in_flight(), 2);
+        // nothing ready before the near message's time
+        assert!(net.deliver_ready(t_near - 1).is_empty());
+        let ready = net.deliver_ready(t_near);
+        assert_eq!(ready, vec![(1, "near")]);
+        let ready = net.deliver_ready(t_far);
+        assert_eq!(ready, vec![(31, "far")]);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_but_source() {
+        let mut net: Network<u64> = Network::new(mesh());
+        let done = net.broadcast(5, 42, 100, TrafficClass::RmwBroadcast);
+        assert_eq!(net.sent(TrafficClass::RmwBroadcast), 31);
+        let delivered = net.deliver_ready(done);
+        assert_eq!(delivered.len(), 31);
+        assert!(delivered.iter().all(|&(dst, v)| dst != 5 && v == 42));
+    }
+
+    #[test]
+    fn traffic_accounting_by_class() {
+        let mut net: Network<()> = Network::new(mesh());
+        net.send(0, 31, (), 0, TrafficClass::Request);
+        net.send(0, 1, (), 0, TrafficClass::Invalidation);
+        net.send(0, 1, (), 0, TrafficClass::Invalidation);
+        assert_eq!(net.sent(TrafficClass::Request), 1);
+        assert_eq!(net.sent(TrafficClass::Invalidation), 2);
+        assert_eq!(net.sent(TrafficClass::Response), 0);
+        assert_eq!(net.total_sent(), 3);
+        assert_eq!(net.hop_traffic(TrafficClass::Request), 10);
+        assert_eq!(net.hop_traffic(TrafficClass::Invalidation), 2);
+        assert_eq!(net.total_hop_traffic(), 12);
+    }
+}

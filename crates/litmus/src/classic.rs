@@ -1,0 +1,220 @@
+//! The classic TSO litmus tests, with their textbook verdicts.
+//!
+//! These validate the base model (paper §2.1) before any RMW extension:
+//! TSO allows store-buffering reordering (W→R) and nothing else; it is
+//! multi-copy atomic.
+
+use crate::{Expect, Litmus, Target};
+use rmw_types::Addr;
+use tso_model::ProgramBuilder;
+
+const X: Addr = Addr(0);
+const Y: Addr = Addr(1);
+
+/// SB (store buffering): `W x=1; R y || W y=1; R x`.
+/// `r(y)=0 ∧ r(x)=0` is **allowed** — the signature TSO relaxation.
+pub fn sb() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).read(Y);
+    b.thread().write(Y, 1).read(X);
+    Litmus {
+        name: "SB".into(),
+        description: "store buffering: both reads may see 0 on TSO".into(),
+        program: b.build(),
+        target: Target(vec![(0, 0), (1, 0)]),
+        expect: Expect::Allowed,
+    }
+}
+
+/// SB with fences between write and read on both threads: 0/0 **forbidden**.
+pub fn sb_fences() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).fence().read(Y);
+    b.thread().write(Y, 1).fence().read(X);
+    Litmus {
+        name: "SB+mfences".into(),
+        description: "store buffering with fences: SC restored".into(),
+        program: b.build(),
+        target: Target(vec![(0, 0), (1, 0)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// MP (message passing): `W x=1; W y=1 || R y; R x`.
+/// `r(y)=1 ∧ r(x)=0` is **forbidden** on TSO (stores and loads stay ordered).
+pub fn mp() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).write(Y, 1);
+    b.thread().read(Y).read(X);
+    Litmus {
+        name: "MP".into(),
+        description: "message passing: stale data after flag is forbidden".into(),
+        program: b.build(),
+        target: Target(vec![(0, 1), (1, 0)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// LB (load buffering): `R x; W y=1 || R y; W x=1`.
+/// `r(x)=1 ∧ r(y)=1` is **forbidden** on TSO (loads don't pass loads).
+pub fn lb() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().read(X).write(Y, 1);
+    b.thread().read(Y).write(X, 1);
+    Litmus {
+        name: "LB".into(),
+        description: "load buffering: both loads seeing the other's store is forbidden".into(),
+        program: b.build(),
+        target: Target(vec![(0, 1), (1, 1)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// R: `W x=1; W y=1 || W y=2; R x`. Outcome `y=1 final ∧ r(x)=0` is
+/// forbidden on TSO. We phrase it through the read plus final memory via a
+/// read of y on a third... simplified: target `r(x)=0` with `ws: y: 2 then 1`
+/// is not directly expressible as a read target, so we use the variant with
+/// an observer read of y.
+pub fn r_variant() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).write(Y, 1);
+    b.thread().write(Y, 2).read(Y).read(X);
+    // If thread 1's read of y sees 1 (its own write 2 overwritten by W y=1
+    // serialized before... actually: r(y)=1 means W y=1 is ws-after W y=2),
+    // then r(x)=0 is forbidden: W x=1 precedes W y=1 in ppo.
+    Litmus {
+        name: "R+po".into(),
+        description: "write serialization into y orders the writer's earlier store".into(),
+        program: b.build(),
+        target: Target(vec![(0, 1), (1, 0)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// 2+2W: `W x=1; W y=2 || W y=1; W x=2` with observers is heavyweight; the
+/// standard forbidden shape on TSO is a `ws` cycle, tested via final memory
+/// in the model's unit tests. Here we provide the read-based variant:
+/// each thread reads the other's first location last.
+pub fn two_plus_two_w() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).write(Y, 2).read(Y);
+    b.thread().write(Y, 1).write(X, 2).read(X);
+    // r0(y)=1 requires W y=1 ws-after W y=2; r1(x)=1 requires W x=1 ws-after
+    // W x=2. Combined with ppo W→W both ways this is a ghb cycle: forbidden.
+    Litmus {
+        name: "2+2W+reads".into(),
+        description: "cyclic write serialization across two locations is forbidden".into(),
+        program: b.build(),
+        target: Target(vec![(0, 1), (1, 1)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// IRIW (independent reads of independent writes): writers `W x=1` and
+/// `W y=1`; two readers disagree on the order. Forbidden on TSO
+/// (multi-copy atomicity) *when reads are ordered*, which they are on TSO.
+pub fn iriw() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1);
+    b.thread().write(Y, 1);
+    b.thread().read(X).read(Y);
+    b.thread().read(Y).read(X);
+    Litmus {
+        name: "IRIW".into(),
+        description: "readers must agree on the order of independent writes".into(),
+        program: b.build(),
+        target: Target(vec![(0, 1), (1, 0), (2, 1), (3, 0)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// SB with only one fence: 0/0 still **allowed** (one unfenced W→R pair
+/// suffices to reorder).
+pub fn sb_one_fence() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).fence().read(Y);
+    b.thread().write(Y, 1).read(X);
+    Litmus {
+        name: "SB+mfence-one-side".into(),
+        description: "a single fence does not forbid SB's relaxed outcome".into(),
+        program: b.build(),
+        target: Target(vec![(0, 0), (1, 0)]),
+        expect: Expect::Allowed,
+    }
+}
+
+/// CoRR: same-location read-read coherence. A thread reading `x` twice must
+/// not see the new value then the old one.
+pub fn corr() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1);
+    b.thread().read(X).read(X);
+    Litmus {
+        name: "CoRR".into(),
+        description: "same-location reads cannot go backwards in coherence".into(),
+        program: b.build(),
+        target: Target(vec![(0, 1), (1, 0)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// CoWR: a thread that wrote `x` and reads it without intervening writes
+/// must not see an older value... but *can* see its own buffered write
+/// early. Reading a foreign value that is coherence-older than its own
+/// write is forbidden.
+pub fn cowr() -> Litmus {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).read(X);
+    b.thread().write(X, 2);
+    Litmus {
+        name: "CoWR".into(),
+        description: "a writer's read of the same location cannot see values older than its own write"
+            .into(),
+        program: b.build(),
+        target: Target(vec![(0, 0)]),
+        expect: Expect::Forbidden,
+    }
+}
+
+/// The full classic corpus.
+pub fn all() -> Vec<Litmus> {
+    vec![
+        sb(),
+        sb_fences(),
+        sb_one_fence(),
+        mp(),
+        lb(),
+        r_variant(),
+        two_plus_two_w(),
+        iriw(),
+        corr(),
+        cowr(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_classic_test_passes() {
+        for t in all() {
+            let r = t.check();
+            assert!(
+                r.passed,
+                "{}: expected {}, model observed allowed={}",
+                r.name, r.expect, r.observed_allowed
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_has_distinct_names() {
+        let tests = all();
+        let mut names: Vec<&str> = tests.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

@@ -1,0 +1,435 @@
+//! Shared vocabulary types for the *Fast RMWs for TSO* reproduction.
+//!
+//! This crate defines the basic identifiers (threads, addresses, values),
+//! the three RMW atomicity definitions from the paper (§2.2), the RMW
+//! operation kinds found on TSO architectures, and small descriptors for
+//! memory operations shared by the axiomatic model ([`tso-model`]) and the
+//! timing simulator ([`tso-sim`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rmw_types::{Atomicity, RmwKind};
+//!
+//! // Existing x86/SPARC RMWs are type-1 (strict); the paper proposes
+//! // type-2 and type-3.
+//! assert!(Atomicity::Type1.is_stricter_than(Atomicity::Type2));
+//! assert!(Atomicity::Type2.is_stricter_than(Atomicity::Type3));
+//! assert!(RmwKind::CompareAndSwap { expected: 0, new: 1 }.is_conditional());
+//! ```
+//!
+//! [`tso-model`]: https://example.org/fast-rmw-tso
+//! [`tso-sim`]: https://example.org/fast-rmw-tso
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Identifier of a hardware thread / processor.
+///
+/// The paper's simulator uses a 32-core CMP; thread ids are small dense
+/// integers used to index per-processor structures.
+///
+/// ```
+/// use rmw_types::ThreadId;
+/// let t = ThreadId(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(format!("{t}"), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub usize);
+
+impl ThreadId {
+    /// Returns the dense index of this thread, for indexing per-CPU arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for ThreadId {
+    fn from(i: usize) -> Self {
+        ThreadId(i)
+    }
+}
+
+/// A memory address (location).
+///
+/// Litmus tests conventionally use `x`, `y`, `z`; the simulator uses byte
+/// addresses. Both are represented as a `u64`. [`Addr::name`] renders small
+/// addresses with the conventional litmus letters.
+///
+/// ```
+/// use rmw_types::Addr;
+/// assert_eq!(Addr(0).name(), "x");
+/// assert_eq!(Addr(1).name(), "y");
+/// assert_eq!(Addr(26).name(), "loc26");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Conventional litmus names: `x`, `y`, `z`, `a`, `b`, ... for the first
+    /// few addresses, `locN` beyond.
+    pub fn name(self) -> String {
+        const NAMES: [&str; 6] = ["x", "y", "z", "a", "b", "c"];
+        match NAMES.get(self.0 as usize) {
+            Some(n) => (*n).to_owned(),
+            None => format!("loc{}", self.0),
+        }
+    }
+
+    /// The cache line containing this address, for a given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero or not a power of two.
+    #[inline]
+    pub fn line(self, line_size: u64) -> CacheLine {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a nonzero power of two, got {line_size}"
+        );
+        CacheLine(self.0 & !(line_size - 1))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(a: u64) -> Self {
+        Addr(a)
+    }
+}
+
+/// A cache-line-aligned address, produced by [`Addr::line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CacheLine(pub u64);
+
+impl fmt::Display for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line@{:#x}", self.0)
+    }
+}
+
+/// A memory value. Litmus tests use small integers; `0` is the conventional
+/// initial value of every location.
+pub type Value = u64;
+
+/// The three RMW atomicity definitions of the paper (§2.2).
+///
+/// Let `Ra`/`Wa` be the read/write halves of an RMW to address `x`, and
+/// `ghb` the global memory order. The definitions forbid the following
+/// events from appearing *between* `Ra` and `Wa` in `ghb`:
+///
+/// * [`Type1`](Atomicity::Type1): **writes to any address** (strict; what
+///   x86 `lock`-prefixed instructions and SPARC RMWs implement today).
+/// * [`Type2`](Atomicity::Type2): reads and writes **to the same address**.
+/// * [`Type3`](Atomicity::Type3): writes **to the same address** only.
+///
+/// Every definition still suffices for consensus (Herlihy); they differ in
+/// the *orderings they induce* (paper §2.3–2.5) and hence in which
+/// synchronization idioms they support (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atomicity {
+    /// Strict atomicity: no write to *any* address between `Ra` and `Wa`.
+    Type1,
+    /// No read or write to the *same* address between `Ra` and `Wa`.
+    Type2,
+    /// No write to the *same* address between `Ra` and `Wa`.
+    Type3,
+}
+
+impl Atomicity {
+    /// All three atomicity types, in decreasing strictness.
+    pub const ALL: [Atomicity; 3] = [Atomicity::Type1, Atomicity::Type2, Atomicity::Type3];
+
+    /// Whether `self` is strictly stronger than `other` (forbids a superset
+    /// of interleavings).
+    ///
+    /// ```
+    /// use rmw_types::Atomicity;
+    /// assert!(Atomicity::Type1.is_stricter_than(Atomicity::Type3));
+    /// assert!(!Atomicity::Type3.is_stricter_than(Atomicity::Type3));
+    /// ```
+    pub fn is_stricter_than(self, other: Atomicity) -> bool {
+        self.rank() < other.rank()
+    }
+
+    /// Whether an event with the given shape is forbidden between `Ra(x)`
+    /// and `Wa(x)` under this atomicity definition.
+    ///
+    /// `is_write` describes the intervening event; `same_addr` says whether
+    /// it addresses the RMW's own location.
+    ///
+    /// ```
+    /// use rmw_types::Atomicity;
+    /// // A write to a different address is only forbidden under type-1.
+    /// assert!(Atomicity::Type1.forbids_between(true, false));
+    /// assert!(!Atomicity::Type2.forbids_between(true, false));
+    /// // A same-address read is forbidden under type-2 but not type-3.
+    /// assert!(Atomicity::Type2.forbids_between(false, true));
+    /// assert!(!Atomicity::Type3.forbids_between(false, true));
+    /// ```
+    pub fn forbids_between(self, is_write: bool, same_addr: bool) -> bool {
+        match self {
+            Atomicity::Type1 => is_write,
+            Atomicity::Type2 => same_addr,
+            Atomicity::Type3 => is_write && same_addr,
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Atomicity::Type1 => 0,
+            Atomicity::Type2 => 1,
+            Atomicity::Type3 => 2,
+        }
+    }
+}
+
+impl fmt::Display for Atomicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Atomicity::Type1 => "type-1",
+            Atomicity::Type2 => "type-2",
+            Atomicity::Type3 => "type-3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The read-modify-write operation kinds commonly provided by TSO
+/// architectures (paper §1): test-and-set, fetch-and-add, compare-and-swap,
+/// and atomic exchange (x86 `xchg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwKind {
+    /// `test-and-set`: write 1, return the old value.
+    TestAndSet,
+    /// `fetch-and-add(k)`: add `k`, return the old value. `xadd(0)` is used
+    /// by the C/C++11 SC-atomic-read mapping (paper Table 4).
+    FetchAndAdd(Value),
+    /// `compare-and-swap(expected, new)`: write `new` only if the old value
+    /// equals `expected`; always returns the old value.
+    CompareAndSwap {
+        /// Value the location must hold for the swap to happen.
+        expected: Value,
+        /// Value stored on success.
+        new: Value,
+    },
+    /// `exchange(new)`: unconditionally write `new`, return the old value.
+    /// x86 `lock xchg` is used by the SC-atomic-write mapping (Table 4).
+    Exchange(Value),
+}
+
+impl RmwKind {
+    /// Applies the modify function to `old`, returning the value the write
+    /// half stores. For a failed CAS this is `old` itself (the write still
+    /// occurs in the model, writing back the old value, which keeps the
+    /// read/write pair uniform; hardware may elide it).
+    ///
+    /// ```
+    /// use rmw_types::RmwKind;
+    /// assert_eq!(RmwKind::TestAndSet.apply(0), 1);
+    /// assert_eq!(RmwKind::FetchAndAdd(5).apply(37), 42);
+    /// assert_eq!(RmwKind::CompareAndSwap { expected: 1, new: 9 }.apply(1), 9);
+    /// assert_eq!(RmwKind::CompareAndSwap { expected: 1, new: 9 }.apply(2), 2);
+    /// assert_eq!(RmwKind::Exchange(7).apply(3), 7);
+    /// ```
+    pub fn apply(self, old: Value) -> Value {
+        match self {
+            RmwKind::TestAndSet => 1,
+            RmwKind::FetchAndAdd(k) => old.wrapping_add(k),
+            RmwKind::CompareAndSwap { expected, new } => {
+                if old == expected {
+                    new
+                } else {
+                    old
+                }
+            }
+            RmwKind::Exchange(new) => new,
+        }
+    }
+
+    /// Whether the write half depends on a comparison (CAS) rather than
+    /// being unconditional.
+    pub fn is_conditional(self) -> bool {
+        matches!(self, RmwKind::CompareAndSwap { .. })
+    }
+}
+
+impl fmt::Display for RmwKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmwKind::TestAndSet => write!(f, "TAS"),
+            RmwKind::FetchAndAdd(k) => write!(f, "FAA({k})"),
+            RmwKind::CompareAndSwap { expected, new } => write!(f, "CAS({expected},{new})"),
+            RmwKind::Exchange(new) => write!(f, "XCHG({new})"),
+        }
+    }
+}
+
+/// Access kind of a memory operation, as seen by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A plain load.
+    Read,
+    /// A plain store.
+    Write,
+    /// The (indivisible) read-modify-write pair.
+    Rmw,
+    /// A full memory barrier (x86 `mfence`); orders everything across it.
+    Fence,
+}
+
+impl AccessKind {
+    /// Whether the access reads memory (reads and RMWs do).
+    pub fn reads(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Rmw)
+    }
+
+    /// Whether the access writes memory (writes and RMWs do).
+    pub fn writes(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Rmw)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+            AccessKind::Rmw => "RMW",
+            AccessKind::Fence => "F",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_display_and_index() {
+        let t = ThreadId(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "P7");
+        assert_eq!(ThreadId::from(2), ThreadId(2));
+    }
+
+    #[test]
+    fn addr_names_follow_litmus_convention() {
+        assert_eq!(Addr(0).to_string(), "x");
+        assert_eq!(Addr(1).to_string(), "y");
+        assert_eq!(Addr(2).to_string(), "z");
+        assert_eq!(Addr(3).to_string(), "a");
+        assert_eq!(Addr(100).to_string(), "loc100");
+    }
+
+    #[test]
+    fn addr_line_masks_low_bits() {
+        assert_eq!(Addr(0x1234).line(64), CacheLine(0x1200));
+        assert_eq!(Addr(0x123F).line(64), CacheLine(0x1200));
+        assert_eq!(Addr(0x1240).line(64), CacheLine(0x1240));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_line_rejects_non_power_of_two() {
+        let _ = Addr(0).line(48);
+    }
+
+    #[test]
+    fn atomicity_strictness_is_total_and_irreflexive() {
+        use Atomicity::*;
+        assert!(Type1.is_stricter_than(Type2));
+        assert!(Type1.is_stricter_than(Type3));
+        assert!(Type2.is_stricter_than(Type3));
+        for a in Atomicity::ALL {
+            assert!(!a.is_stricter_than(a));
+        }
+    }
+
+    #[test]
+    fn forbids_between_matches_paper_definitions() {
+        use Atomicity::*;
+        // (is_write, same_addr) -> forbidden?
+        let cases = [
+            // different-address read: nobody forbids
+            (false, false, [false, false, false]),
+            // different-address write: only type-1
+            (true, false, [true, false, false]),
+            // same-address read: type-1 does NOT forbid reads; type-2 does
+            (false, true, [false, true, false]),
+            // same-address write: all three forbid
+            (true, true, [true, true, true]),
+        ];
+        for (w, same, expect) in cases {
+            assert_eq!(Type1.forbids_between(w, same), expect[0], "type1 {w} {same}");
+            assert_eq!(Type2.forbids_between(w, same), expect[1], "type2 {w} {same}");
+            assert_eq!(Type3.forbids_between(w, same), expect[2], "type3 {w} {same}");
+        }
+    }
+
+    #[test]
+    fn type1_forbids_same_addr_reads_not() {
+        // Careful corner: type-1 forbids *writes* of any address but allows
+        // reads between Ra and Wa per the paper's definition.
+        assert!(!Atomicity::Type1.forbids_between(false, true));
+        assert!(!Atomicity::Type1.forbids_between(false, false));
+    }
+
+    #[test]
+    fn rmw_semantics() {
+        assert_eq!(RmwKind::TestAndSet.apply(0), 1);
+        assert_eq!(RmwKind::TestAndSet.apply(1), 1);
+        assert_eq!(RmwKind::FetchAndAdd(0).apply(9), 9);
+        assert_eq!(RmwKind::FetchAndAdd(1).apply(u64::MAX), 0, "wrapping add");
+        assert_eq!(RmwKind::Exchange(4).apply(0), 4);
+        let cas = RmwKind::CompareAndSwap { expected: 3, new: 5 };
+        assert_eq!(cas.apply(3), 5);
+        assert_eq!(cas.apply(4), 4);
+        assert!(cas.is_conditional());
+        assert!(!RmwKind::TestAndSet.is_conditional());
+    }
+
+    #[test]
+    fn access_kind_read_write_predicates() {
+        assert!(AccessKind::Read.reads() && !AccessKind::Read.writes());
+        assert!(!AccessKind::Write.reads() && AccessKind::Write.writes());
+        assert!(AccessKind::Rmw.reads() && AccessKind::Rmw.writes());
+        assert!(!AccessKind::Fence.reads() && !AccessKind::Fence.writes());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for a in Atomicity::ALL {
+            assert!(!a.to_string().is_empty());
+        }
+        for k in [
+            AccessKind::Read,
+            AccessKind::Write,
+            AccessKind::Rmw,
+            AccessKind::Fence,
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+        assert_eq!(RmwKind::FetchAndAdd(0).to_string(), "FAA(0)");
+        assert_eq!(
+            RmwKind::CompareAndSwap { expected: 0, new: 1 }.to_string(),
+            "CAS(0,1)"
+        );
+    }
+}

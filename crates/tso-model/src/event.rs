@@ -1,0 +1,172 @@
+//! Events of a candidate execution (paper §2.1–2.2).
+//!
+//! Memory reads, writes and barriers, annotated with thread, address and
+//! value. The two halves of an RMW are a read event and a write event to the
+//! same address, linked by an [`RmwId`], with the read `po`-before the write.
+
+use core::fmt;
+use rmw_types::{Addr, Atomicity, RmwKind, ThreadId, Value};
+
+/// Dense index of an event within a [`CandidateExecution`].
+///
+/// [`CandidateExecution`]: crate::execution::CandidateExecution
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub usize);
+
+impl EventId {
+    /// Dense index for array access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier linking the two halves of one RMW instruction instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RmwId(pub usize);
+
+/// Which half of an RMW an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwHalf {
+    /// The read `Ra`.
+    Read,
+    /// The write `Wa`.
+    Write,
+}
+
+/// The kind of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A memory read (possibly the read half of an RMW).
+    Read,
+    /// A memory write (possibly the write half of an RMW).
+    Write,
+    /// A memory barrier. Fences carry no address or value; they induce
+    /// `bar` edges and do not otherwise appear in `ghb`.
+    Fence,
+}
+
+/// One event of a candidate execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// This event's id.
+    pub id: EventId,
+    /// Issuing thread; `None` for the implicit initial writes.
+    pub tid: Option<ThreadId>,
+    /// Position in the issuing thread's program order (initial writes: 0).
+    pub po_index: usize,
+    /// Read / write / fence.
+    pub kind: EventKind,
+    /// Accessed address (`None` for fences).
+    pub addr: Option<Addr>,
+    /// RMW linkage, if this event is a half of an RMW.
+    pub rmw: Option<RmwLink>,
+    /// For plain writes: the stored constant. RMW write values and all read
+    /// values are derived from `rf` per candidate, not stored here.
+    pub write_value: Option<Value>,
+}
+
+/// RMW linkage carried by both halves of an RMW event pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmwLink {
+    /// Which RMW instruction instance this is.
+    pub rmw_id: RmwId,
+    /// Which half this event is.
+    pub half: RmwHalf,
+    /// The operation computing the written value from the read value.
+    pub kind: RmwKind,
+    /// The atomicity definition this RMW uses (paper §2.2).
+    pub atomicity: Atomicity,
+}
+
+impl Event {
+    /// Whether this is any kind of read (plain or RMW half).
+    pub fn is_read(&self) -> bool {
+        self.kind == EventKind::Read
+    }
+
+    /// Whether this is any kind of write (plain, initial, or RMW half).
+    pub fn is_write(&self) -> bool {
+        self.kind == EventKind::Write
+    }
+
+    /// Whether this is one of the implicit initial writes.
+    pub fn is_init(&self) -> bool {
+        self.tid.is_none()
+    }
+
+    /// Whether this is a memory access (not a fence).
+    pub fn is_mem(&self) -> bool {
+        self.kind != EventKind::Fence
+    }
+
+    /// Short display like `P0:W(x)` or `init:W(y)`.
+    pub fn label(&self) -> String {
+        let who = match self.tid {
+            Some(t) => t.to_string(),
+            None => "init".to_owned(),
+        };
+        let what = match (self.kind, self.rmw) {
+            (EventKind::Fence, _) => "F".to_owned(),
+            (EventKind::Read, Some(_)) => format!("Ra({})", self.addr.expect("read has addr")),
+            (EventKind::Read, None) => format!("R({})", self.addr.expect("read has addr")),
+            (EventKind::Write, Some(_)) => format!("Wa({})", self.addr.expect("write has addr")),
+            (EventKind::Write, None) => format!("W({})", self.addr.expect("write has addr")),
+        };
+        format!("{who}:{what}")
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(kind: EventKind, tid: Option<usize>, rmw: Option<RmwLink>) -> Event {
+        Event {
+            id: EventId(0),
+            tid: tid.map(ThreadId),
+            po_index: 0,
+            kind,
+            addr: if kind == EventKind::Fence { None } else { Some(Addr(0)) },
+            rmw,
+            write_value: None,
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        let r = mk(EventKind::Read, Some(0), None);
+        assert!(r.is_read() && !r.is_write() && r.is_mem() && !r.is_init());
+        let w = mk(EventKind::Write, None, None);
+        assert!(w.is_write() && w.is_init());
+        let f = mk(EventKind::Fence, Some(1), None);
+        assert!(!f.is_mem());
+    }
+
+    #[test]
+    fn labels() {
+        let link = RmwLink {
+            rmw_id: RmwId(0),
+            half: RmwHalf::Read,
+            kind: RmwKind::TestAndSet,
+            atomicity: Atomicity::Type2,
+        };
+        assert_eq!(mk(EventKind::Read, Some(0), Some(link)).label(), "P0:Ra(x)");
+        assert_eq!(mk(EventKind::Read, Some(0), None).label(), "P0:R(x)");
+        assert_eq!(mk(EventKind::Write, None, None).label(), "init:W(x)");
+        assert_eq!(mk(EventKind::Fence, Some(2), None).label(), "P2:F");
+        assert_eq!(EventId(5).to_string(), "e5");
+    }
+}

@@ -1,0 +1,58 @@
+//! Axiomatic TSO memory model with weak RMW atomicity, reproducing §2 of
+//! *Fast RMWs for TSO: Semantics and Implementation* (PLDI 2013).
+//!
+//! The model follows Alglave's framework, as the paper does:
+//!
+//! * a [`Program`] yields *candidate executions*: an assignment of a
+//!   reads-from map `rf` and a per-location write serialization `ws`;
+//! * from these we derive `fr` (from-reads), `rfe` (external reads-from) and
+//!   `com = ws ∪ rfe ∪ fr`;
+//! * TSO's preserved program order `ppo` keeps all of `po` except W→R;
+//!   `bar` relates operations separated by a fence;
+//! * each RMW contributes *atomicity-induced* ordering obligations `ato`:
+//!   for every event `M` whose shape its [`Atomicity`] forbids between the
+//!   RMW's read `Ra` and write `Wa`, either `M →ghb Ra` or `Wa →ghb M`;
+//! * a candidate is **valid** iff `com ∪ ppo ∪ bar ∪ ato` can be made
+//!   acyclic by some choice of the `ato` disjuncts, and the `uniproc`
+//!   condition (per-location SC) holds. A linear extension of the union is
+//!   the global-happens-before order `ghb`.
+//!
+//! The crate enumerates all candidate executions of small programs
+//! (herd-style), decides validity, and reports allowed outcomes — this is
+//! the engine under the `litmus` corpus and the lemma-1/2/3 checks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tso_model::{Program, ProgramBuilder, allowed_outcomes};
+//! use rmw_types::{Addr, Atomicity};
+//!
+//! // Store buffering (SB): TSO famously allows both reads to see 0.
+//! let x = Addr(0);
+//! let y = Addr(1);
+//! let mut b = ProgramBuilder::new();
+//! b.thread().write(x, 1).read(y);
+//! b.thread().write(y, 1).read(x);
+//! let prog = b.build();
+//!
+//! let outcomes = allowed_outcomes(&prog);
+//! assert!(outcomes.iter().any(|o| o.read_values() == vec![0, 0]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod execution;
+pub mod graph;
+pub mod lemmas;
+pub mod outcome;
+pub mod program;
+pub mod validity;
+
+pub use event::{Event, EventId, EventKind, RmwHalf};
+pub use execution::{CandidateExecution, enumerate_candidates};
+pub use graph::DiGraph;
+pub use outcome::{allowed_outcomes, outcome_allowed, Outcome};
+pub use program::{Instr, Program, ProgramBuilder, ThreadBuilder};
+pub use validity::{check_validity, Validity, Witness};

@@ -1,0 +1,147 @@
+//! Allowed outcomes of a program under the model.
+//!
+//! An [`Outcome`] is the observable result of one valid execution: the value
+//! obtained by every read (in `(thread, po)` order, RMW reads included) and
+//! the final memory value of every location. [`allowed_outcomes`] collects
+//! the set of outcomes over all valid candidate executions — the model's
+//! notion of "the behaviours of the program".
+
+use crate::execution::{enumerate_candidates, CandidateExecution};
+use crate::program::Program;
+use crate::validity::check_validity;
+use rmw_types::{Addr, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Observable result of one valid execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Outcome {
+    reads: Vec<Value>,
+    memory: BTreeMap<Addr, Value>,
+}
+
+impl Outcome {
+    /// Creates an outcome from its parts (mostly useful in tests).
+    pub fn new(reads: Vec<Value>, memory: BTreeMap<Addr, Value>) -> Self {
+        Outcome { reads, memory }
+    }
+
+    /// Values obtained by the program's reads, in `(thread, po)` order —
+    /// the read halves of RMWs included.
+    pub fn read_values(&self) -> Vec<Value> {
+        self.reads.clone()
+    }
+
+    /// Final value of each location.
+    pub fn final_memory(&self) -> &BTreeMap<Addr, Value> {
+        &self.memory
+    }
+
+    /// Extracts the outcome of a candidate execution (valid or not).
+    pub fn of_execution(exec: &CandidateExecution) -> Self {
+        Outcome {
+            reads: exec.read_values(),
+            memory: exec.final_memory(),
+        }
+    }
+}
+
+/// All outcomes of valid executions of `program`.
+pub fn allowed_outcomes(program: &Program) -> BTreeSet<Outcome> {
+    enumerate_candidates(program)
+        .into_iter()
+        .filter(|c| check_validity(c).is_valid())
+        .map(|c| Outcome::of_execution(&c))
+        .collect()
+}
+
+/// True iff some valid execution satisfies `pred` on its read-value vector.
+///
+/// This is the primitive litmus assertion: "is the outcome
+/// `r1=v1 ∧ r2=v2 ∧ …` allowed?".
+pub fn outcome_allowed(program: &Program, pred: impl Fn(&[Value]) -> bool) -> bool {
+    enumerate_candidates(program)
+        .into_iter()
+        .filter(|c| pred(&c.read_values()))
+        .any(|c| check_validity(&c).is_valid())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use rmw_types::{Atomicity, RmwKind};
+
+    const X: Addr = Addr(0);
+    const Y: Addr = Addr(1);
+
+    #[test]
+    fn outcomes_of_trivial_program() {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 7);
+        let p = b.build();
+        let outs = allowed_outcomes(&p);
+        assert_eq!(outs.len(), 1);
+        let o = outs.iter().next().unwrap();
+        assert_eq!(o.read_values(), Vec::<Value>::new());
+        assert_eq!(o.final_memory()[&X], 7);
+    }
+
+    #[test]
+    fn coherence_final_state() {
+        // Two racing writes: final value is one or the other.
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1);
+        b.thread().write(X, 2);
+        let p = b.build();
+        let finals: BTreeSet<Value> = allowed_outcomes(&p)
+            .into_iter()
+            .map(|o| o.final_memory()[&X])
+            .collect();
+        assert_eq!(finals, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn outcome_allowed_matches_allowed_outcomes() {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).read(Y);
+        b.thread().write(Y, 1).read(X);
+        let p = b.build();
+        let outs = allowed_outcomes(&p);
+        for target in [[0u64, 0], [0, 1], [1, 0], [1, 1]] {
+            let via_set = outs.iter().any(|o| o.read_values() == target);
+            let via_pred = outcome_allowed(&p, |rv| rv == target);
+            assert_eq!(via_set, via_pred, "outcome {target:?}");
+        }
+    }
+
+    #[test]
+    fn rmw_read_is_part_of_outcome_vector() {
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .rmw(X, RmwKind::FetchAndAdd(1), Atomicity::Type1)
+            .read(X);
+        let p = b.build();
+        let outs = allowed_outcomes(&p);
+        // single thread: RMW reads 0, subsequent read sees 1.
+        assert!(outs.iter().any(|o| o.read_values() == vec![0, 1]));
+        assert!(outs.iter().all(|o| o.read_values()[0] == 0));
+    }
+
+    #[test]
+    fn two_tas_consensus() {
+        // Consensus via TAS: exactly one thread's RMW reads 0 in every
+        // valid execution (this is the atomicity property — any type).
+        for atomicity in Atomicity::ALL {
+            let mut b = ProgramBuilder::new();
+            b.thread().rmw(X, RmwKind::TestAndSet, atomicity);
+            b.thread().rmw(X, RmwKind::TestAndSet, atomicity);
+            let p = b.build();
+            let outs = allowed_outcomes(&p);
+            assert!(!outs.is_empty());
+            for o in &outs {
+                let winners = o.read_values().iter().filter(|&&v| v == 0).count();
+                assert_eq!(winners, 1, "{atomicity}: exactly one TAS must win, got {o:?}");
+            }
+        }
+    }
+}

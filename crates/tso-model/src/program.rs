@@ -1,0 +1,239 @@
+//! Litmus-style multi-threaded programs and a small builder DSL.
+//!
+//! A [`Program`] is a list of threads, each a straight-line sequence of
+//! [`Instr`]s (control flow is already unfolded, as usual in axiomatic
+//! models). The builder keeps tests readable:
+//!
+//! ```
+//! use tso_model::ProgramBuilder;
+//! use rmw_types::{Addr, Atomicity, RmwKind};
+//!
+//! let (x, y) = (Addr(0), Addr(1));
+//! let mut b = ProgramBuilder::new();
+//! b.thread().write(x, 1).fence().read(y);
+//! b.thread()
+//!     .rmw(y, RmwKind::TestAndSet, Atomicity::Type2)
+//!     .read(x);
+//! let prog = b.build();
+//! assert_eq!(prog.num_threads(), 2);
+//! ```
+
+use rmw_types::{Addr, Atomicity, RmwKind, ThreadId, Value};
+
+/// One instruction of a litmus program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Load from `addr`. The value read is an outcome of the execution.
+    Read(Addr),
+    /// Store the constant `Value` to `addr`.
+    Write(Addr, Value),
+    /// A read-modify-write to `addr` with the given operation and atomicity
+    /// definition (paper §2.2). Yields two events: `Ra` then `Wa`.
+    Rmw {
+        /// Target address.
+        addr: Addr,
+        /// The modify operation.
+        kind: RmwKind,
+        /// Which atomicity definition governs this RMW.
+        atomicity: Atomicity,
+    },
+    /// A full memory barrier (orders everything across it, like `mfence`).
+    Fence,
+}
+
+impl Instr {
+    /// The address accessed, if any (fences access none).
+    pub fn addr(&self) -> Option<Addr> {
+        match *self {
+            Instr::Read(a) | Instr::Write(a, _) | Instr::Rmw { addr: a, .. } => Some(a),
+            Instr::Fence => None,
+        }
+    }
+}
+
+/// A straight-line multi-threaded program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    threads: Vec<Vec<Instr>>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends a thread with the given instruction sequence and returns its id.
+    pub fn add_thread(&mut self, instrs: Vec<Instr>) -> ThreadId {
+        self.threads.push(instrs);
+        ThreadId(self.threads.len() - 1)
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Instructions of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn thread(&self, tid: ThreadId) -> &[Instr] {
+        &self.threads[tid.index()]
+    }
+
+    /// Iterates `(ThreadId, &[Instr])` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, &[Instr])> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ThreadId(i), t.as_slice()))
+    }
+
+    /// All distinct addresses the program touches, sorted.
+    pub fn addresses(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(Instr::addr)
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
+    /// Total number of instructions across threads.
+    pub fn num_instrs(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Number of reads the program performs, in `(thread, po)` order —
+    /// including the read halves of RMWs. Outcome vectors use this order.
+    pub fn num_reads(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, Instr::Read(_) | Instr::Rmw { .. }))
+            .count()
+    }
+}
+
+/// Builder for [`Program`], producing [`ThreadBuilder`]s.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    threads: Vec<Vec<Instr>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Starts a new thread; chain instruction calls on the returned builder.
+    pub fn thread(&mut self) -> ThreadBuilder<'_> {
+        self.threads.push(Vec::new());
+        let idx = self.threads.len() - 1;
+        ThreadBuilder { program: self, idx }
+    }
+
+    /// Finalizes into a [`Program`].
+    pub fn build(self) -> Program {
+        Program {
+            threads: self.threads,
+        }
+    }
+}
+
+/// Appends instructions to one thread of a [`ProgramBuilder`].
+#[derive(Debug)]
+pub struct ThreadBuilder<'a> {
+    program: &'a mut ProgramBuilder,
+    idx: usize,
+}
+
+impl ThreadBuilder<'_> {
+    /// Appends a load of `addr`.
+    pub fn read(&mut self, addr: Addr) -> &mut Self {
+        self.push(Instr::Read(addr))
+    }
+
+    /// Appends a store of `value` to `addr`.
+    pub fn write(&mut self, addr: Addr, value: Value) -> &mut Self {
+        self.push(Instr::Write(addr, value))
+    }
+
+    /// Appends an RMW to `addr`.
+    pub fn rmw(&mut self, addr: Addr, kind: RmwKind, atomicity: Atomicity) -> &mut Self {
+        self.push(Instr::Rmw {
+            addr,
+            kind,
+            atomicity,
+        })
+    }
+
+    /// Appends a full fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Instr::Fence)
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.program.threads[self.idx].push(i);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let (x, y) = (Addr(0), Addr(1));
+        let mut b = ProgramBuilder::new();
+        b.thread().write(x, 1).read(y);
+        b.thread()
+            .rmw(y, RmwKind::TestAndSet, Atomicity::Type1)
+            .fence()
+            .read(x);
+        let p = b.build();
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.thread(ThreadId(0)), &[Instr::Write(x, 1), Instr::Read(y)]);
+        assert_eq!(p.num_instrs(), 5);
+        assert_eq!(p.num_reads(), 3); // read, RMW, read
+        assert_eq!(p.addresses(), vec![x, y]);
+    }
+
+    #[test]
+    fn instr_addr() {
+        assert_eq!(Instr::Read(Addr(3)).addr(), Some(Addr(3)));
+        assert_eq!(Instr::Write(Addr(4), 1).addr(), Some(Addr(4)));
+        assert_eq!(Instr::Fence.addr(), None);
+        let r = Instr::Rmw {
+            addr: Addr(5),
+            kind: RmwKind::TestAndSet,
+            atomicity: Atomicity::Type3,
+        };
+        assert_eq!(r.addr(), Some(Addr(5)));
+    }
+
+    #[test]
+    fn addresses_deduplicated_and_sorted() {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(Addr(2), 1).write(Addr(0), 1).read(Addr(2));
+        let p = b.build();
+        assert_eq!(p.addresses(), vec![Addr(0), Addr(2)]);
+    }
+
+    #[test]
+    fn iter_yields_thread_ids_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.thread().read(Addr(0));
+        b.thread().read(Addr(1));
+        let p = b.build();
+        let ids: Vec<ThreadId> = p.iter().map(|(t, _)| t).collect();
+        assert_eq!(ids, vec![ThreadId(0), ThreadId(1)]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the axiomatic model.
+//!
+//! Two global sanity properties:
+//!
+//! 1. **SC soundness**: every sequentially-consistent interleaving of a
+//!    program is a TSO-allowed behaviour (TSO is weaker than SC).
+//! 2. **Atomicity monotonicity**: weakening every RMW's atomicity
+//!    (type-1 → type-2 → type-3) only *adds* allowed outcomes.
+
+use proptest::prelude::*;
+use rmw_types::{Addr, Atomicity, RmwKind, Value};
+use std::collections::BTreeSet;
+use tso_model::{allowed_outcomes, Instr, Program};
+
+/// A reference SC interpreter: executes `program` under the interleaving
+/// chosen by `schedule` (a sequence of thread indices), returning the read
+/// values in `(thread, po)` order. RMWs execute atomically.
+fn run_sc(program: &Program, schedule: &[usize]) -> Option<Vec<Value>> {
+    let n = program.num_threads();
+    let mut pc = vec![0usize; n];
+    let mut mem = std::collections::BTreeMap::<Addr, Value>::new();
+    // reads recorded per (thread, po) then flattened
+    let mut reads: Vec<Vec<Value>> = vec![Vec::new(); n];
+    let mut steps = 0usize;
+    let mut sched_iter = schedule.iter().copied().cycle();
+    let total: usize = (0..n)
+        .map(|t| program.thread(rmw_types::ThreadId(t)).len())
+        .sum();
+    while steps < total {
+        // pick next runnable thread from the schedule
+        let mut tries = 0;
+        let t = loop {
+            let t = sched_iter.next()?;
+            let t = t % n;
+            if pc[t] < program.thread(rmw_types::ThreadId(t)).len() {
+                break t;
+            }
+            tries += 1;
+            if tries > schedule.len() * (n + 1) + 8 {
+                // fall back to first runnable thread
+                break (0..n).find(|&t| pc[t] < program.thread(rmw_types::ThreadId(t)).len())?;
+            }
+        };
+        let instr = program.thread(rmw_types::ThreadId(t))[pc[t]];
+        match instr {
+            Instr::Read(a) => reads[t].push(*mem.get(&a).unwrap_or(&0)),
+            Instr::Write(a, v) => {
+                mem.insert(a, v);
+            }
+            Instr::Rmw { addr, kind, .. } => {
+                let old = *mem.get(&addr).unwrap_or(&0);
+                reads[t].push(old);
+                mem.insert(addr, kind.apply(old));
+            }
+            Instr::Fence => {}
+        }
+        pc[t] += 1;
+        steps += 1;
+    }
+    Some(reads.into_iter().flatten().collect())
+}
+
+/// Generates a small random program: 2 threads, up to 3 instructions each,
+/// over 2 locations, with values in {1, 2}.
+fn arb_instr(atomicity: Atomicity) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u64..2).prop_map(|a| Instr::Read(Addr(a))),
+        ((0u64..2), (1u64..3)).prop_map(|(a, v)| Instr::Write(Addr(a), v)),
+        (0u64..2).prop_map(move |a| Instr::Rmw {
+            addr: Addr(a),
+            kind: RmwKind::FetchAndAdd(1),
+            atomicity,
+        }),
+        Just(Instr::Fence),
+    ]
+}
+
+fn arb_program(atomicity: Atomicity) -> impl Strategy<Value = Program> {
+    let thread = proptest::collection::vec(arb_instr(atomicity), 1..3);
+    proptest::collection::vec(thread, 2..3).prop_map(|threads| {
+        let mut p = Program::new();
+        for t in threads {
+            p.add_thread(t);
+        }
+        p
+    })
+}
+
+/// Rewrites every RMW in the program to the given atomicity.
+fn with_atomicity(p: &Program, atomicity: Atomicity) -> Program {
+    let mut out = Program::new();
+    for (_, instrs) in p.iter() {
+        let rewritten = instrs
+            .iter()
+            .map(|&i| match i {
+                Instr::Rmw { addr, kind, .. } => Instr::Rmw {
+                    addr,
+                    kind,
+                    atomicity,
+                },
+                other => other,
+            })
+            .collect();
+        out.add_thread(rewritten);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every SC interleaving outcome is allowed by the TSO model, for every
+    /// atomicity assignment of the RMWs.
+    #[test]
+    fn sc_outcomes_are_tso_allowed(
+        p in arb_program(Atomicity::Type1),
+        schedule in proptest::collection::vec(0usize..2, 1..12),
+    ) {
+        for atomicity in Atomicity::ALL {
+            let p = with_atomicity(&p, atomicity);
+            let Some(sc_reads) = run_sc(&p, &schedule) else { continue };
+            let outs = allowed_outcomes(&p);
+            prop_assert!(
+                outs.iter().any(|o| o.read_values() == sc_reads),
+                "SC outcome {sc_reads:?} missing from TSO({atomicity}) set"
+            );
+        }
+    }
+
+    /// Weakening atomicity never removes allowed outcomes.
+    #[test]
+    fn weaker_atomicity_is_monotone(p in arb_program(Atomicity::Type1)) {
+        let o1: BTreeSet<Vec<Value>> = allowed_outcomes(&with_atomicity(&p, Atomicity::Type1))
+            .into_iter().map(|o| o.read_values()).collect();
+        let o2: BTreeSet<Vec<Value>> = allowed_outcomes(&with_atomicity(&p, Atomicity::Type2))
+            .into_iter().map(|o| o.read_values()).collect();
+        let o3: BTreeSet<Vec<Value>> = allowed_outcomes(&with_atomicity(&p, Atomicity::Type3))
+            .into_iter().map(|o| o.read_values()).collect();
+        prop_assert!(o1.is_subset(&o2), "type-1 ⊄ type-2: {:?}", o1.difference(&o2));
+        prop_assert!(o2.is_subset(&o3), "type-2 ⊄ type-3: {:?}", o2.difference(&o3));
+    }
+
+    /// Inserting a fence at a random position never adds outcomes.
+    #[test]
+    fn fences_only_restrict(
+        p in arb_program(Atomicity::Type2),
+        tid in 0usize..2,
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let base: BTreeSet<Vec<Value>> = allowed_outcomes(&p)
+            .into_iter().map(|o| o.read_values()).collect();
+        let mut fenced = Program::new();
+        for (t, instrs) in p.iter() {
+            let mut v: Vec<Instr> = instrs.to_vec();
+            if t.index() == tid {
+                let pos = ((v.len() as f64) * pos_frac) as usize;
+                v.insert(pos.min(v.len()), Instr::Fence);
+            }
+            fenced.add_thread(v);
+        }
+        let restricted: BTreeSet<Vec<Value>> = allowed_outcomes(&fenced)
+            .into_iter().map(|o| o.read_values()).collect();
+        prop_assert!(restricted.is_subset(&base),
+            "fence added outcomes: {:?}", restricted.difference(&base));
+    }
+
+    /// The model never produces out-of-thin-air values: every read returns
+    /// 0 or a value some write in the program stores.
+    #[test]
+    fn no_thin_air_values(p in arb_program(Atomicity::Type3)) {
+        let mut possible: BTreeSet<Value> = BTreeSet::from([0]);
+        // writes store 1..3; FAA(1) chains can reach at most num_rmws + 2
+        let rmws = p.iter().flat_map(|(_, i)| i.iter())
+            .filter(|i| matches!(i, Instr::Rmw { .. })).count() as u64;
+        for v in 0..=(3 + rmws) {
+            possible.insert(v);
+        }
+        for o in allowed_outcomes(&p) {
+            for v in o.read_values() {
+                prop_assert!(possible.contains(&v), "thin-air value {v}");
+            }
+        }
+    }
+}

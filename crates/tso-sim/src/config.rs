@@ -1,0 +1,160 @@
+//! Simulator configuration (paper Table 2 plus the §3.2/§3.3 mechanism
+//! knobs).
+
+use coherence::CoherenceConfig;
+use interconnect::MeshConfig;
+use rmw_types::Atomicity;
+
+/// Full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Cache/directory/mesh parameters.
+    pub coherence: CoherenceConfig,
+    /// Write-buffer depth per core (paper: 32 entries).
+    pub write_buffer_entries: usize,
+    /// Maximum outstanding write-buffer coherence requests (MSHR-style
+    /// pipelining). Acceptance — and hence visibility — stays FIFO; only
+    /// the request round-trips overlap. During a parallel drain the whole
+    /// buffer is in flight regardless of this limit.
+    pub wb_outstanding: usize,
+    /// Which RMW implementation the machine uses.
+    pub rmw_atomicity: Atomicity,
+    /// Bloom filter size in bytes (paper: 128).
+    pub bloom_bytes: usize,
+    /// Bloom hash count (paper: 3).
+    pub bloom_hashes: u32,
+    /// Disable the deadlock-avoidance filter entirely (type-2/3 become
+    /// unsafe; used to demonstrate the Fig. 10 write-deadlock).
+    pub bloom_enabled: bool,
+    /// Reset all filters once this many addresses were inserted
+    /// (`None` = never; the paper's runs never needed a reset).
+    pub bloom_reset_threshold: Option<u64>,
+    /// Use the §3.3 directory-locking protocol for type-3 RMWs on shared
+    /// lines (ablation: `false` falls back to acquiring exclusive
+    /// ownership, i.e. the type-2 path).
+    pub directory_locking: bool,
+    /// Issue read-exclusives for all drained writes in parallel
+    /// (Gharachorloo; the paper's baseline does this).
+    pub parallel_drain: bool,
+    /// Insert a full fence after every RMW (the §1 hypothesis experiment).
+    pub fence_after_rmw: bool,
+    /// Declare deadlock after this many cycles without any core making
+    /// progress.
+    pub deadlock_threshold: u64,
+    /// Cache line size in bytes.
+    pub line_size: u64,
+}
+
+impl SimConfig {
+    /// The paper's evaluated configuration (Table 2): 32 in-order cores,
+    /// 32-entry write buffers, MOESI directory, 8×4 mesh, 128-byte 3-hash
+    /// Bloom filter, parallel drain, type-1 RMWs (the baseline).
+    pub fn paper_table2() -> Self {
+        SimConfig {
+            coherence: CoherenceConfig::paper_table2(),
+            write_buffer_entries: 32,
+            wb_outstanding: 8,
+            rmw_atomicity: Atomicity::Type1,
+            bloom_bytes: 128,
+            bloom_hashes: 3,
+            bloom_enabled: true,
+            bloom_reset_threshold: None,
+            directory_locking: true,
+            parallel_drain: true,
+            fence_after_rmw: false,
+            deadlock_threshold: 2_000_000,
+            line_size: 64,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn small(num_cores: usize) -> Self {
+        SimConfig {
+            coherence: CoherenceConfig::small(num_cores),
+            write_buffer_entries: 8,
+            wb_outstanding: 4,
+            rmw_atomicity: Atomicity::Type1,
+            bloom_bytes: 64,
+            bloom_hashes: 3,
+            bloom_enabled: true,
+            bloom_reset_threshold: None,
+            directory_locking: true,
+            parallel_drain: true,
+            fence_after_rmw: false,
+            deadlock_threshold: 100_000,
+            line_size: 64,
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.coherence.num_cores
+    }
+
+    /// The mesh configuration.
+    pub fn mesh(&self) -> MeshConfig {
+        self.coherence.mesh
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.write_buffer_entries == 0 {
+            return Err("write buffer must have at least one entry".into());
+        }
+        if self.bloom_bytes == 0 || self.bloom_hashes == 0 {
+            return Err("bloom filter configuration must be nonzero".into());
+        }
+        if !self.line_size.is_power_of_two() {
+            return Err(format!("line size {} not a power of two", self.line_size));
+        }
+        if self.coherence.num_cores > self.coherence.mesh.num_nodes() {
+            return Err("more cores than mesh nodes".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = SimConfig::paper_table2();
+        assert_eq!(c.num_cores(), 32);
+        assert_eq!(c.write_buffer_entries, 32);
+        assert_eq!(c.coherence.l1_latency, 2);
+        assert_eq!(c.coherence.l2_latency, 6);
+        assert_eq!(c.coherence.memory_latency, 300);
+        assert_eq!(c.bloom_bytes, 128);
+        assert_eq!(c.bloom_hashes, 3);
+        assert!(c.parallel_drain);
+        assert!(c.validate().is_ok());
+        assert_eq!(c, SimConfig::default());
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut c = SimConfig::small(2);
+        c.write_buffer_entries = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::small(2);
+        c.bloom_bytes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::small(2);
+        c.line_size = 48;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! The in-order core model: write buffer, RMW phase machine, and the
+//! per-op execution rules.
+//!
+//! # Timing/visibility discipline
+//!
+//! A write becomes **globally visible** when its coherence transaction
+//! succeeds (the `coherence` crate applies state transitions at issue);
+//! its write-buffer slot frees when the transaction's latency has elapsed.
+//! Reads resolve their value at issue, after store-forwarding from the
+//! local write buffer. Together with FIFO buffer commit this makes each
+//! execution of the machine a legal TSO interleaving (cross-validated
+//! against the axiomatic model in the integration tests).
+//!
+//! # RMW phase machine
+//!
+//! ```text
+//!   type-1:             Drain ──► Acquire ──► Finish(commit Wa, unlock)
+//!   type-2/3 (bloom):   Bloom ──► WaitAcks ──► CheckConflicts ─┬─► Acquire ──► Finish(Wa→WB)
+//!                                                 (hit) ───────┴─► Drain ──► Acquire ...
+//! ```
+//!
+//! Critical-path attribution (Fig. 11a): cycles spent in `Drain` count as
+//! *write-buffer* cost; everything else (bloom check, broadcast ack wait,
+//! permission acquisition, locking) counts as *Ra/Wa* cost.
+
+use crate::config::SimConfig;
+use crate::stats::SimStats;
+use crate::trace::{Op, Trace};
+use bloom::BloomFilter;
+use coherence::{CoherenceSystem, LockKind};
+use interconnect::Cycle;
+use rmw_types::{Addr, Atomicity, CacheLine, RmwKind, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A pending write in the write buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WbEntry {
+    pub addr: Addr,
+    pub value: Value,
+    pub line: CacheLine,
+    /// Arrival time of the in-flight coherence request at the home
+    /// directory, if one has been sent. Lock denial happens at arrival —
+    /// this in-flight window is what makes write-deadlocks possible.
+    pub request_arrives: Option<Cycle>,
+    /// Completion cycle of the accepted coherence transaction, if accepted.
+    pub issued_done: Option<Cycle>,
+    /// True for an RMW's `Wa`: popping it releases the line lock.
+    pub unlock_on_pop: bool,
+}
+
+/// Phase of an in-flight RMW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RmwPhase {
+    /// Query/insert the local Bloom filter; broadcast if the address is new.
+    Bloom,
+    /// Waiting for broadcast acknowledgements.
+    WaitAcks { until: Cycle },
+    /// Check pending writes against the filter.
+    CheckConflicts,
+    /// Waiting for the write buffer to empty (type-1, or reverted type-2/3).
+    Drain,
+    /// Retrying the coherence acquisition + line lock.
+    Acquire,
+    /// Read half completes at `at`; then commit or enqueue the write half.
+    Finish { at: Cycle },
+}
+
+/// The in-flight RMW's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct RmwInFlight {
+    addr: Addr,
+    line: CacheLine,
+    kind: RmwKind,
+    phase: RmwPhase,
+    /// Cycle the RMW began (for attribution).
+    started: Cycle,
+    /// Start of the current drain, if any.
+    drain_started: Option<Cycle>,
+    /// Start of the acquire phase.
+    acquire_started: Option<Cycle>,
+    /// Cycles already attributed to Ra/Wa before the acquire phase
+    /// (bloom + ack wait).
+    pre_acquire_rawa: Cycle,
+}
+
+/// Shared machine state each core ticks against.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub coherence: CoherenceSystem,
+    pub memory: HashMap<Addr, Value>,
+    pub unique_rmw_lines: HashSet<CacheLine>,
+    /// RMW addresses broadcast this cycle; the machine inserts them into
+    /// every core's filter at end of cycle.
+    pub pending_broadcasts: Vec<CacheLine>,
+    /// Set when the reset threshold fires; machine coordinates the reset.
+    pub reset_requested: bool,
+    /// Cycle of the last globally visible progress (retire or WB pop).
+    pub last_progress: Cycle,
+    /// Precomputed broadcast+ack latency per core.
+    pub bcast_ack_latency: Vec<Cycle>,
+}
+
+/// One in-order core.
+#[derive(Debug)]
+pub(crate) struct Core {
+    pub id: usize,
+    trace: Trace,
+    pc: usize,
+    busy_until: Cycle,
+    wb: VecDeque<WbEntry>,
+    pub bloom: BloomFilter,
+    rmw: Option<RmwInFlight>,
+    fence_since: Option<Cycle>,
+    /// Values observed by reads and RMW reads, in program order.
+    pub reads: Vec<Value>,
+    pub stats: SimStats,
+}
+
+impl Core {
+    pub fn new(id: usize, trace: Trace, config: &SimConfig) -> Self {
+        Core {
+            id,
+            trace,
+            pc: 0,
+            busy_until: 0,
+            wb: VecDeque::new(),
+            bloom: BloomFilter::new(config.bloom_bytes, config.bloom_hashes),
+            rmw: None,
+            fence_since: None,
+            reads: Vec::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// True when the core has fully finished.
+    pub fn done(&self) -> bool {
+        self.pc >= self.trace.len()
+            && self.wb.is_empty()
+            && self.rmw.is_none()
+            && self.fence_since.is_none()
+    }
+
+    /// True when the core still holds entries or in-flight state.
+    pub fn draining_for_rmw(&self) -> bool {
+        matches!(
+            self.rmw,
+            Some(RmwInFlight {
+                phase: RmwPhase::Drain,
+                ..
+            })
+        )
+    }
+
+    /// One simulation cycle.
+    pub fn tick(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) {
+        self.process_write_buffer(now, shared, config);
+
+        if self.rmw.is_some() {
+            self.advance_rmw(now, shared, config);
+            return;
+        }
+
+        if let Some(since) = self.fence_since {
+            if self.wb.is_empty() {
+                self.stats.fence_cycles += now - since;
+                self.fence_since = None;
+                shared.last_progress = now;
+            } else {
+                return;
+            }
+        }
+
+        if self.busy_until > now || self.pc >= self.trace.len() {
+            return;
+        }
+
+        let op = self.trace.ops()[self.pc];
+        match op {
+            Op::Compute(n) => {
+                self.busy_until = now + Cycle::from(n);
+                self.retire(now, shared);
+            }
+            Op::Fence => {
+                self.fence_since = Some(now);
+                self.retire(now, shared);
+            }
+            Op::Write(addr, value) => {
+                if self.wb.len() >= config.write_buffer_entries {
+                    return; // buffer full: retry next cycle
+                }
+                self.wb.push_back(WbEntry {
+                    addr,
+                    value,
+                    line: addr.line(config.line_size),
+                    request_arrives: None,
+                    issued_done: None,
+                    unlock_on_pop: false,
+                });
+                self.busy_until = now + 1;
+                self.stats.mem_ops += 1;
+                self.retire(now, shared);
+            }
+            Op::Read(addr) => {
+                // Store forwarding from the youngest matching buffer entry.
+                if let Some(e) = self.wb.iter().rev().find(|e| e.addr == addr) {
+                    self.reads.push(e.value);
+                    self.busy_until = now + config.coherence.l1_latency;
+                    self.stats.mem_ops += 1;
+                    self.retire(now, shared);
+                    return;
+                }
+                let line = addr.line(config.line_size);
+                match shared.coherence.read(self.id, line, now) {
+                    Ok(acc) => {
+                        let v = shared.memory.get(&addr).copied().unwrap_or(0);
+                        self.reads.push(v);
+                        self.busy_until = acc.done_at;
+                        self.stats.mem_ops += 1;
+                        self.retire(now, shared);
+                    }
+                    Err(_) => {
+                        self.stats.lock_retries += 1;
+                    }
+                }
+            }
+            Op::Rmw(addr, kind) => {
+                let line = addr.line(config.line_size);
+                let phase = match (config.rmw_atomicity, config.bloom_enabled) {
+                    (Atomicity::Type1, _) => RmwPhase::Drain,
+                    (_, true) => RmwPhase::Bloom,
+                    (_, false) => RmwPhase::Acquire,
+                };
+                self.rmw = Some(RmwInFlight {
+                    addr,
+                    line,
+                    kind,
+                    phase,
+                    started: now,
+                    drain_started: (phase == RmwPhase::Drain).then_some(now),
+                    acquire_started: (phase == RmwPhase::Acquire).then_some(now),
+                    pre_acquire_rawa: 0,
+                });
+                self.retire(now, shared);
+            }
+        }
+    }
+
+    fn retire(&mut self, now: Cycle, shared: &mut Shared) {
+        self.pc += 1;
+        self.stats.ops += 1;
+        shared.last_progress = now;
+    }
+
+    /// Sends coherence requests for write-buffer entries and pops completed
+    /// heads. During a parallel drain every entry's request is in flight at
+    /// once; otherwise only the head's.
+    ///
+    /// A request is *sent* (after `request_latency` it arrives at the home
+    /// directory), then *accepted* (the line was not locked: the write
+    /// becomes globally visible and the completion clock starts) or
+    /// *denied* (locked by another core's RMW: the request is re-sent).
+    /// Acceptance is kept in FIFO order so visibility respects TSO.
+    fn process_write_buffer(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) {
+        let eager = config.parallel_drain && self.draining_for_rmw();
+        let issue_count = if eager {
+            self.wb.len()
+        } else {
+            config.wb_outstanding.min(self.wb.len())
+        };
+
+        let mut all_prior_accepted = true;
+        for i in 0..issue_count {
+            let (line, addr, value, accepted, request_arrives) = {
+                let e = &self.wb[i];
+                (e.line, e.addr, e.value, e.issued_done.is_some(), e.request_arrives)
+            };
+            if accepted {
+                continue;
+            }
+            match request_arrives {
+                None => {
+                    let arrival = now + shared.coherence.request_latency(self.id, line);
+                    self.wb[i].request_arrives = Some(arrival);
+                }
+                Some(arr) if now >= arr && all_prior_accepted => {
+                    match shared.coherence.write(self.id, line, now) {
+                        Ok(acc) => {
+                            shared.memory.insert(addr, value);
+                            self.wb[i].issued_done = Some(acc.done_at);
+                        }
+                        Err(_) => {
+                            // Denied by a lock: retry from scratch.
+                            self.stats.lock_retries += 1;
+                            self.wb[i].request_arrives = None;
+                        }
+                    }
+                }
+                Some(_) => {} // in flight, or waiting for FIFO order
+            }
+            all_prior_accepted &= self.wb[i].issued_done.is_some();
+        }
+
+        // Pop completed head entries (one per cycle is enough at this
+        // timescale, but draining benefits from popping all ready heads).
+        while let Some(head) = self.wb.front() {
+            match head.issued_done {
+                Some(done) if done <= now => {
+                    let e = self.wb.pop_front().expect("head exists");
+                    // Release the line lock only once the *last* pending Wa
+                    // to this line commits: back-to-back RMWs to one line
+                    // keep it locked across both, whether the successor's
+                    // Wa is already buffered or its RMW is still in flight
+                    // holding the lock (Finish phase).
+                    let later_wa_same_line = self
+                        .wb
+                        .iter()
+                        .any(|w| w.unlock_on_pop && w.line == e.line);
+                    let in_flight_same_line = self.rmw.is_some_and(|r| {
+                        r.line == e.line && matches!(r.phase, RmwPhase::Finish { .. })
+                    });
+                    if e.unlock_on_pop && !later_wa_same_line && !in_flight_same_line {
+                        shared.coherence.unlock(self.id, e.line);
+                    }
+                    shared.last_progress = now;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn advance_rmw(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) {
+        let mut rmw = self.rmw.expect("advance_rmw called with RMW in flight");
+        match rmw.phase {
+            RmwPhase::Bloom => {
+                let key = rmw.line.0;
+                if !self.bloom.maybe_contains(key) {
+                    self.bloom.insert(key);
+                    shared.pending_broadcasts.push(rmw.line);
+                    self.stats.rmw_broadcasts += 1;
+                    if let Some(threshold) = config.bloom_reset_threshold {
+                        if self.bloom.insertions() >= threshold {
+                            shared.reset_requested = true;
+                        }
+                    }
+                    rmw.phase = RmwPhase::WaitAcks {
+                        until: now + shared.bcast_ack_latency[self.id],
+                    };
+                } else {
+                    rmw.phase = RmwPhase::CheckConflicts;
+                }
+                shared.last_progress = now;
+            }
+            RmwPhase::WaitAcks { until } => {
+                if now >= until {
+                    rmw.phase = RmwPhase::CheckConflicts;
+                }
+            }
+            RmwPhase::CheckConflicts => {
+                rmw.pre_acquire_rawa = now - rmw.started;
+                // Deadlock safety only requires that no pending write waits
+                // on a line locked by *another* processor. A pending write
+                // to a line this core itself holds locked (its own earlier
+                // Wa, or data under its own lock) cannot participate in a
+                // deadlock cycle, so it is excluded from the conflict check
+                // even though its address is in the addr-list.
+                let conflict = self.wb.iter().any(|e| {
+                    let self_locked = shared
+                        .coherence
+                        .lock_of(e.line)
+                        .is_some_and(|l| l.holder == self.id);
+                    !self_locked && self.bloom.maybe_contains(e.line.0)
+                });
+                if conflict {
+                    self.stats.rmw_drains += 1;
+                    rmw.drain_started = Some(now);
+                    rmw.phase = RmwPhase::Drain;
+                } else {
+                    rmw.acquire_started = Some(now);
+                    rmw.phase = RmwPhase::Acquire;
+                }
+                shared.last_progress = now;
+            }
+            RmwPhase::Drain => {
+                if self.wb.is_empty() {
+                    let started = rmw.drain_started.expect("drain phase has a start");
+                    self.stats.rmw_cost.write_buffer_cycles += now - started;
+                    if config.rmw_atomicity == Atomicity::Type1 {
+                        self.stats.rmw_drains += 1;
+                    }
+                    rmw.drain_started = None;
+                    rmw.acquire_started = Some(now);
+                    rmw.phase = RmwPhase::Acquire;
+                    shared.last_progress = now;
+                }
+            }
+            RmwPhase::Acquire => {
+                let use_read_permission = config.rmw_atomicity == Atomicity::Type3
+                    && config.directory_locking;
+                let acquired = if use_read_permission {
+                    match shared.coherence.read(self.id, rmw.line, now) {
+                        Ok(acc) => {
+                            let kind = if shared.coherence.state_of(self.id, rmw.line).is_writable()
+                            {
+                                LockKind::Local
+                            } else {
+                                LockKind::Directory
+                            };
+                            match shared.coherence.lock(self.id, rmw.line, kind) {
+                                Ok(()) => Some(acc.done_at),
+                                Err(_) => None,
+                            }
+                        }
+                        Err(_) => None,
+                    }
+                } else {
+                    match shared.coherence.write(self.id, rmw.line, now) {
+                        Ok(acc) => match shared.coherence.lock(self.id, rmw.line, LockKind::Local)
+                        {
+                            Ok(()) => Some(acc.done_at),
+                            Err(_) => None,
+                        },
+                        Err(_) => None,
+                    }
+                };
+                match acquired {
+                    Some(done) => {
+                        rmw.phase = RmwPhase::Finish { at: done };
+                        shared.last_progress = now;
+                    }
+                    None => {
+                        self.stats.lock_retries += 1;
+                    }
+                }
+            }
+            RmwPhase::Finish { at } => {
+                if now < at {
+                    self.rmw = Some(rmw);
+                    return;
+                }
+                // Read value: with the deadlock-avoidance scheme a same-line
+                // pending write would have forced a drain, so the buffer is
+                // conflict-free here; forward anyway for the unsafe
+                // (bloom-disabled) configuration.
+                let old = self
+                    .wb
+                    .iter()
+                    .rev()
+                    .find(|e| e.addr == rmw.addr)
+                    .map(|e| e.value)
+                    .unwrap_or_else(|| shared.memory.get(&rmw.addr).copied().unwrap_or(0));
+                self.reads.push(old);
+                let new = rmw.kind.apply(old);
+
+                if config.rmw_atomicity == Atomicity::Type1 {
+                    // Write completes immediately under the lock.
+                    shared.memory.insert(rmw.addr, new);
+                    let acc = shared
+                        .coherence
+                        .write(self.id, rmw.line, now)
+                        .expect("holder's own write cannot be denied");
+                    shared.coherence.unlock(self.id, rmw.line);
+                    self.busy_until = acc.done_at;
+                } else {
+                    // Wa retires into the write buffer; the lock releases
+                    // when it pops. (The RMW stays "in flight" if the
+                    // buffer is full — rare, but must not lose the write.)
+                    if self.wb.len() >= config.write_buffer_entries {
+                        self.reads.pop(); // undo; retry next cycle
+                        self.rmw = Some(rmw);
+                        return;
+                    }
+                    self.wb.push_back(WbEntry {
+                        addr: rmw.addr,
+                        value: new,
+                        line: rmw.line,
+                        request_arrives: None,
+                        issued_done: None,
+                        unlock_on_pop: true,
+                    });
+                    self.busy_until = now + 1;
+                }
+
+                let acquire_started = rmw.acquire_started.expect("acquire phase ran");
+                self.stats.rmw_cost.ra_wa_cycles +=
+                    (now - acquire_started) + rmw.pre_acquire_rawa + 1;
+                self.stats.rmw_count += 1;
+                self.stats.mem_ops += 1;
+                shared.unique_rmw_lines.insert(rmw.line);
+                shared.last_progress = now;
+
+                if config.fence_after_rmw {
+                    self.fence_since = Some(now);
+                }
+                self.rmw = None;
+                return;
+            }
+        }
+        self.rmw = Some(rmw);
+    }
+}

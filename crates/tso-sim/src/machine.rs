@@ -1,0 +1,474 @@
+//! The machine: cores + shared memory system, stepped cycle by cycle.
+
+use crate::config::SimConfig;
+use crate::core::{Core, Shared};
+use crate::stats::SimStats;
+use crate::trace::Trace;
+use coherence::CoherenceSystem;
+use interconnect::{Cycle, Mesh};
+use rmw_types::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Machine-level aggregate statistics.
+    pub stats: SimStats,
+    /// Per-core statistics (index = core id).
+    pub per_core: Vec<SimStats>,
+    /// Values observed by each core's reads (and RMW reads), in program
+    /// order — used for cross-validation against the axiomatic model.
+    pub reads: Vec<Vec<Value>>,
+    /// Final memory contents.
+    pub memory: HashMap<rmw_types::Addr, Value>,
+    /// True if the machine stopped because no core made progress for the
+    /// configured threshold (e.g. the Fig. 10 write-deadlock with the
+    /// Bloom filter disabled).
+    pub deadlocked: bool,
+}
+
+/// The simulated CMP.
+#[derive(Debug)]
+pub struct Machine {
+    config: SimConfig,
+    cores: Vec<Core>,
+    shared: Shared,
+    now: Cycle,
+}
+
+impl Machine {
+    /// Builds a machine executing one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or there are more traces than cores.
+    pub fn new(config: SimConfig, traces: Vec<Trace>) -> Self {
+        config.validate().expect("invalid simulator configuration");
+        assert!(
+            traces.len() <= config.num_cores(),
+            "{} traces for {} cores",
+            traces.len(),
+            config.num_cores()
+        );
+        let mesh = Mesh::new(config.mesh());
+        let bcast_ack_latency = (0..config.num_cores())
+            .map(|c| mesh.broadcast_ack_latency(c))
+            .collect();
+        let mut all = traces;
+        all.resize(config.num_cores(), Trace::default());
+        let cores = all
+            .into_iter()
+            .enumerate()
+            .map(|(id, t)| Core::new(id, t, &config))
+            .collect();
+        Machine {
+            cores,
+            shared: Shared {
+                coherence: CoherenceSystem::new(config.coherence),
+                memory: HashMap::new(),
+                unique_rmw_lines: HashSet::new(),
+                pending_broadcasts: Vec::new(),
+                reset_requested: false,
+                last_progress: 0,
+                bcast_ack_latency,
+            },
+            config,
+            now: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs to completion (or deadlock detection) and returns the result.
+    pub fn run(mut self) -> SimResult {
+        let mut bloom_resets = 0u64;
+        loop {
+            if self.cores.iter().all(Core::done) {
+                return self.finish(false, bloom_resets);
+            }
+            if self.now.saturating_sub(self.shared.last_progress) > self.config.deadlock_threshold
+            {
+                return self.finish(true, bloom_resets);
+            }
+
+            for i in 0..self.cores.len() {
+                self.cores[i].tick(self.now, &mut self.shared, &self.config);
+            }
+
+            // Apply RMW-address broadcasts to every filter (the sender
+            // already inserted locally and is stalling for the ack
+            // round-trip, so applying now preserves the paper's c1-before-c2
+            // ordering).
+            if !self.shared.pending_broadcasts.is_empty() {
+                let lines: Vec<_> = self.shared.pending_broadcasts.drain(..).collect();
+                for core in &mut self.cores {
+                    for line in &lines {
+                        core.bloom.insert(line.0);
+                    }
+                }
+            }
+
+            // Coordinated filter reset: clear everything, then re-insert the
+            // addresses of lines still locked by in-flight RMWs (they must
+            // remain visible for the deadlock-safety property).
+            if self.shared.reset_requested {
+                self.shared.reset_requested = false;
+                bloom_resets += 1;
+                let live: Vec<u64> = self
+                    .shared
+                    .unique_rmw_lines
+                    .iter()
+                    .filter(|l| self.shared.coherence.lock_of(**l).is_some())
+                    .map(|l| l.0)
+                    .collect();
+                for core in &mut self.cores {
+                    core.bloom.reset();
+                    for &l in &live {
+                        core.bloom.insert(l);
+                    }
+                }
+            }
+
+            self.now += 1;
+        }
+    }
+
+    fn finish(self, deadlocked: bool, bloom_resets: u64) -> SimResult {
+        let mut agg = SimStats::default();
+        let mut per_core = Vec::with_capacity(self.cores.len());
+        let mut reads = Vec::with_capacity(self.cores.len());
+        for core in &self.cores {
+            let mut s = core.stats;
+            s.cycles = self.now;
+            agg.merge_core(&s);
+            per_core.push(s);
+            reads.push(core.reads.clone());
+        }
+        agg.cycles = self.now;
+        agg.unique_rmw_addrs = self.shared.unique_rmw_lines.len() as u64;
+        agg.bloom_resets = bloom_resets;
+        SimResult {
+            stats: agg,
+            per_core,
+            reads,
+            memory: self.shared.memory,
+            deadlocked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Op;
+    use rmw_types::{Addr, Atomicity};
+
+    fn addr(i: u64) -> Addr {
+        Addr(i * 64) // one address per cache line
+    }
+
+    #[test]
+    fn empty_machine_terminates_immediately() {
+        let r = Machine::new(SimConfig::small(2), vec![]).run();
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.ops, 0);
+        assert_eq!(r.stats.cycles, 0);
+    }
+
+    #[test]
+    fn single_core_read_write() {
+        let t = Trace::new(vec![
+            Op::write(addr(0), 7),
+            Op::read(addr(0)), // forwarded from WB
+            Op::read(addr(1)), // cold miss
+        ]);
+        let r = Machine::new(SimConfig::small(1), vec![t]).run();
+        assert!(!r.deadlocked);
+        assert_eq!(r.reads[0], vec![7, 0]);
+        assert_eq!(r.memory.get(&addr(0)), Some(&7));
+        assert_eq!(r.stats.mem_ops, 3);
+    }
+
+    #[test]
+    fn rmw_applies_its_operation() {
+        for a in Atomicity::ALL {
+            let mut cfg = SimConfig::small(1);
+            cfg.rmw_atomicity = a;
+            let t = Trace::new(vec![
+                Op::write(addr(0), 10),
+                Op::Fence,
+                Op::rmw(addr(0)), // FAA(1): reads 10, writes 11
+                Op::read(addr(0)),
+            ]);
+            let r = Machine::new(cfg, vec![t]).run();
+            assert!(!r.deadlocked, "{a}");
+            assert_eq!(r.reads[0], vec![10, 11], "{a}");
+            assert_eq!(r.memory.get(&addr(0)), Some(&11), "{a}");
+            assert_eq!(r.stats.rmw_count, 1);
+            assert_eq!(r.stats.unique_rmw_addrs, 1);
+        }
+    }
+
+    #[test]
+    fn two_cores_contended_rmw_serialize() {
+        for a in Atomicity::ALL {
+            let mut cfg = SimConfig::small(2);
+            cfg.rmw_atomicity = a;
+            let t0 = Trace::new(vec![Op::rmw(addr(0)); 5]);
+            let t1 = Trace::new(vec![Op::rmw(addr(0)); 5]);
+            let r = Machine::new(cfg, vec![t0, t1]).run();
+            assert!(!r.deadlocked, "{a}");
+            // FAA(1) × 10 serialized: final value 10, and the multiset of
+            // observed values is exactly {0..9}.
+            assert_eq!(r.memory.get(&addr(0)), Some(&10), "{a}");
+            let mut seen: Vec<u64> = r.reads.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>(), "{a}: atomicity violated");
+        }
+    }
+
+    #[test]
+    fn type1_drains_every_rmw() {
+        let mut cfg = SimConfig::small(1);
+        cfg.rmw_atomicity = Atomicity::Type1;
+        let t = Trace::new(vec![
+            Op::write(addr(1), 1),
+            Op::write(addr(2), 2),
+            Op::rmw(addr(0)),
+        ]);
+        let r = Machine::new(cfg, vec![t]).run();
+        assert_eq!(r.stats.rmw_drains, 1);
+        assert!(r.stats.rmw_cost.write_buffer_cycles > 0, "drain on critical path");
+    }
+
+    #[test]
+    fn type2_avoids_the_drain() {
+        let mut cfg = SimConfig::small(1);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        let t = Trace::new(vec![
+            Op::write(addr(1), 1),
+            Op::write(addr(2), 2),
+            Op::rmw(addr(0)),
+        ]);
+        let r = Machine::new(cfg, vec![t]).run();
+        assert_eq!(r.stats.rmw_drains, 0, "no conflicting writes → no drain");
+        assert_eq!(r.stats.rmw_cost.write_buffer_cycles, 0);
+        assert_eq!(r.stats.rmw_broadcasts, 1, "new address broadcast once");
+    }
+
+    #[test]
+    fn type2_conflicting_pending_write_reverts_to_drain() {
+        // Core 1 has a pending write to a line core 0 RMWs (so it is in the
+        // addr-list); core 1's own RMW must revert to a drain.
+        let mut cfg = SimConfig::small(2);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        let t0 = Trace::new(vec![Op::rmw(addr(0))]);
+        let t1 = Trace::new(vec![
+            Op::Compute(400),      // let core 0's broadcast land
+            Op::write(addr(0), 9), // pending write to an RMW line
+            Op::rmw(addr(1)),      // checks WB: conflict → drain
+        ]);
+        let r = Machine::new(cfg, vec![t0, t1]).run();
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.rmw_drains, 1);
+        assert!(r.stats.rmw_cost.write_buffer_cycles > 0);
+    }
+
+    #[test]
+    fn own_pending_wa_does_not_force_a_drain() {
+        // A pending write to a line this core itself holds locked (its own
+        // earlier Wa) cannot deadlock it — no reverted drain.
+        let mut cfg = SimConfig::small(1);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        let t = Trace::new(vec![
+            Op::rmw(addr(0)),      // Wa(0) pending, line 0 locked by us
+            Op::rmw(addr(1)),      // back-to-back: must not drain
+        ]);
+        let r = Machine::new(cfg, vec![t]).run();
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.rmw_drains, 0);
+        assert_eq!(r.stats.rmw_count, 2);
+    }
+
+    #[test]
+    fn back_to_back_rmws_to_same_line_keep_it_locked() {
+        let mut cfg = SimConfig::small(2);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        let t0 = Trace::new(vec![Op::rmw(addr(0)), Op::rmw(addr(0)), Op::rmw(addr(0))]);
+        let t1 = Trace::new(vec![Op::rmw(addr(0)), Op::rmw(addr(0))]);
+        let r = Machine::new(cfg, vec![t0, t1]).run();
+        assert!(!r.deadlocked);
+        // FAA(1) × 5 fully serialized.
+        assert_eq!(r.memory.get(&addr(0)), Some(&5));
+        let mut seen: Vec<u64> = r.reads.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_rmw_to_same_address_broadcasts_once() {
+        let mut cfg = SimConfig::small(2);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        let t0 = Trace::new(vec![Op::rmw(addr(0)); 10]);
+        let t1 = Trace::new(vec![Op::rmw(addr(0)); 10]);
+        let r = Machine::new(cfg, vec![t0, t1]).run();
+        // Both cores may broadcast before seeing each other's insert, but
+        // after that the address is known everywhere.
+        assert!(r.stats.rmw_broadcasts <= 2);
+        assert_eq!(r.stats.unique_rmw_addrs, 1);
+        assert_eq!(r.stats.rmw_count, 20);
+    }
+
+    #[test]
+    fn fig10_deadlocks_without_bloom_and_not_with_it() {
+        // Paper Fig. 10: W(x); RMW(y) || W(y); RMW(x) with type-2 RMWs.
+        let mk = |bloom: bool| {
+            let mut cfg = SimConfig::small(2);
+            cfg.rmw_atomicity = Atomicity::Type2;
+            cfg.bloom_enabled = bloom;
+            cfg.deadlock_threshold = 20_000;
+            let t0 = Trace::new(vec![Op::write(addr(0), 1), Op::rmw(addr(1))]);
+            let t1 = Trace::new(vec![Op::write(addr(1), 1), Op::rmw(addr(0))]);
+            Machine::new(cfg, vec![t0, t1]).run()
+        };
+        let unsafe_run = mk(false);
+        assert!(
+            unsafe_run.deadlocked,
+            "without the filter the cross-locked RMWs must write-deadlock"
+        );
+        let safe_run = mk(true);
+        assert!(!safe_run.deadlocked, "the addr-list check prevents the deadlock");
+        assert!(safe_run.stats.rmw_drains >= 1, "at least one RMW reverted to a drain");
+    }
+
+    #[test]
+    fn type3_uses_directory_lock_on_shared_lines() {
+        let mut cfg = SimConfig::small(3);
+        cfg.rmw_atomicity = Atomicity::Type3;
+        // Cores 1 and 2 read the line first so it is widely shared; then
+        // core 0 RMWs it.
+        let t0 = Trace::new(vec![Op::Compute(500), Op::rmw(addr(0))]);
+        let t1 = Trace::new(vec![Op::read(addr(0))]);
+        let t2 = Trace::new(vec![Op::read(addr(0))]);
+        let r = Machine::new(cfg, vec![t0, t1, t2]).run();
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.rmw_count, 1);
+        assert_eq!(r.memory.get(&addr(0)), Some(&1));
+    }
+
+    #[test]
+    fn type3_cheaper_than_type2_on_shared_lines() {
+        // The §3.3 claim: an RMW to a shared line needs no invalidations on
+        // the critical path under type-3.
+        let run = |a: Atomicity| {
+            let mut cfg = SimConfig::small(4);
+            cfg.rmw_atomicity = a;
+            let t0 = Trace::new(vec![Op::Compute(2000), Op::rmw(addr(0))]);
+            let readers = Trace::new(vec![Op::read(addr(0))]);
+            let r = Machine::new(cfg, vec![t0, readers.clone(), readers.clone(), readers]).run();
+            assert!(!r.deadlocked);
+            r.stats.rmw_cost.ra_wa_cycles
+        };
+        let t2 = run(Atomicity::Type2);
+        let t3 = run(Atomicity::Type3);
+        assert!(
+            t3 < t2,
+            "type-3 Ra/Wa ({t3}) should beat type-2 ({t2}) on shared lines"
+        );
+    }
+
+    #[test]
+    fn fences_drain_and_are_counted() {
+        let mut cfg = SimConfig::small(1);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        let t = Trace::new(vec![Op::write(addr(0), 1), Op::Fence, Op::read(addr(1))]);
+        let r = Machine::new(cfg, vec![t]).run();
+        assert!(r.stats.fence_cycles > 0);
+        assert_eq!(r.reads[0], vec![0]);
+    }
+
+    #[test]
+    fn fence_after_rmw_restores_type1_like_cost() {
+        // §1 hypothesis: adding mfence after each RMW barely changes type-1
+        // cost (the RMW already drained), but erases type-2's advantage.
+        let run = |a: Atomicity, fence: bool| {
+            let mut cfg = SimConfig::small(1);
+            cfg.rmw_atomicity = a;
+            cfg.fence_after_rmw = fence;
+            let mut ops = Vec::new();
+            for i in 0..20 {
+                ops.push(Op::write(addr(10 + i), 1));
+                ops.push(Op::rmw(addr(0)));
+                ops.push(Op::read(addr(40 + i)));
+            }
+            let r = Machine::new(cfg, vec![Trace::new(ops)]).run();
+            assert!(!r.deadlocked);
+            r.stats.cycles
+        };
+        let t1_plain = run(Atomicity::Type1, false);
+        let t1_fenced = run(Atomicity::Type1, true);
+        let t2_plain = run(Atomicity::Type2, false);
+        let t2_fenced = run(Atomicity::Type2, true);
+        let t1_delta = t1_fenced as f64 / t1_plain as f64;
+        assert!(
+            t1_delta < 1.15,
+            "fence after type-1 RMW should be nearly free, got ×{t1_delta:.2}"
+        );
+        assert!(t2_plain < t1_plain, "type-2 beats type-1");
+        assert!(
+            t2_fenced > t2_plain,
+            "fencing erodes type-2's advantage"
+        );
+    }
+
+    #[test]
+    fn bloom_reset_threshold_fires() {
+        let mut cfg = SimConfig::small(1);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        cfg.bloom_reset_threshold = Some(4);
+        let ops: Vec<Op> = (0..10).map(|i| Op::rmw(addr(i))).collect();
+        let r = Machine::new(cfg, vec![Trace::new(ops)]).run();
+        assert!(!r.deadlocked);
+        assert!(r.stats.bloom_resets >= 1);
+        assert_eq!(r.stats.rmw_count, 10);
+    }
+
+    #[test]
+    fn write_buffer_capacity_is_respected() {
+        let mut cfg = SimConfig::small(1);
+        cfg.write_buffer_entries = 2;
+        let ops: Vec<Op> = (0..20).map(|i| Op::write(addr(i % 4), i)).collect();
+        let r = Machine::new(cfg, vec![Trace::new(ops)]).run();
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.ops, 20);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let mut cfg = SimConfig::small(4);
+            cfg.rmw_atomicity = Atomicity::Type2;
+            let traces: Vec<Trace> = (0..4)
+                .map(|c| {
+                    Trace::new(
+                        (0..50)
+                            .map(|i| match (c + i) % 3 {
+                                0 => Op::rmw(addr(i % 5)),
+                                1 => Op::write(addr(i % 7), i),
+                                _ => Op::read(addr(i % 7)),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Machine::new(cfg, traces).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.reads, b.reads);
+    }
+}

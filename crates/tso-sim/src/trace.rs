@@ -1,0 +1,148 @@
+//! Per-core instruction traces consumed by the simulator.
+//!
+//! A [`Trace`] is a straight-line sequence of [`Op`]s. The `workloads`
+//! crate generates traces whose statistical profile matches the paper's
+//! Table 3 benchmarks; tests construct them by hand.
+
+use rmw_types::{Addr, RmwKind, Value};
+
+/// One dynamic operation of a core's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A load.
+    Read(Addr),
+    /// A store of a constant.
+    Write(Addr, Value),
+    /// A read-modify-write (atomicity comes from the machine config).
+    Rmw(Addr, RmwKind),
+    /// A full memory fence (`mfence`): stalls until the write buffer is
+    /// empty.
+    Fence,
+    /// `n` cycles of non-memory work.
+    Compute(u32),
+}
+
+impl Op {
+    /// Convenience constructor for a load.
+    pub fn read(addr: Addr) -> Self {
+        Op::Read(addr)
+    }
+
+    /// Convenience constructor for a store.
+    pub fn write(addr: Addr, value: Value) -> Self {
+        Op::Write(addr, value)
+    }
+
+    /// Convenience constructor for a fetch-and-add(1) RMW.
+    pub fn rmw(addr: Addr) -> Self {
+        Op::Rmw(addr, RmwKind::FetchAndAdd(1))
+    }
+
+    /// The address accessed, if this is a memory operation.
+    pub fn addr(&self) -> Option<Addr> {
+        match *self {
+            Op::Read(a) | Op::Write(a, _) | Op::Rmw(a, _) => Some(a),
+            Op::Fence | Op::Compute(_) => None,
+        }
+    }
+
+    /// True for reads, writes and RMWs.
+    pub fn is_mem(&self) -> bool {
+        self.addr().is_some()
+    }
+}
+
+/// A core's instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Wraps an op sequence.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Trace { ops }
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of memory operations (reads + writes + RMWs).
+    pub fn mem_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_mem()).count()
+    }
+
+    /// Number of RMWs.
+    pub fn rmws(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Rmw(..)))
+            .count()
+    }
+}
+
+impl FromIterator<Op> for Trace {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Op> for Trace {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::read(Addr(1)).addr(), Some(Addr(1)));
+        assert_eq!(Op::write(Addr(2), 9).addr(), Some(Addr(2)));
+        assert_eq!(Op::rmw(Addr(3)).addr(), Some(Addr(3)));
+        assert_eq!(Op::Fence.addr(), None);
+        assert_eq!(Op::Compute(5).addr(), None);
+        assert!(Op::read(Addr(0)).is_mem());
+        assert!(!Op::Fence.is_mem());
+    }
+
+    #[test]
+    fn trace_counters() {
+        let t: Trace = vec![
+            Op::read(Addr(0)),
+            Op::write(Addr(1), 1),
+            Op::rmw(Addr(2)),
+            Op::Fence,
+            Op::Compute(10),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.mem_ops(), 3);
+        assert_eq!(t.rmws(), 1);
+        assert!(!t.is_empty());
+        assert!(Trace::default().is_empty());
+    }
+
+    #[test]
+    fn trace_extend() {
+        let mut t = Trace::new(vec![Op::Fence]);
+        t.extend([Op::read(Addr(0))]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.ops()[1], Op::read(Addr(0)));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the simulator: liveness (no deadlock with the
+//! avoidance scheme), determinism, RMW atomicity, and TSO value sanity
+//! under arbitrary trace mixes.
+
+use proptest::prelude::*;
+use rmw_types::{Addr, Atomicity, RmwKind, Value};
+use tso_sim::{Machine, Op, SimConfig, Trace};
+
+/// Random op over a small set of cache lines.
+fn arb_op(lines: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..lines).prop_map(|l| Op::Read(Addr(l * 64))),
+        3 => ((0..lines), (1u64..50)).prop_map(|(l, v)| Op::Write(Addr(l * 64), v)),
+        2 => (0..lines).prop_map(|l| Op::Rmw(Addr(l * 64), RmwKind::FetchAndAdd(1))),
+        1 => Just(Op::Fence),
+        1 => (1u32..20).prop_map(Op::Compute),
+    ]
+}
+
+fn arb_traces(cores: usize, lines: u64, max_len: usize) -> impl Strategy<Value = Vec<Trace>> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_op(lines), 1..max_len).prop_map(Trace::new),
+        cores..=cores,
+    )
+}
+
+fn run(traces: Vec<Trace>, atomicity: Atomicity) -> tso_sim::SimResult {
+    let mut cfg = SimConfig::small(traces.len());
+    cfg.rmw_atomicity = atomicity;
+    Machine::new(cfg, traces).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With the Bloom-filter scheme enabled, NO trace mix deadlocks, under
+    /// any RMW implementation — the paper's deadlock-safety property.
+    #[test]
+    fn never_deadlocks_with_avoidance(traces in arb_traces(3, 4, 20)) {
+        for atomicity in Atomicity::ALL {
+            let r = run(traces.clone(), atomicity);
+            prop_assert!(!r.deadlocked, "{atomicity} deadlocked");
+        }
+    }
+
+    /// The machine is deterministic: same traces, same everything.
+    #[test]
+    fn deterministic(traces in arb_traces(2, 3, 15)) {
+        for atomicity in Atomicity::ALL {
+            let a = run(traces.clone(), atomicity);
+            let b = run(traces.clone(), atomicity);
+            prop_assert_eq!(a.stats, b.stats);
+            prop_assert_eq!(a.reads, b.reads);
+            prop_assert_eq!(a.memory, b.memory);
+        }
+    }
+
+    /// RMW atomicity: concurrent FAA(1)s to one line never lose an update —
+    /// the final value equals the RMW count, and the observed old values
+    /// are exactly 0..n, for every atomicity type.
+    #[test]
+    fn no_lost_updates(
+        per_core in proptest::collection::vec(1usize..8, 2..4),
+    ) {
+        for atomicity in Atomicity::ALL {
+            let traces: Vec<Trace> = per_core
+                .iter()
+                .map(|&n| Trace::new(vec![Op::rmw(Addr(0)); n]))
+                .collect();
+            let total: usize = per_core.iter().sum();
+            let r = run(traces, atomicity);
+            prop_assert!(!r.deadlocked);
+            prop_assert_eq!(r.memory.get(&Addr(0)), Some(&(total as Value)));
+            let mut seen: Vec<Value> = r.reads.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..total as Value).collect::<Vec<_>>());
+        }
+    }
+
+    /// Value sanity: every read returns 0 or a value some write (or RMW
+    /// chain) could have produced — no out-of-thin-air values.
+    #[test]
+    fn no_thin_air(traces in arb_traces(2, 3, 15)) {
+        let mut possible: std::collections::BTreeSet<Value> =
+            (0..50).collect();
+        let rmws: u64 = traces.iter().map(|t| t.rmws() as u64).sum();
+        for base in 0..50u64 {
+            for k in 1..=rmws {
+                possible.insert(base + k);
+            }
+        }
+        let r = run(traces, Atomicity::Type2);
+        for v in r.reads.iter().flatten() {
+            prop_assert!(possible.contains(v), "thin-air value {v}");
+        }
+    }
+
+    /// Per-location writes are totally ordered: a single-writer line read
+    /// twice by another core never goes backwards (coherence order).
+    #[test]
+    fn reads_never_go_backwards(n_writes in 1usize..10) {
+        let writer = Trace::new(
+            (1..=n_writes as u64).map(|v| Op::write(Addr(0), v)).collect(),
+        );
+        let reader = Trace::new(vec![Op::read(Addr(0)); 8]);
+        let r = run(vec![writer, reader], Atomicity::Type1);
+        let observed = &r.reads[1];
+        for w in observed.windows(2) {
+            prop_assert!(w[0] <= w[1], "coherence violation: {observed:?}");
+        }
+    }
+
+    /// Fences bound the write buffer: after the final op, memory holds
+    /// every thread's last write to each line.
+    #[test]
+    fn final_memory_complete(traces in arb_traces(2, 3, 12)) {
+        let r = run(traces.clone(), Atomicity::Type3);
+        prop_assert!(!r.deadlocked);
+        // every line written by exactly one core ends with one of that
+        // core's written values
+        for line in 0..3u64 {
+            let addr = Addr(line * 64);
+            let writers: Vec<usize> = traces
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    t.ops().iter().any(|o| {
+                        matches!(o, Op::Write(a, _) | Op::Rmw(a, _) if *a == addr)
+                    })
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if writers.is_empty() {
+                prop_assert!(!r.memory.contains_key(&addr) || r.memory[&addr] == 0);
+            } else {
+                prop_assert!(r.memory.contains_key(&addr), "written line missing");
+            }
+        }
+    }
+}

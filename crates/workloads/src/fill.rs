@@ -1,0 +1,103 @@
+//! Density-steering filler used by all kernels: pads traces with plain
+//! accesses so the global RMW density converges to the Table 3 target.
+
+use crate::layout;
+use crate::profile::Profile;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rmw_types::Value;
+use tso_sim::Op;
+
+/// Tracks per-core generation state while a kernel builds a trace.
+#[derive(Debug)]
+pub(crate) struct TraceBuilder {
+    pub core: usize,
+    pub ops: Vec<Op>,
+    pub memops: usize,
+    pub rmws: usize,
+}
+
+impl TraceBuilder {
+    pub fn new(core: usize) -> Self {
+        TraceBuilder {
+            core,
+            ops: Vec::new(),
+            memops: 0,
+            rmws: 0,
+        }
+    }
+
+    pub fn push(&mut self, op: Op) {
+        if op.is_mem() {
+            self.memops += 1;
+        }
+        if matches!(op, Op::Rmw(..)) {
+            self.rmws += 1;
+        }
+        self.ops.push(op);
+    }
+
+    /// Appends plain reads/writes (≈2:1) until the running density reaches
+    /// `memops_per_rmw` memops per RMW, mixing shared and private data per
+    /// the profile. Accesses have strong temporal locality (real programs
+    /// mostly hit their caches): ~85 % go to a small hot set.
+    pub fn fill_to_density(&mut self, p: &Profile, rng: &mut StdRng) {
+        let target = self.rmws * p.memops_per_rmw();
+        while self.memops < target {
+            let shared = rng.gen_bool(p.shared_fraction);
+            let hot = rng.gen_bool(0.85);
+            let addr = if shared {
+                if hot {
+                    // Hot shared data has core affinity (partitioned work),
+                    // so it mostly stays in M state locally.
+                    let window = 16.min(p.shared_lines);
+                    let base = (self.core as u64 * window) % p.shared_lines;
+                    layout::shared(base + rng.gen_range(0..window.min(p.shared_lines - base)))
+                } else {
+                    layout::shared(rng.gen_range(0..p.shared_lines))
+                }
+            } else {
+                let range = if hot { 8 } else { 256 };
+                layout::private(self.core, rng.gen_range(0..range))
+            };
+            if rng.gen_ratio(1, 3) {
+                self.push(Op::Write(addr, rng.gen_range(1..100) as Value));
+            } else {
+                self.push(Op::Read(addr));
+            }
+            // Sprinkle compute so memory ops don't saturate the machine.
+            if rng.gen_ratio(1, 4) {
+                self.push(Op::Compute(rng.gen_range(1..8)));
+            }
+        }
+    }
+
+    pub fn build(self) -> tso_sim::Trace {
+        tso_sim::Trace::new(self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use rand::SeedableRng;
+    use rmw_types::Addr;
+
+    #[test]
+    fn filler_converges_to_density() {
+        let p = Benchmark::Raytrace.profile();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = TraceBuilder::new(0);
+        for i in 0..10 {
+            b.push(Op::Rmw(Addr(i * 64), rmw_types::RmwKind::TestAndSet));
+            b.fill_to_density(&p, &mut rng);
+        }
+        let per_rmw = b.memops as f64 / b.rmws as f64;
+        let target = p.memops_per_rmw() as f64;
+        assert!(
+            (per_rmw - target).abs() / target < 0.05,
+            "per-rmw {per_rmw:.1} vs target {target:.1}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Address-space layout shared by the workload generators.
+//!
+//! Regions are cache-line-aligned and disjoint so that the simulator's
+//! line-granularity coherence behaves sensibly: synchronization variables
+//! never false-share with data.
+
+use rmw_types::Addr;
+
+/// Cache line size assumed by the generators (matches `SimConfig` default).
+pub const LINE: u64 = 64;
+
+/// Base of the lock/synchronization-variable region.
+const SYNC_BASE: u64 = 0x0010_0000;
+/// Base of the shared-data region.
+const SHARED_BASE: u64 = 0x0100_0000;
+/// Base of the per-core private region.
+const PRIVATE_BASE: u64 = 0x1000_0000;
+/// Bytes of private region per core.
+const PRIVATE_STRIDE: u64 = 0x0010_0000;
+
+/// The `i`-th synchronization variable (lock word, deque `top`, STM version
+/// lock, ...), one per cache line.
+pub fn sync_var(i: u64) -> Addr {
+    Addr(SYNC_BASE + i * LINE)
+}
+
+/// The `i`-th shared-data line.
+pub fn shared(i: u64) -> Addr {
+    Addr(SHARED_BASE + i * LINE)
+}
+
+/// The `i`-th private line of `core`.
+pub fn private(core: usize, i: u64) -> Addr {
+    Addr(PRIVATE_BASE + core as u64 * PRIVATE_STRIDE + i * LINE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_line_aligned() {
+        let a = sync_var(100);
+        let b = shared(100);
+        let c = private(0, 100);
+        let d = private(1, 0);
+        for x in [a, b, c, d] {
+            assert_eq!(x.0 % LINE, 0);
+        }
+        assert!(a.0 < SHARED_BASE);
+        assert!(b.0 < PRIVATE_BASE);
+        assert!(c.0 < d.0, "core 0 private below core 1 private");
+    }
+
+    #[test]
+    fn distinct_indices_distinct_lines() {
+        assert_ne!(sync_var(0).line(LINE), sync_var(1).line(LINE));
+        assert_ne!(shared(0).line(LINE), shared(1).line(LINE));
+        assert_ne!(private(2, 0).line(LINE), private(3, 0).line(LINE));
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's Table 3 as data: per-benchmark trace characteristics.
+
+use crate::Benchmark;
+
+/// The synchronization idiom a benchmark uses — selects the kernel that
+/// generates its traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Idiom {
+    /// Test-and-set lock / unlock around critical sections (SPLASH-2,
+    /// PARSEC).
+    Lock,
+    /// TL2-style transactions: per-location version locks acquired by RMW
+    /// at commit (STAMP).
+    Stm,
+    /// Chase–Lev work-stealing deque with Dekker-style `take`/`steal`
+    /// synchronization (wsq-mst). `replace_reads` selects the C/C++11
+    /// read-replacement (`rr`) vs write-replacement (`wr`) compilation.
+    WorkStealing {
+        /// `true` = `wsq-mst_rr`, `false` = `wsq-mst_wr`.
+        replace_reads: bool,
+    },
+}
+
+/// One row of Table 3, plus generator knobs derived from the paper's
+/// description of each benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// Table 3: "Ratio of RMWs per 1000 memops".
+    pub rmws_per_1000_memops: f64,
+    /// Table 3: "% Unique RMWs" (distinct addresses / dynamic RMWs).
+    pub pct_unique_rmws: f64,
+    /// The synchronization idiom.
+    pub idiom: Idiom,
+    /// Average plain writes sitting in the write buffer when an RMW
+    /// executes — the write-buffer-pressure knob (drives the drain cost of
+    /// type-1 RMWs; the paper's Fig. 11a write-buffer component).
+    pub writes_before_rmw: usize,
+    /// Number of distinct shared-data lines touched (sharing degree; more
+    /// sharing ⇒ more invalidation traffic at RMWs).
+    pub shared_lines: u64,
+    /// Fraction of plain accesses that go to shared (vs. private) data.
+    pub shared_fraction: f64,
+}
+
+/// The Table 3 rows. RMW density and uniqueness are the paper's measured
+/// values; the remaining knobs follow the paper's qualitative description
+/// (lock-based codes mostly touch private data; `bayes` has long
+/// transactions; `wsq-mst_rr` queues more writes per RMW than `_wr`).
+pub fn table3_profiles() -> Vec<Profile> {
+    vec![
+        Profile {
+            benchmark: Benchmark::Radiosity,
+            rmws_per_1000_memops: 15.56,
+            pct_unique_rmws: 0.28,
+            idiom: Idiom::Lock,
+            writes_before_rmw: 3,
+            shared_lines: 512,
+            shared_fraction: 0.3,
+        },
+        Profile {
+            benchmark: Benchmark::Raytrace,
+            rmws_per_1000_memops: 13.83,
+            pct_unique_rmws: 0.02,
+            idiom: Idiom::Lock,
+            writes_before_rmw: 2,
+            shared_lines: 256,
+            shared_fraction: 0.2,
+        },
+        Profile {
+            benchmark: Benchmark::Fluidanimate,
+            rmws_per_1000_memops: 17.43,
+            pct_unique_rmws: 0.46,
+            idiom: Idiom::Lock,
+            writes_before_rmw: 3,
+            shared_lines: 1024,
+            shared_fraction: 0.35,
+        },
+        Profile {
+            benchmark: Benchmark::Dedup,
+            rmws_per_1000_memops: 8.10,
+            pct_unique_rmws: 3.31,
+            idiom: Idiom::Lock,
+            writes_before_rmw: 4,
+            shared_lines: 2048,
+            shared_fraction: 0.4,
+        },
+        Profile {
+            benchmark: Benchmark::Bayes,
+            rmws_per_1000_memops: 34.15,
+            pct_unique_rmws: 0.91,
+            idiom: Idiom::Stm,
+            writes_before_rmw: 4,
+            shared_lines: 1024,
+            shared_fraction: 0.5,
+        },
+        Profile {
+            benchmark: Benchmark::Genome,
+            rmws_per_1000_memops: 6.19,
+            pct_unique_rmws: 0.64,
+            idiom: Idiom::Stm,
+            writes_before_rmw: 3,
+            shared_lines: 1024,
+            shared_fraction: 0.5,
+        },
+        Profile {
+            benchmark: Benchmark::WsqMstWr,
+            rmws_per_1000_memops: 23.41,
+            pct_unique_rmws: 3.80,
+            idiom: Idiom::WorkStealing {
+                replace_reads: false,
+            },
+            writes_before_rmw: 2,
+            shared_lines: 4096,
+            shared_fraction: 0.6,
+        },
+        Profile {
+            benchmark: Benchmark::WsqMstRr,
+            rmws_per_1000_memops: 23.41,
+            pct_unique_rmws: 3.80,
+            idiom: Idiom::WorkStealing {
+                replace_reads: true,
+            },
+            writes_before_rmw: 5,
+            shared_lines: 4096,
+            shared_fraction: 0.6,
+        },
+    ]
+}
+
+impl Profile {
+    /// Memory operations per RMW implied by the density.
+    pub fn memops_per_rmw(&self) -> usize {
+        (1000.0 / self.rmws_per_1000_memops).round() as usize
+    }
+
+    /// Size of the RMW-address pool needed so that `pct_unique_rmws`
+    /// holds at the given dynamic RMW count.
+    pub fn rmw_pool_size(&self, total_rmws: usize) -> usize {
+        ((self.pct_unique_rmws / 100.0) * total_rmws as f64)
+            .round()
+            .max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_benchmarks_present() {
+        let ps = table3_profiles();
+        assert_eq!(ps.len(), 8);
+        for b in Benchmark::ALL {
+            assert!(ps.iter().any(|p| p.benchmark == b), "{b} missing");
+        }
+    }
+
+    #[test]
+    fn table3_values_match_paper() {
+        let p = Benchmark::Bayes.profile();
+        assert!((p.rmws_per_1000_memops - 34.15).abs() < 1e-9);
+        assert!((p.pct_unique_rmws - 0.91).abs() < 1e-9);
+        let p = Benchmark::Raytrace.profile();
+        assert!((p.rmws_per_1000_memops - 13.83).abs() < 1e-9);
+        assert!((p.pct_unique_rmws - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = Benchmark::Genome.profile();
+        assert_eq!(p.memops_per_rmw(), 162); // 1000 / 6.19 ≈ 161.6
+        assert_eq!(p.rmw_pool_size(10_000), 64); // 0.64% of 10k
+        assert_eq!(p.rmw_pool_size(1), 1, "pool never empty");
+    }
+
+    #[test]
+    fn rr_variant_queues_more_writes_than_wr() {
+        // The paper: "with read replacement, there are more entries in the
+        // write-buffer per-RMW, which increases draining cost".
+        let rr = Benchmark::WsqMstRr.profile();
+        let wr = Benchmark::WsqMstWr.profile();
+        assert!(rr.writes_before_rmw > wr.writes_before_rmw);
+    }
+}

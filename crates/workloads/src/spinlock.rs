@@ -1,0 +1,138 @@
+//! Test-and-set spin-lock kernel — the lock-based benchmarks (SPLASH-2
+//! `radiosity`/`raytrace`, PARSEC `fluidanimate`/`dedup`).
+//!
+//! These programs use RMWs almost exclusively inside `lock`/`unlock`
+//! primitives (paper §4.1). Each synchronization unit is:
+//!
+//! ```text
+//!   W … W            pending writes from the preceding computation
+//!   RMW(lock)        test-and-set acquire
+//!   R/W …            critical section over shared data
+//!   W(lock, 0)       release
+//!   R/W/compute …    parallel phase (density filler)
+//! ```
+//!
+//! The lock pool is shared across cores and sized from Table 3's "% Unique
+//! RMWs", so address reuse (and hence the Bloom-filter broadcast rate)
+//! matches the paper.
+
+use crate::fill::TraceBuilder;
+use crate::layout;
+use crate::profile::Profile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmw_types::RmwKind;
+use tso_sim::{Op, Trace};
+
+/// Generates one trace per core.
+pub fn generate(p: &Profile, num_cores: usize, memops_per_core: usize, seed: u64) -> Vec<Trace> {
+    let expected_rmws = (memops_per_core * num_cores) / p.memops_per_rmw().max(1);
+    // Floor the pool at a couple of locks per core: real lock-based codes
+    // have at least per-structure locks, and a single-lock convoy is not
+    // the regime the paper measures. At paper scale the computed pool
+    // dominates the floor.
+    let pool = p.rmw_pool_size(expected_rmws.max(1)).max(2 * num_cores) as u64;
+
+    (0..num_cores)
+        .map(|core| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9));
+            let mut b = TraceBuilder::new(core);
+            // Desynchronize cores so lock acquisitions don't arrive in
+            // lockstep.
+            b.push(Op::Compute(rng.gen_range(1..400)));
+            while b.memops < memops_per_core {
+                // Pending writes from the preceding computation phase: these
+                // sit in the write buffer when the lock RMW executes — the
+                // knob behind the type-1 drain cost.
+                for _ in 0..p.writes_before_rmw {
+                    // Recently-touched shared lines: on-chip but often owned
+                    // elsewhere, so completing them costs an invalidation
+                    // round-trip (not a 300-cycle cold fetch).
+                    let a = layout::shared(rng.gen_range(0..256.min(p.shared_lines)));
+                    b.push(Op::Write(a, rng.gen_range(1..100)));
+                }
+                // Acquire.
+                let lock = layout::sync_var(rng.gen_range(0..pool));
+                b.push(Op::Rmw(lock, RmwKind::TestAndSet));
+                // Critical section: a handful of shared accesses.
+                for _ in 0..rng.gen_range(2..6) {
+                    let a = layout::shared(rng.gen_range(0..p.shared_lines));
+                    if rng.gen_bool(0.5) {
+                        b.push(Op::Read(a));
+                    } else {
+                        b.push(Op::Write(a, rng.gen_range(1..100)));
+                    }
+                }
+                // Release.
+                b.push(Op::Write(lock, 0));
+                // Parallel phase.
+                b.fill_to_density(p, &mut rng);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn lock_release_follows_acquire() {
+        let p = Benchmark::Radiosity.profile();
+        let traces = generate(&p, 2, 1_000, 5);
+        for t in &traces {
+            let mut held: Option<rmw_types::Addr> = None;
+            for op in t.ops() {
+                match *op {
+                    Op::Rmw(a, _) => {
+                        assert!(held.is_none(), "acquire while holding a lock");
+                        held = Some(a);
+                    }
+                    Op::Write(a, 0) if Some(a) == held => held = None,
+                    _ => {}
+                }
+            }
+            assert!(held.is_none(), "trace ends with a held lock");
+        }
+    }
+
+    #[test]
+    fn uniqueness_tracks_table3_pool() {
+        let p = Benchmark::Dedup.profile(); // 3.31% unique
+        let traces = generate(&p, 4, 10_000, 9);
+        let mut addrs = std::collections::BTreeSet::new();
+        let mut rmws = 0usize;
+        for t in &traces {
+            for op in t.ops() {
+                if let Op::Rmw(a, _) = op {
+                    addrs.insert(*a);
+                    rmws += 1;
+                }
+            }
+        }
+        let pct = 100.0 * addrs.len() as f64 / rmws as f64;
+        assert!(
+            (pct - p.pct_unique_rmws).abs() < 2.0,
+            "unique% {pct:.2} vs Table 3 {:.2}",
+            p.pct_unique_rmws
+        );
+    }
+
+    #[test]
+    fn pending_writes_precede_each_rmw() {
+        let p = Benchmark::Raytrace.profile();
+        let t = &generate(&p, 1, 2_000, 11)[0];
+        let ops = t.ops();
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, Op::Rmw(..)) && i >= p.writes_before_rmw {
+                let writes_before = ops[i - p.writes_before_rmw..i]
+                    .iter()
+                    .filter(|o| matches!(o, Op::Write(..)))
+                    .count();
+                assert_eq!(writes_before, p.writes_before_rmw);
+            }
+        }
+    }
+}

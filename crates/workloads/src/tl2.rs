@@ -1,0 +1,143 @@
+//! TL2-style software-transactional-memory kernel — the STAMP benchmarks
+//! (`bayes`, `genome`), which "use RMWs for locking writes in transactions
+//! and to commit transactions" (paper §4.1).
+//!
+//! Each transaction follows TL2's commit protocol (Dice/Shalev/Shavit):
+//!
+//! ```text
+//!   R …                      read set (validated against version clock)
+//!   RMW(vlock_i) per w-entry acquire per-location version locks
+//!   RMW(global_clock)        fetch-and-add the global version clock
+//!   W …                      write back the write set
+//!   W(vlock_i, 0) …          release version locks (store new version)
+//! ```
+//!
+//! The global clock is a single hot RMW address, which is why STAMP codes
+//! have *low* RMW-address uniqueness despite many RMWs (Table 3).
+
+use crate::fill::TraceBuilder;
+use crate::layout;
+use crate::profile::Profile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmw_types::RmwKind;
+use tso_sim::{Op, Trace};
+
+/// Index of the global version clock in the sync region.
+const GLOBAL_CLOCK: u64 = 0;
+/// Version locks start after the global clock.
+const VLOCK_BASE: u64 = 1;
+
+/// Generates one trace per core.
+pub fn generate(p: &Profile, num_cores: usize, memops_per_core: usize, seed: u64) -> Vec<Trace> {
+    let expected_rmws = (memops_per_core * num_cores) / p.memops_per_rmw().max(1);
+    // The pool covers the version locks; the global clock is always hot.
+    // Floor at one lock per core so small runs don't degenerate into a
+    // single-version-lock convoy.
+    let pool = p
+        .rmw_pool_size(expected_rmws.max(1))
+        .saturating_sub(1)
+        .max(num_cores) as u64;
+
+    (0..num_cores)
+        .map(|core| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0xC0FF_EE11));
+            let mut b = TraceBuilder::new(core);
+            // Desynchronize cores so commits don't arrive in lockstep.
+            b.push(Op::Compute(rng.gen_range(1..400)));
+            while b.memops < memops_per_core {
+                let write_set: Vec<u64> = (0..rng.gen_range(1..4))
+                    .map(|_| rng.gen_range(0..pool))
+                    .collect();
+                // Read phase: sample the read set (shared data).
+                for _ in 0..rng.gen_range(4..12) {
+                    b.push(Op::Read(layout::shared(rng.gen_range(0..p.shared_lines))));
+                }
+                // The previous transaction's write-backs (shared, possibly
+                // cached elsewhere → invalidations) are still in the write
+                // buffer when the commit-time RMWs execute: this is the
+                // "write in the write-buffer which needs to send out
+                // invalidation requests" the paper blames for drain cost.
+                for _ in 0..p.writes_before_rmw {
+                    // Recently-touched shared lines: on-chip but often owned
+                    // elsewhere, so completing them costs an invalidation
+                    // round-trip (not a 300-cycle cold fetch).
+                    let a = layout::shared(rng.gen_range(0..256.min(p.shared_lines)));
+                    b.push(Op::Write(a, rng.gen_range(1..100)));
+                }
+                // Commit: acquire version locks.
+                for &v in &write_set {
+                    b.push(Op::Rmw(layout::sync_var(VLOCK_BASE + v), RmwKind::TestAndSet));
+                }
+                // Advance the global version clock.
+                b.push(Op::Rmw(layout::sync_var(GLOBAL_CLOCK), RmwKind::FetchAndAdd(1)));
+                // Write back and release (release stores the new version).
+                for &v in &write_set {
+                    b.push(Op::Write(layout::shared(v % p.shared_lines), rng.gen_range(1..100)));
+                    b.push(Op::Write(layout::sync_var(VLOCK_BASE + v), 0));
+                }
+                b.fill_to_density(p, &mut rng);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn every_transaction_touches_the_global_clock() {
+        let p = Benchmark::Bayes.profile();
+        let t = &generate(&p, 1, 3_000, 3)[0];
+        let clock = layout::sync_var(GLOBAL_CLOCK);
+        let clock_rmws = t
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::Rmw(a, RmwKind::FetchAndAdd(1)) if *a == clock))
+            .count();
+        assert!(clock_rmws > 0);
+        // Every FAA on the clock is preceded by at least one TAS (vlock).
+        let tas = t
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::Rmw(_, RmwKind::TestAndSet)))
+            .count();
+        assert!(tas >= clock_rmws);
+    }
+
+    #[test]
+    fn genome_has_longer_transactions_than_bayes() {
+        // Paper: genome's low RMW impact comes from "a lot more operations
+        // per transaction" — i.e. lower density, more filler per commit.
+        let bayes = Benchmark::Bayes.profile();
+        let genome = Benchmark::Genome.profile();
+        assert!(genome.memops_per_rmw() > bayes.memops_per_rmw());
+        let tb = &generate(&bayes, 1, 5_000, 1)[0];
+        let tg = &generate(&genome, 1, 5_000, 1)[0];
+        let db = tb.rmws() as f64 / tb.mem_ops() as f64;
+        let dg = tg.rmws() as f64 / tg.mem_ops() as f64;
+        assert!(db > dg, "bayes denser in RMWs than genome");
+    }
+
+    #[test]
+    fn vlocks_are_released_after_commit() {
+        let p = Benchmark::Genome.profile();
+        let t = &generate(&p, 2, 2_000, 8)[1];
+        let mut held: std::collections::BTreeSet<rmw_types::Addr> = Default::default();
+        for op in t.ops() {
+            match *op {
+                Op::Rmw(a, RmwKind::TestAndSet) => {
+                    held.insert(a);
+                }
+                Op::Write(a, 0) => {
+                    held.remove(&a);
+                }
+                _ => {}
+            }
+        }
+        assert!(held.is_empty(), "unreleased version locks: {held:?}");
+    }
+}

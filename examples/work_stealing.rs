@@ -1,0 +1,56 @@
+//! The paper's C/C++11 case study: the work-stealing spanning-tree program
+//! (`wsq-mst`) with SC atomics compiled via read-replacement (`rr`) or
+//! write-replacement (`wr`), simulated under each RMW implementation.
+//!
+//! Run with: `cargo run --release --example work_stealing [cores] [memops]`
+
+use fast_rmw_tso::rmw_types::Atomicity;
+use fast_rmw_tso::tso_sim::Machine;
+use fast_rmw_tso::workloads::{benchmark, Benchmark};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cores: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let memops: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8_000);
+
+    println!("wsq-mst under each C/C++11 compilation and RMW type");
+    println!("({cores} cores, {memops} memops/core)\n");
+    println!(
+        "{:<12} {:<8} {:>12} {:>14} {:>12}",
+        "variant", "rmw", "avg RMW cost", "total cycles", "broadcasts"
+    );
+    for bench in [Benchmark::WsqMstWr, Benchmark::WsqMstRr] {
+        for atomicity in Atomicity::ALL {
+            // The paper skips type-3 for write-replacement: unsound (§2.5).
+            if bench == Benchmark::WsqMstWr && atomicity == Atomicity::Type3 {
+                println!(
+                    "{:<12} {:<8} {:>12} {:>14} {:>12}",
+                    bench.name(),
+                    "type-3",
+                    "—",
+                    "(unsound)",
+                    "—"
+                );
+                continue;
+            }
+            let mut cfg = fast_rmw_tso::tso_sim::SimConfig::paper_table2();
+            cfg.coherence.num_cores = cores;
+            cfg.coherence.mesh.width = cores.max(2).div_ceil(2);
+            cfg.coherence.mesh.height = 2;
+            cfg.rmw_atomicity = atomicity;
+            let traces = benchmark(bench, cores, memops, 0xBEEF);
+            let r = Machine::new(cfg, traces).run();
+            assert!(!r.deadlocked);
+            println!(
+                "{:<12} {:<8} {:>12.1} {:>14} {:>12}",
+                bench.name(),
+                atomicity.to_string(),
+                r.stats.avg_rmw_cost(),
+                r.stats.cycles,
+                r.stats.rmw_broadcasts
+            );
+        }
+    }
+    println!("\npaper: rr RMWs cost more than wr (more buffered writes per RMW);");
+    println!("       best overall = read-replacement with type-3 RMWs.");
+}

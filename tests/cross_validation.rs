@@ -1,0 +1,185 @@
+//! Cross-validation: every outcome the operational timing simulator
+//! produces must be allowed by the axiomatic TSO model.
+//!
+//! The simulator is deterministic, so each (program, atomicity) pair yields
+//! one concrete outcome; the model enumerates the full allowed set. The
+//! simulator disagreeing with the model on any program would mean one of
+//! the two halves of the reproduction is wrong.
+
+use fast_rmw_tso::rmw_types::{Addr, Atomicity, RmwKind, Value};
+use fast_rmw_tso::tso_model::{allowed_outcomes, Instr, Program, ProgramBuilder};
+use fast_rmw_tso::tso_sim::{Machine, Op, SimConfig, Trace};
+
+/// Lowers a model program to simulator traces. Model addresses are dense
+/// small integers; the simulator works at cache-line granularity, so each
+/// model address gets its own line.
+fn lower(program: &Program) -> Vec<Trace> {
+    program
+        .iter()
+        .map(|(_, instrs)| {
+            Trace::new(
+                instrs
+                    .iter()
+                    .map(|&i| match i {
+                        Instr::Read(a) => Op::Read(Addr(a.0 * 64)),
+                        Instr::Write(a, v) => Op::Write(Addr(a.0 * 64), v),
+                        Instr::Rmw { addr, kind, .. } => Op::Rmw(Addr(addr.0 * 64), kind),
+                        Instr::Fence => Op::Fence,
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the simulator and checks its outcome against the model.
+fn check(program: &Program, name: &str) {
+    for atomicity in Atomicity::ALL {
+        // Rewrite all RMWs to this atomicity in the model program...
+        let mut model_prog = Program::new();
+        for (_, instrs) in program.iter() {
+            model_prog.add_thread(
+                instrs
+                    .iter()
+                    .map(|&i| match i {
+                        Instr::Rmw { addr, kind, .. } => Instr::Rmw {
+                            addr,
+                            kind,
+                            atomicity,
+                        },
+                        other => other,
+                    })
+                    .collect(),
+            );
+        }
+        // ...and configure the machine to match.
+        let mut cfg = SimConfig::small(model_prog.num_threads().max(1));
+        cfg.rmw_atomicity = atomicity;
+        let result = Machine::new(cfg, lower(&model_prog)).run();
+        assert!(!result.deadlocked, "{name} ({atomicity}): deadlock");
+
+        let sim_reads: Vec<Value> = result.reads.iter().flatten().copied().collect();
+        let allowed = allowed_outcomes(&model_prog);
+        assert!(
+            allowed.iter().any(|o| o.read_values() == sim_reads),
+            "{name} ({atomicity}): simulator outcome {sim_reads:?} not in model set {:?}",
+            allowed.iter().map(|o| o.read_values()).collect::<Vec<_>>()
+        );
+        // Final memory must agree too.
+        let sim_mem_of = |a: fast_rmw_tso::rmw_types::Addr| {
+            result.memory.get(&Addr(a.0 * 64)).copied().unwrap_or(0)
+        };
+        assert!(
+            allowed.iter().any(|o| {
+                o.read_values() == sim_reads
+                    && o.final_memory()
+                        .iter()
+                        .all(|(&a, &v)| sim_mem_of(a) == v)
+            }),
+            "{name} ({atomicity}): final memory disagrees with every matching model outcome"
+        );
+    }
+}
+
+const X: fast_rmw_tso::rmw_types::Addr = Addr(0);
+const Y: fast_rmw_tso::rmw_types::Addr = Addr(1);
+const Z: fast_rmw_tso::rmw_types::Addr = Addr(2);
+
+#[test]
+fn store_buffering() {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).read(Y);
+    b.thread().write(Y, 1).read(X);
+    check(&b.build(), "SB");
+}
+
+#[test]
+fn message_passing() {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).write(Y, 1);
+    b.thread().read(Y).read(X);
+    check(&b.build(), "MP");
+}
+
+#[test]
+fn fenced_store_buffering() {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).fence().read(Y);
+    b.thread().write(Y, 1).fence().read(X);
+    check(&b.build(), "SB+fences");
+}
+
+#[test]
+fn dekker_read_replacement() {
+    let mut b = ProgramBuilder::new();
+    b.thread()
+        .write(X, 1)
+        .rmw(Y, RmwKind::FetchAndAdd(0), Atomicity::Type1);
+    b.thread()
+        .write(Y, 1)
+        .rmw(X, RmwKind::FetchAndAdd(0), Atomicity::Type1);
+    check(&b.build(), "dekker-rr");
+}
+
+#[test]
+fn dekker_write_replacement() {
+    let mut b = ProgramBuilder::new();
+    b.thread().rmw(X, RmwKind::TestAndSet, Atomicity::Type1).read(Y);
+    b.thread().rmw(Y, RmwKind::TestAndSet, Atomicity::Type1).read(X);
+    check(&b.build(), "dekker-wr");
+}
+
+#[test]
+fn contended_counter() {
+    let mut b = ProgramBuilder::new();
+    b.thread()
+        .rmw(X, RmwKind::FetchAndAdd(1), Atomicity::Type1)
+        .rmw(X, RmwKind::FetchAndAdd(1), Atomicity::Type1);
+    b.thread().rmw(X, RmwKind::FetchAndAdd(1), Atomicity::Type1);
+    check(&b.build(), "counter");
+}
+
+#[test]
+fn mixed_fence_rmw_three_threads() {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).fence().read(Y);
+    b.thread()
+        .rmw(Y, RmwKind::Exchange(7), Atomicity::Type1)
+        .read(Z);
+    b.thread().write(Z, 2).rmw(X, RmwKind::TestAndSet, Atomicity::Type1);
+    check(&b.build(), "mixed3");
+}
+
+#[test]
+fn write_chain_with_forwarding() {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 1).write(X, 2).read(X).write(Y, 1);
+    b.thread().read(Y).read(X);
+    check(&b.build(), "forwarding");
+}
+
+#[test]
+fn rmw_chain_same_address() {
+    let mut b = ProgramBuilder::new();
+    b.thread()
+        .rmw(X, RmwKind::FetchAndAdd(1), Atomicity::Type1)
+        .rmw(X, RmwKind::FetchAndAdd(1), Atomicity::Type1)
+        .read(X);
+    check(&b.build(), "rmw-chain");
+}
+
+#[test]
+fn cas_success_and_failure() {
+    let mut b = ProgramBuilder::new();
+    b.thread().rmw(
+        X,
+        RmwKind::CompareAndSwap { expected: 0, new: 5 },
+        Atomicity::Type1,
+    );
+    b.thread().rmw(
+        X,
+        RmwKind::CompareAndSwap { expected: 0, new: 9 },
+        Atomicity::Type1,
+    );
+    check(&b.build(), "cas-race");
+}

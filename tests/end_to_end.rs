@@ -1,0 +1,134 @@
+//! End-to-end integration: the paper's headline claims hold on the full
+//! pipeline (workload generator → simulator → stats), at test scale.
+
+use fast_rmw_tso::rmw_types::Atomicity;
+use fast_rmw_tso::tso_sim::{Machine, SimConfig, SimResult};
+use fast_rmw_tso::workloads::{benchmark, Benchmark};
+
+fn run(bench: Benchmark, atomicity: Atomicity, cores: usize, memops: usize) -> SimResult {
+    let mut cfg = SimConfig::paper_table2();
+    cfg.coherence.num_cores = cores;
+    cfg.coherence.mesh.width = cores.div_ceil(2).max(1);
+    cfg.coherence.mesh.height = 2;
+    cfg.rmw_atomicity = atomicity;
+    let traces = benchmark(bench, cores, memops, 7);
+    let r = Machine::new(cfg, traces).run();
+    assert!(!r.deadlocked, "{bench} {atomicity}");
+    r
+}
+
+/// Paper Fig. 11(a): type-2 RMWs are substantially cheaper than type-1 on
+/// every benchmark, and type-3 at least as cheap as type-2 (up to noise).
+#[test]
+fn weaker_rmws_are_cheaper_everywhere() {
+    for bench in Benchmark::ALL {
+        let t1 = run(bench, Atomicity::Type1, 4, 4_000).stats.avg_rmw_cost();
+        let t2 = run(bench, Atomicity::Type2, 4, 4_000).stats.avg_rmw_cost();
+        let t3 = run(bench, Atomicity::Type3, 4, 4_000).stats.avg_rmw_cost();
+        let saving2 = 100.0 * (t1 - t2) / t1;
+        assert!(
+            saving2 > 20.0,
+            "{bench}: type-2 saving only {saving2:.1}% (t1={t1:.1}, t2={t2:.1})"
+        );
+        assert!(
+            t3 < t2 * 1.10,
+            "{bench}: type-3 ({t3:.1}) should not cost more than type-2 ({t2:.1})"
+        );
+    }
+}
+
+/// Paper Fig. 11(a): the write-buffer drain dominates type-1 RMW cost.
+#[test]
+fn type1_cost_is_drain_dominated() {
+    let mut shares = Vec::new();
+    for bench in Benchmark::ALL {
+        let r = run(bench, Atomicity::Type1, 4, 4_000);
+        shares.push(
+            r.stats.rmw_cost.write_buffer_cycles as f64 / r.stats.rmw_cost.total() as f64,
+        );
+    }
+    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+    assert!(
+        (0.35..0.85).contains(&avg),
+        "avg write-buffer share {avg:.2} out of the paper's ballpark (~0.58)"
+    );
+}
+
+/// Paper Table 3: type-2/3 RMWs almost never revert to a drain.
+#[test]
+fn reverted_drains_are_rare() {
+    for bench in Benchmark::ALL {
+        let r = run(bench, Atomicity::Type2, 4, 4_000);
+        assert!(
+            r.stats.pct_drains() < 25.0,
+            "{bench}: {:.1}% of type-2 RMWs drained",
+            r.stats.pct_drains()
+        );
+    }
+}
+
+/// Paper Table 3: broadcasts per 100 RMWs tracks the unique-RMW rate and
+/// stays small.
+#[test]
+fn broadcast_rate_tracks_uniqueness() {
+    for bench in Benchmark::ALL {
+        let r = run(bench, Atomicity::Type2, 4, 4_000);
+        let b = r.stats.broadcasts_per_100();
+        let u = r.stats.pct_unique_rmws();
+        assert!(b <= u * 4.0 + 1.5, "{bench}: broadcasts {b:.2} ≫ unique {u:.2}");
+        assert!(b < 10.0, "{bench}: broadcast rate {b:.2} too high");
+    }
+}
+
+/// Paper Fig. 11(b): overall execution time improves with weaker RMWs, and
+/// the gain is largest for RMW-dense programs.
+#[test]
+fn execution_time_improves_with_weaker_rmws() {
+    let mut improvements = Vec::new();
+    for bench in [Benchmark::Bayes, Benchmark::Raytrace, Benchmark::WsqMstRr] {
+        let t1 = run(bench, Atomicity::Type1, 4, 4_000).stats.cycles;
+        let t2 = run(bench, Atomicity::Type2, 4, 4_000).stats.cycles;
+        assert!(t2 <= t1, "{bench}: type-2 slower overall");
+        improvements.push((bench, 100.0 * (t1 - t2) as f64 / t1 as f64));
+    }
+    // The densest benchmark should improve measurably.
+    assert!(
+        improvements.iter().any(|(_, imp)| *imp > 2.0),
+        "no benchmark improved >2%: {improvements:?}"
+    );
+}
+
+/// The §1 hypothesis: a fence after each RMW is nearly free under type-1
+/// (the RMW already drained) but costs real time under type-2.
+#[test]
+fn fence_after_rmw_hypothesis() {
+    let bench = Benchmark::Radiosity;
+    let cycles = |atomicity, fence| {
+        let mut cfg = SimConfig::paper_table2();
+        cfg.coherence.num_cores = 4;
+        cfg.coherence.mesh.width = 2;
+        cfg.coherence.mesh.height = 2;
+        cfg.rmw_atomicity = atomicity;
+        cfg.fence_after_rmw = fence;
+        let traces = benchmark(bench, 4, 4_000, 7);
+        let r = Machine::new(cfg, traces).run();
+        assert!(!r.deadlocked);
+        r.stats.cycles as f64
+    };
+    let t1_delta = cycles(Atomicity::Type1, true) / cycles(Atomicity::Type1, false);
+    let t2_delta = cycles(Atomicity::Type2, true) / cycles(Atomicity::Type2, false);
+    assert!(t1_delta < 1.10, "fence after type-1 RMW should be ~free: ×{t1_delta:.3}");
+    assert!(
+        t2_delta > t1_delta,
+        "fence must hurt type-2 ({t2_delta:.3}) more than type-1 ({t1_delta:.3})"
+    );
+}
+
+/// Determinism across the full pipeline.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = run(Benchmark::Genome, Atomicity::Type3, 4, 2_000);
+    let b = run(Benchmark::Genome, Atomicity::Type3, 4, 2_000);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.reads, b.reads);
+}
