@@ -2,9 +2,9 @@
 //! Figures 3–8) and C/C++11 mapping verification (Table 4 / Appendix A).
 
 use cc11::{verify::corpus, verify_mapping, Mapping};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rmw_types::Atomicity;
+use std::time::Duration;
 
 fn bench_litmus(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_litmus");

@@ -3,9 +3,9 @@
 //! `eprintln` once per configuration, and wall-clock throughput of the
 //! simulator as the measured quantity.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rmw_types::Atomicity;
+use std::time::Duration;
 use tso_sim::Machine;
 use workloads::Benchmark;
 

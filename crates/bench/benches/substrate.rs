@@ -2,9 +2,9 @@
 //! (§3.2 hardware cost sanity) and mesh latency computation.
 
 use bloom::BloomFilter;
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use interconnect::{Mesh, MeshConfig};
+use std::time::Duration;
 
 fn bench_bloom(c: &mut Criterion) {
     let mut group = c.benchmark_group("bloom_filter");

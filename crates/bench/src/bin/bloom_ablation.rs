@@ -26,7 +26,10 @@ fn main() {
             cfg.bloom_hashes = hashes;
             let traces = workloads::benchmark(bench, cores, memops, SEED);
             let r = Machine::new(cfg, traces).run();
-            assert!(!r.deadlocked, "deadlock avoidance must hold at any filter size");
+            assert!(
+                !r.deadlocked,
+                "deadlock avoidance must hold at any filter size"
+            );
             let filter = bloom::BloomFilter::new(size, hashes);
             println!(
                 "{:<12} {:>7} {:>12.2} {:>14.1} {:>14.6}",

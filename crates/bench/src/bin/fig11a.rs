@@ -13,7 +13,15 @@ fn main() {
     println!("Fig 11(a): Cost of RMWs in cycles ({cores} cores, {memops} memops/core)");
     println!(
         "{:<14} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>9} {:>9}",
-        "benchmark", "t1 WB", "t1 RaWa", "t1 tot", "t2 tot", "t3 tot", "t1 tot", "t2 save%", "t3 save%"
+        "benchmark",
+        "t1 WB",
+        "t1 RaWa",
+        "t1 tot",
+        "t2 tot",
+        "t3 tot",
+        "t1 tot",
+        "t2 save%",
+        "t3 save%"
     );
     let mut savings2 = Vec::new();
     let mut savings3 = Vec::new();

@@ -19,8 +19,10 @@ fn main() {
         let o1 = 100.0 * t1.stats.rmw_overhead_fraction();
         let o2 = 100.0 * t2.stats.rmw_overhead_fraction();
         let o3 = 100.0 * t3.stats.rmw_overhead_fraction();
-        let sp2 = 100.0 * (t1.stats.cycles as f64 - t2.stats.cycles as f64) / t1.stats.cycles as f64;
-        let sp3 = 100.0 * (t1.stats.cycles as f64 - t3.stats.cycles as f64) / t1.stats.cycles as f64;
+        let sp2 =
+            100.0 * (t1.stats.cycles as f64 - t2.stats.cycles as f64) / t1.stats.cycles as f64;
+        let sp3 =
+            100.0 * (t1.stats.cycles as f64 - t3.stats.cycles as f64) / t1.stats.cycles as f64;
         println!(
             "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>14.2} {:>14.2}",
             row.bench.name(),
@@ -32,6 +34,10 @@ fn main() {
         );
     }
     println!();
-    println!("paper: type-2 up to 9.0% overall improvement (bayes); type-3 adds <0.5% over type-2;");
-    println!("       lock-free codes (wsq-mst, bayes) benefit most, low-density codes barely move.");
+    println!(
+        "paper: type-2 up to 9.0% overall improvement (bayes); type-3 adds <0.5% over type-2;"
+    );
+    println!(
+        "       lock-free codes (wsq-mst, bayes) benefit most, low-density codes barely move."
+    );
 }

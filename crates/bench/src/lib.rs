@@ -44,7 +44,12 @@ pub fn cli_scale() -> (usize, usize) {
 
 /// A simulator configuration scaled down from Table 2 to `cores` cores
 /// (the mesh shrinks accordingly; all latencies stay at paper values).
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
 pub fn config_for(cores: usize, atomicity: Atomicity) -> SimConfig {
+    assert!(cores >= 1, "need at least 1 core, got {cores}");
     let mut cfg = if cores == 32 {
         SimConfig::paper_table2()
     } else {

@@ -178,9 +178,10 @@ impl BloomFilter {
     }
 
     fn bit_index(&self, key: u64, hash_index: u32) -> usize {
-        (mix64(key ^ SEEDS[hash_index as usize % SEEDS.len()]
-            .wrapping_add(u64::from(hash_index).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-            % self.num_bits as u64) as usize
+        (mix64(
+            key ^ SEEDS[hash_index as usize % SEEDS.len()]
+                .wrapping_add(u64::from(hash_index).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ) % self.num_bits as u64) as usize
     }
 }
 
@@ -238,7 +239,10 @@ mod tests {
         assert_eq!(f.insertions(), 0);
         assert_eq!(f.count_ones(), 0);
         for k in 0..100 {
-            assert!(!f.maybe_contains(k), "after reset, {k} is definitely absent");
+            assert!(
+                !f.maybe_contains(k),
+                "after reset, {k} is definitely absent"
+            );
         }
     }
 
@@ -276,7 +280,10 @@ mod tests {
         assert!(rate < 0.02, "false positive rate too high: {rate}");
         // and consistent with theory within a loose factor
         let theory = f.theoretical_fpp(50);
-        assert!(rate < theory * 10.0 + 0.01, "rate {rate} vs theory {theory}");
+        assert!(
+            rate < theory * 10.0 + 0.01,
+            "rate {rate} vs theory {theory}"
+        );
     }
 
     #[test]

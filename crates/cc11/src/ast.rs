@@ -176,7 +176,10 @@ mod tests {
         assert_eq!(p.num_threads(), 2);
         assert_eq!(p.num_reads(), 2);
         assert!(!p.is_all_sc());
-        assert_eq!(p.thread(ThreadId(0))[0], CcInstr::Write(x, 1, MemOrder::SeqCst));
+        assert_eq!(
+            p.thread(ThreadId(0))[0],
+            CcInstr::Write(x, 1, MemOrder::SeqCst)
+        );
         assert_eq!(p.thread(ThreadId(0))[0].addr(), x);
         assert_eq!(p.thread(ThreadId(0))[1].order(), MemOrder::SeqCst);
         assert!(p.thread(ThreadId(0))[1].is_read());

@@ -135,12 +135,7 @@ pub fn compile(
         }
         out.add_thread(lowered);
     }
-    (
-        out,
-        ReadProjection {
-            source_read_slots,
-        },
-    )
+    (out, ReadProjection { source_read_slots })
 }
 
 #[cfg(test)]
@@ -180,7 +175,15 @@ mod tests {
         let rmws = p
             .iter()
             .flat_map(|(_, i)| i.iter())
-            .filter(|i| matches!(i, Instr::Rmw { kind: RmwKind::FetchAndAdd(0), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Rmw {
+                        kind: RmwKind::FetchAndAdd(0),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(rmws, 2);
         // writes stayed plain
@@ -199,7 +202,15 @@ mod tests {
         let xchgs = p
             .iter()
             .flat_map(|(_, i)| i.iter())
-            .filter(|i| matches!(i, Instr::Rmw { kind: RmwKind::Exchange(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Rmw {
+                        kind: RmwKind::Exchange(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(xchgs, 2);
         // TSO read order per thread: RMW-read (xchg), plain read.

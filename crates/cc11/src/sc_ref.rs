@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn single_thread_is_deterministic() {
         let mut b = CcProgramBuilder::new();
-        b.thread().sc_write(X, 3).sc_read(X).sc_write(X, 4).sc_read(X);
+        b.thread()
+            .sc_write(X, 3)
+            .sc_read(X)
+            .sc_write(X, 4)
+            .sc_read(X);
         let outs = sc_outcomes(&b.build());
         assert_eq!(outs, BTreeSet::from([vec![3, 4]]));
     }
@@ -120,9 +124,6 @@ mod tests {
         b.thread().sc_read(X).sc_read(X);
         let outs = sc_outcomes(&b.build());
         // Possible: (0,0), (0,1), (1,1) — never (1,0).
-        assert_eq!(
-            outs,
-            BTreeSet::from([vec![0, 0], vec![0, 1], vec![1, 1]])
-        );
+        assert_eq!(outs, BTreeSet::from([vec![0, 0], vec![0, 1], vec![1, 1]]));
     }
 }

@@ -291,7 +291,8 @@ impl CoherenceSystem {
         }
         self.stats.misses += 1;
         let home = self.home_of(line);
-        let mut t = now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
+        let mut t =
+            now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
         let mut from_memory = false;
 
         let owner = self.owner_of(line);
@@ -368,7 +369,8 @@ impl CoherenceSystem {
         }
         self.stats.misses += 1;
         let home = self.home_of(line);
-        let mut t = now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
+        let mut t =
+            now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
         let mut from_memory = false;
 
         // Data supply if we don't have a valid copy at all.
@@ -452,10 +454,7 @@ impl CoherenceSystem {
                 "directory lock requires a valid copy, have {state:?}"
             ),
         }
-        self.line_mut(line).lock = Some(LineLock {
-            holder: core,
-            kind,
-        });
+        self.line_mut(line).lock = Some(LineLock { holder: core, kind });
         Ok(())
     }
 
@@ -636,10 +635,7 @@ mod tests {
         s.lock(0, L, LockKind::Local).unwrap();
         // core 1 cannot even acquire permission, but test the lock API too:
         // pretend it had a stale valid state — lock() itself must refuse.
-        assert_eq!(
-            s.lock(1, L, LockKind::Directory),
-            Err(Denied::LockedBy(0))
-        );
+        assert_eq!(s.lock(1, L, LockKind::Directory), Err(Denied::LockedBy(0)));
     }
 
     #[test]
@@ -672,9 +668,8 @@ mod tests {
     #[test]
     fn home_distribution_covers_all_cores() {
         let s = sys();
-        let homes: std::collections::BTreeSet<usize> = (0..64u64)
-            .map(|i| s.home_of(CacheLine(i * 64)))
-            .collect();
+        let homes: std::collections::BTreeSet<usize> =
+            (0..64u64).map(|i| s.home_of(CacheLine(i * 64))).collect();
         assert_eq!(homes.len(), 4, "interleaving reaches every slice");
     }
 

@@ -114,8 +114,7 @@ impl Mesh {
     /// still pays one router traversal.
     pub fn latency(&self, a: usize, b: usize) -> Cycle {
         let hops = self.hops(a, b) as Cycle;
-        self.config.router_latency
-            + hops * (self.config.link_latency + self.config.router_latency)
+        self.config.router_latency + hops * (self.config.link_latency + self.config.router_latency)
     }
 
     /// Latency until *all* nodes have received a broadcast from `src`

@@ -168,8 +168,8 @@ pub fn cowr() -> Litmus {
     b.thread().write(X, 2);
     Litmus {
         name: "CoWR".into(),
-        description: "a writer's read of the same location cannot see values older than its own write"
-            .into(),
+        description:
+            "a writer's read of the same location cannot see values older than its own write".into(),
         program: b.build(),
         target: Target(vec![(0, 0)]),
         expect: Expect::Forbidden,

@@ -65,11 +65,7 @@ impl Target {
 
 impl core::fmt::Display for Target {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let parts: Vec<String> = self
-            .0
-            .iter()
-            .map(|(i, v)| format!("r{i}={v}"))
-            .collect();
+        let parts: Vec<String> = self.0.iter().map(|(i, v)| format!("r{i}={v}")).collect();
         f.write_str(&parts.join(" ∧ "))
     }
 }

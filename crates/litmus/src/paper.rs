@@ -60,12 +60,8 @@ pub fn dekker_read_replacement(atomicity: Atomicity) -> Litmus {
 /// Works for type-1 and type-2; **fails for type-3** (§2.5).
 pub fn dekker_write_replacement(atomicity: Atomicity) -> Litmus {
     let mut b = ProgramBuilder::new();
-    b.thread()
-        .rmw(X, RmwKind::TestAndSet, atomicity)
-        .read(Y);
-    b.thread()
-        .rmw(Y, RmwKind::TestAndSet, atomicity)
-        .read(X);
+    b.thread().rmw(X, RmwKind::TestAndSet, atomicity).read(Y);
+    b.thread().rmw(Y, RmwKind::TestAndSet, atomicity).read(X);
     // reads in (thread, po) order: Ra(x)=0, R(y)=1, Ra(y)=2, R(x)=3
     Litmus {
         name: format!("dekker-writes-replaced {atomicity}"),
@@ -153,9 +149,7 @@ pub fn fig10_write_deadlock(atomicity: Atomicity) -> Litmus {
 pub fn dekker_hybrid(atomicity: Atomicity) -> Litmus {
     let mut b = ProgramBuilder::new();
     // thread 0: write replaced
-    b.thread()
-        .rmw(X, RmwKind::TestAndSet, atomicity)
-        .read(Y);
+    b.thread().rmw(X, RmwKind::TestAndSet, atomicity).read(Y);
     // thread 1: read replaced
     b.thread()
         .write(Y, 1)
@@ -199,7 +193,10 @@ mod tests {
             "paper litmus failures: {:?}",
             failures
                 .iter()
-                .map(|f| format!("{} (expected {}, observed allowed={})", f.name, f.expect, f.observed_allowed))
+                .map(|f| format!(
+                    "{} (expected {}, observed allowed={})",
+                    f.name, f.expect, f.observed_allowed
+                ))
                 .collect::<Vec<_>>()
         );
     }

@@ -377,9 +377,21 @@ mod tests {
             (true, true, [true, true, true]),
         ];
         for (w, same, expect) in cases {
-            assert_eq!(Type1.forbids_between(w, same), expect[0], "type1 {w} {same}");
-            assert_eq!(Type2.forbids_between(w, same), expect[1], "type2 {w} {same}");
-            assert_eq!(Type3.forbids_between(w, same), expect[2], "type3 {w} {same}");
+            assert_eq!(
+                Type1.forbids_between(w, same),
+                expect[0],
+                "type1 {w} {same}"
+            );
+            assert_eq!(
+                Type2.forbids_between(w, same),
+                expect[1],
+                "type2 {w} {same}"
+            );
+            assert_eq!(
+                Type3.forbids_between(w, same),
+                expect[2],
+                "type3 {w} {same}"
+            );
         }
     }
 
@@ -398,7 +410,10 @@ mod tests {
         assert_eq!(RmwKind::FetchAndAdd(0).apply(9), 9);
         assert_eq!(RmwKind::FetchAndAdd(1).apply(u64::MAX), 0, "wrapping add");
         assert_eq!(RmwKind::Exchange(4).apply(0), 4);
-        let cas = RmwKind::CompareAndSwap { expected: 3, new: 5 };
+        let cas = RmwKind::CompareAndSwap {
+            expected: 3,
+            new: 5,
+        };
         assert_eq!(cas.apply(3), 5);
         assert_eq!(cas.apply(4), 4);
         assert!(cas.is_conditional());
@@ -428,7 +443,11 @@ mod tests {
         }
         assert_eq!(RmwKind::FetchAndAdd(0).to_string(), "FAA(0)");
         assert_eq!(
-            RmwKind::CompareAndSwap { expected: 0, new: 1 }.to_string(),
+            RmwKind::CompareAndSwap {
+                expected: 0,
+                new: 1
+            }
+            .to_string(),
             "CAS(0,1)"
         );
     }

@@ -139,7 +139,11 @@ mod tests {
             tid: tid.map(ThreadId),
             po_index: 0,
             kind,
-            addr: if kind == EventKind::Fence { None } else { Some(Addr(0)) },
+            addr: if kind == EventKind::Fence {
+                None
+            } else {
+                Some(Addr(0))
+            },
             rmw,
             write_value: None,
         }

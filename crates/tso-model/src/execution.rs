@@ -360,10 +360,7 @@ fn build_events(program: &Program) -> Vec<Event> {
 /// when the assignment is circular (an RMW's value depending on itself
 /// through `rf` without a fixed point — such candidates are discarded; they
 /// are also rejected by the acyclicity check).
-fn resolve_values(
-    events: &[Event],
-    rf: &BTreeMap<EventId, EventId>,
-) -> Option<Vec<Value>> {
+fn resolve_values(events: &[Event], rf: &BTreeMap<EventId, EventId>) -> Option<Vec<Value>> {
     #[derive(Clone, Copy, PartialEq)]
     enum St {
         Unvisited,
@@ -444,7 +441,11 @@ fn resolve_values(
 /// the intended scale.
 pub fn enumerate_candidates(program: &Program) -> Vec<CandidateExecution> {
     let events = build_events(program);
-    let reads: Vec<EventId> = events.iter().filter(|e| e.is_read()).map(|e| e.id).collect();
+    let reads: Vec<EventId> = events
+        .iter()
+        .filter(|e| e.is_read())
+        .map(|e| e.id)
+        .collect();
 
     // Candidate rf sources per read: writes to the same address, except the
     // read's own RMW write half ("Ra reads an earlier value, not Wa's").
@@ -603,10 +604,7 @@ mod tests {
         assert_eq!(halves.len(), 2);
         assert_eq!(halves[0].kind, EventKind::Read);
         assert_eq!(halves[1].kind, EventKind::Write);
-        assert_eq!(
-            halves[0].rmw.unwrap().rmw_id,
-            halves[1].rmw.unwrap().rmw_id
-        );
+        assert_eq!(halves[0].rmw.unwrap().rmw_id, halves[1].rmw.unwrap().rmw_id);
         assert!(halves[0].po_index < halves[1].po_index);
     }
 
@@ -634,8 +632,10 @@ mod tests {
         // Two FAA(1) on x: if the second reads from the first's write, it
         // must see 1 and write 2.
         let mut b = ProgramBuilder::new();
-        b.thread().rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
-        b.thread().rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
+        b.thread()
+            .rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
+        b.thread()
+            .rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
         let p = b.build();
         let cands = enumerate_candidates(&p);
         let chained: Vec<&CandidateExecution> = cands
@@ -653,8 +653,10 @@ mod tests {
         // RMW1 reads from RMW2's write and vice versa: circular value
         // dependency, dropped during enumeration.
         let mut b = ProgramBuilder::new();
-        b.thread().rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
-        b.thread().rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
+        b.thread()
+            .rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
+        b.thread()
+            .rmw(Addr(0), RmwKind::FetchAndAdd(1), Atomicity::Type1);
         let p = b.build();
         let cands = enumerate_candidates(&p);
         // each RMW read has 2 candidate sources (init, other's Wa); the
@@ -713,7 +715,10 @@ mod tests {
             .unwrap()
             .id;
         let r = c.events().iter().find(|e| e.is_read()).unwrap().id;
-        assert!(bar.has_edge(w.index(), r.index()), "fence must order W before R");
+        assert!(
+            bar.has_edge(w.index(), r.index()),
+            "fence must order W before R"
+        );
     }
 
     #[test]

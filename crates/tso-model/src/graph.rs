@@ -41,14 +41,22 @@ impl DiGraph {
     /// Panics if `u` or `v` is out of range.
     #[inline]
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range {}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range {}",
+            self.n
+        );
         self.rows[u * self.words_per_row + v / 64] |= 1u64 << (v % 64);
     }
 
     /// Removes edge `u → v` (no-op if absent).
     #[inline]
     pub fn remove_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range {}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range {}",
+            self.n
+        );
         self.rows[u * self.words_per_row + v / 64] &= !(1u64 << (v % 64));
     }
 

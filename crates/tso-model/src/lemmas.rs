@@ -87,11 +87,7 @@ fn all_solutions_exist(exec: &CandidateExecution, mut base: DiGraph) -> Vec<DiGr
                 .atomicity
                 .forbids_between(e.is_write(), e.addr == ra_addr)
             {
-                disjuncts.push(D {
-                    m: e.id,
-                    ra,
-                    wa,
-                });
+                disjuncts.push(D { m: e.id, ra, wa });
             }
         }
     }

@@ -10,7 +10,8 @@
 //! * TSO's preserved program order `ppo` keeps all of `po` except W→R;
 //!   `bar` relates operations separated by a fence;
 //! * each RMW contributes *atomicity-induced* ordering obligations `ato`:
-//!   for every event `M` whose shape its [`Atomicity`] forbids between the
+//!   for every event `M` whose shape its [`Atomicity`](rmw_types::Atomicity)
+//!   forbids between the
 //!   RMW's read `Ra` and write `Wa`, either `M →ghb Ra` or `Wa →ghb M`;
 //! * a candidate is **valid** iff `com ∪ ppo ∪ bar ∪ ato` can be made
 //!   acyclic by some choice of the `ato` disjuncts, and the `uniproc`
@@ -51,7 +52,7 @@ pub mod program;
 pub mod validity;
 
 pub use event::{Event, EventId, EventKind, RmwHalf};
-pub use execution::{CandidateExecution, enumerate_candidates};
+pub use execution::{enumerate_candidates, CandidateExecution};
 pub use graph::DiGraph;
 pub use outcome::{allowed_outcomes, outcome_allowed, Outcome};
 pub use program::{Instr, Program, ProgramBuilder, ThreadBuilder};

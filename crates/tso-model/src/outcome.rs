@@ -140,7 +140,10 @@ mod tests {
             assert!(!outs.is_empty());
             for o in &outs {
                 let winners = o.read_values().iter().filter(|&&v| v == 0).count();
-                assert_eq!(winners, 1, "{atomicity}: exactly one TAS must win, got {o:?}");
+                assert_eq!(
+                    winners, 1,
+                    "{atomicity}: exactly one TAS must win, got {o:?}"
+                );
             }
         }
     }

@@ -96,11 +96,7 @@ pub fn check_validity(exec: &CandidateExecution) -> Validity {
             }
             let same_addr = e.addr == ra_addr;
             if link.atomicity.forbids_between(e.is_write(), same_addr) {
-                disjuncts.push(Disjunct {
-                    m: e.id,
-                    ra,
-                    wa,
-                });
+                disjuncts.push(Disjunct { m: e.id, ra, wa });
             }
         }
     }

@@ -272,7 +272,13 @@ impl Core {
         for i in 0..issue_count {
             let (line, addr, value, accepted, request_arrives) = {
                 let e = &self.wb[i];
-                (e.line, e.addr, e.value, e.issued_done.is_some(), e.request_arrives)
+                (
+                    e.line,
+                    e.addr,
+                    e.value,
+                    e.issued_done.is_some(),
+                    e.request_arrives,
+                )
             };
             if accepted {
                 continue;
@@ -311,10 +317,8 @@ impl Core {
                     // keep it locked across both, whether the successor's
                     // Wa is already buffered or its RMW is still in flight
                     // holding the lock (Finish phase).
-                    let later_wa_same_line = self
-                        .wb
-                        .iter()
-                        .any(|w| w.unlock_on_pop && w.line == e.line);
+                    let later_wa_same_line =
+                        self.wb.iter().any(|w| w.unlock_on_pop && w.line == e.line);
                     let in_flight_same_line = self.rmw.is_some_and(|r| {
                         r.line == e.line && matches!(r.phase, RmwPhase::Finish { .. })
                     });
@@ -394,8 +398,8 @@ impl Core {
                 }
             }
             RmwPhase::Acquire => {
-                let use_read_permission = config.rmw_atomicity == Atomicity::Type3
-                    && config.directory_locking;
+                let use_read_permission =
+                    config.rmw_atomicity == Atomicity::Type3 && config.directory_locking;
                 let acquired = if use_read_permission {
                     match shared.coherence.read(self.id, rmw.line, now) {
                         Ok(acc) => {
@@ -414,11 +418,12 @@ impl Core {
                     }
                 } else {
                     match shared.coherence.write(self.id, rmw.line, now) {
-                        Ok(acc) => match shared.coherence.lock(self.id, rmw.line, LockKind::Local)
-                        {
-                            Ok(()) => Some(acc.done_at),
-                            Err(_) => None,
-                        },
+                        Ok(acc) => {
+                            match shared.coherence.lock(self.id, rmw.line, LockKind::Local) {
+                                Ok(()) => Some(acc.done_at),
+                                Err(_) => None,
+                            }
+                        }
                         Err(_) => None,
                     }
                 };

@@ -89,8 +89,7 @@ impl Machine {
             if self.cores.iter().all(Core::done) {
                 return self.finish(false, bloom_resets);
             }
-            if self.now.saturating_sub(self.shared.last_progress) > self.config.deadlock_threshold
-            {
+            if self.now.saturating_sub(self.shared.last_progress) > self.config.deadlock_threshold {
                 return self.finish(true, bloom_resets);
             }
 
@@ -241,7 +240,10 @@ mod tests {
         ]);
         let r = Machine::new(cfg, vec![t]).run();
         assert_eq!(r.stats.rmw_drains, 1);
-        assert!(r.stats.rmw_cost.write_buffer_cycles > 0, "drain on critical path");
+        assert!(
+            r.stats.rmw_cost.write_buffer_cycles > 0,
+            "drain on critical path"
+        );
     }
 
     #[test]
@@ -284,8 +286,8 @@ mod tests {
         let mut cfg = SimConfig::small(1);
         cfg.rmw_atomicity = Atomicity::Type2;
         let t = Trace::new(vec![
-            Op::rmw(addr(0)),      // Wa(0) pending, line 0 locked by us
-            Op::rmw(addr(1)),      // back-to-back: must not drain
+            Op::rmw(addr(0)), // Wa(0) pending, line 0 locked by us
+            Op::rmw(addr(1)), // back-to-back: must not drain
         ]);
         let r = Machine::new(cfg, vec![t]).run();
         assert!(!r.deadlocked);
@@ -340,8 +342,14 @@ mod tests {
             "without the filter the cross-locked RMWs must write-deadlock"
         );
         let safe_run = mk(true);
-        assert!(!safe_run.deadlocked, "the addr-list check prevents the deadlock");
-        assert!(safe_run.stats.rmw_drains >= 1, "at least one RMW reverted to a drain");
+        assert!(
+            !safe_run.deadlocked,
+            "the addr-list check prevents the deadlock"
+        );
+        assert!(
+            safe_run.stats.rmw_drains >= 1,
+            "at least one RMW reverted to a drain"
+        );
     }
 
     #[test]
@@ -418,10 +426,7 @@ mod tests {
             "fence after type-1 RMW should be nearly free, got ×{t1_delta:.2}"
         );
         assert!(t2_plain < t1_plain, "type-2 beats type-1");
-        assert!(
-            t2_fenced > t2_plain,
-            "fencing erodes type-2's advantage"
-        );
+        assert!(t2_fenced > t2_plain, "fencing erodes type-2's advantage");
     }
 
     #[test]

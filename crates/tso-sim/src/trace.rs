@@ -86,10 +86,7 @@ impl Trace {
 
     /// Number of RMWs.
     pub fn rmws(&self) -> usize {
-        self.ops
-            .iter()
-            .filter(|o| matches!(o, Op::Rmw(..)))
-            .count()
+        self.ops.iter().filter(|o| matches!(o, Op::Rmw(..))).count()
     }
 }
 

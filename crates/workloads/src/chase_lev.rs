@@ -122,13 +122,19 @@ pub fn generate(
                 // Claim CAS: one RMW per node — the uniqueness driver.
                 b.push(Op::Rmw(
                     claim_of(neighbor, claim_pool, num_cores),
-                    RmwKind::CompareAndSwap { expected: 0, new: 1 },
+                    RmwKind::CompareAndSwap {
+                        expected: 0,
+                        new: 1,
+                    },
                 ));
                 claimed.push(neighbor);
             }
             for neighbor in claimed {
                 // Record the spanning-tree parent and push the task.
-                b.push(Op::Write(layout::shared(neighbor % p.shared_lines), node + 1));
+                b.push(Op::Write(
+                    layout::shared(neighbor % p.shared_lines),
+                    node + 1,
+                ));
                 deques[core].push_back(neighbor);
                 b.push(Op::Write(bottom_of(core), deques[core].len() as u64));
             }
@@ -167,7 +173,10 @@ fn emit_steal(b: &mut TraceBuilder, victim: usize) {
     b.push(Op::Read(bottom_of(victim)));
     b.push(Op::Rmw(
         top_of(victim),
-        RmwKind::CompareAndSwap { expected: 0, new: 1 },
+        RmwKind::CompareAndSwap {
+            expected: 0,
+            new: 1,
+        },
     ));
 }
 

@@ -109,7 +109,12 @@ impl core::fmt::Display for Benchmark {
 
 /// Generates per-core traces for `bench` with roughly `memops_per_core`
 /// memory operations each. Deterministic in `seed`.
-pub fn benchmark(bench: Benchmark, num_cores: usize, memops_per_core: usize, seed: u64) -> Vec<Trace> {
+pub fn benchmark(
+    bench: Benchmark,
+    num_cores: usize,
+    memops_per_core: usize,
+    seed: u64,
+) -> Vec<Trace> {
     let p = bench.profile();
     match p.idiom {
         Idiom::Lock => spinlock::generate(&p, num_cores, memops_per_core, seed),

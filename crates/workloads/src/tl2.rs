@@ -67,13 +67,22 @@ pub fn generate(p: &Profile, num_cores: usize, memops_per_core: usize, seed: u64
                 }
                 // Commit: acquire version locks.
                 for &v in &write_set {
-                    b.push(Op::Rmw(layout::sync_var(VLOCK_BASE + v), RmwKind::TestAndSet));
+                    b.push(Op::Rmw(
+                        layout::sync_var(VLOCK_BASE + v),
+                        RmwKind::TestAndSet,
+                    ));
                 }
                 // Advance the global version clock.
-                b.push(Op::Rmw(layout::sync_var(GLOBAL_CLOCK), RmwKind::FetchAndAdd(1)));
+                b.push(Op::Rmw(
+                    layout::sync_var(GLOBAL_CLOCK),
+                    RmwKind::FetchAndAdd(1),
+                ));
                 // Write back and release (release stores the new version).
                 for &v in &write_set {
-                    b.push(Op::Write(layout::shared(v % p.shared_lines), rng.gen_range(1..100)));
+                    b.push(Op::Write(
+                        layout::shared(v % p.shared_lines),
+                        rng.gen_range(1..100),
+                    ));
                     b.push(Op::Write(layout::sync_var(VLOCK_BASE + v), 0));
                 }
                 b.fill_to_density(p, &mut rng);

@@ -8,8 +8,14 @@ use fast_rmw_tso::cc11::{verify::corpus, verify_mapping, Mapping};
 use fast_rmw_tso::rmw_types::Atomicity;
 
 fn main() {
-    println!("C/C++11 mapping soundness (model-checked on {} programs)\n", corpus().len());
-    println!("{:<22} {:>8} {:>8} {:>8}", "mapping", "type-1", "type-2", "type-3");
+    println!(
+        "C/C++11 mapping soundness (model-checked on {} programs)\n",
+        corpus().len()
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "mapping", "type-1", "type-2", "type-3"
+    );
     for mapping in Mapping::ALL {
         let mut row = format!("{mapping:<22}");
         for atomicity in Atomicity::ALL {

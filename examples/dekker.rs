@@ -23,10 +23,22 @@ fn main() {
     println!("  plain Dekker on TSO: {}\n", verdict(&plain));
 
     let scenarios: [(&str, fn(Atomicity) -> Litmus); 4] = [
-        ("Fig 4: reads replaced by RMWs", paper::dekker_read_replacement),
-        ("Fig 3: writes replaced by RMWs", paper::dekker_write_replacement),
-        ("Fig 5: RMWs as barriers (different addresses)", paper::dekker_rmw_barriers_diff_addr),
-        ("Fig 8: RMWs as barriers (same address)", paper::dekker_rmw_barriers_same_addr),
+        (
+            "Fig 4: reads replaced by RMWs",
+            paper::dekker_read_replacement,
+        ),
+        (
+            "Fig 3: writes replaced by RMWs",
+            paper::dekker_write_replacement,
+        ),
+        (
+            "Fig 5: RMWs as barriers (different addresses)",
+            paper::dekker_rmw_barriers_diff_addr,
+        ),
+        (
+            "Fig 8: RMWs as barriers (same address)",
+            paper::dekker_rmw_barriers_same_addr,
+        ),
     ];
     for (title, mk) in scenarios {
         println!("{title}");

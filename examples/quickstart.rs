@@ -20,14 +20,24 @@ fn main() {
     b.thread().write(x, 1).read(y);
     b.thread().write(y, 1).read(x);
     let sb = b.build();
-    println!("SB 0/0 allowed on TSO?            {}", outcome_allowed(&sb, |r| r == [0, 0]));
+    println!(
+        "SB 0/0 allowed on TSO?            {}",
+        outcome_allowed(&sb, |r| r == [0, 0])
+    );
 
     // ...but replacing the reads with type-3 RMWs forbids it (Fig. 4).
     let mut b = ProgramBuilder::new();
-    b.thread().write(x, 1).rmw(y, RmwKind::FetchAndAdd(0), Atomicity::Type3);
-    b.thread().write(y, 1).rmw(x, RmwKind::FetchAndAdd(0), Atomicity::Type3);
+    b.thread()
+        .write(x, 1)
+        .rmw(y, RmwKind::FetchAndAdd(0), Atomicity::Type3);
+    b.thread()
+        .write(y, 1)
+        .rmw(x, RmwKind::FetchAndAdd(0), Atomicity::Type3);
     let dekker = b.build();
-    println!("Dekker-rr 0/0 allowed (type-3)?   {}", outcome_allowed(&dekker, |r| r == [0, 0]));
+    println!(
+        "Dekker-rr 0/0 allowed (type-3)?   {}",
+        outcome_allowed(&dekker, |r| r == [0, 0])
+    );
 
     // --- 2. C/C++11 mapping verification ---------------------------------
     let mut b = CcProgramBuilder::new();

@@ -20,7 +20,12 @@ fn main() {
     println!("Table 1: Conventional RMW (type-1) vs proposed RMWs (type-2, type-3)\n");
     println!(
         "{:<10} {:>14} {:>15} {:>12} {:>16} {:>17}",
-        "Atomicity", "Dekker reads", "Dekker writes", "RMWs as", "C/C++11 SC-reads", "C/C++11 SC-writes"
+        "Atomicity",
+        "Dekker reads",
+        "Dekker writes",
+        "RMWs as",
+        "C/C++11 SC-reads",
+        "C/C++11 SC-writes"
     );
     println!(
         "{:<10} {:>14} {:>15} {:>12} {:>16} {:>17}",
@@ -59,8 +64,12 @@ fn main() {
                 row.dekker_reads,
                 row.dekker_writes,
                 row.rmws_as_barriers,
-                corpus().iter().all(|(_, p)| verify_mapping(p, Mapping::Read, *a).is_ok()),
-                corpus().iter().all(|(_, p)| verify_mapping(p, Mapping::Write, *a).is_ok()),
+                corpus()
+                    .iter()
+                    .all(|(_, p)| verify_mapping(p, Mapping::Read, *a).is_ok()),
+                corpus()
+                    .iter()
+                    .all(|(_, p)| verify_mapping(p, Mapping::Write, *a).is_ok()),
             ],
             *e,
             "{a} row deviates from the paper"

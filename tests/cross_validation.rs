@@ -72,9 +72,7 @@ fn check(program: &Program, name: &str) {
         assert!(
             allowed.iter().any(|o| {
                 o.read_values() == sim_reads
-                    && o.final_memory()
-                        .iter()
-                        .all(|(&a, &v)| sim_mem_of(a) == v)
+                    && o.final_memory().iter().all(|(&a, &v)| sim_mem_of(a) == v)
             }),
             "{name} ({atomicity}): final memory disagrees with every matching model outcome"
         );
@@ -124,8 +122,12 @@ fn dekker_read_replacement() {
 #[test]
 fn dekker_write_replacement() {
     let mut b = ProgramBuilder::new();
-    b.thread().rmw(X, RmwKind::TestAndSet, Atomicity::Type1).read(Y);
-    b.thread().rmw(Y, RmwKind::TestAndSet, Atomicity::Type1).read(X);
+    b.thread()
+        .rmw(X, RmwKind::TestAndSet, Atomicity::Type1)
+        .read(Y);
+    b.thread()
+        .rmw(Y, RmwKind::TestAndSet, Atomicity::Type1)
+        .read(X);
     check(&b.build(), "dekker-wr");
 }
 
@@ -146,7 +148,9 @@ fn mixed_fence_rmw_three_threads() {
     b.thread()
         .rmw(Y, RmwKind::Exchange(7), Atomicity::Type1)
         .read(Z);
-    b.thread().write(Z, 2).rmw(X, RmwKind::TestAndSet, Atomicity::Type1);
+    b.thread()
+        .write(Z, 2)
+        .rmw(X, RmwKind::TestAndSet, Atomicity::Type1);
     check(&b.build(), "mixed3");
 }
 
@@ -173,12 +177,18 @@ fn cas_success_and_failure() {
     let mut b = ProgramBuilder::new();
     b.thread().rmw(
         X,
-        RmwKind::CompareAndSwap { expected: 0, new: 5 },
+        RmwKind::CompareAndSwap {
+            expected: 0,
+            new: 5,
+        },
         Atomicity::Type1,
     );
     b.thread().rmw(
         X,
-        RmwKind::CompareAndSwap { expected: 0, new: 9 },
+        RmwKind::CompareAndSwap {
+            expected: 0,
+            new: 9,
+        },
         Atomicity::Type1,
     );
     check(&b.build(), "cas-race");

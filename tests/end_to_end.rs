@@ -43,9 +43,7 @@ fn type1_cost_is_drain_dominated() {
     let mut shares = Vec::new();
     for bench in Benchmark::ALL {
         let r = run(bench, Atomicity::Type1, 4, 4_000);
-        shares.push(
-            r.stats.rmw_cost.write_buffer_cycles as f64 / r.stats.rmw_cost.total() as f64,
-        );
+        shares.push(r.stats.rmw_cost.write_buffer_cycles as f64 / r.stats.rmw_cost.total() as f64);
     }
     let avg = shares.iter().sum::<f64>() / shares.len() as f64;
     assert!(
@@ -75,7 +73,10 @@ fn broadcast_rate_tracks_uniqueness() {
         let r = run(bench, Atomicity::Type2, 4, 4_000);
         let b = r.stats.broadcasts_per_100();
         let u = r.stats.pct_unique_rmws();
-        assert!(b <= u * 4.0 + 1.5, "{bench}: broadcasts {b:.2} ≫ unique {u:.2}");
+        assert!(
+            b <= u * 4.0 + 1.5,
+            "{bench}: broadcasts {b:.2} ≫ unique {u:.2}"
+        );
         assert!(b < 10.0, "{bench}: broadcast rate {b:.2} too high");
     }
 }
@@ -117,7 +118,10 @@ fn fence_after_rmw_hypothesis() {
     };
     let t1_delta = cycles(Atomicity::Type1, true) / cycles(Atomicity::Type1, false);
     let t2_delta = cycles(Atomicity::Type2, true) / cycles(Atomicity::Type2, false);
-    assert!(t1_delta < 1.10, "fence after type-1 RMW should be ~free: ×{t1_delta:.3}");
+    assert!(
+        t1_delta < 1.10,
+        "fence after type-1 RMW should be ~free: ×{t1_delta:.3}"
+    );
     assert!(
         t2_delta > t1_delta,
         "fence must hurt type-2 ({t2_delta:.3}) more than type-1 ({t1_delta:.3})"

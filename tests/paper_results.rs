@@ -87,7 +87,12 @@ fn lemma_results_visible_across_crates() {
     b.thread().write(Addr(1), 1);
     let p = b.build();
     for c in valid_candidates(&p) {
-        let w1 = c.events().iter().find(|e| !e.is_init() && e.is_write() && e.rmw.is_none()).unwrap().id;
+        let w1 = c
+            .events()
+            .iter()
+            .find(|e| !e.is_init() && e.is_write() && e.rmw.is_none())
+            .unwrap()
+            .id;
         let r2 = c
             .events()
             .iter()

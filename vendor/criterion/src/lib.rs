@@ -1,0 +1,277 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds hermetically (no registry access), so the criterion
+//! API surface used by `crates/bench/benches/` is provided here: groups,
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then runs timed batches until the configured measurement budget is
+//! spent, and reports the mean wall-clock time per iteration. There are no
+//! statistics, plots, or baselines — enough to spot order-of-magnitude
+//! regressions and to keep `cargo bench` meaningful without the real crate.
+//! Passing `--test` (as `cargo test --benches` does) runs each benchmark
+//! once, as a smoke check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state, passed to every `criterion_group!` function.
+pub struct Criterion {
+    /// Smoke mode: run each benchmark body exactly once, skip measurement.
+    test_mode: bool,
+    /// Substring filter from the command line (`cargo bench -- <filter>`):
+    /// only benchmarks whose full name contains it are run.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// A named benchmark within a group, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function_name, self.parameter)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the total measurement wall-clock per benchmark. The stand-in
+    /// clamps this to one second to keep `cargo bench` runs short.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Caps warm-up wall-clock per benchmark (clamped likewise).
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time.min(Duration::from_millis(100));
+        self
+    }
+
+    /// Sets the number of timed samples taken within the budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            mean_ns: None,
+        };
+        f(&mut bencher);
+        bencher.report(&full_name);
+        self
+    }
+
+    /// Measures a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting happens per-benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean nanoseconds per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: also sizes the timed batches so each sample is long
+        // enough for the clock to resolve (~1ms), without overshooting the
+        // measurement budget on slow routines.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || calls == 0 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / calls as f64;
+        let batch = ((1_000_000.0 / per_call.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut total_calls = 0u64;
+        let mut samples = 0usize;
+        while samples < self.sample_size && start.elapsed() < budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_calls += batch;
+            samples += 1;
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / total_calls as f64);
+    }
+
+    fn report(&self, name: &str) {
+        match self.mean_ns {
+            Some(ns) => println!("{name:<60} time: [{}]", format_ns(ns)),
+            None if self.test_mode => println!("{name:<60} (smoke ok)"),
+            None => println!("{name:<60} (no measurement taken)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a single group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_renders_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(12_000_000_000.0).contains("s/iter"));
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            test_mode: false,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            sample_size: 3,
+            mean_ns: None,
+        };
+        b.iter(|| black_box(1u64).wrapping_mul(3));
+        assert!(b.mean_ns.is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This workspace builds hermetically (no registry access), so the subset of
+//! proptest used by the property suites is reimplemented here:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, range / tuple /
+//!   [`strategy::Just`] / [`collection::vec()`] / weighted-union strategies
+//!   and [`strategy::any`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assume!`] macros;
+//! * [`test_runner::ProptestConfig`] with per-block `with_cases`.
+//!
+//! Semantics differences from real proptest, deliberately accepted:
+//! inputs are drawn from a deterministic per-test RNG (seeded from the test
+//! name, so every run explores the same cases), failing cases are **not
+//! shrunk**, and `prop_assert*` panics like `assert*` instead of returning
+//! a `TestCaseResult`. Each `#[test]` still runs `cases` generated inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Value-generation strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specification for [`vec()`]: a sub-range of possible lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.hi_exclusive - self.lo) as u64;
+            self.lo + (rng.next_u64() % span) as usize
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy, with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    /// Alias of the crate root, as real proptest's prelude provides.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::from_name("ranges_and_maps");
+        let s = (1u64..5).prop_map(|v| v * 10);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!([10, 20, 30, 40].contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_weight() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof![
+            1 => Just(1u8),
+            0 => Just(2u8),
+        ];
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng), 1u8);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::from_name("vec_size");
+        let s = crate::collection::vec(0u64..3, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The proptest! macro itself: arguments bind, assume filters, and
+        /// tuple strategies compose.
+        #[test]
+        fn macro_smoke(a in 0u32..10, (lo, hi) in (0u64..5, 5u64..10)) {
+            prop_assume!(a != 3);
+            prop_assert!(a < 10 && lo < hi);
+            prop_assert_eq!(hi - hi, 0);
+        }
+    }
+}
