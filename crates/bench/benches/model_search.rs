@@ -1,0 +1,77 @@
+//! Criterion bench of the model-search engines: the streaming pruned
+//! search (`tso_model::search`) against the legacy materializing
+//! enumeration, on the shared `dekker_variant` scaling shapes and the
+//! litmus corpora. `model_scaling` (the experiment binary) records the
+//! same comparison into `BENCH_model.json`; this bench is the
+//! regression-catching view (`cargo bench --bench model_search`).
+
+use bench::model_shapes::dekker_variant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use std::time::Duration;
+use tso_model::{
+    check_validity, enumerate_candidates, for_each_valid_execution, outcome_allowed, Program,
+};
+
+/// Counts valid executions through the streaming engine.
+fn streaming_count(p: &Program) -> u64 {
+    for_each_valid_execution(p, |_| ControlFlow::Continue(())).valid
+}
+
+/// Counts valid executions by materializing and filtering (legacy).
+fn legacy_count(p: &Program) -> usize {
+    enumerate_candidates(p)
+        .iter()
+        .filter(|c| check_validity(c).is_valid())
+        .count()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_search");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(10);
+    // Shared shapes: small enough for the legacy enumerator, large enough
+    // that pruning matters (see model_scaling / BENCH_model.json).
+    for (n, r) in [(2usize, 2usize), (3, 2), (2, 3)] {
+        let p = dekker_variant(n, r);
+        group.bench_with_input(
+            BenchmarkId::new("streaming", format!("n{n}r{r}")),
+            &p,
+            |b, p| b.iter(|| streaming_count(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("legacy", format!("n{n}r{r}")),
+            &p,
+            |b, p| b.iter(|| legacy_count(p)),
+        );
+    }
+    // Streaming-only: the legacy enumerator cannot hold this shape.
+    let big = dekker_variant(3, 3);
+    group.bench_function("streaming/n3r3", |b| b.iter(|| streaming_count(&big)));
+    group.finish();
+}
+
+fn bench_early_exit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_search_early_exit");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(100));
+    group.sample_size(10);
+    // Allowed outcome: the search stops at the first witness.
+    let p = dekker_variant(2, 3);
+    group.bench_function("allowed_witness", |b| {
+        b.iter(|| {
+            assert!(outcome_allowed(&p, |rv| rv.iter().all(|&v| v == 0)));
+        })
+    });
+    // Forbidden outcome: the search must exhaust the (pruned) space.
+    group.bench_function("forbidden_exhaust", |b| {
+        b.iter(|| {
+            assert!(!outcome_allowed(&p, |rv| rv.iter().all(|&v| v == 9)));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_early_exit);
+criterion_main!(benches);

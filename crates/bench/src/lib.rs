@@ -107,6 +107,52 @@ pub fn f(v: f64) -> String {
     format!("{v:8.2}")
 }
 
+/// Model-search scaling shapes shared by the `model_search` criterion bench
+/// and the `model_scaling` experiment binary (`BENCH_model.json`).
+pub mod model_shapes {
+    use rmw_types::Addr;
+    use tso_model::{Program, ProgramBuilder};
+
+    /// An `n`-thread, `rounds`-round Dekker variant: thread `i` alternates
+    /// `W(x_i, k); R(x_{i+1 mod n})` for `k = 1..=rounds`.
+    ///
+    /// One round of two threads is the classic store-buffering (SB) core of
+    /// Dekker's algorithm; more rounds multiply both the writes per
+    /// location (`ws` permutations: `rounds!` per location) and the reads
+    /// (`rf` choices: `(rounds+1)` per read), so the *candidate* space the
+    /// legacy enumerator materializes grows as
+    /// `(rounds+1)^(n·rounds) · (rounds!)^n` while the valid executions —
+    /// per-thread coherent read sequences — stay rare. This is the shape
+    /// family the streaming engine's pruning is measured on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1` or `rounds < 1`.
+    pub fn dekker_variant(n: usize, rounds: usize) -> Program {
+        assert!(n >= 1 && rounds >= 1, "need at least 1 thread and 1 round");
+        let mut b = ProgramBuilder::new();
+        for i in 0..n {
+            let mine = Addr(i as u64);
+            let other = Addr(((i + 1) % n) as u64);
+            let mut t = b.thread();
+            for k in 1..=rounds {
+                t.write(mine, k as u64).read(other);
+            }
+        }
+        b.build()
+    }
+
+    /// Number of candidate executions the legacy enumerator would
+    /// materialize for [`dekker_variant`]`(n, rounds)` (before dropping
+    /// circular values — an upper bound that is exact for this family,
+    /// which has no RMWs).
+    pub fn dekker_variant_candidates(n: usize, rounds: usize) -> f64 {
+        let rf: f64 = ((rounds + 1) as f64).powi((n * rounds) as i32);
+        let fact: f64 = (1..=rounds).product::<usize>() as f64;
+        rf * fact.powi(n as i32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,16 +2,21 @@
 //!
 //! For an all-SC source program, correctness of a mapping means: every
 //! behaviour the TSO model allows for the compiled program is an SC
-//! behaviour of the source. [`verify_mapping`] decides this by exhaustive
-//! enumeration on both sides; on failure it returns the offending outcome
-//! as a [`CounterExample`].
+//! behaviour of the source. [`verify_mapping`] decides this by *streaming*
+//! the compiled program's valid TSO executions out of the pruned search
+//! engine ([`tso_model::for_each_valid_execution`]) and projecting each
+//! onto the source reads — stopping at the first non-SC behaviour, which
+//! it returns as a [`CounterExample`]. Nothing on the TSO side is
+//! materialized, which is what lets the soundness sweeps cover programs
+//! whose candidate spaces the legacy enumerator could not hold in memory.
 
 use crate::ast::CcProgram;
 use crate::mapping::{compile, Mapping};
 use crate::sc_ref::sc_outcomes;
 use rmw_types::{Atomicity, Value};
 use std::collections::BTreeSet;
-use tso_model::allowed_outcomes;
+use std::ops::ControlFlow;
+use tso_model::for_each_valid_execution;
 
 /// A TSO-allowed behaviour that is not sequentially consistent — evidence
 /// that a mapping is unsound.
@@ -56,17 +61,24 @@ pub fn verify_mapping(
     );
     let sc: BTreeSet<Vec<Value>> = sc_outcomes(prog);
     let (tso_prog, projection) = compile(prog, mapping, atomicity);
-    for outcome in allowed_outcomes(&tso_prog) {
-        let src = projection.project(&outcome.read_values());
-        if !sc.contains(&src) {
-            return Err(CounterExample {
-                mapping,
-                atomicity,
-                source_reads: src,
-            });
+    let mut violation: Option<Vec<Value>> = None;
+    for_each_valid_execution(&tso_prog, |exec| {
+        let src = projection.project(&exec.read_values());
+        if sc.contains(&src) {
+            ControlFlow::Continue(())
+        } else {
+            violation = Some(src);
+            ControlFlow::Break(())
         }
+    });
+    match violation {
+        Some(source_reads) => Err(CounterExample {
+            mapping,
+            atomicity,
+            source_reads,
+        }),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// The verification corpus: small all-SC programs exercising the shapes the

@@ -101,6 +101,12 @@ pub struct CheckResult {
 
 impl Litmus {
     /// Runs the axiomatic model and compares against the expectation.
+    ///
+    /// The verdict is computed on the streaming, pruned search engine:
+    /// [`outcome_allowed`] walks valid executions incrementally and exits
+    /// at the first one matching the target, so `Allowed` verdicts cost
+    /// one witness and `Forbidden` verdicts cost one pruned search — never
+    /// a materialized candidate enumeration.
     pub fn check(&self) -> CheckResult {
         let observed_allowed = outcome_allowed(&self.program, |reads| self.target.matches(reads));
         let passed = match self.expect {

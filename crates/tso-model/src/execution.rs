@@ -1,10 +1,10 @@
 //! Candidate executions: events plus existentially-quantified `rf` and `ws`
 //! (paper §2.1), with the derived relations `fr`, `rfe`, `com`, `ppo`, `bar`.
 //!
-//! [`enumerate_candidates`] produces every candidate execution of a program:
-//! each read is assigned a write to the same location to read from, and each
-//! location's writes are linearly ordered (`ws`, with the implicit initial
-//! write first). Validity of a candidate is decided separately by
+//! Candidate executions are *produced* by the streaming search engine in
+//! [`crate::search`]; [`enumerate_candidates`] is kept as a compatibility
+//! wrapper that materializes every candidate (valid or not) into a `Vec`.
+//! Validity of a candidate is decided separately by
 //! [`crate::validity::check_validity`].
 
 use crate::event::{Event, EventId, EventKind, RmwHalf, RmwId, RmwLink};
@@ -12,11 +12,34 @@ use crate::graph::DiGraph;
 use crate::program::{Instr, Program};
 use rmw_types::{Addr, ThreadId, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-program context shared by every candidate execution of one search:
+/// the event list and derived orderings that do not depend on the `rf`/`ws`
+/// assignment. Shared via [`Arc`] so cloning a candidate is cheap.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct ExecCtx {
+    /// All events, indexed by [`EventId`].
+    pub(crate) events: Vec<Event>,
+    /// Reads in `(thread, po)` order — the canonical outcome order, computed
+    /// once per program instead of re-sorting in every `read_values` call.
+    pub(crate) read_order: Vec<EventId>,
+}
+
+impl ExecCtx {
+    /// Builds the shared context for a program's event list.
+    pub(crate) fn new(events: Vec<Event>) -> Arc<Self> {
+        let mut reads: Vec<&Event> = events.iter().filter(|e| e.is_read()).collect();
+        reads.sort_by_key(|e| (e.tid, e.po_index));
+        let read_order = reads.iter().map(|e| e.id).collect();
+        Arc::new(ExecCtx { events, read_order })
+    }
+}
 
 /// A candidate execution: events with a concrete `rf` and `ws` assignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateExecution {
-    events: Vec<Event>,
+    ctx: Arc<ExecCtx>,
     /// For each read event id: the write event it reads from.
     rf: BTreeMap<EventId, EventId>,
     /// Per location: the write serialization, initial write first.
@@ -27,14 +50,30 @@ pub struct CandidateExecution {
 }
 
 impl CandidateExecution {
+    /// Assembles a candidate from a search's shared context and one concrete
+    /// `rf`/`ws` assignment with its resolved values.
+    pub(crate) fn assemble(
+        ctx: Arc<ExecCtx>,
+        rf: BTreeMap<EventId, EventId>,
+        ws: BTreeMap<Addr, Vec<EventId>>,
+        values: Vec<Value>,
+    ) -> Self {
+        CandidateExecution {
+            ctx,
+            rf,
+            ws,
+            values,
+        }
+    }
+
     /// All events, indexed by [`EventId`].
     pub fn events(&self) -> &[Event] {
-        &self.events
+        &self.ctx.events
     }
 
     /// The event with the given id.
     pub fn event(&self, id: EventId) -> &Event {
-        &self.events[id.index()]
+        &self.ctx.events[id.index()]
     }
 
     /// The write each read reads from.
@@ -54,11 +93,15 @@ impl CandidateExecution {
     }
 
     /// Values of all reads in `(thread, po)` order — the canonical outcome
-    /// vector of the execution (RMW reads included).
+    /// vector of the execution (RMW reads included). The order is computed
+    /// once per program (in the shared execution context), so this is a
+    /// plain indexed gather instead of a sort per call.
     pub fn read_values(&self) -> Vec<Value> {
-        let mut reads: Vec<&Event> = self.events.iter().filter(|e| e.is_read()).collect();
-        reads.sort_by_key(|e| (e.tid, e.po_index));
-        reads.iter().map(|e| self.value_of(e.id)).collect()
+        self.ctx
+            .read_order
+            .iter()
+            .map(|&r| self.value_of(r))
+            .collect()
     }
 
     /// Final memory value per location: the last write in `ws`.
@@ -119,7 +162,7 @@ impl CandidateExecution {
 
     /// `com = ws ∪ rfe ∪ fr` as a graph over events.
     pub fn com_graph(&self) -> DiGraph {
-        let mut g = DiGraph::new(self.events.len());
+        let mut g = DiGraph::new(self.events().len());
         for (u, v) in self
             .ws_edges()
             .into_iter()
@@ -134,114 +177,30 @@ impl CandidateExecution {
     /// `ppo`: same-thread program-order pairs of memory events, except W→R
     /// (TSO lets reads bypass buffered writes).
     pub fn ppo_graph(&self) -> DiGraph {
-        let mut g = DiGraph::new(self.events.len());
-        for (u, v) in self.same_thread_mem_pairs() {
-            let (eu, ev) = (self.event(u), self.event(v));
-            let w_to_r = eu.is_write() && ev.is_read();
-            if !w_to_r {
-                g.add_edge(u.index(), v.index());
-            }
-        }
-        g
+        ppo_graph_of(self.events())
     }
 
     /// `bar`: memory operations separated by a fence in program order.
     pub fn bar_graph(&self) -> DiGraph {
-        let mut g = DiGraph::new(self.events.len());
-        let mut by_thread: BTreeMap<ThreadId, Vec<&Event>> = BTreeMap::new();
-        for e in &self.events {
-            if let Some(t) = e.tid {
-                by_thread.entry(t).or_default().push(e);
-            }
-        }
-        for evs in by_thread.values_mut() {
-            evs.sort_by_key(|e| e.po_index);
-            for (i, f) in evs.iter().enumerate() {
-                if f.kind != EventKind::Fence {
-                    continue;
-                }
-                for before in &evs[..i] {
-                    if !before.is_mem() {
-                        continue;
-                    }
-                    for after in &evs[i + 1..] {
-                        if after.is_mem() {
-                            g.add_edge(before.id.index(), after.id.index());
-                        }
-                    }
-                }
-            }
-        }
-        g
+        bar_graph_of(self.events())
     }
 
     /// `po-loc`: same-thread, same-location program-order pairs of memory
     /// events — the per-location order `uniproc` compares `com` against.
     pub fn poloc_graph(&self) -> DiGraph {
-        let mut g = DiGraph::new(self.events.len());
-        for (u, v) in self.same_thread_mem_pairs() {
-            if self.event(u).addr == self.event(v).addr {
-                g.add_edge(u.index(), v.index());
-            }
-        }
-        g
+        poloc_graph_of(self.events())
     }
 
     /// All RMW instances: `(rmw_id, Ra, Wa, link)`.
     pub fn rmws(&self) -> Vec<(RmwId, EventId, EventId, RmwLink)> {
-        type Halves = (Option<EventId>, Option<EventId>, Option<RmwLink>);
-        let mut by_id: BTreeMap<RmwId, Halves> = BTreeMap::new();
-        for e in &self.events {
-            if let Some(link) = e.rmw {
-                let slot = by_id.entry(link.rmw_id).or_default();
-                match link.half {
-                    RmwHalf::Read => slot.0 = Some(e.id),
-                    RmwHalf::Write => slot.1 = Some(e.id),
-                }
-                slot.2 = Some(link);
-            }
-        }
-        by_id
-            .into_iter()
-            .map(|(id, (r, w, l))| {
-                (
-                    id,
-                    r.expect("RMW has read half"),
-                    w.expect("RMW has write half"),
-                    l.expect("RMW has link"),
-                )
-            })
-            .collect()
-    }
-
-    /// Same-thread ordered pairs of *memory* events (skipping fences),
-    /// `u` po-before `v`.
-    fn same_thread_mem_pairs(&self) -> Vec<(EventId, EventId)> {
-        let mut by_thread: BTreeMap<ThreadId, Vec<&Event>> = BTreeMap::new();
-        for e in &self.events {
-            if e.is_mem() {
-                if let Some(t) = e.tid {
-                    by_thread.entry(t).or_default().push(e);
-                }
-            }
-        }
-        let mut pairs = Vec::new();
-        for evs in by_thread.values_mut() {
-            evs.sort_by_key(|e| e.po_index);
-            for i in 0..evs.len() {
-                for j in i + 1..evs.len() {
-                    pairs.push((evs[i].id, evs[j].id));
-                }
-            }
-        }
-        pairs
+        rmws_of(self.events())
     }
 
     /// Renders the execution for debugging: events, rf, ws.
     pub fn pretty(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        for e in &self.events {
+        for e in self.events() {
             let _ = writeln!(s, "{} = {}  [v={}]", e.id, e.label(), self.value_of(e.id));
         }
         for (&r, &w) in &self.rf {
@@ -255,9 +214,116 @@ impl CandidateExecution {
     }
 }
 
+/// `ppo` over a bare event list: same-thread program-order pairs of memory
+/// events, except W→R (TSO lets reads bypass buffered writes). Depends only
+/// on the events, not on `rf`/`ws`, so the search engine computes it once.
+pub(crate) fn ppo_graph_of(events: &[Event]) -> DiGraph {
+    let mut g = DiGraph::new(events.len());
+    for (u, v) in same_thread_mem_pairs(events) {
+        let (eu, ev) = (&events[u.index()], &events[v.index()]);
+        let w_to_r = eu.is_write() && ev.is_read();
+        if !w_to_r {
+            g.add_edge(u.index(), v.index());
+        }
+    }
+    g
+}
+
+/// `bar` over a bare event list: memory operations separated by a fence in
+/// program order.
+pub(crate) fn bar_graph_of(events: &[Event]) -> DiGraph {
+    let mut g = DiGraph::new(events.len());
+    let mut by_thread: BTreeMap<ThreadId, Vec<&Event>> = BTreeMap::new();
+    for e in events {
+        if let Some(t) = e.tid {
+            by_thread.entry(t).or_default().push(e);
+        }
+    }
+    for evs in by_thread.values_mut() {
+        evs.sort_by_key(|e| e.po_index);
+        for (i, f) in evs.iter().enumerate() {
+            if f.kind != EventKind::Fence {
+                continue;
+            }
+            for before in &evs[..i] {
+                if !before.is_mem() {
+                    continue;
+                }
+                for after in &evs[i + 1..] {
+                    if after.is_mem() {
+                        g.add_edge(before.id.index(), after.id.index());
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// `po-loc` over a bare event list: same-thread, same-location pairs.
+pub(crate) fn poloc_graph_of(events: &[Event]) -> DiGraph {
+    let mut g = DiGraph::new(events.len());
+    for (u, v) in same_thread_mem_pairs(events) {
+        if events[u.index()].addr == events[v.index()].addr {
+            g.add_edge(u.index(), v.index());
+        }
+    }
+    g
+}
+
+/// All RMW instances of an event list: `(rmw_id, Ra, Wa, link)`.
+pub(crate) fn rmws_of(events: &[Event]) -> Vec<(RmwId, EventId, EventId, RmwLink)> {
+    type Halves = (Option<EventId>, Option<EventId>, Option<RmwLink>);
+    let mut by_id: BTreeMap<RmwId, Halves> = BTreeMap::new();
+    for e in events {
+        if let Some(link) = e.rmw {
+            let slot = by_id.entry(link.rmw_id).or_default();
+            match link.half {
+                RmwHalf::Read => slot.0 = Some(e.id),
+                RmwHalf::Write => slot.1 = Some(e.id),
+            }
+            slot.2 = Some(link);
+        }
+    }
+    by_id
+        .into_iter()
+        .map(|(id, (r, w, l))| {
+            (
+                id,
+                r.expect("RMW has read half"),
+                w.expect("RMW has write half"),
+                l.expect("RMW has link"),
+            )
+        })
+        .collect()
+}
+
+/// Same-thread ordered pairs of *memory* events (skipping fences),
+/// `u` po-before `v`.
+fn same_thread_mem_pairs(events: &[Event]) -> Vec<(EventId, EventId)> {
+    let mut by_thread: BTreeMap<ThreadId, Vec<&Event>> = BTreeMap::new();
+    for e in events {
+        if e.is_mem() {
+            if let Some(t) = e.tid {
+                by_thread.entry(t).or_default().push(e);
+            }
+        }
+    }
+    let mut pairs = Vec::new();
+    for evs in by_thread.values_mut() {
+        evs.sort_by_key(|e| e.po_index);
+        for i in 0..evs.len() {
+            for j in i + 1..evs.len() {
+                pairs.push((evs[i].id, evs[j].id));
+            }
+        }
+    }
+    pairs
+}
+
 /// Builds the event list of a program: initial writes first, then each
 /// thread's events in program order (RMWs expand to read-then-write).
-fn build_events(program: &Program) -> Vec<Event> {
+pub(crate) fn build_events(program: &Program) -> Vec<Event> {
     let mut events = Vec::new();
     let mut next_rmw = 0usize;
     // Initial writes, one per touched address, value 0.
@@ -360,7 +426,10 @@ fn build_events(program: &Program) -> Vec<Event> {
 /// when the assignment is circular (an RMW's value depending on itself
 /// through `rf` without a fixed point — such candidates are discarded; they
 /// are also rejected by the acyclicity check).
-fn resolve_values(events: &[Event], rf: &BTreeMap<EventId, EventId>) -> Option<Vec<Value>> {
+pub(crate) fn resolve_values(
+    events: &[Event],
+    rf: &BTreeMap<EventId, EventId>,
+) -> Option<Vec<Value>> {
     #[derive(Clone, Copy, PartialEq)]
     enum St {
         Unvisited,
@@ -437,135 +506,18 @@ fn resolve_values(events: &[Event], rf: &BTreeMap<EventId, EventId>) -> Option<V
 /// all `ws` linearizations. Candidates with circular value dependencies are
 /// dropped (they can never be valid).
 ///
-/// The cost is exponential in program size; litmus tests (≤ ~12 events) are
-/// the intended scale.
+/// This is a compatibility wrapper over the streaming engine in
+/// [`crate::search`], with pruning disabled — it materializes the complete
+/// candidate set (factorial in events per location) into a `Vec`. Prefer
+/// [`crate::search::for_each_valid_execution`] anywhere the valid
+/// executions are all that matters; litmus tests (≤ ~12 events) are the
+/// intended scale here.
 pub fn enumerate_candidates(program: &Program) -> Vec<CandidateExecution> {
-    let events = build_events(program);
-    let reads: Vec<EventId> = events
-        .iter()
-        .filter(|e| e.is_read())
-        .map(|e| e.id)
-        .collect();
-
-    // Candidate rf sources per read: writes to the same address, except the
-    // read's own RMW write half ("Ra reads an earlier value, not Wa's").
-    let rf_choices: Vec<Vec<EventId>> = reads
-        .iter()
-        .map(|&r| {
-            let er = &events[r.index()];
-            events
-                .iter()
-                .filter(|w| w.is_write() && w.addr == er.addr)
-                .filter(|w| match (er.rmw, w.rmw) {
-                    (Some(lr), Some(lw)) => lr.rmw_id != lw.rmw_id,
-                    _ => true,
-                })
-                .map(|w| w.id)
-                .collect()
-        })
-        .collect();
-
-    // Writes per location (non-init), to permute after the init write.
-    let mut writes_by_addr: BTreeMap<Addr, Vec<EventId>> = BTreeMap::new();
-    for e in &events {
-        if e.is_write() && !e.is_init() {
-            writes_by_addr
-                .entry(e.addr.expect("write has addr"))
-                .or_default()
-                .push(e.id);
-        }
-    }
-    let init_by_addr: BTreeMap<Addr, EventId> = events
-        .iter()
-        .filter(|e| e.is_init())
-        .map(|e| (e.addr.expect("init write has addr"), e.id))
-        .collect();
-
     let mut out = Vec::new();
-    let mut rf_pick = vec![0usize; reads.len()];
-    loop {
-        let rf: BTreeMap<EventId, EventId> = reads
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (r, rf_choices[i][rf_pick[i]]))
-            .collect();
-
-        if let Some(values) = resolve_values(&events, &rf) {
-            // Enumerate ws permutations per address.
-            let addrs: Vec<Addr> = init_by_addr.keys().copied().collect();
-            let mut perms_per_addr: Vec<Vec<Vec<EventId>>> = Vec::new();
-            for a in &addrs {
-                let ws_writes = writes_by_addr.get(a).cloned().unwrap_or_default();
-                perms_per_addr.push(permutations(&ws_writes));
-            }
-            let mut pick = vec![0usize; addrs.len()];
-            loop {
-                let mut ws = BTreeMap::new();
-                for (ai, a) in addrs.iter().enumerate() {
-                    let mut order = vec![init_by_addr[a]];
-                    order.extend(perms_per_addr[ai][pick[ai]].iter().copied());
-                    ws.insert(*a, order);
-                }
-                out.push(CandidateExecution {
-                    events: events.clone(),
-                    rf: rf.clone(),
-                    ws,
-                    values: values.clone(),
-                });
-                // advance ws pick
-                let mut i = 0;
-                loop {
-                    if i == addrs.len() {
-                        break;
-                    }
-                    pick[i] += 1;
-                    if pick[i] < perms_per_addr[i].len() {
-                        break;
-                    }
-                    pick[i] = 0;
-                    i += 1;
-                }
-                if i == addrs.len() {
-                    break;
-                }
-            }
-        }
-
-        // advance rf pick
-        let mut i = 0;
-        loop {
-            if i == reads.len() {
-                break;
-            }
-            rf_pick[i] += 1;
-            if rf_pick[i] < rf_choices[i].len() {
-                break;
-            }
-            rf_pick[i] = 0;
-            i += 1;
-        }
-        if i == reads.len() || reads.is_empty() {
-            break;
-        }
-    }
-    out
-}
-
-/// All permutations of a slice (empty slice ⇒ one empty permutation).
-fn permutations(items: &[EventId]) -> Vec<Vec<EventId>> {
-    if items.is_empty() {
-        return vec![vec![]];
-    }
-    let mut out = Vec::new();
-    for (i, &head) in items.iter().enumerate() {
-        let mut rest: Vec<EventId> = items.to_vec();
-        rest.remove(i);
-        for mut tail in permutations(&rest) {
-            let mut p = vec![head];
-            p.append(&mut tail);
-            out.push(p);
-        }
-    }
+    crate::search::for_each_candidate(program, |exec| {
+        out.push(exec.clone());
+        std::ops::ControlFlow::Continue(())
+    });
     out
 }
 
@@ -747,10 +699,15 @@ mod tests {
     }
 
     #[test]
-    fn permutations_count() {
-        let ids: Vec<EventId> = (0..4).map(EventId).collect();
-        assert_eq!(permutations(&ids).len(), 24);
-        assert_eq!(permutations(&[]).len(), 1);
+    fn read_order_cached_in_ctx() {
+        // The (tid, po) read order is computed once per program; candidates
+        // sharing a context must agree on it and match a fresh sort.
+        let cands = enumerate_candidates(&sb_program());
+        let c = &cands[0];
+        let mut expect: Vec<&Event> = c.events().iter().filter(|e| e.is_read()).collect();
+        expect.sort_by_key(|e| (e.tid, e.po_index));
+        let expect: Vec<Value> = expect.iter().map(|e| c.value_of(e.id)).collect();
+        assert_eq!(c.read_values(), expect);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::event::EventId;
 use crate::execution::CandidateExecution;
 use crate::graph::DiGraph;
-use crate::validity::{check_validity, Validity};
+use crate::validity::check_validity;
 
 /// True iff `a → b` holds in every valid `ghb` of this candidate.
 ///
@@ -117,13 +117,11 @@ fn all_solutions_exist(exec: &CandidateExecution, mut base: DiGraph) -> Vec<DiGr
     out
 }
 
-/// Convenience: every *valid* candidate execution of a program, paired with
-/// nothing else (thin wrapper used by the lemma tests).
+/// Convenience: every *valid* candidate execution of a program, collected
+/// through the streaming, pruned search (thin wrapper used by the lemma
+/// tests — the lemma predicates themselves need random access to the set).
 pub fn valid_candidates(program: &crate::program::Program) -> Vec<CandidateExecution> {
-    crate::execution::enumerate_candidates(program)
-        .into_iter()
-        .filter(|c| matches!(check_validity(c), Validity::Valid(_)))
-        .collect()
+    crate::search::valid_executions(program)
 }
 
 #[cfg(test)]

@@ -18,9 +18,17 @@
 //!   condition (per-location SC) holds. A linear extension of the union is
 //!   the global-happens-before order `ghb`.
 //!
-//! The crate enumerates all candidate executions of small programs
-//! (herd-style), decides validity, and reports allowed outcomes — this is
-//! the engine under the `litmus` corpus and the lemma-1/2/3 checks.
+//! Candidate executions are explored by a **streaming, pruned search**
+//! ([`search`]): `rf` and `ws` are assigned incrementally (DFS over
+//! per-location choices) and a branch is cut as soon as a partial
+//! assignment is doomed — coherence (`uniproc`) violations, circular value
+//! dependencies, or `com ∪ ppo ∪ bar` cycles, all detected incrementally
+//! on bitset digraphs. Valid executions stream through a visitor
+//! ([`for_each_valid_execution`]) with early exit
+//! ([`outcome_allowed`]) — this is the engine under the `litmus` corpus,
+//! the lemma-1/2/3 checks, and `cc11`'s mapping verification. The legacy
+//! [`enumerate_candidates`] survives as a materializing compatibility
+//! wrapper.
 //!
 //! # Quickstart
 //!
@@ -49,6 +57,7 @@ pub mod graph;
 pub mod lemmas;
 pub mod outcome;
 pub mod program;
+pub mod search;
 pub mod validity;
 
 pub use event::{Event, EventId, EventKind, RmwHalf};
@@ -56,4 +65,5 @@ pub use execution::{enumerate_candidates, CandidateExecution};
 pub use graph::DiGraph;
 pub use outcome::{allowed_outcomes, outcome_allowed, Outcome};
 pub use program::{Instr, Program, ProgramBuilder, ThreadBuilder};
+pub use search::{any_valid_execution, for_each_valid_execution, valid_executions, SearchStats};
 pub use validity::{check_validity, Validity, Witness};

@@ -5,12 +5,18 @@
 //! the final memory value of every location. [`allowed_outcomes`] collects
 //! the set of outcomes over all valid candidate executions — the model's
 //! notion of "the behaviours of the program".
+//!
+//! Both entry points run on the streaming, pruned engine of
+//! [`crate::search`]: `allowed_outcomes` folds the visited executions into
+//! a set without ever materializing the candidate space, and
+//! `outcome_allowed` stops at the first witness.
 
-use crate::execution::{enumerate_candidates, CandidateExecution};
+use crate::execution::CandidateExecution;
 use crate::program::Program;
-use crate::validity::check_validity;
+use crate::search::{any_valid_execution, for_each_valid_execution};
 use rmw_types::{Addr, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::ControlFlow;
 
 /// Observable result of one valid execution.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -45,24 +51,23 @@ impl Outcome {
     }
 }
 
-/// All outcomes of valid executions of `program`.
+/// All outcomes of valid executions of `program`, via the streaming search
+/// (one execution in memory at a time).
 pub fn allowed_outcomes(program: &Program) -> BTreeSet<Outcome> {
-    enumerate_candidates(program)
-        .into_iter()
-        .filter(|c| check_validity(c).is_valid())
-        .map(|c| Outcome::of_execution(&c))
-        .collect()
+    let mut out = BTreeSet::new();
+    for_each_valid_execution(program, |exec| {
+        out.insert(Outcome::of_execution(exec));
+        ControlFlow::Continue(())
+    });
+    out
 }
 
 /// True iff some valid execution satisfies `pred` on its read-value vector.
 ///
 /// This is the primitive litmus assertion: "is the outcome
-/// `r1=v1 ∧ r2=v2 ∧ …` allowed?".
+/// `r1=v1 ∧ r2=v2 ∧ …` allowed?". The search exits at the first witness.
 pub fn outcome_allowed(program: &Program, pred: impl Fn(&[Value]) -> bool) -> bool {
-    enumerate_candidates(program)
-        .into_iter()
-        .filter(|c| pred(&c.read_values()))
-        .any(|c| check_validity(&c).is_valid())
+    any_valid_execution(program, |exec| pred(&exec.read_values()))
 }
 
 #[cfg(test)]

@@ -1,0 +1,600 @@
+//! Streaming, pruned search over candidate executions — the engine behind
+//! [`allowed_outcomes`](crate::outcome::allowed_outcomes),
+//! [`outcome_allowed`](crate::outcome::outcome_allowed), the litmus
+//! verdicts, and `cc11`'s mapping verification.
+//!
+//! The legacy enumerator ([`crate::execution::enumerate_candidates`])
+//! materializes every `rf × ws` assignment into a `Vec` and filters
+//! afterwards, so both time and peak memory grow factorially with events
+//! per location. This module instead assigns `rf` and `ws` *incrementally*
+//! — a depth-first search over per-location choices — and prunes a branch
+//! the moment a partial assignment is doomed:
+//!
+//! * **`ws` placement.** Each location's write serialization is built one
+//!   write at a time. Placing `w` next commits `w` before every still
+//!   unplaced write of that location in *every* completion, so those edges
+//!   go into the incremental graphs immediately; a cycle kills the whole
+//!   subtree (e.g. a `ws` order contradicting same-thread `ppo` W→W edges
+//!   dies at depth 1 instead of being enumerated `(k-1)!` times).
+//! * **`rf` assignment.** Once the serializations are fixed, each read's
+//!   `rf` choice determines its `rfe` and *all* of its `fr` edges, which
+//!   are pushed into the graphs and cycle-checked on the spot.
+//! * **Pruning conditions.** A branch is cut when (a) `com ∪ ppo ∪ bar`
+//!   acquires a cycle (no `ato` choice can ever fix it — `ato` only adds
+//!   edges), (b) `com ∪ po-loc` acquires a cycle (the `uniproc` /
+//!   coherence violation of paper §2.1), or (c) the value-dependency graph
+//!   (`rf` edges plus each RMW's internal `Ra → Wa`) becomes cyclic, i.e.
+//!   an RMW's value would depend on itself.
+//!
+//! All three checks are *sound* for pruning: a completion only ever adds
+//! edges to the partial graphs, so a cyclic partial state can never reach
+//! a valid leaf. At a complete assignment the remaining existential — the
+//! per-RMW atomicity disjunctions — is solved exactly as before
+//! ([`crate::validity`]), so the set of executions yielded here is
+//! *identical* to filtering the legacy enumeration with `check_validity`.
+//!
+//! Valid executions are yielded through a visitor
+//! ([`for_each_valid_execution`]); returning [`ControlFlow::Break`] stops
+//! the search, which is what gives `outcome_allowed` its early exit.
+
+use crate::event::{EventId, RmwHalf};
+use crate::execution::{
+    bar_graph_of, build_events, poloc_graph_of, ppo_graph_of, resolve_values, CandidateExecution,
+    ExecCtx,
+};
+use crate::graph::DiGraph;
+use crate::program::Program;
+use crate::validity::{atomicity_disjuncts, solve_ato, Disjunct, Validity};
+use rmw_types::Addr;
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+/// Counters describing one search run, for benchmarks and scaling reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Partial-assignment decision nodes explored (one per `ws` placement
+    /// or `rf` choice tried).
+    pub nodes: u64,
+    /// Branches cut by incremental pruning before reaching a leaf.
+    pub pruned: u64,
+    /// Complete `rf × ws` assignments reached (the legacy enumerator
+    /// materializes one candidate per such leaf).
+    pub complete: u64,
+    /// Valid executions yielded to the visitor.
+    pub valid: u64,
+    /// True when the visitor stopped the search early.
+    pub stopped_early: bool,
+}
+
+/// What the search yields and how aggressively it prunes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Prune doomed branches; yield only valid executions.
+    ValidOnly,
+    /// No graph pruning (only circular value dependencies are dropped, as
+    /// the legacy enumerator does); yield every complete candidate. Backs
+    /// the [`enumerate_candidates`](crate::execution::enumerate_candidates)
+    /// compatibility wrapper.
+    AllCandidates,
+}
+
+/// Visits every **valid** execution of `program` in a streaming fashion —
+/// nothing is materialized beyond the single execution handed to the
+/// visitor. Return [`ControlFlow::Break`] to stop the search early.
+///
+/// The executions visited are exactly those of
+/// `enumerate_candidates(program)` that pass
+/// [`check_validity`](crate::validity::check_validity), without ever
+/// holding more than one of them in memory.
+pub fn for_each_valid_execution<F>(program: &Program, mut visitor: F) -> SearchStats
+where
+    F: FnMut(&CandidateExecution) -> ControlFlow<()>,
+{
+    run(program, Mode::ValidOnly, &mut visitor)
+}
+
+/// Early-exit search: true iff some valid execution satisfies `pred`.
+///
+/// This is the primitive behind
+/// [`outcome_allowed`](crate::outcome::outcome_allowed) and the litmus
+/// verdicts: the search stops at the first witness.
+pub fn any_valid_execution<F>(program: &Program, mut pred: F) -> bool
+where
+    F: FnMut(&CandidateExecution) -> bool,
+{
+    let mut found = false;
+    for_each_valid_execution(program, |exec| {
+        if pred(exec) {
+            found = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    found
+}
+
+/// Collects every valid execution (streaming under the hood; the result
+/// `Vec` is the only materialization).
+pub fn valid_executions(program: &Program) -> Vec<CandidateExecution> {
+    let mut out = Vec::new();
+    for_each_valid_execution(program, |exec| {
+        out.push(exec.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Visits every candidate execution, valid or not (pruning off, matching
+/// the legacy enumeration semantics: only circular value dependencies are
+/// dropped). Backs the `enumerate_candidates` compatibility wrapper.
+pub(crate) fn for_each_candidate<F>(program: &Program, mut visitor: F) -> SearchStats
+where
+    F: FnMut(&CandidateExecution) -> ControlFlow<()>,
+{
+    run(program, Mode::AllCandidates, &mut visitor)
+}
+
+/// One location's write set: address, implicit initial write, and the
+/// non-init writes to serialize after it.
+struct LocWrites {
+    addr: Addr,
+    writes: Vec<EventId>,
+}
+
+struct Search<'a> {
+    ctx: Arc<ExecCtx>,
+    mode: Mode,
+    locs: Vec<LocWrites>,
+    reads: Vec<EventId>,
+    rf_choices: Vec<Vec<EventId>>,
+    disjuncts: Vec<Disjunct>,
+    /// `com ∪ ppo ∪ bar`, maintained incrementally (`ValidOnly` mode).
+    ghb: DiGraph,
+    /// `com ∪ po-loc` — the uniproc check (`ValidOnly` mode).
+    uni: DiGraph,
+    /// Value-dependency graph: `rf` edges plus each RMW's `Ra → Wa`.
+    dep: DiGraph,
+    ws: BTreeMap<Addr, Vec<EventId>>,
+    rf: BTreeMap<EventId, EventId>,
+    stats: SearchStats,
+    visitor: &'a mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+}
+
+fn run(
+    program: &Program,
+    mode: Mode,
+    visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+) -> SearchStats {
+    let events = build_events(program);
+    let n = events.len();
+
+    // Candidate rf sources per read: writes to the same address, except the
+    // read's own RMW write half ("Ra reads an earlier value, not Wa's").
+    let reads: Vec<EventId> = events
+        .iter()
+        .filter(|e| e.is_read())
+        .map(|e| e.id)
+        .collect();
+    let rf_choices: Vec<Vec<EventId>> = reads
+        .iter()
+        .map(|&r| {
+            let er = &events[r.index()];
+            events
+                .iter()
+                .filter(|w| w.is_write() && w.addr == er.addr)
+                .filter(|w| match (er.rmw, w.rmw) {
+                    (Some(lr), Some(lw)) => lr.rmw_id != lw.rmw_id,
+                    _ => true,
+                })
+                .map(|w| w.id)
+                .collect()
+        })
+        .collect();
+
+    // Per-location write sets, keyed by the (sorted) initial writes.
+    let mut by_addr: BTreeMap<Addr, (EventId, Vec<EventId>)> = events
+        .iter()
+        .filter(|e| e.is_init())
+        .map(|e| (e.addr.expect("init write has addr"), (e.id, Vec::new())))
+        .collect();
+    for e in &events {
+        if e.is_write() && !e.is_init() {
+            by_addr
+                .get_mut(&e.addr.expect("write has addr"))
+                .expect("every address has an init write")
+                .1
+                .push(e.id);
+        }
+    }
+
+    // Fixed graph parts. The init write precedes every other write of its
+    // location in every candidate, so those `ws` edges are part of the base.
+    let (ghb, uni) = if mode == Mode::ValidOnly {
+        let mut ghb = ppo_graph_of(&events);
+        ghb.union_with(&bar_graph_of(&events));
+        let mut uni = poloc_graph_of(&events);
+        for (init, ws_writes) in by_addr.values() {
+            for &w in ws_writes {
+                ghb.add_edge(init.index(), w.index());
+                uni.add_edge(init.index(), w.index());
+            }
+        }
+        (ghb, uni)
+    } else {
+        (DiGraph::new(n), DiGraph::new(n))
+    };
+
+    // Value dependencies internal to each RMW: Wa's value is computed from
+    // what Ra read.
+    let mut dep = DiGraph::new(n);
+    {
+        let mut ra_of: BTreeMap<usize, EventId> = BTreeMap::new();
+        for e in &events {
+            if let Some(l) = e.rmw {
+                if l.half == RmwHalf::Read {
+                    ra_of.insert(l.rmw_id.0, e.id);
+                }
+            }
+        }
+        for e in &events {
+            if let Some(l) = e.rmw {
+                if l.half == RmwHalf::Write {
+                    dep.add_edge(ra_of[&l.rmw_id.0].index(), e.id.index());
+                }
+            }
+        }
+    }
+
+    let ws: BTreeMap<Addr, Vec<EventId>> = by_addr
+        .iter()
+        .map(|(&a, (init, _))| (a, vec![*init]))
+        .collect();
+    let locs: Vec<LocWrites> = by_addr
+        .into_iter()
+        .map(|(addr, (_, writes))| LocWrites { addr, writes })
+        .collect();
+    let disjuncts = if mode == Mode::ValidOnly {
+        atomicity_disjuncts(&events)
+    } else {
+        Vec::new()
+    };
+
+    let mut search = Search {
+        ctx: ExecCtx::new(events),
+        mode,
+        locs,
+        reads,
+        rf_choices,
+        disjuncts,
+        ghb,
+        uni,
+        dep,
+        ws,
+        rf: BTreeMap::new(),
+        stats: SearchStats::default(),
+        visitor,
+    };
+    // A `Break` here is just the early exit reaching the root.
+    let _ = search.search_ws(0);
+    search.stats
+}
+
+impl Search<'_> {
+    /// DFS level 1: serialize the writes of location `li` (then recurse to
+    /// the next location, then to `rf` assignment).
+    fn search_ws(&mut self, li: usize) -> ControlFlow<()> {
+        let Some(loc) = self.locs.get(li) else {
+            return self.search_rf(0);
+        };
+        let mut remaining = loc.writes.clone();
+        self.place_writes(li, &mut remaining)
+    }
+
+    /// Chooses the next write in location `li`'s serialization among
+    /// `remaining`, committing the implied `ws` edges incrementally.
+    fn place_writes(&mut self, li: usize, remaining: &mut Vec<EventId>) -> ControlFlow<()> {
+        if remaining.is_empty() {
+            return self.search_ws(li + 1);
+        }
+        let addr = self.locs[li].addr;
+        for i in 0..remaining.len() {
+            let w = remaining.remove(i);
+            self.stats.nodes += 1;
+            // Placing `w` next means `w` precedes every still-unplaced
+            // write of this location in every completion of this branch.
+            // (Edges from the already-placed prefix to `w` were added when
+            // those writes were placed; init → `w` is in the base.)
+            let mut added = Vec::new();
+            if self.mode == Mode::ValidOnly {
+                for &u in remaining.iter() {
+                    self.add_com_edge(w, u, &mut added);
+                }
+            }
+            self.ws.get_mut(&addr).expect("ws has every addr").push(w);
+
+            let viable = self.mode == Mode::AllCandidates || self.still_acyclic(&added);
+            let flow = if viable {
+                self.place_writes(li, remaining)
+            } else {
+                self.stats.pruned += 1;
+                ControlFlow::Continue(())
+            };
+
+            self.ws.get_mut(&addr).expect("ws has every addr").pop();
+            self.remove_com_edges(&added);
+            remaining.insert(i, w);
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// DFS level 2: assign a reads-from source to read `ri` (all `ws`
+    /// serializations are complete at this point, so the choice fixes the
+    /// read's `rfe` and `fr` edges exactly).
+    fn search_rf(&mut self, ri: usize) -> ControlFlow<()> {
+        let Some(&r) = self.reads.get(ri) else {
+            return self.complete();
+        };
+        // Value dependencies can only cycle through an RMW read half: a
+        // plain read has no outgoing dep edge (its value feeds nothing), so
+        // it can never be part of a cycle and its dep edge can be elided.
+        let is_rmw_read = self.ctx.events[r.index()].rmw.is_some();
+        for ci in 0..self.rf_choices[ri].len() {
+            let w = self.rf_choices[ri][ci];
+            self.stats.nodes += 1;
+
+            // Value dependency r ← w; a cycle means an RMW's value would
+            // depend on itself — dropped in every mode (as the legacy
+            // enumerator drops candidates `resolve_values` rejects).
+            if is_rmw_read {
+                // Adding w → r closes a cycle iff r already reaches w.
+                if self.dep.reaches(r.index(), w.index()) {
+                    self.stats.pruned += 1;
+                    continue;
+                }
+                self.dep.add_edge(w.index(), r.index());
+            }
+            self.rf.insert(r, w);
+
+            let mut added = Vec::new();
+            let viable = if self.mode == Mode::ValidOnly {
+                let er = &self.ctx.events[r.index()];
+                let ew = &self.ctx.events[w.index()];
+                let external = ew.is_init() || er.tid != ew.tid;
+                let addr = er.addr.expect("read has addr");
+                // rfe: external reads-from participates in com.
+                if external {
+                    self.add_com_edge(w, r, &mut added);
+                }
+                // fr: r precedes every write ws-after its source.
+                let order = &self.ws[&addr];
+                let pos = order
+                    .iter()
+                    .position(|&x| x == w)
+                    .expect("rf source is in ws");
+                let later: Vec<EventId> = order[pos + 1..].to_vec();
+                for u in later {
+                    self.add_com_edge(r, u, &mut added);
+                }
+                self.still_acyclic(&added)
+            } else {
+                true
+            };
+
+            let flow = if viable {
+                self.search_rf(ri + 1)
+            } else {
+                self.stats.pruned += 1;
+                ControlFlow::Continue(())
+            };
+
+            self.remove_com_edges(&added);
+            self.rf.remove(&r);
+            if is_rmw_read {
+                self.dep.remove_edge(w.index(), r.index());
+            }
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// A complete `rf × ws` assignment: assemble the execution, finish the
+    /// validity check (the atomicity disjunctions), and yield.
+    fn complete(&mut self) -> ControlFlow<()> {
+        self.stats.complete += 1;
+        let Some(values) = resolve_values(&self.ctx.events, &self.rf) else {
+            // Unreachable: the dep graph is acyclic on this path, and it
+            // contains every value dependency `resolve_values` follows.
+            return ControlFlow::Continue(());
+        };
+        let exec = CandidateExecution::assemble(
+            Arc::clone(&self.ctx),
+            self.rf.clone(),
+            self.ws.clone(),
+            values,
+        );
+        let flow = match self.mode {
+            Mode::AllCandidates => (self.visitor)(&exec),
+            Mode::ValidOnly => {
+                // uniproc already holds (incremental `uni` checks); what is
+                // left is the existential over atomicity-induced edges, on
+                // the incrementally maintained `com ∪ ppo ∪ bar`.
+                match solve_ato(&exec, self.ghb.clone(), &self.disjuncts) {
+                    Validity::Valid(_) => {
+                        self.stats.valid += 1;
+                        (self.visitor)(&exec)
+                    }
+                    _ => ControlFlow::Continue(()),
+                }
+            }
+        };
+        if flow.is_break() {
+            self.stats.stopped_early = true;
+        }
+        flow
+    }
+
+    /// Adds a `com` edge to both incremental graphs, recording which of the
+    /// two actually changed so backtracking restores the exact state (the
+    /// edge may already be present via `ppo`, `bar`, or `po-loc`).
+    fn add_com_edge(
+        &mut self,
+        u: EventId,
+        v: EventId,
+        added: &mut Vec<(usize, usize, bool, bool)>,
+    ) {
+        let (ui, vi) = (u.index(), v.index());
+        let in_ghb = self.ghb.has_edge(ui, vi);
+        let in_uni = self.uni.has_edge(ui, vi);
+        if !in_ghb {
+            self.ghb.add_edge(ui, vi);
+        }
+        if !in_uni {
+            self.uni.add_edge(ui, vi);
+        }
+        if !(in_ghb && in_uni) {
+            added.push((ui, vi, !in_ghb, !in_uni));
+        }
+    }
+
+    /// True iff `ghb` and `uni` are still acyclic after the batch of edge
+    /// insertions recorded in `added`. Both graphs were acyclic before the
+    /// batch, so any new cycle must pass through an inserted edge
+    /// `u → v` — i.e. `v` must (now) reach `u`. Probing reachability from
+    /// the handful of new edges is much cheaper than re-running a
+    /// whole-graph topological sort at every decision node.
+    fn still_acyclic(&self, added: &[(usize, usize, bool, bool)]) -> bool {
+        added.iter().all(|&(u, v, in_ghb, in_uni)| {
+            (!in_ghb || !self.ghb.reaches(v, u)) && (!in_uni || !self.uni.reaches(v, u))
+        })
+    }
+
+    /// Undoes a batch of [`Search::add_com_edge`] calls.
+    fn remove_com_edges(&mut self, added: &[(usize, usize, bool, bool)]) {
+        for &(u, v, ghb, uni) in added {
+            if ghb {
+                self.ghb.remove_edge(u, v);
+            }
+            if uni {
+                self.uni.remove_edge(u, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::enumerate_candidates;
+    use crate::program::ProgramBuilder;
+    use crate::validity::check_validity;
+    use rmw_types::{Atomicity, RmwKind};
+    use std::collections::BTreeSet;
+
+    const X: Addr = Addr(0);
+    const Y: Addr = Addr(1);
+
+    fn sb() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).read(Y);
+        b.thread().write(Y, 1).read(X);
+        b.build()
+    }
+
+    /// Reference implementation: legacy enumeration + filter.
+    fn legacy_valid_read_values(p: &Program) -> BTreeSet<Vec<u64>> {
+        enumerate_candidates(p)
+            .into_iter()
+            .filter(|c| check_validity(c).is_valid())
+            .map(|c| c.read_values())
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_legacy_on_sb() {
+        let p = sb();
+        let mut streamed = BTreeSet::new();
+        let stats = for_each_valid_execution(&p, |exec| {
+            streamed.insert(exec.read_values());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(streamed, legacy_valid_read_values(&p));
+        assert_eq!(stats.valid as usize, valid_executions(&p).len());
+        assert!(!stats.stopped_early);
+    }
+
+    #[test]
+    fn streaming_matches_legacy_with_rmws_and_fences() {
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .write(X, 1)
+            .rmw(Y, RmwKind::FetchAndAdd(1), Atomicity::Type2)
+            .read(X);
+        b.thread().write(Y, 5).fence().read(X);
+        let p = b.build();
+        let mut streamed = BTreeSet::new();
+        for_each_valid_execution(&p, |exec| {
+            streamed.insert(exec.read_values());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(streamed, legacy_valid_read_values(&p));
+    }
+
+    #[test]
+    fn early_exit_stops_the_search() {
+        let p = sb();
+        let mut seen = 0u32;
+        let stats = for_each_valid_execution(&p, |_| {
+            seen += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(seen, 1);
+        assert!(stats.stopped_early);
+        // The early-exit variant agrees with an exhaustive check.
+        assert!(any_valid_execution(&p, |e| e.read_values() == vec![0, 0]));
+        assert!(!any_valid_execution(&p, |e| e.read_values() == vec![9, 9]));
+    }
+
+    #[test]
+    fn pruning_cuts_branches_without_losing_executions() {
+        // Three same-thread writes: 3! = 6 serializations, only the po
+        // order survives — the other branches must be pruned, not filtered
+        // at the leaves.
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).write(X, 2).write(X, 3);
+        b.thread().read(X).read(X);
+        let p = b.build();
+        let mut streamed = BTreeSet::new();
+        let stats = for_each_valid_execution(&p, |exec| {
+            streamed.insert(exec.read_values());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(streamed, legacy_valid_read_values(&p));
+        assert!(stats.pruned > 0, "expected pruning, got {stats:?}");
+        let legacy_leaves = enumerate_candidates(&p).len() as u64;
+        assert!(
+            stats.complete < legacy_leaves,
+            "streaming reached {} leaves, legacy materializes {legacy_leaves}",
+            stats.complete
+        );
+    }
+
+    #[test]
+    fn valid_executions_pass_check_validity() {
+        for exec in valid_executions(&sb()) {
+            assert!(check_validity(&exec).is_valid());
+        }
+    }
+
+    #[test]
+    fn empty_program_has_one_trivial_execution() {
+        let p = Program::new();
+        let stats = for_each_valid_execution(&p, |exec| {
+            assert!(exec.read_values().is_empty());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(stats.valid, 1);
+    }
+}

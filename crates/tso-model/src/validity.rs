@@ -14,8 +14,8 @@
 //! incremental cycle detection; on success it extracts a [`Witness`] — a
 //! concrete `ghb` linearization demonstrating validity.
 
-use crate::event::EventId;
-use crate::execution::CandidateExecution;
+use crate::event::{Event, EventId};
+use crate::execution::{rmws_of, CandidateExecution};
 use crate::graph::DiGraph;
 
 /// Result of checking one candidate execution.
@@ -66,10 +66,30 @@ impl Witness {
 
 /// One atomicity disjunction: `m →ghb ra  ∨  wa →ghb m`.
 #[derive(Debug, Clone, Copy)]
-struct Disjunct {
+pub(crate) struct Disjunct {
     m: EventId,
     ra: EventId,
     wa: EventId,
+}
+
+/// Collects the atomicity disjunctions of an event list. These depend only
+/// on the events (RMW shapes and atomicity types), not on `rf`/`ws`, so the
+/// search engine computes them once per program.
+pub(crate) fn atomicity_disjuncts(events: &[Event]) -> Vec<Disjunct> {
+    let mut disjuncts = Vec::new();
+    for (_, ra, wa, link) in rmws_of(events) {
+        let ra_addr = events[ra.index()].addr;
+        for e in events {
+            if !e.is_mem() || e.id == ra || e.id == wa {
+                continue;
+            }
+            let same_addr = e.addr == ra_addr;
+            if link.atomicity.forbids_between(e.is_write(), same_addr) {
+                disjuncts.push(Disjunct { m: e.id, ra, wa });
+            }
+        }
+    }
+    disjuncts
 }
 
 /// Checks the validity of a candidate execution.
@@ -86,23 +106,20 @@ pub fn check_validity(exec: &CandidateExecution) -> Validity {
     base.union_with(&exec.ppo_graph());
     base.union_with(&exec.bar_graph());
 
-    // Collect atomicity disjunctions.
-    let mut disjuncts = Vec::new();
-    for (_, ra, wa, link) in exec.rmws() {
-        let ra_addr = exec.event(ra).addr;
-        for e in exec.events() {
-            if !e.is_mem() || e.id == ra || e.id == wa {
-                continue;
-            }
-            let same_addr = e.addr == ra_addr;
-            if link.atomicity.forbids_between(e.is_write(), same_addr) {
-                disjuncts.push(Disjunct { m: e.id, ra, wa });
-            }
-        }
-    }
+    let disjuncts = atomicity_disjuncts(exec.events());
+    solve_ato(exec, base, &disjuncts)
+}
 
+/// Solves the atomicity disjunctions over a prebuilt `com ∪ ppo ∪ bar` base
+/// graph, producing a [`Witness`] on success. The `uniproc` condition must
+/// already have been established by the caller.
+pub(crate) fn solve_ato(
+    exec: &CandidateExecution,
+    mut base: DiGraph,
+    disjuncts: &[Disjunct],
+) -> Validity {
     let mut ato = Vec::new();
-    match solve(&mut base, &disjuncts, 0, &mut ato) {
+    match solve(&mut base, disjuncts, 0, &mut ato) {
         Some(graph) => {
             let order = graph.topo_order().expect("solver returns acyclic graph");
             let ghb: Vec<EventId> = order

@@ -17,12 +17,15 @@ fn verdict(l: &Litmus) -> &'static str {
     }
 }
 
+/// A named paper scenario, parameterized by the RMW atomicity.
+type Scenario = (&'static str, fn(Atomicity) -> Litmus);
+
 fn main() {
     println!("{}", paper::dekker_plain().description);
     let plain = paper::dekker_plain();
     println!("  plain Dekker on TSO: {}\n", verdict(&plain));
 
-    let scenarios: [(&str, fn(Atomicity) -> Litmus); 4] = [
+    let scenarios: [Scenario; 4] = [
         (
             "Fig 4: reads replaced by RMWs",
             paper::dekker_read_replacement,

@@ -162,11 +162,14 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(core::marker::PhantomData)
 }
 
+/// One weighted arm of a [`Union`]: a weight and a boxed generator.
+pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
 /// Weighted choice between boxed strategies; built by [`prop_oneof!`].
 ///
 /// [`prop_oneof!`]: crate::prop_oneof
 pub struct Union<V> {
-    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+    arms: Vec<UnionArm<V>>,
     total_weight: u64,
 }
 
@@ -176,7 +179,7 @@ impl<V> Union<V> {
     /// # Panics
     ///
     /// Panics if all weights are zero.
-    pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>) -> Self {
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
         let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
         assert!(
             total_weight > 0,
