@@ -1,0 +1,56 @@
+//! Criterion bench of the differential harness: single-test check cost on
+//! representative shapes, and batch throughput at 1 vs. N workers on a
+//! fixed corpus slice. `harness_scaling` (the experiment binary) records
+//! the jobs sweep into `BENCH_harness.json`; this bench is the
+//! regression-catching view (`cargo bench --bench harness_throughput`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::{differential_check, run_batch};
+use litmus::{classic, gen, paper, Litmus};
+use std::time::Duration;
+
+fn bench_single_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness_check");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(100));
+    group.sample_size(10);
+    let shapes: Vec<Litmus> = vec![
+        classic::sb(),
+        classic::iriw(),
+        paper::dekker_write_replacement(rmw_types::Atomicity::Type2),
+        gen::two_two_w_ring(5),
+    ];
+    for l in &shapes {
+        group.bench_with_input(BenchmarkId::new("check", &l.name), l, |b, l| {
+            b.iter(|| {
+                let o = differential_check(l);
+                assert!(o.passed(), "{}", o.diagnosis());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness_batch");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(10);
+    // A fixed 48-test slice: hand-written plus the first generated tests.
+    let mut tests: Vec<Litmus> = classic::all();
+    tests.extend(paper::all());
+    tests.extend(gen::generated_corpus(gen::DEFAULT_SEED, 0));
+    tests.truncate(48);
+    for jobs in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let (outcomes, _) = run_batch(&tests, jobs);
+                assert!(outcomes.iter().all(harness::TestOutcome::passed));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_checks, bench_batch);
+criterion_main!(benches);

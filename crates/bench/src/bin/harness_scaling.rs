@@ -1,0 +1,118 @@
+//! Harness scaling sweep: differential corpus throughput vs. worker count,
+//! recorded as `BENCH_harness.json`.
+//!
+//! Runs the full litmus corpus (or the smoke subset) through the
+//! `harness` batch runner at increasing `--jobs`, recording wall-clock,
+//! throughput, and speedup over one worker. Every run must be
+//! differentially clean — any model/simulator disagreement aborts the
+//! sweep with a nonzero exit.
+//!
+//! Usage:
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin harness_scaling [-- --smoke] [--out PATH]
+//! ```
+
+use harness::{full_corpus, run_batch, smoke_filter, SMOKE_CAP};
+use litmus::Litmus;
+use std::fmt::Write as _;
+
+struct Row {
+    jobs: usize,
+    elapsed_ms: f64,
+    tests_per_sec: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_harness.json".to_owned());
+
+    let corpus = full_corpus(litmus::gen::DEFAULT_SEED, litmus::gen::DEFAULT_RANDOM_COUNT);
+    let corpus_total = corpus.len();
+    let mut tests: Vec<Litmus> = if smoke {
+        let mut t: Vec<Litmus> = corpus.into_iter().filter(smoke_filter).collect();
+        t.truncate(SMOKE_CAP);
+        t
+    } else {
+        corpus
+    };
+    // Fixed order for comparable runs.
+    tests.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&j| j == 1 || j <= 2 * hw)
+        .collect();
+
+    println!(
+        "harness_scaling ({}): {} tests, host parallelism {hw}",
+        if smoke { "smoke" } else { "full" },
+        tests.len()
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>9}",
+        "jobs", "elapsed ms", "tests/s", "speedup"
+    );
+    // Untimed warm-up: the process's first batch pays page faults and lazy
+    // init, which would otherwise penalize the jobs=1 row and inflate the
+    // apparent speedup of every later row.
+    let _ = run_batch(&tests[..tests.len().min(32)], 1);
+    let mut rows: Vec<Row> = Vec::new();
+    for &jobs in &sweep {
+        let (outcomes, elapsed) = run_batch(&tests, jobs);
+        if let Some(bad) = outcomes.iter().find(|o| !o.passed()) {
+            eprintln!("ERROR: {}: {}", bad.name, bad.diagnosis());
+            std::process::exit(1);
+        }
+        let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+        let row = Row {
+            jobs,
+            elapsed_ms,
+            tests_per_sec: tests.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        };
+        let speedup = rows.first().map_or(1.0, |r0| r0.elapsed_ms / elapsed_ms);
+        println!(
+            "{:<6} {:>12.1} {:>12.0} {:>8.2}x",
+            row.jobs, row.elapsed_ms, row.tests_per_sec, speedup
+        );
+        rows.push(row);
+    }
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"experiment\": \"harness_scaling\",");
+    let _ = writeln!(s, "  \"paper\": \"conf_pldi_RajaramNSE13\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"corpus_total\": {corpus_total},");
+    let _ = writeln!(s, "  \"selected\": {},", tests.len());
+    let _ = writeln!(s, "  \"host_parallelism\": {hw},");
+    let _ = writeln!(s, "  \"disagreements\": 0,");
+    let _ = writeln!(s, "  \"sweep\": [");
+    let base = rows.first().map_or(0.0, |r| r.elapsed_ms);
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"jobs\": {}, \"elapsed_ms\": {:.3}, \"tests_per_sec\": {:.1}, \
+             \"speedup_vs_jobs1\": {:.3}}}{comma}",
+            r.jobs,
+            r.elapsed_ms,
+            r.tests_per_sec,
+            base / r.elapsed_ms.max(1e-6)
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    std::fs::write(&out_path, &s).expect("write BENCH_harness.json");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,155 @@
+//! `litmus_run` — the parallel differential litmus harness CLI.
+//!
+//! Runs the full 500+ test corpus (hand-written classic + paper tests,
+//! generated families, seeded random programs) through the axiomatic model
+//! and the timing simulator under all three RMW atomicities, and reports
+//! any disagreement.
+//!
+//! ```console
+//! $ cargo run --release -p harness --bin litmus_run -- [FLAGS]
+//! ```
+//!
+//! Flags:
+//!
+//! * `--filter SUBSTR` — run only tests whose name contains `SUBSTR`;
+//! * `--jobs N` — worker threads (default: available parallelism);
+//! * `--smoke` — small-program subset (capped), for CI; the reported
+//!   `corpus_total` still counts the full corpus;
+//! * `--format summary|json|tap` — output format (default `summary`);
+//! * `--out PATH` — also write the chosen format to `PATH`;
+//! * `--seed N` / `--random N` — corpus generation knobs;
+//! * `--no-baseline` — skip the `--jobs 1` reference run that the speedup
+//!   figure in the JSON report is computed from.
+//!
+//! Exit status is nonzero if any test fails either check.
+
+use harness::{full_corpus, run_batch, smoke_filter, Report, SMOKE_CAP};
+
+struct Args {
+    filter: Option<String>,
+    jobs: usize,
+    smoke: bool,
+    format: String,
+    out: Option<String>,
+    seed: u64,
+    random: usize,
+    baseline: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] \
+         [--format summary|json|tap] [--out PATH] [--seed N] [--random N] [--no-baseline]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        filter: None,
+        jobs: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        smoke: false,
+        format: "summary".to_owned(),
+        out: None,
+        seed: litmus::gen::DEFAULT_SEED,
+        random: litmus::gen::DEFAULT_RANDOM_COUNT,
+        baseline: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--filter" => args.filter = Some(value("--filter")),
+            "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--smoke" => args.smoke = true,
+            "--format" => args.format = value("--format"),
+            "--out" => args.out = Some(value("--out")),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--random" => args.random = value("--random").parse().unwrap_or_else(|_| usage()),
+            "--no-baseline" => args.baseline = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if !matches!(args.format.as_str(), "summary" | "json" | "tap") {
+        eprintln!("unknown format {:?}", args.format);
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let corpus = full_corpus(args.seed, args.random);
+    let corpus_total = corpus.len();
+    let mut selected: Vec<litmus::Litmus> = corpus
+        .into_iter()
+        .filter(|l| args.filter.as_deref().map_or(true, |f| l.name.contains(f)))
+        .filter(|l| !args.smoke || smoke_filter(l))
+        .collect();
+    if args.smoke {
+        selected.truncate(SMOKE_CAP);
+    }
+    eprintln!(
+        "litmus_run: corpus {corpus_total} tests, running {} on {} jobs{}",
+        selected.len(),
+        args.jobs,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    // An untimed warm-up slice first: the first batch of a process pays
+    // page faults, allocator growth, and lazy init, which would otherwise
+    // inflate whichever timed run goes first and bias the speedup figure.
+    let warmup = selected.len().min(32);
+    let _ = run_batch(&selected[..warmup], args.jobs.max(1));
+    // Then the jobs-1 reference run and the measured parallel run, both
+    // warm and over identical work, so the ratio is a clean scaling figure.
+    let baseline_jobs1_ms = (args.baseline && args.jobs > 1).then(|| {
+        let (_, elapsed) = run_batch(&selected, 1);
+        elapsed.as_secs_f64() * 1e3
+    });
+    let (outcomes, elapsed) = run_batch(&selected, args.jobs);
+    let report = Report {
+        outcomes,
+        corpus_total,
+        jobs: args.jobs,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        baseline_jobs1_ms,
+    };
+
+    let rendered = match args.format.as_str() {
+        "json" => report.to_json(),
+        "tap" => report.to_tap(),
+        _ => format!("{}\n", report.summary()),
+    };
+    print!("{rendered}");
+    if args.format.as_str() != "summary" {
+        eprintln!("{}", report.summary());
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, &rendered).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if !report.passed() {
+        for o in report.outcomes.iter().filter(|o| !o.passed()) {
+            eprintln!("FAIL {}: {}", o.name, o.diagnosis());
+            if let Some(d) = &o.failure_detail {
+                eprintln!("{d}");
+            }
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Parallel differential litmus harness.
+//!
+//! Every litmus test is run two ways and the results are compared:
+//!
+//! 1. **Model verdict** — [`Litmus::check`] on the streaming axiomatic
+//!    search, against the test's expectation (with a witness execution
+//!    attached to any failure);
+//! 2. **Differential check** — for each of the three RMW atomicities, the
+//!    program is rewritten to that atomicity
+//!    ([`Program::with_atomicity`](tso_model::Program::with_atomicity)),
+//!    lowered onto simulator traces ([`tso_sim::lower()`]), executed on the
+//!    timing machine configured to match, and the simulator's outcome
+//!    (read values *and* final memory) must be in the model's allowed set.
+//!
+//! The batch runner ([`run_batch`]) distributes tests over a pool of
+//! worker threads pulling indices from a shared channel-fed queue — an
+//! idle worker steals the next test the moment it frees up, so long-tail
+//! tests don't serialize the batch. Results stream back over a second
+//! channel and are reassembled in corpus order.
+//!
+//! The `litmus_run` binary wraps this in a CLI with `--filter`, `--jobs`,
+//! `--smoke`, and `--format json|tap|summary`; see `README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use litmus::{classic, gen, paper, Expect, Litmus};
+use rmw_types::{Atomicity, Value};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tso_model::allowed_outcomes;
+use tso_sim::{lower_with_line_size, sim_addr, Machine, SimConfig};
+
+pub mod report;
+
+pub use report::Report;
+
+/// One atomicity's differential comparison for one test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffOutcome {
+    /// The machine-wide RMW atomicity the simulator ran with.
+    pub atomicity: Atomicity,
+    /// True iff the simulator completed without deadlock and its outcome
+    /// (reads and final memory) is in the model's allowed set.
+    pub agreed: bool,
+    /// The simulator hit the deadlock detector.
+    pub deadlocked: bool,
+    /// The simulator's read values, in `(thread, po)` order.
+    pub sim_reads: Vec<Value>,
+}
+
+/// The full result of running one litmus test through the harness.
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// Test name.
+    pub name: String,
+    /// The test's expectation.
+    pub expect: Expect,
+    /// Whether the model observed the target outcome.
+    pub observed_allowed: bool,
+    /// Model verdict matched the expectation.
+    pub model_passed: bool,
+    /// Human-readable failure report (with witness execution) when the
+    /// model verdict failed.
+    pub failure_detail: Option<String>,
+    /// Differential comparison per atomicity (type-1, type-2, type-3).
+    pub differential: Vec<DiffOutcome>,
+    /// Wall-clock microseconds this test took (model + 3 sim runs).
+    pub micros: u64,
+}
+
+impl TestOutcome {
+    /// True iff the model verdict passed and every atomicity agreed.
+    pub fn passed(&self) -> bool {
+        self.model_passed && self.differential.iter().all(|d| d.agreed)
+    }
+
+    /// Short diagnosis for TAP/JSON failure lines.
+    pub fn diagnosis(&self) -> String {
+        if self.passed() {
+            return String::new();
+        }
+        let mut parts = Vec::new();
+        if !self.model_passed {
+            parts.push(format!(
+                "model: expected {}, observed allowed={}",
+                self.expect, self.observed_allowed
+            ));
+        }
+        for d in &self.differential {
+            if !d.agreed {
+                parts.push(format!(
+                    "sim {} {}: reads {:?} not allowed by the model",
+                    d.atomicity,
+                    if d.deadlocked {
+                        "deadlocked"
+                    } else {
+                        "disagreed"
+                    },
+                    d.sim_reads
+                ));
+            }
+        }
+        parts.join("; ")
+    }
+}
+
+/// Runs one litmus test: model verdict plus the three-atomicity
+/// differential comparison against the simulator.
+pub fn differential_check(l: &Litmus) -> TestOutcome {
+    let started = Instant::now();
+    let check = l.check();
+    let failure_detail = (!check.passed).then(|| check.report());
+
+    let mut differential = Vec::with_capacity(Atomicity::ALL.len());
+    for atomicity in Atomicity::ALL {
+        let prog = l.program.with_atomicity(atomicity);
+        let mut cfg = SimConfig::small(prog.num_threads().max(1));
+        cfg.rmw_atomicity = atomicity;
+        let line_size = cfg.line_size;
+        let result = Machine::new(cfg, lower_with_line_size(&prog, line_size)).run();
+        let sim_reads: Vec<Value> = result.reads.iter().flatten().copied().collect();
+        let agreed = !result.deadlocked && {
+            let allowed = allowed_outcomes(&prog);
+            allowed.iter().any(|o| {
+                o.read_values() == sim_reads
+                    && o.final_memory().iter().all(|(&a, &v)| {
+                        result
+                            .memory
+                            .get(&sim_addr(a, line_size))
+                            .copied()
+                            .unwrap_or(0)
+                            == v
+                    })
+            })
+        };
+        differential.push(DiffOutcome {
+            atomicity,
+            agreed,
+            deadlocked: result.deadlocked,
+            sim_reads,
+        });
+    }
+
+    TestOutcome {
+        name: l.name.clone(),
+        expect: l.expect,
+        observed_allowed: check.observed_allowed,
+        model_passed: check.passed,
+        failure_detail,
+        differential,
+        micros: started.elapsed().as_micros() as u64,
+    }
+}
+
+/// The full corpus the harness runs: the hand-written classic and paper
+/// tests followed by the generated families and `random_count` seeded
+/// random tests.
+pub fn full_corpus(seed: u64, random_count: usize) -> Vec<Litmus> {
+    let mut tests: Vec<Litmus> = classic::all();
+    tests.extend(paper::all());
+    tests.extend(gen::generated_corpus(seed, random_count));
+    tests
+}
+
+/// Maximum number of tests a `--smoke` run executes.
+pub const SMOKE_CAP: usize = 250;
+
+/// Whether a test is in the `--smoke` subset: small programs only, capped
+/// at [`SMOKE_CAP`] tests by the caller. The *reported* corpus size always
+/// refers to the full corpus, so CI can enforce the 500-test floor even on
+/// smoke runs.
+pub fn smoke_filter(l: &Litmus) -> bool {
+    l.program.num_instrs() <= 6 && l.program.num_threads() <= 4
+}
+
+/// Runs `tests` on `jobs` worker threads (a shared channel-fed queue; idle
+/// workers pull the next index, so stragglers never serialize the batch).
+/// Returns per-test outcomes in input order plus the batch wall-clock.
+pub fn run_batch(tests: &[Litmus], jobs: usize) -> (Vec<TestOutcome>, Duration) {
+    let jobs = jobs.max(1).min(tests.len().max(1));
+    let started = Instant::now();
+    let (job_tx, job_rx) = mpsc::channel::<usize>();
+    for i in 0..tests.len() {
+        job_tx.send(i).expect("queue accepts all indices");
+    }
+    drop(job_tx);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (res_tx, res_rx) = mpsc::channel::<(usize, TestOutcome)>();
+    let mut slots: Vec<Option<TestOutcome>> = tests.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            scope.spawn(move || loop {
+                // Take the lock only to pop the next index; the check runs
+                // with the queue free for the other workers.
+                let idx = match job_rx.lock().expect("job queue lock").recv() {
+                    Ok(i) => i,
+                    Err(_) => break, // queue drained
+                };
+                if res_tx.send((idx, differential_check(&tests[idx]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+        for (idx, outcome) in res_rx {
+            slots[idx] = Some(outcome);
+        }
+    });
+    let outcomes = slots
+        .into_iter()
+        .map(|o| o.expect("every queued test reports back"))
+        .collect();
+    (outcomes, started.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_corpus_is_differentially_clean() {
+        let tests = classic::all();
+        let (outcomes, _) = run_batch(&tests, 2);
+        assert_eq!(outcomes.len(), tests.len());
+        for (t, o) in tests.iter().zip(&outcomes) {
+            assert_eq!(t.name, o.name, "outcomes come back in corpus order");
+            assert!(o.passed(), "{}: {}", o.name, o.diagnosis());
+            assert_eq!(o.differential.len(), 3);
+        }
+    }
+
+    #[test]
+    fn paper_corpus_is_differentially_clean() {
+        let (outcomes, _) = run_batch(&paper::all(), 4);
+        for o in &outcomes {
+            assert!(o.passed(), "{}: {}", o.name, o.diagnosis());
+        }
+    }
+
+    #[test]
+    fn jobs_zero_and_oversubscription_are_clamped() {
+        let tests = vec![classic::sb(), classic::mp()];
+        let (a, _) = run_batch(&tests, 0);
+        let (b, _) = run_batch(&tests, 64);
+        assert!(a.iter().all(TestOutcome::passed));
+        assert!(b.iter().all(TestOutcome::passed));
+    }
+
+    #[test]
+    fn a_wrong_expectation_is_reported_with_its_witness() {
+        let mut broken = classic::sb();
+        broken.expect = Expect::Forbidden;
+        let o = differential_check(&broken);
+        assert!(!o.passed());
+        assert!(!o.model_passed);
+        let detail = o.failure_detail.as_deref().expect("failure carries detail");
+        assert!(detail.contains("witness execution"), "witness in: {detail}");
+        assert!(o.diagnosis().contains("expected forbidden"));
+        // The differential side is still clean — the simulator is not wrong
+        // just because the expectation was.
+        assert!(o.differential.iter().all(|d| d.agreed));
+    }
+
+    #[test]
+    fn smoke_filter_keeps_the_small_shapes() {
+        assert!(smoke_filter(&classic::sb()));
+        assert!(!smoke_filter(&litmus::gen::sb_ring(6)));
+    }
+}

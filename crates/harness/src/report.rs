@@ -1,0 +1,252 @@
+//! Harness reports: aggregation plus JSON, TAP, and human summaries.
+
+use crate::TestOutcome;
+use std::fmt::Write as _;
+
+/// Aggregated result of one harness run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-test outcomes, in corpus order.
+    pub outcomes: Vec<TestOutcome>,
+    /// Size of the *full* corpus (before `--filter`/`--smoke` selection) —
+    /// CI enforces the 500-test floor on this number.
+    pub corpus_total: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Batch wall-clock in milliseconds at `jobs` workers.
+    pub elapsed_ms: f64,
+    /// Wall-clock of the same selection at one worker, when measured.
+    pub baseline_jobs1_ms: Option<f64>,
+}
+
+impl Report {
+    /// Number of tests executed.
+    pub fn selected(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Tests whose model verdict contradicted the expectation.
+    pub fn model_failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.model_passed).count()
+    }
+
+    /// (test, atomicity) pairs where the simulator left the model's
+    /// allowed set.
+    pub fn disagreements(&self) -> usize {
+        self.outcomes
+            .iter()
+            .flat_map(|o| &o.differential)
+            .filter(|d| !d.agreed)
+            .count()
+    }
+
+    /// Simulator deadlocks observed.
+    pub fn deadlocks(&self) -> usize {
+        self.outcomes
+            .iter()
+            .flat_map(|o| &o.differential)
+            .filter(|d| d.deadlocked)
+            .count()
+    }
+
+    /// True iff every test passed both the model and differential checks.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(TestOutcome::passed)
+    }
+
+    /// Executed tests per second at `jobs` workers.
+    pub fn tests_per_sec(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            0.0
+        } else {
+            self.selected() as f64 / (self.elapsed_ms / 1e3)
+        }
+    }
+
+    /// Measured speedup of `jobs` workers over one worker, when a baseline
+    /// was run.
+    pub fn speedup_vs_jobs1(&self) -> Option<f64> {
+        self.baseline_jobs1_ms
+            .map(|b| b / self.elapsed_ms.max(1e-6))
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "litmus_run: {}/{} passed ({} model failures, {} sim disagreements, {} deadlocks) \
+             in {:.1} ms on {} jobs ({:.0} tests/s)",
+            self.outcomes.iter().filter(|o| o.passed()).count(),
+            self.selected(),
+            self.model_failures(),
+            self.disagreements(),
+            self.deadlocks(),
+            self.elapsed_ms,
+            self.jobs,
+            self.tests_per_sec(),
+        );
+        if let Some(sp) = self.speedup_vs_jobs1() {
+            let _ = write!(s, "; {sp:.2}x vs --jobs 1");
+        }
+        s
+    }
+
+    /// The full report as JSON (hand-rolled — the build is hermetic, no
+    /// serde). Failures carry their diagnosis; passing tests are counted,
+    /// not listed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"experiment\": \"litmus_harness\",");
+        let _ = writeln!(s, "  \"paper\": \"conf_pldi_RajaramNSE13\",");
+        let _ = writeln!(s, "  \"corpus_total\": {},", self.corpus_total);
+        let _ = writeln!(s, "  \"selected\": {},", self.selected());
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"elapsed_ms\": {:.3},", self.elapsed_ms);
+        let _ = writeln!(s, "  \"tests_per_sec\": {:.1},", self.tests_per_sec());
+        match (self.baseline_jobs1_ms, self.speedup_vs_jobs1()) {
+            (Some(b), Some(sp)) => {
+                let _ = writeln!(s, "  \"baseline_jobs1_ms\": {b:.3},");
+                let _ = writeln!(s, "  \"speedup_vs_jobs1\": {sp:.3},");
+            }
+            _ => {
+                let _ = writeln!(s, "  \"baseline_jobs1_ms\": null,");
+                let _ = writeln!(s, "  \"speedup_vs_jobs1\": null,");
+            }
+        }
+        let _ = writeln!(s, "  \"model_failures\": {},", self.model_failures());
+        let _ = writeln!(
+            s,
+            "  \"differential_disagreements\": {},",
+            self.disagreements()
+        );
+        let _ = writeln!(s, "  \"deadlocks\": {},", self.deadlocks());
+        let _ = writeln!(s, "  \"passed\": {},", self.passed());
+        let _ = writeln!(s, "  \"failures\": [");
+        let failures: Vec<&TestOutcome> = self.outcomes.iter().filter(|o| !o.passed()).collect();
+        for (i, o) in failures.iter().enumerate() {
+            let comma = if i + 1 < failures.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"diagnosis\": \"{}\"}}{comma}",
+                json_escape(&o.name),
+                json_escape(&o.diagnosis())
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// The run as TAP (Test Anything Protocol) version 13.
+    pub fn to_tap(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "TAP version 13");
+        let _ = writeln!(s, "1..{}", self.selected());
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if o.passed() {
+                let _ = writeln!(s, "ok {} - {}", i + 1, o.name);
+            } else {
+                let _ = writeln!(s, "not ok {} - {} # {}", i + 1, o.name, o.diagnosis());
+            }
+        }
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_batch;
+    use litmus::classic;
+
+    fn small_report() -> Report {
+        let tests = vec![classic::sb(), classic::mp()];
+        let (outcomes, elapsed) = run_batch(&tests, 2);
+        Report {
+            outcomes,
+            corpus_total: 2,
+            jobs: 2,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            baseline_jobs1_ms: Some(10.0),
+        }
+    }
+
+    #[test]
+    fn json_has_the_contracted_fields() {
+        let r = small_report();
+        let j = r.to_json();
+        for key in [
+            "\"experiment\": \"litmus_harness\"",
+            "\"corpus_total\": 2",
+            "\"selected\": 2",
+            "\"jobs\": 2",
+            "\"speedup_vs_jobs1\"",
+            "\"differential_disagreements\": 0",
+            "\"passed\": true",
+            "\"failures\": [",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn tap_output_is_well_formed() {
+        let r = small_report();
+        let tap = r.to_tap();
+        assert!(tap.starts_with("TAP version 13\n1..2\n"));
+        assert!(tap.contains("ok 1 - SB"));
+        assert!(tap.contains("ok 2 - MP"));
+        assert!(!tap.contains("not ok"));
+    }
+
+    #[test]
+    fn failures_show_up_in_json_and_tap() {
+        let mut broken = classic::sb();
+        broken.expect = litmus::Expect::Forbidden;
+        let (outcomes, elapsed) = run_batch(&[broken], 1);
+        let r = Report {
+            outcomes,
+            corpus_total: 1,
+            jobs: 1,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            baseline_jobs1_ms: None,
+        };
+        assert!(!r.passed());
+        assert_eq!(r.model_failures(), 1);
+        assert!(r.to_json().contains("\"passed\": false"));
+        assert!(r
+            .to_tap()
+            .contains("not ok 1 - SB # model: expected forbidden"));
+        assert!(r.to_json().contains("\"baseline_jobs1_ms\": null"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn summary_mentions_speedup_when_measured() {
+        let r = small_report();
+        assert!(r.summary().contains("vs --jobs 1"));
+        assert!(r.speedup_vs_jobs1().is_some());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based differential tests:
+//!
+//! 1. for random well-formed programs, the deterministic simulator outcome
+//!    under each of the three atomicities is in the axiomatic model's
+//!    allowed set (reads *and* final memory);
+//! 2. the litmus text format's `parse ∘ print` is the identity on
+//!    generated tests.
+//!
+//! Programs are drawn through `litmus::gen`'s seeded generator (the same
+//! one the corpus uses), so proptest only has to supply seeds.
+
+use litmus::{fmt, gen};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmw_types::{Atomicity, Value};
+use tso_model::allowed_outcomes;
+use tso_sim::{lower_with_line_size, sim_addr, Machine, SimConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every deterministic simulator run is a model-allowed TSO behaviour,
+    /// under all three RMW atomicities.
+    #[test]
+    fn sim_outcome_is_model_allowed(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = gen::random_program(&mut rng);
+        for atomicity in Atomicity::ALL {
+            let p = program.with_atomicity(atomicity);
+            let mut cfg = SimConfig::small(p.num_threads().max(1));
+            cfg.rmw_atomicity = atomicity;
+            let line_size = cfg.line_size;
+            let result = Machine::new(cfg, lower_with_line_size(&p, line_size)).run();
+            prop_assert!(!result.deadlocked, "{atomicity}: deadlock on seed {seed}");
+            let sim_reads: Vec<Value> = result.reads.iter().flatten().copied().collect();
+            let allowed = allowed_outcomes(&p);
+            prop_assert!(
+                allowed.iter().any(|o| {
+                    o.read_values() == sim_reads
+                        && o.final_memory().iter().all(|(&a, &v)| {
+                            result.memory.get(&sim_addr(a, line_size)).copied().unwrap_or(0) == v
+                        })
+                }),
+                "{atomicity}, seed {seed}: sim outcome {sim_reads:?} not in model set {:?}",
+                allowed.iter().map(|o| o.read_values()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// `parse(print(t)) == t` and the reprint is byte-identical, for
+    /// generated litmus tests (random programs, targets, verdicts).
+    #[test]
+    fn fmt_parse_print_is_identity_on_generated_tests(
+        seed in 0u64..1_000_000,
+        index in 0usize..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = gen::random_litmus(&mut rng, index);
+        let printed = fmt::print(&t);
+        let reparsed = fmt::parse(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &t, "structural round trip, seed {}", seed);
+        prop_assert_eq!(fmt::print(&reparsed), printed, "byte round trip, seed {}", seed);
+    }
+
+    /// The generated-family corpus entries also survive the text format —
+    /// including names with spaces and every atomicity spelling.
+    #[test]
+    fn fmt_round_trips_the_family_corpus(n in 2usize..6) {
+        for t in [
+            gen::sb_ring(n),
+            gen::mp_chain(n),
+            gen::lb_ring(n),
+            gen::two_two_w_ring(n),
+            gen::dekker_rounds(2, 1, Atomicity::Type2, gen::DekkerFlavor::WriteReplacement),
+        ] {
+            let printed = fmt::print(&t);
+            prop_assert_eq!(&fmt::parse(&printed).expect("parses"), &t);
+        }
+    }
+}

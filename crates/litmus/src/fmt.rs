@@ -1,0 +1,525 @@
+//! A diy/litmus7-inspired text format for litmus tests, with a
+//! pretty-printer and parser that are exact inverses of each other.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! litmus "SB"
+//! desc "store buffering: both reads may see 0 on TSO"
+//! thread P0:
+//!   w x 1
+//!   r y
+//! thread P1:
+//!   w y 1
+//!   r x
+//! exists r0=0 /\ r1=0
+//! expect allowed
+//! ```
+//!
+//! * `litmus "NAME"` / `desc "TEXT"` — quoted strings with `\"`, `\\`,
+//!   `\n`, `\r`, and `\t` escapes;
+//! * `thread Pk:` — threads must appear as `P0, P1, ...` in order, each
+//!   followed by one two-space-indented instruction per line:
+//!   `r <loc>`, `w <loc> <val>`, `rmw <loc> <kind> <atomicity>`, `fence`.
+//!   Locations use the conventional litmus names (`x y z a b c`, `locN`
+//!   beyond); RMW kinds are spelled as their [`RmwKind`] display form
+//!   (`TAS`, `FAA(k)`, `CAS(e,n)`, `XCHG(v)`); atomicities are `type-1`,
+//!   `type-2`, `type-3`;
+//! * `exists` — the target outcome, a conjunction `rI=V /\ rJ=W /\ ...`
+//!   over global read indices in `(thread, po)` order (RMW reads
+//!   included), or the literal `true` for the empty conjunction;
+//! * `expect allowed` / `expect forbidden` — the verdict.
+//!
+//! **Round-trip guarantees** (enforced by tests over the whole classic and
+//! paper corpora, and property-tested over generated corpora):
+//! `parse(print(t)) == t` for every test `t`, and `print(parse(s)) == s`
+//! for every string `s` the printer emits — i.e. printed tests survive a
+//! parse byte-for-byte.
+//!
+//! [`RmwKind`]: rmw_types::RmwKind
+
+use crate::{Expect, Litmus, Target};
+use rmw_types::{Addr, Atomicity, RmwKind, Value};
+use tso_model::{Instr, Program};
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the parsed string.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    // Newline/CR/tab must be escaped too: the format is line-oriented, so a
+    // raw control character in a name would split the quoted header across
+    // lines and break the parse∘print identity.
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str, line: usize) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                other => return err(line, format!("bad escape: \\{other:?}")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Renders an address with the conventional litmus location names.
+fn loc(a: Addr) -> String {
+    a.name()
+}
+
+fn instr_line(i: Instr) -> String {
+    match i {
+        Instr::Read(a) => format!("  r {}", loc(a)),
+        Instr::Write(a, v) => format!("  w {} {v}", loc(a)),
+        Instr::Rmw {
+            addr,
+            kind,
+            atomicity,
+        } => format!("  rmw {} {kind} {atomicity}", loc(addr)),
+        Instr::Fence => "  fence".to_owned(),
+    }
+}
+
+/// Pretty-prints one litmus test in the text format. The output always ends
+/// with a newline and never contains blank lines, so tests can be
+/// concatenated with one blank separator line (see [`print_corpus`]).
+pub fn print(l: &Litmus) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "litmus \"{}\"", escape(&l.name));
+    let _ = writeln!(s, "desc \"{}\"", escape(&l.description));
+    for (tid, instrs) in l.program.iter() {
+        let _ = writeln!(s, "thread {tid}:");
+        for &i in instrs {
+            let _ = writeln!(s, "{}", instr_line(i));
+        }
+    }
+    let target = if l.target.0.is_empty() {
+        "true".to_owned()
+    } else {
+        l.target
+            .0
+            .iter()
+            .map(|(i, v)| format!("r{i}={v}"))
+            .collect::<Vec<_>>()
+            .join(" /\\ ")
+    };
+    let _ = writeln!(s, "exists {target}");
+    let _ = writeln!(s, "expect {}", l.expect);
+    s
+}
+
+/// Prints a corpus as blank-line-separated tests.
+pub fn print_corpus(tests: &[Litmus]) -> String {
+    tests.iter().map(print).collect::<Vec<_>>().join("\n")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_loc(tok: &str, line: usize) -> Result<Addr, ParseError> {
+    const NAMES: [&str; 6] = ["x", "y", "z", "a", "b", "c"];
+    if let Some(i) = NAMES.iter().position(|&n| n == tok) {
+        return Ok(Addr(i as u64));
+    }
+    if let Some(n) = tok.strip_prefix("loc") {
+        if let Ok(v) = n.parse::<u64>() {
+            return Ok(Addr(v));
+        }
+    }
+    err(line, format!("unknown location {tok:?}"))
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<Value, ParseError> {
+    tok.parse::<Value>().map_err(|_| ParseError {
+        line,
+        msg: format!("bad value {tok:?}"),
+    })
+}
+
+fn parse_rmw_kind(tok: &str, line: usize) -> Result<RmwKind, ParseError> {
+    if tok == "TAS" {
+        return Ok(RmwKind::TestAndSet);
+    }
+    let args_of = |prefix: &str| -> Option<&str> {
+        tok.strip_prefix(prefix)?
+            .strip_prefix('(')?
+            .strip_suffix(')')
+    };
+    if let Some(a) = args_of("FAA") {
+        return Ok(RmwKind::FetchAndAdd(parse_value(a, line)?));
+    }
+    if let Some(a) = args_of("XCHG") {
+        return Ok(RmwKind::Exchange(parse_value(a, line)?));
+    }
+    if let Some(a) = args_of("CAS") {
+        if let Some((e, n)) = a.split_once(',') {
+            return Ok(RmwKind::CompareAndSwap {
+                expected: parse_value(e, line)?,
+                new: parse_value(n, line)?,
+            });
+        }
+    }
+    err(line, format!("unknown RMW kind {tok:?}"))
+}
+
+fn parse_atomicity(tok: &str, line: usize) -> Result<Atomicity, ParseError> {
+    match tok {
+        "type-1" => Ok(Atomicity::Type1),
+        "type-2" => Ok(Atomicity::Type2),
+        "type-3" => Ok(Atomicity::Type3),
+        _ => err(line, format!("unknown atomicity {tok:?}")),
+    }
+}
+
+fn parse_instr(body: &str, line: usize) -> Result<Instr, ParseError> {
+    let toks: Vec<&str> = body.split_whitespace().collect();
+    match toks.as_slice() {
+        ["r", l] => Ok(Instr::Read(parse_loc(l, line)?)),
+        ["w", l, v] => Ok(Instr::Write(parse_loc(l, line)?, parse_value(v, line)?)),
+        ["rmw", l, k, a] => Ok(Instr::Rmw {
+            addr: parse_loc(l, line)?,
+            kind: parse_rmw_kind(k, line)?,
+            atomicity: parse_atomicity(a, line)?,
+        }),
+        ["fence"] => Ok(Instr::Fence),
+        _ => err(line, format!("unparseable instruction {body:?}")),
+    }
+}
+
+/// Parses a `"..."` string (the whole remainder of a header line).
+fn parse_quoted(rest: &str, line: usize) -> Result<String, ParseError> {
+    let inner = rest
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or(ParseError {
+            line,
+            msg: format!("expected a quoted string, got {rest:?}"),
+        })?;
+    // Reject an interior unescaped quote (e.g. `"a" trailing "b"`).
+    let mut prev_backslash = false;
+    for c in inner.chars() {
+        if c == '"' && !prev_backslash {
+            return err(line, "unescaped quote inside string");
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    unescape(inner, line)
+}
+
+fn parse_target(rest: &str, line: usize) -> Result<Target, ParseError> {
+    if rest == "true" {
+        return Ok(Target(Vec::new()));
+    }
+    let mut constraints = Vec::new();
+    for part in rest.split(" /\\ ") {
+        let Some((idx, val)) = part.split_once('=') else {
+            return err(line, format!("bad constraint {part:?}"));
+        };
+        let Some(idx) = idx.strip_prefix('r') else {
+            return err(line, format!("constraint must start with r: {part:?}"));
+        };
+        let idx: usize = idx.parse().map_err(|_| ParseError {
+            line,
+            msg: format!("bad read index in {part:?}"),
+        })?;
+        constraints.push((idx, parse_value(val, line)?));
+    }
+    Ok(Target(constraints))
+}
+
+/// Parses one litmus test. Leading/trailing blank lines are ignored;
+/// everything else must follow the grammar in the module docs.
+pub fn parse(input: &str) -> Result<Litmus, ParseError> {
+    let mut name = None;
+    let mut desc = None;
+    let mut threads: Vec<Vec<Instr>> = Vec::new();
+    let mut target = None;
+    let mut expect = None;
+
+    for (ln, raw) in input.lines().enumerate() {
+        let line = ln + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        if let Some(body) = raw.strip_prefix("  ") {
+            let Some(current) = threads.last_mut() else {
+                return err(line, "instruction before any thread header");
+            };
+            if target.is_some() {
+                return err(line, "instruction after the exists clause");
+            }
+            current.push(parse_instr(body, line)?);
+        } else if let Some(rest) = raw.strip_prefix("litmus ") {
+            if name.replace(parse_quoted(rest, line)?).is_some() {
+                return err(line, "duplicate litmus header");
+            }
+        } else if let Some(rest) = raw.strip_prefix("desc ") {
+            if desc.replace(parse_quoted(rest, line)?).is_some() {
+                return err(line, "duplicate desc header");
+            }
+        } else if let Some(rest) = raw.strip_prefix("thread ") {
+            let Some(id) = rest.strip_suffix(':') else {
+                return err(line, "thread header must end with ':'");
+            };
+            let expected = format!("P{}", threads.len());
+            if id != expected {
+                return err(line, format!("expected thread {expected}, got {id}"));
+            }
+            threads.push(Vec::new());
+        } else if let Some(rest) = raw.strip_prefix("exists ") {
+            if target.replace(parse_target(rest, line)?).is_some() {
+                return err(line, "duplicate exists clause");
+            }
+        } else if let Some(rest) = raw.strip_prefix("expect ") {
+            let e = match rest {
+                "allowed" => Expect::Allowed,
+                "forbidden" => Expect::Forbidden,
+                _ => {
+                    return err(
+                        line,
+                        format!("expect must be allowed|forbidden, got {rest:?}"),
+                    )
+                }
+            };
+            if expect.replace(e).is_some() {
+                return err(line, "duplicate expect clause");
+            }
+        } else {
+            return err(line, format!("unrecognized line {raw:?}"));
+        }
+    }
+
+    let last = input.lines().count();
+    let Some(name) = name else {
+        return err(last, "missing litmus header");
+    };
+    let Some(target) = target else {
+        return err(last, "missing exists clause");
+    };
+    let Some(expect) = expect else {
+        return err(last, "missing expect clause");
+    };
+    let mut program = Program::new();
+    for t in threads {
+        program.add_thread(t);
+    }
+    let num_reads = program.num_reads();
+    if let Some(&(idx, _)) = target.0.iter().find(|&&(i, _)| i >= num_reads) {
+        return err(
+            last,
+            format!("exists references read r{idx}, but the program has {num_reads} reads"),
+        );
+    }
+    Ok(Litmus {
+        name,
+        description: desc.unwrap_or_default(),
+        program,
+        target,
+        expect,
+    })
+}
+
+/// Parses a blank-line-separated corpus (the inverse of [`print_corpus`]).
+/// Tests are delimited by their `litmus` header lines.
+pub fn parse_corpus(input: &str) -> Result<Vec<Litmus>, ParseError> {
+    let mut blocks: Vec<(usize, String)> = Vec::new();
+    for (ln, raw) in input.lines().enumerate() {
+        if raw.starts_with("litmus ") {
+            blocks.push((ln, String::new()));
+        }
+        if let Some((_, block)) = blocks.last_mut() {
+            block.push_str(raw);
+            block.push('\n');
+        } else if !raw.trim().is_empty() {
+            return err(ln + 1, "content before the first litmus header");
+        }
+    }
+    blocks
+        .into_iter()
+        .map(|(offset, block)| {
+            parse(&block).map_err(|e| ParseError {
+                line: e.line + offset,
+                msg: e.msg,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{classic, paper};
+
+    fn round_trip(t: &Litmus) {
+        let printed = print(t);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", t.name));
+        assert_eq!(&reparsed, t, "structural round trip for {}", t.name);
+        assert_eq!(
+            print(&reparsed),
+            printed,
+            "byte-for-byte round trip for {}",
+            t.name
+        );
+    }
+
+    #[test]
+    fn classic_corpus_round_trips() {
+        for t in classic::all() {
+            round_trip(&t);
+        }
+    }
+
+    #[test]
+    fn paper_corpus_round_trips() {
+        for t in paper::all() {
+            round_trip(&t);
+        }
+    }
+
+    #[test]
+    fn corpus_printing_round_trips() {
+        let tests: Vec<Litmus> = classic::all().into_iter().chain(paper::all()).collect();
+        let printed = print_corpus(&tests);
+        let reparsed = parse_corpus(&printed).expect("corpus parses");
+        assert_eq!(reparsed, tests);
+        assert_eq!(print_corpus(&reparsed), printed);
+    }
+
+    #[test]
+    fn printed_sb_matches_the_documented_grammar() {
+        let s = print(&classic::sb());
+        let expect = "litmus \"SB\"\n\
+             desc \"store buffering: both reads may see 0 on TSO\"\n\
+             thread P0:\n  w x 1\n  r y\n\
+             thread P1:\n  w y 1\n  r x\n\
+             exists r0=0 /\\ r1=0\n\
+             expect allowed\n";
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn all_instruction_forms_round_trip() {
+        let src = "litmus \"kinds\"\n\
+             desc \"every instruction and RMW kind\"\n\
+             thread P0:\n  w x 1\n  fence\n  r y\n\
+             thread P1:\n  rmw x TAS type-1\n  rmw y FAA(2) type-2\n\
+             thread P2:\n  rmw z CAS(0,5) type-3\n  rmw loc9 XCHG(7) type-1\n\
+             exists r2=1\n\
+             expect forbidden\n";
+        let t = parse(src).expect("parses");
+        assert_eq!(print(&t), src);
+        assert_eq!(t.program.num_threads(), 3);
+        assert_eq!(t.program.num_reads(), 5);
+    }
+
+    #[test]
+    fn empty_target_prints_as_true() {
+        let src =
+            "litmus \"noreads\"\ndesc \"\"\nthread P0:\n  w x 1\nexists true\nexpect allowed\n";
+        let t = parse(src).expect("parses");
+        assert!(t.target.0.is_empty());
+        assert_eq!(print(&t), src);
+    }
+
+    #[test]
+    fn names_with_quotes_and_backslashes_round_trip() {
+        let mut t = classic::sb();
+        t.name = "odd \"name\" with \\ in it".into();
+        t.description = String::new();
+        round_trip(&t);
+    }
+
+    #[test]
+    fn names_with_control_characters_round_trip() {
+        // A raw newline in a name must not split the quoted header line.
+        let mut t = classic::sb();
+        t.name = "multi\nline\tname\r".into();
+        t.description = "desc with\nnewline".into();
+        let printed = print(&t);
+        assert!(
+            printed.lines().next().unwrap().ends_with('"'),
+            "header stays on one line: {printed:?}"
+        );
+        round_trip(&t);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: [(&str, usize, &str); 6] = [
+            ("litmus \"a\"\nbogus line\n", 2, "unrecognized"),
+            ("litmus \"a\"\n  r x\n", 2, "before any thread"),
+            ("litmus \"a\"\nthread P1:\n", 2, "expected thread P0"),
+            ("litmus \"a\"\nexists r0=zebra\n", 2, "bad value"),
+            (
+                "litmus \"a\"\nthread P0:\n  rmw x TAS type-9\n",
+                3,
+                "unknown atomicity",
+            ),
+            (
+                "litmus \"a\"\nthread P0:\n  r x\nexists r5=0\nexpect allowed\n",
+                5,
+                "references read r5",
+            ),
+        ];
+        for (src, line, needle) in cases {
+            let e = parse(src).expect_err(src);
+            assert_eq!(e.line, line, "{src:?} -> {e}");
+            assert!(e.to_string().contains(needle), "{src:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn missing_sections_are_rejected() {
+        assert!(parse("desc \"x\"\nexists true\nexpect allowed\n").is_err());
+        assert!(parse("litmus \"a\"\nexpect allowed\n").is_err());
+        assert!(parse("litmus \"a\"\nexists true\n").is_err());
+    }
+}

@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 use rmw_types::{Atomicity, Value};
-use tso_model::{outcome_allowed, Program};
+use tso_model::{find_execution, outcome_allowed, CandidateExecution, Program};
 
 pub mod classic;
+pub mod fmt;
+pub mod gen;
 pub mod paper;
 
 /// Whether the target outcome should be allowed or forbidden by the model.
@@ -71,7 +73,7 @@ impl core::fmt::Display for Target {
 }
 
 /// A named litmus test with its expected verdict.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Litmus {
     /// Short name, e.g. `"SB"` or `"dekker-wr type-2"`.
     pub name: String,
@@ -97,18 +99,48 @@ pub struct CheckResult {
     pub expect: Expect,
     /// `observed == expected`.
     pub passed: bool,
+    /// When the target outcome was observed, the valid execution exhibiting
+    /// it — `rf`, `ws`, and resolved read values. `None` exactly when
+    /// `observed_allowed` is false (non-observation has no single-execution
+    /// witness). In particular, a **failed** `Forbidden` expectation always
+    /// carries the counterexample execution.
+    pub witness: Option<CandidateExecution>,
+}
+
+impl CheckResult {
+    /// Human-readable verdict, including the witness execution (its `rf`,
+    /// `ws`, and read values) whenever the target outcome was observed.
+    pub fn report(&self) -> String {
+        let mut s = format!(
+            "{}: expected {}, model observed allowed={} — {}",
+            self.name,
+            self.expect,
+            self.observed_allowed,
+            if self.passed { "pass" } else { "FAIL" }
+        );
+        if let Some(w) = &self.witness {
+            s.push_str(&format!(
+                "\nwitness execution (reads = {:?}):\n{}",
+                w.read_values(),
+                w.pretty()
+            ));
+        }
+        s
+    }
 }
 
 impl Litmus {
     /// Runs the axiomatic model and compares against the expectation.
     ///
     /// The verdict is computed on the streaming, pruned search engine:
-    /// [`outcome_allowed`] walks valid executions incrementally and exits
+    /// [`find_execution`] walks valid executions incrementally and exits
     /// at the first one matching the target, so `Allowed` verdicts cost
     /// one witness and `Forbidden` verdicts cost one pruned search — never
-    /// a materialized candidate enumeration.
+    /// a materialized candidate enumeration. The matching execution, when
+    /// one exists, is kept as the [`CheckResult::witness`].
     pub fn check(&self) -> CheckResult {
-        let observed_allowed = outcome_allowed(&self.program, |reads| self.target.matches(reads));
+        let witness = find_execution(&self.program, |reads| self.target.matches(reads));
+        let observed_allowed = witness.is_some();
         let passed = match self.expect {
             Expect::Allowed => observed_allowed,
             Expect::Forbidden => !observed_allowed,
@@ -118,6 +150,7 @@ impl Litmus {
             observed_allowed,
             expect: self.expect,
             passed,
+            witness,
         }
     }
 }
@@ -188,6 +221,40 @@ mod tests {
         let ok = classic::sb();
         let failures = run_all(&[ok]);
         assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn check_attaches_a_witness_exactly_when_observed() {
+        // Allowed + observed: SB carries a witness matching the target.
+        let sb = classic::sb();
+        let r = sb.check();
+        assert!(r.passed && r.observed_allowed);
+        let w = r
+            .witness
+            .as_ref()
+            .expect("observed outcome must carry a witness");
+        assert!(sb.target.matches(&w.read_values()));
+        assert!(r.report().contains("witness execution"));
+        assert!(r.report().contains("rf:"), "witness report shows rf edges");
+
+        // Forbidden + not observed: no witness, report has no execution.
+        let mp = classic::mp();
+        let r = mp.check();
+        assert!(r.passed && !r.observed_allowed);
+        assert!(r.witness.is_none());
+        assert!(!r.report().contains("witness execution"));
+
+        // A *failing* Forbidden expectation carries the counterexample.
+        let mut broken = classic::sb();
+        broken.expect = Expect::Forbidden;
+        let r = broken.check();
+        assert!(!r.passed);
+        let w = r
+            .witness
+            .as_ref()
+            .expect("failure against Forbidden has a counterexample");
+        assert_eq!(w.read_values(), vec![0, 0]);
+        assert!(r.report().contains("FAIL"));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod validity;
 pub use event::{Event, EventId, EventKind, RmwHalf};
 pub use execution::{enumerate_candidates, CandidateExecution};
 pub use graph::DiGraph;
-pub use outcome::{allowed_outcomes, outcome_allowed, Outcome};
+pub use outcome::{allowed_outcomes, find_execution, outcome_allowed, Outcome};
 pub use program::{Instr, Program, ProgramBuilder, ThreadBuilder};
 pub use search::{any_valid_execution, for_each_valid_execution, valid_executions, SearchStats};
 pub use validity::{check_validity, Validity, Witness};

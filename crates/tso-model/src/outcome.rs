@@ -70,6 +70,29 @@ pub fn outcome_allowed(program: &Program, pred: impl Fn(&[Value]) -> bool) -> bo
     any_valid_execution(program, |exec| pred(&exec.read_values()))
 }
 
+/// The first valid execution whose read-value vector satisfies `pred`, or
+/// `None` when no valid execution does.
+///
+/// Same early-exit cost as [`outcome_allowed`], but the witness execution —
+/// its `rf`, `ws`, and resolved values — is returned so callers (litmus
+/// failure reports, the differential harness) can show *which* execution
+/// exhibits an outcome instead of a bare boolean.
+pub fn find_execution(
+    program: &Program,
+    pred: impl Fn(&[Value]) -> bool,
+) -> Option<CandidateExecution> {
+    let mut found = None;
+    for_each_valid_execution(program, |exec| {
+        if pred(&exec.read_values()) {
+            found = Some(exec.clone());
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    found
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +153,23 @@ mod tests {
         // single thread: RMW reads 0, subsequent read sees 1.
         assert!(outs.iter().any(|o| o.read_values() == vec![0, 1]));
         assert!(outs.iter().all(|o| o.read_values()[0] == 0));
+    }
+
+    #[test]
+    fn find_execution_returns_a_matching_witness() {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).read(Y);
+        b.thread().write(Y, 1).read(X);
+        let p = b.build();
+        let w = find_execution(&p, |rv| rv == [0, 0]).expect("SB 0/0 is allowed");
+        assert_eq!(w.read_values(), vec![0, 0]);
+        // Both reads must read from the initial writes in this witness.
+        for (&r, &src) in w.rf() {
+            if w.event(r).tid.is_some() {
+                assert!(w.event(src).is_init(), "0/0 witness reads from init");
+            }
+        }
+        assert!(find_execution(&p, |rv| rv == [7, 7]).is_none());
     }
 
     #[test]

@@ -118,6 +118,32 @@ impl Program {
             .filter(|i| matches!(i, Instr::Read(_) | Instr::Rmw { .. }))
             .count()
     }
+
+    /// A copy of the program with every RMW rewritten to `atomicity`.
+    ///
+    /// The cross-validation harness uses this to align a mixed-atomicity
+    /// litmus program with the simulator, whose RMW implementation is a
+    /// machine-wide configuration rather than a per-instruction attribute.
+    pub fn with_atomicity(&self, atomicity: Atomicity) -> Program {
+        let threads = self
+            .threads
+            .iter()
+            .map(|instrs| {
+                instrs
+                    .iter()
+                    .map(|&i| match i {
+                        Instr::Rmw { addr, kind, .. } => Instr::Rmw {
+                            addr,
+                            kind,
+                            atomicity,
+                        },
+                        other => other,
+                    })
+                    .collect()
+            })
+            .collect();
+        Program { threads }
+    }
 }
 
 /// Builder for [`Program`], producing [`ThreadBuilder`]s.
@@ -225,6 +251,27 @@ mod tests {
         b.thread().write(Addr(2), 1).write(Addr(0), 1).read(Addr(2));
         let p = b.build();
         assert_eq!(p.addresses(), vec![Addr(0), Addr(2)]);
+    }
+
+    #[test]
+    fn with_atomicity_rewrites_only_rmws() {
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .write(Addr(0), 1)
+            .rmw(Addr(1), RmwKind::TestAndSet, Atomicity::Type1)
+            .fence();
+        b.thread()
+            .rmw(Addr(0), RmwKind::Exchange(3), Atomicity::Type3);
+        let p = b.build().with_atomicity(Atomicity::Type2);
+        for (_, instrs) in p.iter() {
+            for i in instrs {
+                if let Instr::Rmw { atomicity, .. } = i {
+                    assert_eq!(*atomicity, Atomicity::Type2);
+                }
+            }
+        }
+        assert_eq!(p.thread(ThreadId(0))[0], Instr::Write(Addr(0), 1));
+        assert_eq!(p.thread(ThreadId(0))[2], Instr::Fence);
     }
 
     #[test]

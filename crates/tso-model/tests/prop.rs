@@ -88,22 +88,7 @@ fn arb_program(atomicity: Atomicity) -> impl Strategy<Value = Program> {
 
 /// Rewrites every RMW in the program to the given atomicity.
 fn with_atomicity(p: &Program, atomicity: Atomicity) -> Program {
-    let mut out = Program::new();
-    for (_, instrs) in p.iter() {
-        let rewritten = instrs
-            .iter()
-            .map(|&i| match i {
-                Instr::Rmw { addr, kind, .. } => Instr::Rmw {
-                    addr,
-                    kind,
-                    atomicity,
-                },
-                other => other,
-            })
-            .collect();
-        out.add_thread(rewritten);
-    }
-    out
+    p.with_atomicity(atomicity)
 }
 
 proptest! {

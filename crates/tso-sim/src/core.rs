@@ -186,6 +186,7 @@ impl Core {
             }
             Op::Write(addr, value) => {
                 if self.wb.len() >= config.write_buffer_entries {
+                    self.stats.wb_full_stalls += 1;
                     return; // buffer full: retry next cycle
                 }
                 self.wb.push_back(WbEntry {
@@ -470,6 +471,7 @@ impl Core {
                     // when it pops. (The RMW stays "in flight" if the
                     // buffer is full — rare, but must not lose the write.)
                     if self.wb.len() >= config.write_buffer_entries {
+                        self.stats.wb_full_stalls += 1;
                         self.reads.pop(); // undo; retry next cycle
                         self.rmw = Some(rmw);
                         return;

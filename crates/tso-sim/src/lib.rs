@@ -54,11 +54,13 @@
 
 pub mod config;
 pub mod core;
+pub mod lower;
 pub mod machine;
 pub mod stats;
 pub mod trace;
 
 pub use config::SimConfig;
+pub use lower::{lower, lower_with_line_size, sim_addr};
 pub use machine::{Machine, SimResult};
 pub use stats::{RmwCostBreakdown, SimStats};
 pub use trace::{Op, Trace};

@@ -1,0 +1,101 @@
+//! Lowering axiomatic-model programs onto simulator traces.
+//!
+//! The model works on dense small addresses (`x` = `Addr(0)`, `y` =
+//! `Addr(1)`, ...); the simulator works at cache-line granularity. The
+//! lowering gives every model address its own cache line so that litmus
+//! programs exercise distinct coherence state per location, exactly like
+//! the hand-written machine tests.
+//!
+//! This module is the single source of truth for the model→sim mapping:
+//! the cross-validation integration tests, the property-based differential
+//! suite, and the `harness` crate's batch runner all lower through it (it
+//! used to live copy-pasted inside `tests/cross_validation.rs`, which made
+//! every new differential test file re-derive the address convention).
+
+use crate::trace::{Op, Trace};
+use rmw_types::Addr;
+use tso_model::{Instr, Program};
+
+/// Maps a model address to the simulator address of its cache line, for a
+/// given line size in bytes.
+pub fn sim_addr(model: Addr, line_size: u64) -> Addr {
+    Addr(model.0 * line_size)
+}
+
+/// Lowers a model [`Program`] to one simulator [`Trace`] per thread, placing
+/// each model address on its own `line_size`-byte cache line.
+///
+/// RMW kinds pass through unchanged; the RMW's *atomicity* is deliberately
+/// dropped — the simulator implements atomicity as a machine-wide
+/// configuration (`SimConfig::rmw_atomicity`), so callers align the model
+/// side with [`Program::with_atomicity`] before lowering.
+pub fn lower_with_line_size(program: &Program, line_size: u64) -> Vec<Trace> {
+    program
+        .iter()
+        .map(|(_, instrs)| {
+            Trace::new(
+                instrs
+                    .iter()
+                    .map(|&i| match i {
+                        Instr::Read(a) => Op::Read(sim_addr(a, line_size)),
+                        Instr::Write(a, v) => Op::Write(sim_addr(a, line_size), v),
+                        Instr::Rmw { addr, kind, .. } => Op::Rmw(sim_addr(addr, line_size), kind),
+                        Instr::Fence => Op::Fence,
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// [`lower_with_line_size`] at the default 64-byte line size used by
+/// [`SimConfig::small`](crate::SimConfig::small) and the paper's Table 2
+/// machine.
+pub fn lower(program: &Program) -> Vec<Trace> {
+    lower_with_line_size(program, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmw_types::{Atomicity, RmwKind};
+    use tso_model::ProgramBuilder;
+
+    #[test]
+    fn lowering_spreads_addresses_across_lines() {
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .write(Addr(0), 1)
+            .rmw(Addr(1), RmwKind::TestAndSet, Atomicity::Type2)
+            .fence()
+            .read(Addr(2));
+        let traces = lower(&b.build());
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].ops(),
+            &[
+                Op::Write(Addr(0), 1),
+                Op::Rmw(Addr(64), RmwKind::TestAndSet),
+                Op::Fence,
+                Op::Read(Addr(128)),
+            ]
+        );
+    }
+
+    #[test]
+    fn one_trace_per_thread_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.thread().read(Addr(0));
+        b.thread().write(Addr(1), 7);
+        let traces = lower_with_line_size(&b.build(), 128);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].ops(), &[Op::Read(Addr(0))]);
+        assert_eq!(traces[1].ops(), &[Op::Write(Addr(128), 7)]);
+    }
+
+    #[test]
+    fn sim_addr_is_line_aligned() {
+        assert_eq!(sim_addr(Addr(3), 64), Addr(192));
+        assert_eq!(sim_addr(Addr(0), 64), Addr(0));
+    }
+}

@@ -56,6 +56,10 @@ pub struct SimStats {
     pub bloom_resets: u64,
     /// Coherence-denied retries observed (lock contention pressure).
     pub lock_retries: u64,
+    /// Cycles an operation stalled because the write buffer was full: a
+    /// store waiting for a free slot, or a type-2/3 RMW whose `Wa` could
+    /// not retire into the buffer.
+    pub wb_full_stalls: u64,
     /// Fence stalls (cycles waiting on `mfence` drains).
     pub fence_cycles: Cycle,
 }
@@ -128,6 +132,7 @@ impl SimStats {
         self.rmw_broadcasts += other.rmw_broadcasts;
         self.bloom_resets += other.bloom_resets;
         self.lock_retries += other.lock_retries;
+        self.wb_full_stalls += other.wb_full_stalls;
         self.fence_cycles += other.fence_cycles;
         // unique_rmw_addrs is machine-global; set by the machine, not merged.
     }

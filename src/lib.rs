@@ -27,7 +27,9 @@
 //!   directory locking (§3.1–3.3);
 //! * [`tso_sim`] — the CMP timing simulator with all three RMW
 //!   implementations and write-deadlock avoidance;
-//! * [`workloads`] — benchmark substitutes matched to Table 3.
+//! * [`workloads`] — benchmark substitutes matched to Table 3;
+//! * [`harness`] — the parallel differential litmus harness behind the
+//!   `litmus_run` binary.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -54,6 +56,7 @@
 pub use bloom;
 pub use cc11;
 pub use coherence;
+pub use harness;
 pub use interconnect;
 pub use litmus;
 pub use rmw_types;

@@ -5,57 +5,25 @@
 //! one concrete outcome; the model enumerates the full allowed set. The
 //! simulator disagreeing with the model on any program would mean one of
 //! the two halves of the reproduction is wrong.
+//!
+//! The model→sim lowering lives in `tso_sim::lower` (shared with the
+//! `harness` crate's 500+ test batch runner and the property-based
+//! differential suite); these hand-picked shapes stay as the readable,
+//! named core of the differential contract.
 
 use fast_rmw_tso::rmw_types::{Addr, Atomicity, RmwKind, Value};
-use fast_rmw_tso::tso_model::{allowed_outcomes, Instr, Program, ProgramBuilder};
-use fast_rmw_tso::tso_sim::{Machine, Op, SimConfig, Trace};
-
-/// Lowers a model program to simulator traces. Model addresses are dense
-/// small integers; the simulator works at cache-line granularity, so each
-/// model address gets its own line.
-fn lower(program: &Program) -> Vec<Trace> {
-    program
-        .iter()
-        .map(|(_, instrs)| {
-            Trace::new(
-                instrs
-                    .iter()
-                    .map(|&i| match i {
-                        Instr::Read(a) => Op::Read(Addr(a.0 * 64)),
-                        Instr::Write(a, v) => Op::Write(Addr(a.0 * 64), v),
-                        Instr::Rmw { addr, kind, .. } => Op::Rmw(Addr(addr.0 * 64), kind),
-                        Instr::Fence => Op::Fence,
-                    })
-                    .collect(),
-            )
-        })
-        .collect()
-}
+use fast_rmw_tso::tso_model::{allowed_outcomes, Program, ProgramBuilder};
+use fast_rmw_tso::tso_sim::{lower_with_line_size, sim_addr, Machine, SimConfig};
 
 /// Runs the simulator and checks its outcome against the model.
 fn check(program: &Program, name: &str) {
     for atomicity in Atomicity::ALL {
-        // Rewrite all RMWs to this atomicity in the model program...
-        let mut model_prog = Program::new();
-        for (_, instrs) in program.iter() {
-            model_prog.add_thread(
-                instrs
-                    .iter()
-                    .map(|&i| match i {
-                        Instr::Rmw { addr, kind, .. } => Instr::Rmw {
-                            addr,
-                            kind,
-                            atomicity,
-                        },
-                        other => other,
-                    })
-                    .collect(),
-            );
-        }
-        // ...and configure the machine to match.
+        // Align the model program and the machine on one atomicity.
+        let model_prog = program.with_atomicity(atomicity);
         let mut cfg = SimConfig::small(model_prog.num_threads().max(1));
         cfg.rmw_atomicity = atomicity;
-        let result = Machine::new(cfg, lower(&model_prog)).run();
+        let line_size = cfg.line_size;
+        let result = Machine::new(cfg, lower_with_line_size(&model_prog, line_size)).run();
         assert!(!result.deadlocked, "{name} ({atomicity}): deadlock");
 
         let sim_reads: Vec<Value> = result.reads.iter().flatten().copied().collect();
@@ -66,8 +34,12 @@ fn check(program: &Program, name: &str) {
             allowed.iter().map(|o| o.read_values()).collect::<Vec<_>>()
         );
         // Final memory must agree too.
-        let sim_mem_of = |a: fast_rmw_tso::rmw_types::Addr| {
-            result.memory.get(&Addr(a.0 * 64)).copied().unwrap_or(0)
+        let sim_mem_of = |a: Addr| {
+            result
+                .memory
+                .get(&sim_addr(a, line_size))
+                .copied()
+                .unwrap_or(0)
         };
         assert!(
             allowed.iter().any(|o| {
