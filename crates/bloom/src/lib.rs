@@ -32,11 +32,15 @@ use core::fmt;
 
 /// A fixed-size Bloom filter over `u64` keys with `k` independent hashes.
 ///
-/// Bits are stored in a boxed `u64` word array. Hashing is a seeded
+/// Bits are stored in a boxed `u64` word array, allocated lazily on the
+/// first insert — the timing simulator instantiates one filter per core
+/// per machine, and most of them never see an RMW. An unallocated filter
+/// behaves exactly like an all-zero one. Hashing is a seeded
 /// SplitMix64-style mixer, which is deterministic across runs — important
 /// because the simulator must be reproducible.
 #[derive(Clone, PartialEq, Eq)]
 pub struct BloomFilter {
+    /// Empty until the first insert; `num_words` long afterwards.
     words: Box<[u64]>,
     num_bits: usize,
     num_hashes: u32,
@@ -64,11 +68,9 @@ impl BloomFilter {
     pub fn new(size_bytes: usize, num_hashes: u32) -> Self {
         assert!(size_bytes > 0, "bloom filter size must be nonzero");
         assert!(num_hashes > 0, "bloom filter must use at least one hash");
-        let num_bits = size_bytes * 8;
-        let num_words = size_bytes.div_ceil(8);
         BloomFilter {
-            words: vec![0u64; num_words].into_boxed_slice(),
-            num_bits,
+            words: Box::new([]),
+            num_bits: size_bytes * 8,
             num_hashes,
             insertions: 0,
         }
@@ -109,6 +111,9 @@ impl BloomFilter {
     /// was not already reported present). The paper broadcasts the RMW
     /// address exactly when this returns `true`.
     pub fn insert(&mut self, key: u64) -> bool {
+        if self.words.is_empty() {
+            self.words = vec![0u64; (self.num_bits / 8).div_ceil(8)].into_boxed_slice();
+        }
         let mut changed = false;
         for i in 0..self.num_hashes {
             let bit = self.bit_index(key, i);
@@ -126,6 +131,9 @@ impl BloomFilter {
     /// Membership query. `false` means *definitely absent*; `true` means
     /// *possibly present* (may be a false positive, never a false negative).
     pub fn maybe_contains(&self, key: u64) -> bool {
+        if self.words.is_empty() {
+            return false;
+        }
         (0..self.num_hashes).all(|i| {
             let bit = self.bit_index(key, i);
             self.words[bit / 64] & (1u64 << (bit % 64)) != 0
@@ -134,8 +142,10 @@ impl BloomFilter {
 
     /// Clears all bits and the insertion counter. Models the coordinated
     /// filter reset (all processors quiesce in-flight RMWs first).
+    /// Releases the lazily-allocated storage, so a reset filter compares
+    /// equal to a freshly constructed one.
     pub fn reset(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
+        self.words = Box::new([]);
         self.insertions = 0;
     }
 
@@ -151,8 +161,14 @@ impl BloomFilter {
             (other.num_bits, other.num_hashes),
             "cannot union bloom filters of different configurations"
         );
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= *b;
+        if !other.words.is_empty() {
+            if self.words.is_empty() {
+                self.words = other.words.clone();
+            } else {
+                for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+                    *a |= *b;
+                }
+            }
         }
         self.insertions += other.insertions;
     }

@@ -27,8 +27,8 @@
 #![warn(missing_docs)]
 
 use interconnect::{Cycle, Mesh, MeshConfig};
+use rmw_types::fasthash::FastHashMap;
 use rmw_types::CacheLine;
-use std::collections::HashMap;
 
 /// Per-core MOESI state of a cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -164,9 +164,13 @@ pub struct CoherenceStats {
     pub lock_denials: u64,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct Line {
-    states: Vec<LineState>,
+    /// Offset of this line's `num_cores` per-core states in the shared
+    /// `states` arena (one slab per line, allocated once in a growable
+    /// vector instead of a heap allocation per line — line creation is on
+    /// the simulator's cold-miss path).
+    base: usize,
     lock: Option<LineLock>,
     /// Whether the line has ever been brought on-chip (false ⇒ next access
     /// pays the memory latency).
@@ -179,7 +183,9 @@ struct Line {
 pub struct CoherenceSystem {
     config: CoherenceConfig,
     mesh: Mesh,
-    lines: HashMap<CacheLine, Line>,
+    lines: FastHashMap<CacheLine, Line>,
+    /// Arena of per-core states, `num_cores` entries per known line.
+    states: Vec<LineState>,
     stats: CoherenceStats,
 }
 
@@ -198,7 +204,8 @@ impl CoherenceSystem {
         CoherenceSystem {
             config,
             mesh: Mesh::new(config.mesh),
-            lines: HashMap::new(),
+            lines: FastHashMap::default(),
+            states: Vec::new(),
             stats: CoherenceStats::default(),
         }
     }
@@ -232,7 +239,12 @@ impl CoherenceSystem {
     pub fn state_of(&self, core: usize, line: CacheLine) -> LineState {
         self.lines
             .get(&line)
-            .map_or(LineState::I, |l| l.states[core])
+            .map_or(LineState::I, |l| self.states[l.base + core])
+    }
+
+    /// The per-core state slab of a known line.
+    fn states_of(&self, l: &Line) -> &[LineState] {
+        &self.states[l.base..l.base + self.config.num_cores]
     }
 
     /// The lock on `line`, if any.
@@ -240,13 +252,22 @@ impl CoherenceSystem {
         self.lines.get(&line).and_then(|l| l.lock)
     }
 
-    fn line_mut(&mut self, line: CacheLine) -> &mut Line {
+    /// The line's record plus mutable access to its state slab, creating
+    /// both on first touch.
+    fn line_mut(&mut self, line: CacheLine) -> (&mut Line, &mut [LineState]) {
         let n = self.config.num_cores;
-        self.lines.entry(line).or_insert_with(|| Line {
-            states: vec![LineState::I; n],
-            lock: None,
-            on_chip: false,
-        })
+        let states = &mut self.states;
+        let l = self.lines.entry(line).or_insert_with(|| {
+            let base = states.len();
+            states.resize(base + n, LineState::I);
+            Line {
+                base,
+                lock: None,
+                on_chip: false,
+            }
+        });
+        let base = l.base;
+        (l, &mut states[base..base + n])
     }
 
     /// Checks whether `core`'s prospective access is denied by a lock.
@@ -265,6 +286,43 @@ impl CoherenceSystem {
             // directory; local S-state reads proceed.
             LockKind::Directory => needs_coherence.then_some(lock.holder),
         }
+    }
+
+    /// Non-mutating probe: the core whose lock would deny a [`read`] by
+    /// `core` right now, if any.
+    ///
+    /// A blocked requester polls this (free of protocol side effects)
+    /// instead of re-issuing the transaction every cycle; the event-driven
+    /// simulator re-probes only when the lock holder makes progress — a
+    /// denial thus costs one scheduled retry wakeup, not a transaction per
+    /// cycle.
+    ///
+    /// [`read`]: CoherenceSystem::read
+    pub fn read_denied_by(&self, core: usize, line: CacheLine) -> Option<usize> {
+        let needs_coherence = !self.state_of(core, line).is_valid();
+        self.lock_denies(core, line, needs_coherence)
+    }
+
+    /// Non-mutating probe: the core whose lock would deny a [`write`] by
+    /// `core` right now, if any. See [`read_denied_by`] for the retry
+    /// discipline.
+    ///
+    /// [`write`]: CoherenceSystem::write
+    /// [`read_denied_by`]: CoherenceSystem::read_denied_by
+    pub fn write_denied_by(&self, core: usize, line: CacheLine) -> Option<usize> {
+        let needs_coherence = !self.state_of(core, line).is_writable();
+        self.lock_denies(core, line, needs_coherence)
+    }
+
+    /// Non-mutating probe: the core whose lock would deny `core` an RMW
+    /// acquisition (permission transaction **plus** [`lock`]) on `line`.
+    /// Any foreign lock denies: even when a directory lock would let the
+    /// permission *read* through, the subsequent `lock` call fails.
+    ///
+    /// [`lock`]: CoherenceSystem::lock
+    pub fn acquire_denied_by(&self, core: usize, line: CacheLine) -> Option<usize> {
+        self.lock_of(line)
+            .and_then(|l| (l.holder != core).then_some(l.holder))
     }
 
     /// A load by `core` at time `now`.
@@ -312,25 +370,22 @@ impl CoherenceSystem {
         }
 
         // State transitions.
-        let any_other_valid = {
-            let l = self.line_mut(line);
-            l.states
+        {
+            let (l, states) = self.line_mut(line);
+            l.on_chip = true;
+            let any_other_valid = states
                 .iter()
                 .enumerate()
-                .any(|(c, s)| c != core && s.is_valid())
-        };
-        {
-            let l = self.line_mut(line);
-            l.on_chip = true;
+                .any(|(c, s)| c != core && s.is_valid());
             if let Some(oc) = owner {
                 // owner downgrades: M→O, E→S, O stays O
-                l.states[oc] = match l.states[oc] {
+                states[oc] = match states[oc] {
                     LineState::M => LineState::O,
                     LineState::E => LineState::S,
                     s => s,
                 };
             }
-            l.states[core] = if any_other_valid {
+            states[core] = if any_other_valid {
                 LineState::S
             } else {
                 LineState::E
@@ -359,7 +414,9 @@ impl CoherenceSystem {
         }
         if state.is_writable() {
             self.stats.hits += 1;
-            self.line_mut(line).states[core] = LineState::M;
+            let (l, states) = self.line_mut(line);
+            let _ = l;
+            states[core] = LineState::M;
             return Ok(Access {
                 done_at: now + self.config.l1_latency,
                 hit: true,
@@ -391,32 +448,35 @@ impl CoherenceSystem {
         }
 
         // Invalidate every other valid copy; acks return to the requester
-        // in parallel — latest ack dominates.
-        let sharers: Vec<usize> = (0..self.config.num_cores)
-            .filter(|&c| c != core && self.state_of(c, line).is_valid())
-            .collect();
+        // in parallel — latest ack dominates. One line lookup, then the
+        // state slab directly — a per-core `state_of` here would redo the
+        // hash lookup `num_cores` times on the hot write path.
         let mut inv_done = t;
-        for &s in &sharers {
-            let ack = t
-                + self.mesh.latency(home, s)
-                + self.config.l1_latency
-                + self.mesh.latency(s, core);
-            inv_done = inv_done.max(ack);
-            self.stats.invalidations += 1;
+        let mut invalidations = 0usize;
+        if let Some(l) = self.lines.get(&line) {
+            for (c, s) in self.states_of(l).iter().enumerate() {
+                if c != core && s.is_valid() {
+                    let ack = t
+                        + self.mesh.latency(home, c)
+                        + self.config.l1_latency
+                        + self.mesh.latency(c, core);
+                    inv_done = inv_done.max(ack);
+                    invalidations += 1;
+                }
+            }
         }
+        self.stats.invalidations += invalidations as u64;
 
         {
-            let l = self.line_mut(line);
+            let (l, states) = self.line_mut(line);
             l.on_chip = true;
-            for c in 0..l.states.len() {
-                l.states[c] = LineState::I;
-            }
-            l.states[core] = LineState::M;
+            states.fill(LineState::I);
+            states[core] = LineState::M;
         }
         Ok(Access {
             done_at: inv_done,
             hit: false,
-            invalidations: sharers.len(),
+            invalidations,
             from_memory,
         })
     }
@@ -454,7 +514,7 @@ impl CoherenceSystem {
                 "directory lock requires a valid copy, have {state:?}"
             ),
         }
-        self.line_mut(line).lock = Some(LineLock { holder: core, kind });
+        self.line_mut(line).0.lock = Some(LineLock { holder: core, kind });
         Ok(())
     }
 
@@ -464,7 +524,7 @@ impl CoherenceSystem {
     ///
     /// Panics if `core` does not hold the lock (internal bug).
     pub fn unlock(&mut self, core: usize, line: CacheLine) {
-        let l = self.line_mut(line);
+        let (l, _) = self.line_mut(line);
         match l.lock {
             Some(LineLock { holder, .. }) if holder == core => l.lock = None,
             other => panic!("core {core} unlocking {line} it does not hold: {other:?}"),
@@ -474,15 +534,15 @@ impl CoherenceSystem {
     /// The core currently designated to supply data (M/O/E), if any.
     pub fn owner_of(&self, line: CacheLine) -> Option<usize> {
         let l = self.lines.get(&line)?;
-        l.states.iter().position(|s| s.is_owner())
+        self.states_of(l).iter().position(|s| s.is_owner())
     }
 
     /// Invariant check used by tests: at most one core in `M`/`E`, and if a
     /// core is in `M` or `E`, no other core holds a valid copy.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (line, l) in &self.lines {
-            let exclusive: Vec<usize> = l
-                .states
+            let states = self.states_of(l);
+            let exclusive: Vec<usize> = states
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| s.is_writable())
@@ -492,8 +552,7 @@ impl CoherenceSystem {
                 return Err(format!("{line}: multiple exclusive copies: {exclusive:?}"));
             }
             if let Some(&e) = exclusive.first() {
-                let others: Vec<usize> = l
-                    .states
+                let others: Vec<usize> = states
                     .iter()
                     .enumerate()
                     .filter(|&(c, s)| c != e && s.is_valid())
@@ -505,7 +564,7 @@ impl CoherenceSystem {
                     ));
                 }
             }
-            let owners = l.states.iter().filter(|s| s.is_owner()).count();
+            let owners = states.iter().filter(|s| s.is_owner()).count();
             if owners > 1 {
                 return Err(format!("{line}: {owners} owners"));
             }
@@ -626,6 +685,42 @@ mod tests {
         assert_eq!(s.read(2, L, 100), Err(Denied::LockedBy(0)));
         s.unlock(0, L);
         assert!(s.write(1, L, 200).is_ok());
+    }
+
+    #[test]
+    fn denial_probes_match_the_transactions_without_side_effects() {
+        let mut s = sys();
+        s.write(0, L, 0).unwrap();
+        s.lock(0, L, LockKind::Local).unwrap();
+        let denials_before = s.stats().lock_denials;
+        // Local lock: everything foreign is denied; the holder is not.
+        assert_eq!(s.read_denied_by(1, L), Some(0));
+        assert_eq!(s.write_denied_by(1, L), Some(0));
+        assert_eq!(s.acquire_denied_by(1, L), Some(0));
+        assert_eq!(s.read_denied_by(0, L), None);
+        assert_eq!(s.acquire_denied_by(0, L), None);
+        assert_eq!(
+            s.stats().lock_denials,
+            denials_before,
+            "probes must not mutate protocol statistics"
+        );
+        s.unlock(0, L);
+        assert_eq!(s.read_denied_by(1, L), None);
+        assert_eq!(s.acquire_denied_by(1, L), None);
+    }
+
+    #[test]
+    fn directory_lock_probe_allows_shared_reads_but_denies_acquire() {
+        let mut s = sys();
+        s.read(0, L, 0).unwrap();
+        s.read(1, L, 50).unwrap(); // both S
+        s.lock(0, L, LockKind::Directory).unwrap();
+        // core 1 holds a valid S copy: its read sails through the probe …
+        assert_eq!(s.read_denied_by(1, L), None);
+        // … but an upgrade, a miss by core 2, or a competing RMW does not.
+        assert_eq!(s.write_denied_by(1, L), Some(0));
+        assert_eq!(s.read_denied_by(2, L), Some(0));
+        assert_eq!(s.acquire_denied_by(1, L), Some(0));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * `--jobs N` — worker threads (default: available parallelism);
 //! * `--smoke` — small-program subset (capped), for CI; the reported
 //!   `corpus_total` still counts the full corpus;
+//! * `--machine small|paper` — differential side on the per-test small
+//!   machine (default) or the full 32-core Table 2 machine;
 //! * `--format summary|json|tap` — output format (default `summary`);
 //! * `--out PATH` — also write the chosen format to `PATH`;
 //! * `--seed N` / `--random N` — corpus generation knobs;
@@ -23,7 +25,7 @@
 //!
 //! Exit status is nonzero if any test fails either check.
 
-use harness::{full_corpus, run_batch, smoke_filter, Report, SMOKE_CAP};
+use harness::{full_corpus, run_batch_on, smoke_filter, MachineKind, Report, SMOKE_CAP};
 
 struct Args {
     filter: Option<String>,
@@ -34,11 +36,12 @@ struct Args {
     seed: u64,
     random: usize,
     baseline: bool,
+    machine: MachineKind,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] \
+        "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] [--machine small|paper] \
          [--format summary|json|tap] [--out PATH] [--seed N] [--random N] [--no-baseline]"
     );
     std::process::exit(2);
@@ -54,6 +57,7 @@ fn parse_args() -> Args {
         seed: litmus::gen::DEFAULT_SEED,
         random: litmus::gen::DEFAULT_RANDOM_COUNT,
         baseline: true,
+        machine: MachineKind::Small,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -72,6 +76,12 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--random" => args.random = value("--random").parse().unwrap_or_else(|_| usage()),
             "--no-baseline" => args.baseline = false,
+            "--machine" => {
+                args.machine = MachineKind::parse(&value("--machine")).unwrap_or_else(|| {
+                    eprintln!("--machine must be small or paper");
+                    usage()
+                })
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -100,9 +110,10 @@ fn main() {
         selected.truncate(SMOKE_CAP);
     }
     eprintln!(
-        "litmus_run: corpus {corpus_total} tests, running {} on {} jobs{}",
+        "litmus_run: corpus {corpus_total} tests, running {} on {} jobs, {} machine{}",
         selected.len(),
         args.jobs,
+        args.machine,
         if args.smoke { " (smoke)" } else { "" }
     );
 
@@ -110,18 +121,19 @@ fn main() {
     // page faults, allocator growth, and lazy init, which would otherwise
     // inflate whichever timed run goes first and bias the speedup figure.
     let warmup = selected.len().min(32);
-    let _ = run_batch(&selected[..warmup], args.jobs.max(1));
+    let _ = run_batch_on(&selected[..warmup], args.jobs.max(1), args.machine);
     // Then the jobs-1 reference run and the measured parallel run, both
     // warm and over identical work, so the ratio is a clean scaling figure.
     let baseline_jobs1_ms = (args.baseline && args.jobs > 1).then(|| {
-        let (_, elapsed) = run_batch(&selected, 1);
+        let (_, elapsed) = run_batch_on(&selected, 1, args.machine);
         elapsed.as_secs_f64() * 1e3
     });
-    let (outcomes, elapsed) = run_batch(&selected, args.jobs);
+    let (outcomes, elapsed) = run_batch_on(&selected, args.jobs, args.machine);
     let report = Report {
         outcomes,
         corpus_total,
         jobs: args.jobs,
+        machine: args.machine,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         baseline_jobs1_ms,
     };

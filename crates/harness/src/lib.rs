@@ -32,6 +32,66 @@ use std::time::{Duration, Instant};
 use tso_model::allowed_outcomes;
 use tso_sim::{lower_with_line_size, sim_addr, Machine, SimConfig};
 
+/// Which simulated machine the differential side runs on.
+///
+/// The default is the short-latency test machine sized to the program's
+/// thread count; `Paper` runs every test on the full 32-core Table 2
+/// configuration (300-cycle memory, 8×4 mesh) — tractable for whole-corpus
+/// runs since the simulator's event-driven engine (`BENCH_sim.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MachineKind {
+    /// `SimConfig::small(threads)`: per-test sizing, short latencies.
+    #[default]
+    Small,
+    /// `SimConfig::paper_table2()`: the paper's 32-core machine.
+    Paper,
+}
+
+impl MachineKind {
+    /// Name used in CLI flags and the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::Small => "small",
+            MachineKind::Paper => "paper",
+        }
+    }
+
+    /// Parses a `--machine` argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(MachineKind::Small),
+            "paper" => Some(MachineKind::Paper),
+            _ => None,
+        }
+    }
+
+    /// The simulator configuration for a `threads`-thread test program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program needs more threads than the paper machine
+    /// has cores.
+    pub fn config(self, threads: usize) -> SimConfig {
+        match self {
+            MachineKind::Small => SimConfig::small(threads.max(1)),
+            MachineKind::Paper => {
+                let cfg = SimConfig::paper_table2();
+                assert!(
+                    threads <= cfg.num_cores(),
+                    "{threads}-thread test exceeds the 32-core Table 2 machine"
+                );
+                cfg
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 pub mod report;
 
 pub use report::Report;
@@ -106,9 +166,15 @@ impl TestOutcome {
     }
 }
 
-/// Runs one litmus test: model verdict plus the three-atomicity
-/// differential comparison against the simulator.
+/// Runs one litmus test on the default small machine; see
+/// [`differential_check_on`].
 pub fn differential_check(l: &Litmus) -> TestOutcome {
+    differential_check_on(l, MachineKind::Small)
+}
+
+/// Runs one litmus test: model verdict plus the three-atomicity
+/// differential comparison against the simulator, on the chosen machine.
+pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
     let started = Instant::now();
     let check = l.check();
     let failure_detail = (!check.passed).then(|| check.report());
@@ -116,7 +182,7 @@ pub fn differential_check(l: &Litmus) -> TestOutcome {
     let mut differential = Vec::with_capacity(Atomicity::ALL.len());
     for atomicity in Atomicity::ALL {
         let prog = l.program.with_atomicity(atomicity);
-        let mut cfg = SimConfig::small(prog.num_threads().max(1));
+        let mut cfg = machine.config(prog.num_threads());
         cfg.rmw_atomicity = atomicity;
         let line_size = cfg.line_size;
         let result = Machine::new(cfg, lower_with_line_size(&prog, line_size)).run();
@@ -175,10 +241,20 @@ pub fn smoke_filter(l: &Litmus) -> bool {
     l.program.num_instrs() <= 6 && l.program.num_threads() <= 4
 }
 
-/// Runs `tests` on `jobs` worker threads (a shared channel-fed queue; idle
-/// workers pull the next index, so stragglers never serialize the batch).
-/// Returns per-test outcomes in input order plus the batch wall-clock.
+/// Runs `tests` on the default small machine; see [`run_batch_on`].
 pub fn run_batch(tests: &[Litmus], jobs: usize) -> (Vec<TestOutcome>, Duration) {
+    run_batch_on(tests, jobs, MachineKind::Small)
+}
+
+/// Runs `tests` on `jobs` worker threads (a shared channel-fed queue; idle
+/// workers pull the next index, so stragglers never serialize the batch),
+/// with the differential side on `machine`. Returns per-test outcomes in
+/// input order plus the batch wall-clock.
+pub fn run_batch_on(
+    tests: &[Litmus],
+    jobs: usize,
+    machine: MachineKind,
+) -> (Vec<TestOutcome>, Duration) {
     let jobs = jobs.max(1).min(tests.len().max(1));
     let started = Instant::now();
     let (job_tx, job_rx) = mpsc::channel::<usize>();
@@ -200,7 +276,8 @@ pub fn run_batch(tests: &[Litmus], jobs: usize) -> (Vec<TestOutcome>, Duration) 
                     Ok(i) => i,
                     Err(_) => break, // queue drained
                 };
-                if res_tx.send((idx, differential_check(&tests[idx]))).is_err() {
+                let outcome = differential_check_on(&tests[idx], machine);
+                if res_tx.send((idx, outcome)).is_err() {
                     break;
                 }
             });
@@ -239,6 +316,26 @@ mod tests {
         for o in &outcomes {
             assert!(o.passed(), "{}: {}", o.name, o.diagnosis());
         }
+    }
+
+    #[test]
+    fn paper_machine_corpus_is_differentially_clean() {
+        // The full Table 2 machine (the event engine makes this cheap).
+        let tests = classic::all();
+        let (outcomes, _) = run_batch_on(&tests, 2, MachineKind::Paper);
+        for o in &outcomes {
+            assert!(o.passed(), "{}: {}", o.name, o.diagnosis());
+        }
+    }
+
+    #[test]
+    fn machine_kind_parses_and_sizes() {
+        assert_eq!(MachineKind::parse("small"), Some(MachineKind::Small));
+        assert_eq!(MachineKind::parse("paper"), Some(MachineKind::Paper));
+        assert_eq!(MachineKind::parse("huge"), None);
+        assert_eq!(MachineKind::Paper.config(4).num_cores(), 32);
+        assert_eq!(MachineKind::Small.config(4).num_cores(), 4);
+        assert_eq!(MachineKind::default(), MachineKind::Small);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Harness reports: aggregation plus JSON, TAP, and human summaries.
 
-use crate::TestOutcome;
+use crate::{MachineKind, TestOutcome};
 use std::fmt::Write as _;
 
 /// Aggregated result of one harness run.
@@ -13,6 +13,8 @@ pub struct Report {
     pub corpus_total: usize,
     /// Worker threads used.
     pub jobs: usize,
+    /// Which simulated machine the differential side ran on.
+    pub machine: MachineKind,
     /// Batch wall-clock in milliseconds at `jobs` workers.
     pub elapsed_ms: f64,
     /// Wall-clock of the same selection at one worker, when measured.
@@ -84,6 +86,9 @@ impl Report {
             self.jobs,
             self.tests_per_sec(),
         );
+        if self.machine != MachineKind::Small {
+            let _ = write!(s, " [machine: {}]", self.machine);
+        }
         if let Some(sp) = self.speedup_vs_jobs1() {
             let _ = write!(s, "; {sp:.2}x vs --jobs 1");
         }
@@ -101,6 +106,7 @@ impl Report {
         let _ = writeln!(s, "  \"corpus_total\": {},", self.corpus_total);
         let _ = writeln!(s, "  \"selected\": {},", self.selected());
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"machine\": \"{}\",", self.machine);
         let _ = writeln!(s, "  \"elapsed_ms\": {:.3},", self.elapsed_ms);
         let _ = writeln!(s, "  \"tests_per_sec\": {:.1},", self.tests_per_sec());
         match (self.baseline_jobs1_ms, self.speedup_vs_jobs1()) {
@@ -183,6 +189,7 @@ mod tests {
             outcomes,
             corpus_total: 2,
             jobs: 2,
+            machine: MachineKind::Small,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             baseline_jobs1_ms: Some(10.0),
         }
@@ -194,6 +201,7 @@ mod tests {
         let j = r.to_json();
         for key in [
             "\"experiment\": \"litmus_harness\"",
+            "\"machine\": \"small\"",
             "\"corpus_total\": 2",
             "\"selected\": 2",
             "\"jobs\": 2",
@@ -225,6 +233,7 @@ mod tests {
             outcomes,
             corpus_total: 1,
             jobs: 1,
+            machine: MachineKind::Paper,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             baseline_jobs1_ms: None,
         };
@@ -235,6 +244,7 @@ mod tests {
             .to_tap()
             .contains("not ok 1 - SB # model: expected forbidden"));
         assert!(r.to_json().contains("\"baseline_jobs1_ms\": null"));
+        assert!(r.to_json().contains("\"machine\": \"paper\""));
     }
 
     #[test]

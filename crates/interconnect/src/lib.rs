@@ -25,8 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rmw_types::fasthash::FastHashMap;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Cycle count type used throughout the simulator.
 pub type Cycle = u64;
@@ -151,6 +152,20 @@ pub enum TrafficClass {
     RmwBroadcast,
 }
 
+impl TrafficClass {
+    /// All classes, indexable for the counter arrays.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Request,
+        TrafficClass::Response,
+        TrafficClass::Invalidation,
+        TrafficClass::RmwBroadcast,
+    ];
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// An in-flight message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct InFlight<T> {
@@ -167,10 +182,13 @@ struct InFlight<T> {
 pub struct Network<T> {
     mesh: Mesh,
     queue: BinaryHeap<Reverse<(Cycle, u64)>>,
-    messages: HashMap<u64, InFlight<T>>,
+    messages: FastHashMap<u64, InFlight<T>>,
     next_seq: u64,
-    sent_by_class: HashMap<TrafficClass, u64>,
-    hops_by_class: HashMap<TrafficClass, u64>,
+    /// Per-[`TrafficClass`] message counts (indexed by class — a map here
+    /// would put two hash operations on every send of a 31-copy
+    /// broadcast).
+    sent_by_class: [u64; TrafficClass::ALL.len()],
+    hops_by_class: [u64; TrafficClass::ALL.len()],
 }
 
 impl<T> Network<T> {
@@ -179,10 +197,10 @@ impl<T> Network<T> {
         Network {
             mesh,
             queue: BinaryHeap::new(),
-            messages: HashMap::new(),
+            messages: FastHashMap::default(),
             next_seq: 0,
-            sent_by_class: HashMap::new(),
-            hops_by_class: HashMap::new(),
+            sent_by_class: [0; TrafficClass::ALL.len()],
+            hops_by_class: [0; TrafficClass::ALL.len()],
         }
     }
 
@@ -214,9 +232,18 @@ impl<T> Network<T> {
                 payload,
             },
         );
-        *self.sent_by_class.entry(class).or_insert(0) += 1;
-        *self.hops_by_class.entry(class).or_insert(0) += self.mesh.hops(src, dst) as u64;
+        self.sent_by_class[class.index()] += 1;
+        self.hops_by_class[class.index()] += self.mesh.hops(src, dst) as u64;
         deliver_at
+    }
+
+    /// Records a message in the traffic counters **without queueing it** —
+    /// for messages whose timing is modeled analytically (e.g. broadcast
+    /// acks whose worst-case round trip the sender already waits out) but
+    /// whose network cost must still be accounted.
+    pub fn account(&mut self, src: usize, dst: usize, class: TrafficClass) {
+        self.sent_by_class[class.index()] += 1;
+        self.hops_by_class[class.index()] += self.mesh.hops(src, dst) as u64;
     }
 
     /// Broadcasts `payload` to every node except `src` (cloning it), at
@@ -259,25 +286,32 @@ impl<T> Network<T> {
         self.messages.len()
     }
 
+    /// Delivery cycle of the earliest in-flight message, if any — the wake
+    /// event a cycle-skipping simulator must arm so no delivery happens on
+    /// a skipped cycle.
+    pub fn next_delivery(&self) -> Option<Cycle> {
+        self.queue.peek().map(|&Reverse((t, _))| t)
+    }
+
     /// Messages sent so far, by class.
     pub fn sent(&self, class: TrafficClass) -> u64 {
-        self.sent_by_class.get(&class).copied().unwrap_or(0)
+        self.sent_by_class[class.index()]
     }
 
     /// Total messages sent across all classes.
     pub fn total_sent(&self) -> u64 {
-        self.sent_by_class.values().sum()
+        self.sent_by_class.iter().sum()
     }
 
     /// Link traversals (hop count) accumulated per class — the paper's
     /// network-traffic metric for quantifying broadcast overhead.
     pub fn hop_traffic(&self, class: TrafficClass) -> u64 {
-        self.hops_by_class.get(&class).copied().unwrap_or(0)
+        self.hops_by_class[class.index()]
     }
 
     /// Total hop traffic across classes.
     pub fn total_hop_traffic(&self) -> u64 {
-        self.hops_by_class.values().sum()
+        self.hops_by_class.iter().sum()
     }
 }
 
@@ -364,17 +398,21 @@ mod tests {
     #[test]
     fn network_delivers_in_time_order() {
         let mut net: Network<&'static str> = Network::new(mesh());
+        assert_eq!(net.next_delivery(), None);
         let t_far = net.send(0, 31, "far", 0, TrafficClass::Request);
         let t_near = net.send(0, 1, "near", 0, TrafficClass::Request);
         assert!(t_near < t_far);
         assert_eq!(net.in_flight(), 2);
+        assert_eq!(net.next_delivery(), Some(t_near));
         // nothing ready before the near message's time
         assert!(net.deliver_ready(t_near - 1).is_empty());
         let ready = net.deliver_ready(t_near);
         assert_eq!(ready, vec![(1, "near")]);
+        assert_eq!(net.next_delivery(), Some(t_far));
         let ready = net.deliver_ready(t_far);
         assert_eq!(ready, vec![(31, "far")]);
         assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.next_delivery(), None);
     }
 
     #[test]

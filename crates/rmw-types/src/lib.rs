@@ -452,3 +452,88 @@ mod tests {
         );
     }
 }
+
+/// A fast, deterministic hasher for the simulator's hot maps.
+///
+/// The timing simulator performs several hash-map operations per coherence
+/// transaction over small integer keys ([`Addr`], [`CacheLine`]); the
+/// standard library's DoS-resistant SipHash dominates those lookups.
+/// This multiplicative mixer (Fibonacci hashing with an avalanche finish)
+/// is ~an order of magnitude cheaper, deterministic across runs (a
+/// simulator requirement), and used only for trusted, non-adversarial
+/// keys.
+pub mod fasthash {
+    use core::hash::{BuildHasherDefault, Hasher};
+    use std::collections::{HashMap, HashSet};
+
+    /// Multiplicative hasher over the written words.
+    #[derive(Debug, Default, Clone)]
+    pub struct FastHasher(u64);
+
+    const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    impl Hasher for FastHasher {
+        fn finish(&self) -> u64 {
+            // Avalanche so HashMap's low-bit masking sees high-entropy bits.
+            let mut z = self.0;
+            z ^= z >> 32;
+            z = z.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            z ^ (z >> 32)
+        }
+
+        fn write(&mut self, bytes: &[u8]) {
+            for chunk in bytes.chunks(8) {
+                let mut buf = [0u8; 8];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                self.write_u64(u64::from_le_bytes(buf));
+            }
+        }
+
+        fn write_u64(&mut self, n: u64) {
+            self.0 = (self.0 ^ n).wrapping_mul(SEED);
+        }
+
+        fn write_usize(&mut self, n: usize) {
+            self.write_u64(n as u64);
+        }
+    }
+
+    /// `BuildHasher` for [`FastHasher`].
+    pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+    /// A `HashMap` keyed with [`FastHasher`].
+    pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+    /// A `HashSet` keyed with [`FastHasher`].
+    pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use core::hash::BuildHasher;
+
+        #[test]
+        fn deterministic_and_spread() {
+            let b = FastBuildHasher::default();
+            let h = |k: u64| b.hash_one(k);
+            assert_eq!(h(42), h(42), "hashing must be deterministic");
+            // Adjacent cache-line keys (multiples of 64) must not collide
+            // in the low bits HashMap actually uses.
+            let low: std::collections::HashSet<u64> =
+                (0..1024u64).map(|i| h(i * 64) & 0xFFF).collect();
+            // ~906 distinct expected for 1024 balls in 4096 bins; far more
+            // than the ~16 a low-bit-degenerate hash would produce.
+            assert!(low.len() > 800, "low-bit spread too poor: {}", low.len());
+        }
+
+        #[test]
+        fn maps_and_sets_work() {
+            let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+            m.insert(7, 1);
+            assert_eq!(m.get(&7), Some(&1));
+            let mut s: FastHashSet<u64> = FastHashSet::default();
+            assert!(s.insert(9));
+            assert!(s.contains(&9));
+        }
+    }
+}

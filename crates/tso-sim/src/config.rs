@@ -5,11 +5,31 @@ use coherence::CoherenceConfig;
 use interconnect::MeshConfig;
 use rmw_types::Atomicity;
 
+/// How [`Machine::run`](crate::Machine::run) advances simulated time. Both
+/// engines execute the same per-cycle core semantics and are
+/// **cycle-identical** in every observable (stats, reads, final memory —
+/// asserted over the litmus corpus and the §4 kernels by
+/// `tests/engine_equiv.rs`); they differ only in which cycles they visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Tick every core every cycle — the original engine, kept as the
+    /// reference implementation for the equivalence suite.
+    Lockstep,
+    /// Cycle-skipping scheduler (see [`crate::sched`]): jump `now` to the
+    /// earliest armed wake event. Orders of magnitude faster on
+    /// stall-dominated (paper-scale) workloads.
+    #[default]
+    EventDriven,
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Cache/directory/mesh parameters.
     pub coherence: CoherenceConfig,
+    /// Time-advance engine (default: event-driven; `Lockstep` is the
+    /// reference implementation).
+    pub step_mode: StepMode,
     /// Write-buffer depth per core (paper: 32 entries).
     pub write_buffer_entries: usize,
     /// Maximum outstanding write-buffer coherence requests (MSHR-style
@@ -52,6 +72,7 @@ impl SimConfig {
     pub fn paper_table2() -> Self {
         SimConfig {
             coherence: CoherenceConfig::paper_table2(),
+            step_mode: StepMode::EventDriven,
             write_buffer_entries: 32,
             wb_outstanding: 8,
             rmw_atomicity: Atomicity::Type1,
@@ -71,6 +92,7 @@ impl SimConfig {
     pub fn small(num_cores: usize) -> Self {
         SimConfig {
             coherence: CoherenceConfig::small(num_cores),
+            step_mode: StepMode::EventDriven,
             write_buffer_entries: 8,
             wb_outstanding: 4,
             rmw_atomicity: Atomicity::Type1,

@@ -22,15 +22,31 @@
 //! Critical-path attribution (Fig. 11a): cycles spent in `Drain` count as
 //! *write-buffer* cost; everything else (bloom check, broadcast ack wait,
 //! permission acquisition, locking) counts as *Ra/Wa* cost.
+//!
+//! # Event discipline
+//!
+//! `Core::tick` returns `true` iff the cycle changed anything (state or
+//! statistics); a tick that returns `false` was a pure wait and could have
+//! been skipped. Every *future* cycle at which this core can act without
+//! outside help — `busy_until`, write-buffer request arrivals and
+//! completions, the broadcast-ack deadline, the RMW `Finish` time — is
+//! armed in the shared [`Scheduler`](crate::sched::Scheduler) when it is
+//! computed. Waits on *other* cores (a line locked by a foreign RMW, a
+//! full buffer, a drain) burn no per-cycle work: blocked episodes probe
+//! the non-mutating `coherence` denial predicates and attribute their
+//! whole duration to the stall counters in one add when they end, which
+//! yields exactly the same counts the per-cycle increments used to.
 
 use crate::config::SimConfig;
+use crate::sched::EventKind;
 use crate::stats::SimStats;
 use crate::trace::{Op, Trace};
 use bloom::BloomFilter;
 use coherence::{CoherenceSystem, LockKind};
-use interconnect::Cycle;
+use interconnect::{Cycle, Network, TrafficClass};
+use rmw_types::fasthash::{FastHashMap, FastHashSet};
 use rmw_types::{Addr, Atomicity, CacheLine, RmwKind, Value};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// A pending write in the write buffer.
 #[derive(Debug, Clone, Copy)]
@@ -78,26 +94,72 @@ struct RmwInFlight {
     drain_started: Option<Cycle>,
     /// Start of the acquire phase.
     acquire_started: Option<Cycle>,
+    /// First cycle of the current lock-denied acquire episode, if the
+    /// acquisition is blocked on a foreign lock. The whole episode is
+    /// attributed to `lock_retries` when it ends (one count per denied
+    /// cycle, exactly as per-cycle retrying produced).
+    lock_blocked_since: Option<Cycle>,
     /// Cycles already attributed to Ra/Wa before the acquire phase
     /// (bloom + ack wait).
     pre_acquire_rawa: Cycle,
+}
+
+/// A message on the interconnect: the §3.2 RMW-address broadcast.
+/// Coherence transactions stay latency-composed (see the `coherence`
+/// crate docs); only the broadcast scheme is message-level. The
+/// acknowledgement each receiver returns is pure traffic accounting
+/// ([`interconnect::Network::account`]): the sender's stall already
+/// equals the precomputed worst-case round trip
+/// (`Shared::bcast_ack_latency`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NetMsg {
+    /// "Line is now an RMW address" — every receiving core inserts it into
+    /// its local filter at delivery time.
+    RmwBcast {
+        /// The broadcast address.
+        line: CacheLine,
+        /// The broadcasting core (acks return to it).
+        src: usize,
+    },
 }
 
 /// Shared machine state each core ticks against.
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub coherence: CoherenceSystem,
-    pub memory: HashMap<Addr, Value>,
-    pub unique_rmw_lines: HashSet<CacheLine>,
-    /// RMW addresses broadcast this cycle; the machine inserts them into
-    /// every core's filter at end of cycle.
-    pub pending_broadcasts: Vec<CacheLine>,
+    pub memory: FastHashMap<Addr, Value>,
+    pub unique_rmw_lines: FastHashSet<CacheLine>,
+    /// The mesh NoC carrying RMW-address broadcasts and their acks, with
+    /// per-hop traffic accounting.
+    pub net: Network<NetMsg>,
+    /// The event queue (disabled under `StepMode::Lockstep`).
+    pub sched: crate::sched::Scheduler,
     /// Set when the reset threshold fires; machine coordinates the reset.
     pub reset_requested: bool,
+    /// Set when a line lock was released this cycle — the only event that
+    /// can unblock a lock-blocked core, so the event engine re-probes
+    /// blocked cores exactly when this fires (cleared by the machine each
+    /// cycle).
+    pub lock_released: bool,
     /// Cycle of the last globally visible progress (retire or WB pop).
     pub last_progress: Cycle,
-    /// Precomputed broadcast+ack latency per core.
-    pub bcast_ack_latency: Vec<Cycle>,
+    /// Memoized broadcast+ack latency per core (worst-case round trip
+    /// over all mesh nodes — identical to the delivery times of the
+    /// `net` messages, kept closed-form so the ack wait is one event).
+    /// Computed on a core's first broadcast: an O(nodes) sweep per
+    /// broadcasting core instead of O(cores × nodes) for every machine,
+    /// which used to dominate `Machine::new` for short programs.
+    pub bcast_ack_latency: Vec<Option<Cycle>>,
+}
+
+impl Shared {
+    /// The worst-case broadcast+ack round trip from `src`: mesh latency is
+    /// symmetric, so the slowest ack returns from the farthest node —
+    /// twice the one-way broadcast latency.
+    fn bcast_ack_latency(&mut self, src: usize) -> Cycle {
+        *self.bcast_ack_latency[src]
+            .get_or_insert_with(|| 2 * self.net.mesh().broadcast_latency(src))
+    }
 }
 
 /// One in-order core.
@@ -111,6 +173,11 @@ pub(crate) struct Core {
     pub bloom: BloomFilter,
     rmw: Option<RmwInFlight>,
     fence_since: Option<Cycle>,
+    /// First cycle of the current lock-denied read episode, if any.
+    read_blocked_since: Option<Cycle>,
+    /// First cycle of the current full-write-buffer stall (a store at
+    /// issue, or a type-2/3 `Wa` at retirement), if any.
+    wb_stall_since: Option<Cycle>,
     /// Values observed by reads and RMW reads, in program order.
     pub reads: Vec<Value>,
     pub stats: SimStats,
@@ -127,6 +194,8 @@ impl Core {
             bloom: BloomFilter::new(config.bloom_bytes, config.bloom_hashes),
             rmw: None,
             fence_since: None,
+            read_blocked_since: None,
+            wb_stall_since: None,
             reads: Vec::new(),
             stats: SimStats::default(),
         }
@@ -140,7 +209,17 @@ impl Core {
             && self.fence_since.is_none()
     }
 
-    /// True when the core still holds entries or in-flight state.
+    /// True while this core is blocked on a *foreign* line lock (a denied
+    /// read, or a denied RMW acquisition). These are the only waits whose
+    /// resolution depends on another core's progress, so the event engine
+    /// re-ticks such cores after any acting cycle instead of the core
+    /// arming its own wakeup.
+    pub fn blocked_on_foreign_lock(&self) -> bool {
+        self.read_blocked_since.is_some()
+            || self.rmw.is_some_and(|r| r.lock_blocked_since.is_some())
+    }
+
+    /// True when the core is draining its write buffer for an RMW.
     pub fn draining_for_rmw(&self) -> bool {
         matches!(
             self.rmw,
@@ -151,13 +230,57 @@ impl Core {
         )
     }
 
-    /// One simulation cycle.
-    pub fn tick(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) {
-        self.process_write_buffer(now, shared, config);
+    /// One simulation cycle. Returns `true` iff anything (state or stats)
+    /// changed — `false` means the tick was a pure wait that a
+    /// cycle-skipping engine may elide.
+    pub fn tick(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) -> bool {
+        let changed = self.tick_inner(now, shared, config);
+        if changed {
+            self.arm_followup(now, shared, config);
+        }
+        changed
+    }
+
+    /// Arms a `now + 1` self-wakeup when the end-of-tick state demands an
+    /// action next cycle that no completion event covers: an unsent
+    /// write-buffer request inside the issue window (fresh store, denial
+    /// re-send, window shift after a pop, eager-drain expansion), an RMW
+    /// phase that executes on its next tick, or a fence over an already
+    /// empty buffer. Called only after a tick that changed something —
+    /// these conditions can only arise from acting ticks.
+    fn arm_followup(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) {
+        let eager = config.parallel_drain && self.draining_for_rmw();
+        let window = if eager {
+            self.wb.len()
+        } else {
+            config.wb_outstanding.min(self.wb.len())
+        };
+        let pending_send = self
+            .wb
+            .iter()
+            .take(window)
+            .any(|e| e.issued_done.is_none() && e.request_arrives.is_none());
+        let phase_steps = self.rmw.is_some_and(|r| match r.phase {
+            RmwPhase::Bloom | RmwPhase::CheckConflicts => true,
+            RmwPhase::Acquire => r.lock_blocked_since.is_none(),
+            RmwPhase::Drain => self.wb.is_empty(),
+            RmwPhase::WaitAcks { .. } | RmwPhase::Finish { .. } => false,
+        });
+        let fence_ready = self.fence_since.is_some() && self.wb.is_empty();
+        if (pending_send || phase_steps || fence_ready) && self.busy_until != now + 1 {
+            // busy_until == now + 1 means set_busy already armed this
+            // exact wakeup during this tick.
+            shared
+                .sched
+                .wake_core(now, now + 1, self.id, EventKind::Advance);
+        }
+    }
+
+    fn tick_inner(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) -> bool {
+        let mut changed = self.process_write_buffer(now, shared, config);
 
         if self.rmw.is_some() {
-            self.advance_rmw(now, shared, config);
-            return;
+            return self.advance_rmw(now, shared, config) || changed;
         }
 
         if let Some(since) = self.fence_since {
@@ -165,19 +288,22 @@ impl Core {
                 self.stats.fence_cycles += now - since;
                 self.fence_since = None;
                 shared.last_progress = now;
+                changed = true;
             } else {
-                return;
+                // Waiting on our own buffer: its completion events are
+                // already armed.
+                return changed;
             }
         }
 
         if self.busy_until > now || self.pc >= self.trace.len() {
-            return;
+            return changed;
         }
 
         let op = self.trace.ops()[self.pc];
         match op {
             Op::Compute(n) => {
-                self.busy_until = now + Cycle::from(n);
+                self.set_busy(now, now + Cycle::from(n), shared);
                 self.retire(now, shared);
             }
             Op::Fence => {
@@ -186,8 +312,14 @@ impl Core {
             }
             Op::Write(addr, value) => {
                 if self.wb.len() >= config.write_buffer_entries {
-                    self.stats.wb_full_stalls += 1;
-                    return; // buffer full: retry next cycle
+                    // Stalled on a slot; woken by our own WB completion.
+                    if self.wb_stall_since.is_none() {
+                        self.wb_stall_since = Some(now);
+                    }
+                    return changed;
+                }
+                if let Some(since) = self.wb_stall_since.take() {
+                    self.stats.wb_full_stalls += now - since;
                 }
                 self.wb.push_back(WbEntry {
                     addr,
@@ -197,7 +329,7 @@ impl Core {
                     issued_done: None,
                     unlock_on_pop: false,
                 });
-                self.busy_until = now + 1;
+                self.set_busy(now, now + 1, shared);
                 self.stats.mem_ops += 1;
                 self.retire(now, shared);
             }
@@ -205,24 +337,32 @@ impl Core {
                 // Store forwarding from the youngest matching buffer entry.
                 if let Some(e) = self.wb.iter().rev().find(|e| e.addr == addr) {
                     self.reads.push(e.value);
-                    self.busy_until = now + config.coherence.l1_latency;
+                    self.set_busy(now, now + config.coherence.l1_latency, shared);
                     self.stats.mem_ops += 1;
                     self.retire(now, shared);
-                    return;
+                    return true;
                 }
                 let line = addr.line(config.line_size);
-                match shared.coherence.read(self.id, line, now) {
-                    Ok(acc) => {
-                        let v = shared.memory.get(&addr).copied().unwrap_or(0);
-                        self.reads.push(v);
-                        self.busy_until = acc.done_at;
-                        self.stats.mem_ops += 1;
-                        self.retire(now, shared);
+                if shared.coherence.read_denied_by(self.id, line).is_some() {
+                    // Blocked on a foreign lock; woken when the holder
+                    // makes progress (its unlock arms an Advance event).
+                    if self.read_blocked_since.is_none() {
+                        self.read_blocked_since = Some(now);
                     }
-                    Err(_) => {
-                        self.stats.lock_retries += 1;
-                    }
+                    return changed;
                 }
+                let acc = shared
+                    .coherence
+                    .read(self.id, line, now)
+                    .expect("denial probe said the read proceeds");
+                if let Some(since) = self.read_blocked_since.take() {
+                    self.stats.lock_retries += now - since;
+                }
+                let v = shared.memory.get(&addr).copied().unwrap_or(0);
+                self.reads.push(v);
+                self.set_busy(now, acc.done_at, shared);
+                self.stats.mem_ops += 1;
+                self.retire(now, shared);
             }
             Op::Rmw(addr, kind) => {
                 let line = addr.line(config.line_size);
@@ -239,17 +379,29 @@ impl Core {
                     started: now,
                     drain_started: (phase == RmwPhase::Drain).then_some(now),
                     acquire_started: (phase == RmwPhase::Acquire).then_some(now),
+                    lock_blocked_since: None,
                     pre_acquire_rawa: 0,
                 });
                 self.retire(now, shared);
             }
         }
+        true
     }
 
     fn retire(&mut self, now: Cycle, shared: &mut Shared) {
         self.pc += 1;
         self.stats.ops += 1;
         shared.last_progress = now;
+    }
+
+    /// Sets `busy_until` and arms the issue wakeup (clamped to `now + 1`:
+    /// an already-expired deadline still needs the next tick, exactly as
+    /// lockstep would take it).
+    fn set_busy(&mut self, now: Cycle, until: Cycle, shared: &mut Shared) {
+        self.busy_until = until;
+        shared
+            .sched
+            .wake_core(now, until.max(now + 1), self.id, EventKind::CoreReady);
     }
 
     /// Sends coherence requests for write-buffer entries and pops completed
@@ -261,7 +413,13 @@ impl Core {
     /// becomes globally visible and the completion clock starts) or
     /// *denied* (locked by another core's RMW: the request is re-sent).
     /// Acceptance is kept in FIFO order so visibility respects TSO.
-    fn process_write_buffer(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) {
+    fn process_write_buffer(
+        &mut self,
+        now: Cycle,
+        shared: &mut Shared,
+        config: &SimConfig,
+    ) -> bool {
+        let mut changed = false;
         let eager = config.parallel_drain && self.draining_for_rmw();
         let issue_count = if eager {
             self.wb.len()
@@ -288,19 +446,37 @@ impl Core {
                 None => {
                     let arrival = now + shared.coherence.request_latency(self.id, line);
                     self.wb[i].request_arrives = Some(arrival);
+                    // Clamped like every arm: a zero-latency arrival is
+                    // still acted on at the next tick, as in lockstep.
+                    shared.sched.wake_core(
+                        now,
+                        arrival.max(now + 1),
+                        self.id,
+                        EventKind::WbRequestArrival,
+                    );
+                    changed = true;
                 }
                 Some(arr) if now >= arr && all_prior_accepted => {
                     match shared.coherence.write(self.id, line, now) {
                         Ok(acc) => {
                             shared.memory.insert(addr, value);
                             self.wb[i].issued_done = Some(acc.done_at);
+                            shared.sched.wake_core(
+                                now,
+                                acc.done_at.max(now + 1),
+                                self.id,
+                                EventKind::WbCompletion,
+                            );
                         }
                         Err(_) => {
-                            // Denied by a lock: retry from scratch.
+                            // Denied by a lock: retry from scratch (the
+                            // re-send goes out next cycle, so the retry
+                            // cadence is one request round trip).
                             self.stats.lock_retries += 1;
                             self.wb[i].request_arrives = None;
                         }
                     }
+                    changed = true;
                 }
                 Some(_) => {} // in flight, or waiting for FIFO order
             }
@@ -325,31 +501,47 @@ impl Core {
                     });
                     if e.unlock_on_pop && !later_wa_same_line && !in_flight_same_line {
                         shared.coherence.unlock(self.id, e.line);
+                        shared.lock_released = true;
                     }
                     shared.last_progress = now;
+                    changed = true;
                 }
                 _ => break,
             }
         }
+        changed
     }
 
-    fn advance_rmw(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) {
+    fn advance_rmw(&mut self, now: Cycle, shared: &mut Shared, config: &SimConfig) -> bool {
         let mut rmw = self.rmw.expect("advance_rmw called with RMW in flight");
         match rmw.phase {
             RmwPhase::Bloom => {
                 let key = rmw.line.0;
                 if !self.bloom.maybe_contains(key) {
                     self.bloom.insert(key);
-                    shared.pending_broadcasts.push(rmw.line);
+                    shared.net.broadcast(
+                        self.id,
+                        NetMsg::RmwBcast {
+                            line: rmw.line,
+                            src: self.id,
+                        },
+                        now,
+                        TrafficClass::RmwBroadcast,
+                    );
                     self.stats.rmw_broadcasts += 1;
                     if let Some(threshold) = config.bloom_reset_threshold {
                         if self.bloom.insertions() >= threshold {
                             shared.reset_requested = true;
                         }
                     }
-                    rmw.phase = RmwPhase::WaitAcks {
-                        until: now + shared.bcast_ack_latency[self.id],
-                    };
+                    let until = now + shared.bcast_ack_latency(self.id);
+                    shared.sched.wake_core(
+                        now,
+                        until.max(now + 1),
+                        self.id,
+                        EventKind::BroadcastAcks,
+                    );
+                    rmw.phase = RmwPhase::WaitAcks { until };
                 } else {
                     rmw.phase = RmwPhase::CheckConflicts;
                 }
@@ -358,6 +550,9 @@ impl Core {
             RmwPhase::WaitAcks { until } => {
                 if now >= until {
                     rmw.phase = RmwPhase::CheckConflicts;
+                } else {
+                    self.rmw = Some(rmw);
+                    return false;
                 }
             }
             RmwPhase::CheckConflicts => {
@@ -396,52 +591,82 @@ impl Core {
                     rmw.acquire_started = Some(now);
                     rmw.phase = RmwPhase::Acquire;
                     shared.last_progress = now;
+                } else {
+                    // Waiting on our own buffer: completions are armed.
+                    self.rmw = Some(rmw);
+                    return false;
                 }
             }
             RmwPhase::Acquire => {
+                if shared
+                    .coherence
+                    .acquire_denied_by(self.id, rmw.line)
+                    .is_some()
+                {
+                    // Blocked on a foreign lock; the holder's unlock arms
+                    // an Advance wakeup. The episode length is attributed
+                    // to `lock_retries` below, one per denied cycle.
+                    if rmw.lock_blocked_since.is_none() {
+                        rmw.lock_blocked_since = Some(now);
+                    }
+                    self.rmw = Some(rmw);
+                    return false;
+                }
+                if let Some(since) = rmw.lock_blocked_since.take() {
+                    self.stats.lock_retries += now - since;
+                }
                 let use_read_permission =
                     config.rmw_atomicity == Atomicity::Type3 && config.directory_locking;
-                let acquired = if use_read_permission {
-                    match shared.coherence.read(self.id, rmw.line, now) {
-                        Ok(acc) => {
-                            let kind = if shared.coherence.state_of(self.id, rmw.line).is_writable()
-                            {
-                                LockKind::Local
-                            } else {
-                                LockKind::Directory
-                            };
-                            match shared.coherence.lock(self.id, rmw.line, kind) {
-                                Ok(()) => Some(acc.done_at),
-                                Err(_) => None,
-                            }
-                        }
-                        Err(_) => None,
-                    }
+                let done = if use_read_permission {
+                    let acc = shared
+                        .coherence
+                        .read(self.id, rmw.line, now)
+                        .expect("no foreign lock: read permission proceeds");
+                    let kind = if shared.coherence.state_of(self.id, rmw.line).is_writable() {
+                        LockKind::Local
+                    } else {
+                        LockKind::Directory
+                    };
+                    shared
+                        .coherence
+                        .lock(self.id, rmw.line, kind)
+                        .expect("no foreign lock: locking proceeds");
+                    acc.done_at
                 } else {
-                    match shared.coherence.write(self.id, rmw.line, now) {
-                        Ok(acc) => {
-                            match shared.coherence.lock(self.id, rmw.line, LockKind::Local) {
-                                Ok(()) => Some(acc.done_at),
-                                Err(_) => None,
-                            }
-                        }
-                        Err(_) => None,
-                    }
+                    let acc = shared
+                        .coherence
+                        .write(self.id, rmw.line, now)
+                        .expect("no foreign lock: write permission proceeds");
+                    shared
+                        .coherence
+                        .lock(self.id, rmw.line, LockKind::Local)
+                        .expect("no foreign lock: locking proceeds");
+                    acc.done_at
                 };
-                match acquired {
-                    Some(done) => {
-                        rmw.phase = RmwPhase::Finish { at: done };
-                        shared.last_progress = now;
-                    }
-                    None => {
-                        self.stats.lock_retries += 1;
-                    }
-                }
+                shared
+                    .sched
+                    .wake_core(now, done.max(now + 1), self.id, EventKind::RmwFinish);
+                rmw.phase = RmwPhase::Finish { at: done };
+                shared.last_progress = now;
             }
             RmwPhase::Finish { at } => {
                 if now < at {
                     self.rmw = Some(rmw);
-                    return;
+                    return false;
+                }
+                // The Wa of a type-2/3 RMW retires into the write buffer;
+                // if the buffer is full the RMW stays in flight and the
+                // stall is attributed when the slot frees (our own
+                // completion events wake us). Checked before the read half
+                // commits so nothing needs undoing.
+                if config.rmw_atomicity != Atomicity::Type1
+                    && self.wb.len() >= config.write_buffer_entries
+                {
+                    if self.wb_stall_since.is_none() {
+                        self.wb_stall_since = Some(now);
+                    }
+                    self.rmw = Some(rmw);
+                    return false;
                 }
                 // Read value: with the deadlock-avoidance scheme a same-line
                 // pending write would have forced a drain, so the buffer is
@@ -465,16 +690,11 @@ impl Core {
                         .write(self.id, rmw.line, now)
                         .expect("holder's own write cannot be denied");
                     shared.coherence.unlock(self.id, rmw.line);
-                    self.busy_until = acc.done_at;
+                    shared.lock_released = true;
+                    self.set_busy(now, acc.done_at, shared);
                 } else {
-                    // Wa retires into the write buffer; the lock releases
-                    // when it pops. (The RMW stays "in flight" if the
-                    // buffer is full — rare, but must not lose the write.)
-                    if self.wb.len() >= config.write_buffer_entries {
-                        self.stats.wb_full_stalls += 1;
-                        self.reads.pop(); // undo; retry next cycle
-                        self.rmw = Some(rmw);
-                        return;
+                    if let Some(since) = self.wb_stall_since.take() {
+                        self.stats.wb_full_stalls += now - since;
                     }
                     self.wb.push_back(WbEntry {
                         addr: rmw.addr,
@@ -484,7 +704,7 @@ impl Core {
                         issued_done: None,
                         unlock_on_pop: true,
                     });
-                    self.busy_until = now + 1;
+                    self.set_busy(now, now + 1, shared);
                 }
 
                 let acquire_started = rmw.acquire_started.expect("acquire phase ran");
@@ -499,9 +719,10 @@ impl Core {
                     self.fence_since = Some(now);
                 }
                 self.rmw = None;
-                return;
+                return true;
             }
         }
         self.rmw = Some(rmw);
+        true
     }
 }

@@ -32,6 +32,12 @@
 //! local buffer; buffered writes commit in order) — the integration tests
 //! cross-validate simulator outcomes against the axiomatic model.
 //!
+//! Time advances via one of two engines ([`StepMode`]): the lockstep
+//! reference (tick every core every cycle) or the default **event-driven,
+//! cycle-skipping scheduler** ([`sched`]), which jumps straight to the
+//! next armed wake event and is cycle-identical to lockstep by
+//! construction (enforced by `tests/engine_equiv.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -56,11 +62,13 @@ pub mod config;
 pub mod core;
 pub mod lower;
 pub mod machine;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, StepMode};
 pub use lower::{lower, lower_with_line_size, sim_addr};
 pub use machine::{Machine, SimResult};
-pub use stats::{RmwCostBreakdown, SimStats};
+pub use sched::{EventKind, Scheduler};
+pub use stats::{NetTraffic, RmwCostBreakdown, SimStats};
 pub use trace::{Op, Trace};

@@ -1,13 +1,21 @@
-//! The machine: cores + shared memory system, stepped cycle by cycle.
+//! The machine: cores + shared memory system, advanced either in lockstep
+//! (every core, every cycle) or by the cycle-skipping event scheduler.
+//!
+//! Both engines run the same per-cycle semantics (`Core::tick` in core-id
+//! order, then network delivery bookkeeping and coordinated filter resets)
+//! and are cycle-identical in every observable; see [`crate::sched`] for
+//! the exactness contract and `tests/engine_equiv.rs` for the suite that
+//! enforces it.
 
-use crate::config::SimConfig;
-use crate::core::{Core, Shared};
-use crate::stats::SimStats;
+use crate::config::{SimConfig, StepMode};
+use crate::core::{Core, NetMsg, Shared};
+use crate::sched::{Due, EventKind, Scheduler};
+use crate::stats::{EngineStats, NetTraffic, SimStats};
 use crate::trace::Trace;
 use coherence::CoherenceSystem;
-use interconnect::{Cycle, Mesh};
+use interconnect::{Cycle, Mesh, Network, TrafficClass};
+use rmw_types::fasthash::{FastHashMap, FastHashSet};
 use rmw_types::Value;
-use std::collections::{HashMap, HashSet};
 
 /// Outcome of a simulation run.
 #[derive(Debug, Clone)]
@@ -20,7 +28,13 @@ pub struct SimResult {
     /// order — used for cross-validation against the axiomatic model.
     pub reads: Vec<Vec<Value>>,
     /// Final memory contents.
-    pub memory: HashMap<rmw_types::Addr, Value>,
+    pub memory: FastHashMap<rmw_types::Addr, Value>,
+    /// Interconnect traffic of the §3.2 RMW-address broadcast scheme
+    /// (messages and link traversals, broadcasts + acks).
+    pub net: NetTraffic,
+    /// Host-side engine diagnostics (visited cycles, ticks, armed
+    /// events); differs between step modes by design.
+    pub engine: EngineStats,
     /// True if the machine stopped because no core made progress for the
     /// configured threshold (e.g. the Fig. 10 write-deadlock with the
     /// Bloom filter disabled).
@@ -34,6 +48,21 @@ pub struct Machine {
     cores: Vec<Core>,
     shared: Shared,
     now: Cycle,
+    /// Which cores are currently blocked on a foreign line lock (event
+    /// engine only; mirrors `Core::blocked_on_foreign_lock`).
+    blocked: Vec<bool>,
+    /// Ascending ids of the `true` entries in `blocked`.
+    blocked_ids: Vec<usize>,
+    /// Delivery cycle the engine last armed a `NetDelivery` wakeup for
+    /// (event engine; avoids re-arming the same in-flight message every
+    /// visited cycle).
+    armed_delivery: Option<Cycle>,
+    /// Cores not yet done (event engine; a core never un-finishes).
+    live: Vec<bool>,
+    /// Count of `true` entries in `live`.
+    num_live: usize,
+    /// Engine work counters for `SimResult::engine`.
+    engine: EngineStats,
 }
 
 impl Machine {
@@ -50,30 +79,39 @@ impl Machine {
             traces.len(),
             config.num_cores()
         );
-        let mesh = Mesh::new(config.mesh());
-        let bcast_ack_latency = (0..config.num_cores())
-            .map(|c| mesh.broadcast_ack_latency(c))
-            .collect();
+        let net = Network::new(Mesh::new(config.mesh()));
+        let bcast_ack_latency = vec![None; config.num_cores()];
         let mut all = traces;
         all.resize(config.num_cores(), Trace::default());
-        let cores = all
+        let cores: Vec<Core> = all
             .into_iter()
             .enumerate()
             .map(|(id, t)| Core::new(id, t, &config))
             .collect();
+        let blocked = vec![false; cores.len()];
+        let live: Vec<bool> = cores.iter().map(|c| !c.done()).collect();
+        let num_live = live.iter().filter(|&&l| l).count();
         Machine {
             cores,
             shared: Shared {
                 coherence: CoherenceSystem::new(config.coherence),
-                memory: HashMap::new(),
-                unique_rmw_lines: HashSet::new(),
-                pending_broadcasts: Vec::new(),
+                memory: FastHashMap::default(),
+                unique_rmw_lines: FastHashSet::default(),
+                net,
+                sched: Scheduler::new(config.step_mode == StepMode::EventDriven),
                 reset_requested: false,
+                lock_released: false,
                 last_progress: 0,
                 bcast_ack_latency,
             },
             config,
             now: 0,
+            blocked,
+            blocked_ids: Vec::new(),
+            armed_delivery: None,
+            live,
+            num_live,
+            engine: EngineStats::default(),
         }
     }
 
@@ -83,7 +121,15 @@ impl Machine {
     }
 
     /// Runs to completion (or deadlock detection) and returns the result.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        match self.config.step_mode {
+            StepMode::Lockstep => self.run_lockstep(),
+            StepMode::EventDriven => self.run_event_driven(),
+        }
+    }
+
+    /// The reference engine: every core ticks every cycle.
+    fn run_lockstep(mut self) -> SimResult {
         let mut bloom_resets = 0u64;
         loop {
             if self.cores.iter().all(Core::done) {
@@ -92,47 +138,230 @@ impl Machine {
             if self.now.saturating_sub(self.shared.last_progress) > self.config.deadlock_threshold {
                 return self.finish(true, bloom_resets);
             }
-
+            self.deliver_due_messages();
             for i in 0..self.cores.len() {
-                self.cores[i].tick(self.now, &mut self.shared, &self.config);
+                let acted = self.cores[i].tick(self.now, &mut self.shared, &self.config);
+                self.engine.ticks += 1;
+                self.engine.acting_ticks += u64::from(acted);
             }
-
-            // Apply RMW-address broadcasts to every filter (the sender
-            // already inserted locally and is stalling for the ack
-            // round-trip, so applying now preserves the paper's c1-before-c2
-            // ordering).
-            if !self.shared.pending_broadcasts.is_empty() {
-                let lines: Vec<_> = self.shared.pending_broadcasts.drain(..).collect();
-                for core in &mut self.cores {
-                    for line in &lines {
-                        core.bloom.insert(line.0);
-                    }
-                }
-            }
-
-            // Coordinated filter reset: clear everything, then re-insert the
-            // addresses of lines still locked by in-flight RMWs (they must
-            // remain visible for the deadlock-safety property).
-            if self.shared.reset_requested {
-                self.shared.reset_requested = false;
-                bloom_resets += 1;
-                let live: Vec<u64> = self
-                    .shared
-                    .unique_rmw_lines
-                    .iter()
-                    .filter(|l| self.shared.coherence.lock_of(**l).is_some())
-                    .map(|l| l.0)
-                    .collect();
-                for core in &mut self.cores {
-                    core.bloom.reset();
-                    for &l in &live {
-                        core.bloom.insert(l);
-                    }
-                }
-            }
-
+            self.apply_filter_reset(&mut bloom_resets);
+            self.engine.visited_cycles += 1;
             self.now += 1;
         }
+    }
+
+    /// The cycle-skipping engine: visit only armed cycles, and at each one
+    /// tick only the due cores (plus lock-blocked cores once a release
+    /// wakeup applies), in core-id order — see `crate::sched` for why this
+    /// is cycle-identical to lockstep.
+    fn run_event_driven(mut self) -> SimResult {
+        let mut bloom_resets = 0u64;
+        if self.num_live == 0 {
+            return self.finish(false, bloom_resets); // nothing to run
+        }
+        // Every live core is due at cycle 0, exactly like lockstep's first
+        // tick; afterwards the due set comes from the armed events.
+        let mut due: Vec<usize> = (0..self.cores.len()).filter(|&i| self.live[i]).collect();
+        let mut flags = Due::default();
+        let mut blocked_snap: Vec<usize> = Vec::new();
+        loop {
+            let changed = self.event_cycle(&due, &mut blocked_snap, flags, &mut bloom_resets);
+            if changed && self.num_live == 0 {
+                // Lockstep notices completion at the top of the next
+                // cycle; report the identical cycle count.
+                self.now += 1;
+                return self.finish(false, bloom_resets);
+            }
+            if self.shared.lock_released && !self.blocked_ids.is_empty() {
+                // The event-time replacement for lockstep's per-cycle lock
+                // re-polling: a release means blocked cores must re-probe
+                // next cycle (earlier-id ones missed it this cycle).
+                self.shared.sched.wake_blocked(self.now, self.now + 1);
+            }
+            let next_delivery = self.shared.net.next_delivery();
+            if next_delivery != self.armed_delivery {
+                if let Some(at) = next_delivery {
+                    // Clamped like every arm: a message whose nominal
+                    // arrival is this very cycle is picked up next cycle,
+                    // exactly as lockstep's start-of-cycle delivery would.
+                    self.shared.sched.wake_machine(
+                        self.now,
+                        at.max(self.now + 1),
+                        EventKind::NetDelivery,
+                    );
+                }
+                self.armed_delivery = next_delivery;
+            }
+            // The watchdog in event time: the lockstep engine declares
+            // deadlock at the first cycle more than `deadlock_threshold`
+            // past the last progress. No armed event before that cycle
+            // means no progress can occur before it either (skipped ticks
+            // are no-ops), so if the next armed event lies at or beyond
+            // the firing cycle — or nothing is armed at all — the machine
+            // is wedged and stops at exactly the cycle lockstep would.
+            let fire = self
+                .shared
+                .last_progress
+                .saturating_add(self.config.deadlock_threshold)
+                .saturating_add(1);
+            match self.shared.sched.next_after(self.now) {
+                Some(at) if at < fire => {
+                    debug_assert!(at > self.now, "scheduler moved time backwards");
+                    self.now = at;
+                }
+                _ => {
+                    self.now = fire;
+                    return self.finish(true, bloom_resets);
+                }
+            }
+            due.clear();
+            flags = self.shared.sched.drain_due(self.now, &mut due);
+        }
+    }
+
+    /// One simulated cycle at `self.now` under the event engine. `due`
+    /// holds the cores with armed wakeups (ascending, deduplicated);
+    /// network messages are delivered when a machine event is due, and
+    /// lock-blocked cores are additionally ticked when a blocked-wakeup is
+    /// due or once a lock was released earlier this cycle. Returns `true`
+    /// iff anything changed.
+    fn event_cycle(
+        &mut self,
+        due: &[usize],
+        blocked_snap: &mut Vec<usize>,
+        flags: Due,
+        bloom_resets: &mut u64,
+    ) -> bool {
+        self.engine.visited_cycles += 1;
+        self.shared.lock_released = false;
+        // Deliveries only happen at cycles with an armed machine event:
+        // `next_delivery` is the earliest in-flight arrival and is always
+        // armed, so no message can be due before its wakeup fires.
+        let mut changed = flags.machine && self.deliver_due_messages();
+        let wake_blocked = flags.wake_blocked;
+
+        if self.blocked_ids.is_empty() && !wake_blocked {
+            // Fast path: no lock contention anywhere — only due cores can
+            // possibly act. (A core blocking or a lock releasing *during*
+            // this pass needs no extra ticks this cycle: a blocking core
+            // just ticked, and with no cores blocked at cycle start a
+            // release has no one to wake until the armed wakeup.)
+            for &i in due {
+                changed |= self.tick_core(i);
+            }
+        } else {
+            // Contended path: merge the due list with a snapshot of the
+            // blocked cores (ascending id order, exactly lockstep's), and
+            // tick blocked ones once a wakeup applies — from cycle start
+            // (`wake_blocked`) or from a release by an earlier-id core
+            // this cycle (`lock_released`).
+            blocked_snap.clear();
+            blocked_snap.extend_from_slice(&self.blocked_ids);
+            let (mut di, mut bi) = (0, 0);
+            loop {
+                let (i, is_due) = match (due.get(di), blocked_snap.get(bi)) {
+                    (None, None) => break,
+                    (Some(&d), None) => {
+                        di += 1;
+                        (d, true)
+                    }
+                    (None, Some(&b)) => {
+                        bi += 1;
+                        (b, false)
+                    }
+                    (Some(&d), Some(&b)) => {
+                        if d <= b {
+                            di += 1;
+                            if d == b {
+                                bi += 1;
+                            }
+                            (d, true)
+                        } else {
+                            bi += 1;
+                            (b, false)
+                        }
+                    }
+                };
+                if is_due || wake_blocked || self.shared.lock_released {
+                    changed |= self.tick_core(i);
+                }
+            }
+        }
+
+        changed | self.apply_filter_reset(bloom_resets)
+    }
+
+    /// Ticks one core and maintains its blocked/live bookkeeping (the core
+    /// arms its own follow-up wakeups as needed).
+    fn tick_core(&mut self, i: usize) -> bool {
+        let acted = self.cores[i].tick(self.now, &mut self.shared, &self.config);
+        self.engine.ticks += 1;
+        self.engine.acting_ticks += u64::from(acted);
+        let blocked = self.cores[i].blocked_on_foreign_lock();
+        if blocked != self.blocked[i] {
+            self.blocked[i] = blocked;
+            if blocked {
+                let pos = self.blocked_ids.partition_point(|&b| b < i);
+                self.blocked_ids.insert(pos, i);
+            } else {
+                self.blocked_ids.retain(|&b| b != i);
+            }
+        }
+        if acted && self.live[i] && self.cores[i].done() {
+            self.live[i] = false;
+            self.num_live -= 1;
+        }
+        acted
+    }
+
+    /// Delivers interconnect messages due at `self.now`. RMW-address
+    /// broadcasts land in each receiver's filter at their mesh delivery
+    /// time, and each receiving core acks back to the broadcaster (the
+    /// sender's stall uses the precomputed worst-case round trip, which
+    /// the last ack's delivery time equals). Mesh nodes beyond
+    /// `num_cores` (non-square scaled-down meshes) have no core:
+    /// deliveries there are dropped after paying their hops.
+    fn deliver_due_messages(&mut self) -> bool {
+        let mut changed = false;
+        for (dst, msg) in self.shared.net.deliver_ready(self.now) {
+            let NetMsg::RmwBcast { line, src } = msg;
+            if let Some(core) = self.cores.get_mut(dst) {
+                core.bloom.insert(line.0);
+                // The ack returns to the broadcaster; its arrival is the
+                // precomputed round trip the sender is already stalling
+                // on, so only its traffic is recorded.
+                self.shared
+                    .net
+                    .account(dst, src, TrafficClass::RmwBroadcast);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Coordinated filter reset: clear everything, then re-insert the
+    /// addresses of lines still locked by in-flight RMWs (they must
+    /// remain visible for the deadlock-safety property).
+    fn apply_filter_reset(&mut self, bloom_resets: &mut u64) -> bool {
+        if !self.shared.reset_requested {
+            return false;
+        }
+        self.shared.reset_requested = false;
+        *bloom_resets += 1;
+        let live: Vec<u64> = self
+            .shared
+            .unique_rmw_lines
+            .iter()
+            .filter(|l| self.shared.coherence.lock_of(**l).is_some())
+            .map(|l| l.0)
+            .collect();
+        for core in &mut self.cores {
+            core.bloom.reset();
+            for &l in &live {
+                core.bloom.insert(l);
+            }
+        }
+        true
     }
 
     fn finish(self, deadlocked: bool, bloom_resets: u64) -> SimResult {
@@ -149,11 +378,21 @@ impl Machine {
         agg.cycles = self.now;
         agg.unique_rmw_addrs = self.shared.unique_rmw_lines.len() as u64;
         agg.bloom_resets = bloom_resets;
+        let mut engine = self.engine;
+        engine.events_armed = self.shared.sched.armed();
+        let net = NetTraffic {
+            messages: self.shared.net.total_sent(),
+            hops: self.shared.net.total_hop_traffic(),
+            broadcast_messages: self.shared.net.sent(TrafficClass::RmwBroadcast),
+            broadcast_hops: self.shared.net.hop_traffic(TrafficClass::RmwBroadcast),
+        };
         SimResult {
             stats: agg,
             per_core,
             reads,
             memory: self.shared.memory,
+            net,
+            engine,
             deadlocked,
         }
     }
@@ -325,6 +564,19 @@ mod tests {
     }
 
     #[test]
+    fn broadcasts_travel_the_interconnect_with_acks() {
+        let mut cfg = SimConfig::small(4);
+        cfg.rmw_atomicity = Atomicity::Type2;
+        let t0 = Trace::new(vec![Op::rmw(addr(0))]);
+        let r = Machine::new(cfg, vec![t0]).run();
+        assert_eq!(r.stats.rmw_broadcasts, 1);
+        // One broadcast to the 3 other nodes, one ack back from each core.
+        assert_eq!(r.net.broadcast_messages, 6);
+        assert_eq!(r.net.messages, r.net.broadcast_messages);
+        assert!(r.net.broadcast_hops > 0, "hop accounting exercised");
+    }
+
+    #[test]
     fn fig10_deadlocks_without_bloom_and_not_with_it() {
         // Paper Fig. 10: W(x); RMW(y) || W(y); RMW(x) with type-2 RMWs.
         let mk = |bloom: bool| {
@@ -475,5 +727,39 @@ mod tests {
         let b = mk();
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.reads, b.reads);
+    }
+
+    #[test]
+    fn lockstep_mode_produces_identical_results() {
+        // A quick inline cross-check (the full suite lives in
+        // tests/engine_equiv.rs): both engines, same run, same everything.
+        let mk = |mode: StepMode| {
+            let mut cfg = SimConfig::small(3);
+            cfg.rmw_atomicity = Atomicity::Type2;
+            cfg.step_mode = mode;
+            let traces: Vec<Trace> = (0..3)
+                .map(|c| {
+                    Trace::new(
+                        (0..30)
+                            .map(|i| match (c + i) % 4 {
+                                0 => Op::rmw(addr(i % 3)),
+                                1 => Op::write(addr(i % 5), i),
+                                2 => Op::Fence,
+                                _ => Op::read(addr(i % 5)),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Machine::new(cfg, traces).run()
+        };
+        let ev = mk(StepMode::EventDriven);
+        let ls = mk(StepMode::Lockstep);
+        assert_eq!(ev.stats, ls.stats);
+        assert_eq!(ev.per_core, ls.per_core);
+        assert_eq!(ev.reads, ls.reads);
+        assert_eq!(ev.memory, ls.memory);
+        assert_eq!(ev.net, ls.net);
+        assert_eq!(ev.deadlocked, ls.deadlocked);
     }
 }

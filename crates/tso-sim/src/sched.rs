@@ -1,0 +1,423 @@
+//! The cycle-skipping event scheduler behind [`StepMode::EventDriven`].
+//!
+//! The lockstep engine advances time by ticking every core every cycle; at
+//! paper scale (300-cycle memory, 32 cores) almost all of those ticks are
+//! idle stall-waiting. The event-driven engine instead keeps an event
+//! queue keyed by `(cycle, target)`: whenever a core computes a completion
+//! time — instruction-ready (`busy_until`), a write-buffer request arrival
+//! or transaction completion, a broadcast-ack deadline, an RMW `Finish`
+//! time — it arms a wakeup for *itself* at that cycle; machine-level
+//! deliveries (broadcast messages in flight) arm a machine-target wakeup.
+//! `Machine::run` jumps `now` straight to the earliest armed cycle and
+//! ticks **only the due cores**, in core-id order.
+//!
+//! # Queue structure
+//!
+//! The queue is a **calendar wheel** (bucket per cycle modulo the wheel
+//! size, with a bitmap for next-event scans) backed by a
+//! binary-heap overflow for arms beyond the wheel horizon. Every latency
+//! the Table 2 machine can produce (300-cycle memory + mesh traversals)
+//! fits the horizon, so in practice arming and draining are O(1) —
+//! important because short programs on big machines arm only a few
+//! hundred events and the queue must not dominate them. Two invariants
+//! keep the wheel exact: every arm is strictly in the future, and the
+//! machine visits *every* armed cycle, so a bucket is fully drained at
+//! its cycle and never holds entries from two different cycles.
+//!
+//! # Exactness contract
+//!
+//! The engine remains **cycle-identical** to lockstep (asserted by
+//! `tests/engine_equiv.rs`) because skipped work is provably a no-op:
+//!
+//! 1. a core's tick can only *act* (mutate state or statistics) at a cycle
+//!    it armed for itself — every future deadline is armed when computed,
+//!    and a tick that acted arms `now + 1` for the same core whenever its
+//!    end-of-tick state demands a next-cycle action (phase-machine
+//!    advances, request sends and re-sends, fences over an empty buffer);
+//! 2. the one cross-core wait — a read or RMW acquisition blocked on a
+//!    *foreign* line lock — re-probes exactly when lockstep's per-cycle
+//!    re-poll could first succeed: a lock **release** is the only event
+//!    that can unblock it, so blocked cores are ticked whenever an
+//!    earlier-id core released a lock in the same cycle, and a
+//!    blocked-wakeup ([`Scheduler::wake_blocked`]) is armed for the cycle
+//!    after any release;
+//! 3. due cores tick in core-id order, so intra-cycle orderings (who sees
+//!    an unlock first) are preserved bit-for-bit.
+//!
+//! [`Scheduler::next_after`] never returns a cycle at or before `now`
+//! (time is monotone) nor skips past an armed wakeup — both
+//! property-tested in `tests/engine_equiv.rs`.
+//!
+//! [`StepMode::EventDriven`]: crate::StepMode::EventDriven
+
+use interconnect::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What a scheduled wakeup is waiting for. Purely diagnostic — ordering is
+/// by `(cycle, target)` — but counted in [`Scheduler::armed_by_kind`] so
+/// tests and benches can see where event pressure comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A core's `busy_until` expires (instruction issue/retire).
+    CoreReady,
+    /// A write-buffer coherence request arrives at the home directory.
+    WbRequestArrival,
+    /// An accepted write-buffer transaction completes (slot frees, locks
+    /// may release).
+    WbCompletion,
+    /// The broadcast-ack collection deadline of a §3.2 RMW-address
+    /// broadcast.
+    BroadcastAcks,
+    /// An RMW's read half completes (`RmwPhase::Finish`).
+    RmwFinish,
+    /// An interconnect message (RMW broadcast or ack) is delivered.
+    NetDelivery,
+    /// Conservative `now + 1` self-wakeup after a tick that acted:
+    /// phase-machine advances and request (re-)sends ride on this.
+    Advance,
+    /// Wakeup of every lock-blocked core the cycle after a lock release
+    /// (the event-time replacement for lockstep's per-cycle lock
+    /// re-polling).
+    LockRelease,
+}
+
+impl EventKind {
+    /// All kinds, indexable for the per-kind counters.
+    pub const ALL: [EventKind; 8] = [
+        EventKind::CoreReady,
+        EventKind::WbRequestArrival,
+        EventKind::WbCompletion,
+        EventKind::BroadcastAcks,
+        EventKind::RmwFinish,
+        EventKind::NetDelivery,
+        EventKind::Advance,
+        EventKind::LockRelease,
+    ];
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Wheel size in cycles. Must be a power of two, and comfortably larger
+/// than any single latency the machine composes (memory 300 + mesh round
+/// trips); longer waits (huge `Compute` bubbles, exotic configs) spill to
+/// the overflow heap.
+const WHEEL_SIZE: usize = 512;
+const WHEEL_MASK: u64 = WHEEL_SIZE as u64 - 1;
+const BITMAP_WORDS: usize = WHEEL_SIZE / 64;
+
+/// Heap targets: core ids, then the two machine-level sentinels. The
+/// sentinel encodings sort *after* every real core id, so due cores come
+/// first at a given cycle.
+const TARGET_BLOCKED: u32 = u32::MAX - 1;
+const TARGET_MACHINE: u32 = u32::MAX;
+
+/// What [`Scheduler::drain_due`] found armed at the drained cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Due {
+    /// A blocked-wakeup was armed: every lock-blocked core must re-probe
+    /// this cycle.
+    pub wake_blocked: bool,
+    /// A machine-level event (network delivery) was armed.
+    pub machine: bool,
+}
+
+/// Sentinel "no entry" index for the bucket lists.
+const NIL: u32 = u32::MAX;
+
+/// A pooled bucket-list node.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    at: Cycle,
+    target: u32,
+    next: u32,
+}
+
+/// Calendar-wheel event queue keyed by `(cycle, target)`.
+///
+/// Buckets are intrusive singly-linked lists over one growable slot pool
+/// (plus a free list), so arming allocates nothing after the pool warms
+/// up — the queue must stay cheap for short programs on big machines
+/// that arm only a few hundred events.
+///
+/// Arming is idempotent and conservative: duplicate events are permitted
+/// (they drain as no-op wakeups), missing events are not — see the module
+/// docs for the exactness contract. A scheduler constructed disabled
+/// ([`Scheduler::new(false)`](Scheduler::new)) ignores all arms; the
+/// lockstep engine uses one so `Core` can arm unconditionally without
+/// filling a queue nobody drains.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// Head slot index per cycle modulo [`WHEEL_SIZE`]; every entry of a
+    /// bucket holds the same cycle (see module docs).
+    buckets: Box<[u32; WHEEL_SIZE]>,
+    /// Slot pool backing the bucket lists.
+    slots: Vec<Slot>,
+    /// Head of the free-slot list.
+    free: u32,
+    /// Occupancy bit per bucket.
+    bitmap: [u64; BITMAP_WORDS],
+    /// Arms at or beyond the wheel horizon.
+    overflow: BinaryHeap<Reverse<(Cycle, u32)>>,
+    enabled: bool,
+    pending: usize,
+    armed: u64,
+    armed_by_kind: [u64; EventKind::ALL.len()],
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler. When `enabled` is false every arm is a
+    /// no-op.
+    pub fn new(enabled: bool) -> Self {
+        Scheduler {
+            buckets: Box::new([NIL; WHEEL_SIZE]),
+            slots: Vec::new(),
+            free: NIL,
+            bitmap: [0; BITMAP_WORDS],
+            overflow: BinaryHeap::new(),
+            enabled,
+            pending: 0,
+            armed: 0,
+            armed_by_kind: [0; EventKind::ALL.len()],
+        }
+    }
+
+    /// Whether this scheduler records events.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Arms `(at, target)`. `at` must be strictly in the future relative
+    /// to the cycle the caller is executing — `Machine` visits every armed
+    /// cycle, which keeps each bucket single-cycled.
+    fn push(&mut self, now_hint: Cycle, at: Cycle, target: u32, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(at > now_hint, "arm must be in the future");
+        if at - now_hint >= WHEEL_SIZE as u64 {
+            self.overflow.push(Reverse((at, target)));
+        } else {
+            let idx = (at & WHEEL_MASK) as usize;
+            let slot = Slot {
+                at,
+                target,
+                next: self.buckets[idx],
+            };
+            let slot_idx = if self.free != NIL {
+                let i = self.free;
+                self.free = self.slots[i as usize].next;
+                self.slots[i as usize] = slot;
+                i
+            } else {
+                let i = self.slots.len() as u32;
+                self.slots.push(slot);
+                i
+            };
+            self.buckets[idx] = slot_idx;
+            self.bitmap[idx / 64] |= 1 << (idx % 64);
+        }
+        self.pending += 1;
+        self.armed += 1;
+        self.armed_by_kind[kind.index()] += 1;
+    }
+
+    /// Arms a wakeup for `core` at `at` (call from the tick executing at
+    /// `now`; `at` must be `> now`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` collides with the sentinel target encodings
+    /// (≥ `u32::MAX - 1` cores — far beyond any simulated machine).
+    pub fn wake_core(&mut self, now: Cycle, at: Cycle, core: usize, kind: EventKind) {
+        let id = u32::try_from(core).expect("core id fits the queue encoding");
+        assert!(id < TARGET_BLOCKED, "core id collides with queue sentinels");
+        self.push(now, at, id, kind);
+    }
+
+    /// Arms a machine-level wakeup (network delivery) at `at`.
+    pub fn wake_machine(&mut self, now: Cycle, at: Cycle, kind: EventKind) {
+        self.push(now, at, TARGET_MACHINE, kind);
+    }
+
+    /// Arms a wakeup of every lock-blocked core at `at`.
+    pub fn wake_blocked(&mut self, now: Cycle, at: Cycle) {
+        self.push(now, at, TARGET_BLOCKED, EventKind::LockRelease);
+    }
+
+    /// Pops every event armed at exactly `now`, appending due core ids to
+    /// `due_cores` in ascending order without duplicates. Returns the
+    /// machine-level flags.
+    pub fn drain_due(&mut self, now: Cycle, due_cores: &mut Vec<usize>) -> Due {
+        let mut due = Due::default();
+        let idx = (now & WHEEL_MASK) as usize;
+        if self.bitmap[idx / 64] & (1 << (idx % 64)) != 0 {
+            self.bitmap[idx / 64] &= !(1 << (idx % 64));
+            let mut head = self.buckets[idx];
+            self.buckets[idx] = NIL;
+            while head != NIL {
+                let Slot { at, target, next } = self.slots[head as usize];
+                debug_assert_eq!(at, now, "bucket holds a single cycle");
+                self.slots[head as usize].next = self.free;
+                self.free = head;
+                head = next;
+                self.pending -= 1;
+                match target {
+                    TARGET_MACHINE => due.machine = true,
+                    TARGET_BLOCKED => due.wake_blocked = true,
+                    id => due_cores.push(id as usize),
+                }
+            }
+        }
+        while let Some(&Reverse((at, target))) = self.overflow.peek() {
+            if at > now {
+                break;
+            }
+            self.overflow.pop();
+            self.pending -= 1;
+            if at < now {
+                continue; // stale (already serviced at its cycle)
+            }
+            match target {
+                TARGET_MACHINE => due.machine = true,
+                TARGET_BLOCKED => due.wake_blocked = true,
+                id => due_cores.push(id as usize),
+            }
+        }
+        due_cores.sort_unstable();
+        due_cores.dedup();
+        due
+    }
+
+    /// The earliest armed cycle strictly after `now`. Returns `None` when
+    /// nothing is armed — for the machine that means no tick can ever
+    /// change state again (completion or wedge).
+    pub fn next_after(&mut self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        // Circular bitmap scan over the wheel, starting at now + 1. All
+        // wheel entries lie in (now, now + WHEEL_SIZE), so the first
+        // occupied bucket in circular order is the earliest wheel cycle.
+        let start = ((now + 1) & WHEEL_MASK) as usize;
+        'scan: for step in 0..BITMAP_WORDS + 1 {
+            let word_idx = (start / 64 + step) % BITMAP_WORDS;
+            let mut word = self.bitmap[word_idx];
+            if step == 0 {
+                word &= !0u64 << (start % 64);
+            }
+            if step == BITMAP_WORDS {
+                word &= !(!0u64 << (start % 64));
+            }
+            if word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                let idx = word_idx * 64 + bit;
+                let at = self.slots[self.buckets[idx] as usize].at;
+                debug_assert!(at > now);
+                best = Some(at);
+                break 'scan;
+            }
+        }
+        while let Some(&Reverse((at, _))) = self.overflow.peek() {
+            if at > now {
+                best = Some(best.map_or(at, |b| b.min(at)));
+                break;
+            }
+            self.overflow.pop();
+            self.pending -= 1;
+        }
+        best
+    }
+
+    /// Events currently armed and not yet drained.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Total events armed so far.
+    pub fn armed(&self) -> u64 {
+        self.armed
+    }
+
+    /// Events armed so far for one kind.
+    pub fn armed_by_kind(&self, kind: EventKind) -> u64 {
+        self.armed_by_kind[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scheduler_ignores_arms() {
+        let mut s = Scheduler::new(false);
+        s.wake_core(0, 5, 0, EventKind::CoreReady);
+        s.wake_machine(0, 6, EventKind::NetDelivery);
+        s.wake_blocked(0, 7);
+        assert!(!s.enabled());
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.armed(), 0);
+        assert_eq!(s.next_after(0), None);
+    }
+
+    #[test]
+    fn drains_due_cores_in_id_order_without_duplicates() {
+        let mut s = Scheduler::new(true);
+        s.wake_core(0, 10, 3, EventKind::WbCompletion);
+        s.wake_core(0, 10, 1, EventKind::CoreReady);
+        s.wake_core(0, 10, 3, EventKind::Advance);
+        s.wake_core(0, 20, 0, EventKind::CoreReady);
+        s.wake_machine(0, 10, EventKind::NetDelivery);
+        assert_eq!(s.next_after(0), Some(10));
+        let mut due = Vec::new();
+        let flags = s.drain_due(10, &mut due);
+        assert_eq!(due, vec![1, 3]);
+        assert!(flags.machine);
+        assert!(!flags.wake_blocked);
+        assert_eq!(s.next_after(10), Some(20));
+        assert_eq!(s.armed(), 5);
+        assert_eq!(s.armed_by_kind(EventKind::CoreReady), 2);
+        due.clear();
+        let flags = s.drain_due(20, &mut due);
+        assert_eq!(due, vec![0]);
+        assert!(!flags.machine);
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.next_after(20), None);
+    }
+
+    #[test]
+    fn far_future_arms_spill_to_the_overflow() {
+        let mut s = Scheduler::new(true);
+        let far = 3 + 10 * WHEEL_SIZE as u64;
+        s.wake_core(3, far, 2, EventKind::CoreReady);
+        s.wake_blocked(3, 4);
+        assert_eq!(s.next_after(3), Some(4));
+        let mut due = Vec::new();
+        let flags = s.drain_due(4, &mut due);
+        assert!(flags.wake_blocked);
+        assert!(due.is_empty());
+        assert_eq!(s.next_after(4), Some(far));
+        due.clear();
+        let _ = s.drain_due(far, &mut due);
+        assert_eq!(due, vec![2]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn wheel_wraps_cleanly_across_many_horizons() {
+        let mut s = Scheduler::new(true);
+        let mut now = 0u64;
+        for round in 0..2_000u64 {
+            let at = now + 1 + (round % 400);
+            s.wake_core(now, at, (round % 5) as usize, EventKind::Advance);
+            let next = s.next_after(now).expect("armed");
+            assert_eq!(next, at);
+            let mut due = Vec::new();
+            s.drain_due(next, &mut due);
+            assert_eq!(due, vec![(round % 5) as usize]);
+            now = next;
+        }
+        assert_eq!(s.pending(), 0);
+    }
+}

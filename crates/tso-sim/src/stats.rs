@@ -15,6 +15,40 @@ pub struct RmwCostBreakdown {
     pub ra_wa_cycles: Cycle,
 }
 
+/// Interconnect traffic observed during one run — currently the §3.2
+/// RMW-address broadcast scheme (broadcasts + acks), the overhead the
+/// paper reports as negligible (<0.5 %). Coherence transactions remain
+/// latency-composed (see the `coherence` crate docs), so they do not
+/// appear here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetTraffic {
+    /// Total messages sent on the mesh.
+    pub messages: u64,
+    /// Total link traversals (the paper's traffic metric).
+    pub hops: u64,
+    /// Messages in the RMW-broadcast class (broadcast copies and acks).
+    pub broadcast_messages: u64,
+    /// Link traversals in the RMW-broadcast class.
+    pub broadcast_hops: u64,
+}
+
+/// Diagnostics of the time-advance engine itself (not simulated
+/// behavior): how much work the run cost the host. Lockstep visits every
+/// cycle and ticks every core; the event engine visits only armed cycles
+/// and ticks only due cores. These fields legitimately differ between the
+/// two engines — the equivalence contract covers everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Cycles the engine executed (== `cycles` for lockstep).
+    pub visited_cycles: u64,
+    /// Core ticks executed.
+    pub ticks: u64,
+    /// Core ticks that acted (changed state or statistics).
+    pub acting_ticks: u64,
+    /// Events armed in the scheduler (0 for lockstep).
+    pub events_armed: u64,
+}
+
 impl RmwCostBreakdown {
     /// Total critical-path cycles.
     pub fn total(&self) -> Cycle {
@@ -54,11 +88,15 @@ pub struct SimStats {
     pub rmw_broadcasts: u64,
     /// Bloom filter resets triggered by the threshold counter.
     pub bloom_resets: u64,
-    /// Coherence-denied retries observed (lock contention pressure).
+    /// Lock-contention pressure, in cycles: each write-buffer request
+    /// denied at the directory counts once (the retry cadence is one
+    /// round trip), and each cycle a read or an RMW acquisition sat
+    /// blocked on a foreign line lock counts once (attributed in bulk
+    /// when the episode ends).
     pub lock_retries: u64,
     /// Cycles an operation stalled because the write buffer was full: a
     /// store waiting for a free slot, or a type-2/3 RMW whose `Wa` could
-    /// not retire into the buffer.
+    /// not retire into the buffer. Attributed when the stall ends.
     pub wb_full_stalls: u64,
     /// Fence stalls (cycles waiting on `mfence` drains).
     pub fence_cycles: Cycle,

@@ -1,0 +1,264 @@
+//! Engine-equivalence suite: the event-driven cycle-skipping engine must
+//! be an **observational no-op** relative to the lockstep reference — only
+//! faster.
+//!
+//! Every shape is run under both [`StepMode`]s and the full `SimResult` is
+//! compared **cycle-exactly**: aggregate and per-core `SimStats`
+//! (including `cycles`, stall and retry counters), read values, final
+//! memory, interconnect traffic, and the deadlock flag. Coverage:
+//!
+//! * the hand-written classic + paper litmus corpus × all three RMW
+//!   atomicities (lock contention, broadcasts, reverted drains);
+//! * the §4 workload kernels (spinlock suite, TL2-style STM, Chase–Lev
+//!   work stealing) on paper-latency configurations, including a
+//!   32-core Table 2 machine;
+//! * the Fig. 10 write-deadlock (watchdog equivalence in event time);
+//! * random traces (proptest) over all atomicities;
+//! * scheduler-level properties: time never moves backwards and never
+//!   skips past an armed wakeup.
+
+use proptest::prelude::*;
+use rmw_types::{Addr, Atomicity, RmwKind};
+use tso_sim::{
+    lower_with_line_size, Machine, Op, Scheduler, SimConfig, SimResult, StepMode, Trace,
+};
+
+/// Runs the same configuration + traces under both engines and asserts
+/// cycle-identical results; returns the event-driven result.
+fn assert_engines_agree(mut cfg: SimConfig, traces: Vec<Trace>, label: &str) -> SimResult {
+    cfg.step_mode = StepMode::EventDriven;
+    let ev = Machine::new(cfg, traces.clone()).run();
+    cfg.step_mode = StepMode::Lockstep;
+    let ls = Machine::new(cfg, traces).run();
+    assert_eq!(ev.stats, ls.stats, "{label}: aggregate stats diverged");
+    assert_eq!(ev.per_core, ls.per_core, "{label}: per-core stats diverged");
+    assert_eq!(ev.reads, ls.reads, "{label}: read values diverged");
+    assert_eq!(ev.memory, ls.memory, "{label}: final memory diverged");
+    assert_eq!(ev.net, ls.net, "{label}: interconnect traffic diverged");
+    assert_eq!(
+        ev.deadlocked, ls.deadlocked,
+        "{label}: deadlock flag diverged"
+    );
+    ev
+}
+
+#[test]
+fn litmus_corpus_is_engine_equivalent() {
+    let mut tests = litmus::classic::all();
+    tests.extend(litmus::paper::all());
+    assert!(tests.len() >= 20, "corpus unexpectedly small");
+    for l in &tests {
+        for atomicity in Atomicity::ALL {
+            let prog = l.program.with_atomicity(atomicity);
+            let mut cfg = SimConfig::small(prog.num_threads().max(1));
+            cfg.rmw_atomicity = atomicity;
+            let traces = lower_with_line_size(&prog, cfg.line_size);
+            assert_engines_agree(cfg, traces, &format!("{} / {atomicity}", l.name));
+        }
+    }
+}
+
+/// A paper-latency configuration scaled to `cores` (the Table 2 machine
+/// when `cores == 32`, a near-square mesh below that — mirrors
+/// `bench::config_for`, which cannot be used here without a dependency
+/// cycle).
+fn paper_scale(cores: usize, atomicity: Atomicity) -> SimConfig {
+    let mut cfg = SimConfig::paper_table2();
+    if cores != 32 {
+        cfg.coherence.num_cores = cores;
+        let width = (cores as f64).sqrt().ceil() as usize;
+        cfg.coherence.mesh.width = width;
+        cfg.coherence.mesh.height = cores.div_ceil(width);
+    }
+    cfg.rmw_atomicity = atomicity;
+    cfg
+}
+
+#[test]
+fn workload_kernels_are_engine_equivalent() {
+    // One kernel per idiom: spinlock (lock suite), TL2 (STM), Chase–Lev
+    // (work stealing, both C/C++11 replacement variants).
+    let kernels = [
+        workloads::Benchmark::Radiosity,
+        workloads::Benchmark::Bayes,
+        workloads::Benchmark::WsqMstWr,
+        workloads::Benchmark::WsqMstRr,
+    ];
+    for bench in kernels {
+        for atomicity in Atomicity::ALL {
+            let traces = workloads::benchmark(bench, 4, 800, 0xD15EA5E);
+            let cfg = paper_scale(4, atomicity);
+            let r = assert_engines_agree(cfg, traces, &format!("{bench} / {atomicity}"));
+            assert!(r.stats.rmw_count > 0, "{bench}: kernel exercised no RMWs");
+        }
+    }
+}
+
+#[test]
+fn paper_table2_machine_is_engine_equivalent() {
+    // The full 32-core Table 2 machine — the configuration the
+    // cycle-skipping engine exists for.
+    let traces = workloads::benchmark(workloads::Benchmark::Raytrace, 32, 300, 7);
+    let cfg = paper_scale(32, Atomicity::Type2);
+    let r = assert_engines_agree(cfg, traces, "raytrace 32-core table2");
+    assert!(!r.deadlocked);
+    assert!(r.stats.rmw_count > 0);
+}
+
+#[test]
+fn fig10_deadlock_is_engine_equivalent() {
+    // The watchdog is redefined in event time; the wedge must be detected
+    // at exactly the lockstep cycle, with identical partial statistics.
+    let mut cfg = SimConfig::small(2);
+    cfg.rmw_atomicity = Atomicity::Type2;
+    cfg.bloom_enabled = false;
+    cfg.deadlock_threshold = 7_500;
+    let t0 = Trace::new(vec![Op::write(Addr(0), 1), Op::rmw(Addr(64))]);
+    let t1 = Trace::new(vec![Op::write(Addr(64), 1), Op::rmw(Addr(0))]);
+    let r = assert_engines_agree(cfg, vec![t0, t1], "fig10 unsafe");
+    assert!(r.deadlocked, "unsafe Fig. 10 shape must wedge");
+}
+
+#[test]
+fn zero_latency_config_terminates_and_is_engine_equivalent() {
+    // Degenerate all-zero latencies make coherence transactions complete
+    // in the cycle they issue; every event arm must still land strictly
+    // in the future (the `.max(now + 1)` clamps), or the event engine
+    // would never advance time.
+    let mut cfg = SimConfig::small(2);
+    cfg.coherence.l1_latency = 0;
+    cfg.coherence.l2_latency = 0;
+    cfg.coherence.memory_latency = 0;
+    cfg.coherence.mesh.link_latency = 0;
+    cfg.coherence.mesh.router_latency = 0;
+    cfg.rmw_atomicity = Atomicity::Type2;
+    let t0 = Trace::new(vec![
+        Op::write(Addr(0), 1),
+        Op::rmw(Addr(64)),
+        Op::read(Addr(128)),
+    ]);
+    let t1 = Trace::new(vec![Op::rmw(Addr(64)), Op::write(Addr(128), 2)]);
+    let r = assert_engines_agree(cfg, vec![t0, t1], "zero-latency config");
+    assert!(!r.deadlocked);
+    assert_eq!(r.stats.rmw_count, 2);
+}
+
+#[test]
+fn quiescent_compute_watchdog_is_engine_equivalent() {
+    // A compute bubble longer than the threshold trips the watchdog at
+    // `last_progress + threshold + 1` under both engines, even though the
+    // event engine sees the wedge instantly.
+    let mut cfg = SimConfig::small(1);
+    cfg.deadlock_threshold = 1_000;
+    let t = Trace::new(vec![Op::Compute(1_200), Op::read(Addr(0))]);
+    let r = assert_engines_agree(cfg, vec![t], "long compute bubble");
+    assert!(r.deadlocked);
+    assert_eq!(r.stats.cycles, 1_001);
+}
+
+fn arb_op(lines: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..lines).prop_map(|l| Op::Read(Addr(l * 64))),
+        3 => ((0..lines), (1u64..50)).prop_map(|(l, v)| Op::Write(Addr(l * 64), v)),
+        2 => (0..lines).prop_map(|l| Op::Rmw(Addr(l * 64), RmwKind::FetchAndAdd(1))),
+        1 => Just(Op::Fence),
+        1 => (1u32..30).prop_map(Op::Compute),
+    ]
+}
+
+fn arb_traces(cores: usize, lines: u64, max_len: usize) -> impl Strategy<Value = Vec<Trace>> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_op(lines), 1..max_len).prop_map(Trace::new),
+        cores..=cores,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random trace mixes agree between the engines under every atomicity
+    /// — including tight write-buffer configurations that exercise the
+    /// stall-episode accounting.
+    #[test]
+    fn random_traces_are_engine_equivalent(
+        traces in arb_traces(3, 4, 16),
+        wb in 1usize..6,
+    ) {
+        for atomicity in Atomicity::ALL {
+            let mut cfg = SimConfig::small(3);
+            cfg.rmw_atomicity = atomicity;
+            cfg.write_buffer_entries = wb;
+            assert_engines_agree(cfg, traces.clone(), &format!("random / {atomicity} / wb={wb}"));
+        }
+    }
+
+    /// Scheduler property: `next_after` is strictly monotone (time never
+    /// moves backwards) and never skips past an armed wakeup — every armed
+    /// cycle in the future is visited, in order, with its due cores
+    /// reported exactly once in ascending id order.
+    #[test]
+    fn scheduler_never_regresses_nor_skips(
+        arms in proptest::collection::vec((1u64..2_000, 0usize..7), 1..60),
+    ) {
+        let mut sched = Scheduler::new(true);
+        for (i, &(at, core)) in arms.iter().enumerate() {
+            let kind = tso_sim::EventKind::ALL[i % tso_sim::EventKind::ALL.len()];
+            sched.wake_core(0, at, core, kind);
+        }
+        let mut expected: Vec<u64> = arms.iter().map(|&(at, _)| at).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut now = 0u64;
+        let mut visited = Vec::new();
+        let mut due = Vec::new();
+        while let Some(next) = sched.next_after(now) {
+            prop_assert!(next > now, "time moved backwards: {now} -> {next}");
+            visited.push(next);
+            now = next;
+            due.clear();
+            let _ = sched.drain_due(now, &mut due);
+            let mut want: Vec<usize> = arms
+                .iter()
+                .filter(|&&(at, _)| at == now)
+                .map(|&(_, core)| core)
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(&due, &want, "due set wrong at {}", now);
+        }
+        prop_assert_eq!(visited, expected, "armed wakeups skipped or invented");
+        prop_assert_eq!(sched.pending(), 0);
+    }
+
+    /// Late arms interleaved with visits (the machine's actual usage
+    /// pattern) still never pull time backwards or past a pending arm —
+    /// including arms beyond the wheel horizon.
+    #[test]
+    fn scheduler_interleaved_arms_stay_monotone(
+        steps in proptest::collection::vec((1u64..2_000, any::<bool>()), 1..80),
+    ) {
+        let mut sched = Scheduler::new(true);
+        let mut now = 0u64;
+        let mut pending: Vec<u64> = Vec::new();
+        let mut due = Vec::new();
+        for (delta, advance) in steps {
+            if advance {
+                let next = sched.next_after(now);
+                pending.sort_unstable();
+                pending.dedup();
+                prop_assert_eq!(next, pending.first().copied(), "wrong next wakeup");
+                if let Some(t) = next {
+                    prop_assert!(t > now);
+                    now = t;
+                    due.clear();
+                    let _ = sched.drain_due(now, &mut due);
+                    pending.retain(|&p| p > now);
+                }
+            } else {
+                let at = now + delta;
+                sched.wake_core(now, at, 0, tso_sim::EventKind::Advance);
+                pending.push(at);
+            }
+        }
+    }
+}
