@@ -1,5 +1,6 @@
 //! Model-search scaling sweep: streaming pruned engine vs. the legacy
-//! materializing enumerator, recorded as `BENCH_model.json`.
+//! materializing enumerator, plus the parallel root-split engine vs. the
+//! sequential reference, recorded as `BENCH_model.json`.
 //!
 //! For each shape of the [`bench::model_shapes::dekker_variant`] family the
 //! binary measures the streaming engine (`for_each_valid_execution`) and —
@@ -9,10 +10,19 @@
 //! (3 threads × 3 rounds ≈ 5.7 · 10⁷ candidates, tens of GiB materialized)
 //! is streaming-only: the legacy enumerator cannot finish it in memory.
 //!
+//! Every shape is then re-run on the **parallel** engine
+//! (`allowed_outcomes_par`) at each `--par-workers` count, asserting the
+//! outcome set is identical to the sequential stream and recording the
+//! wall-clock ratio. Equality must hold everywhere; the speedup is only
+//! meaningful when the host actually has cores
+//! (`host_parallelism` is recorded in the JSON so CI can gate the ≥2×
+//! floor on it).
+//!
 //! Usage:
 //!
 //! ```console
-//! $ cargo run --release -p bench --bin model_scaling [-- --smoke] [--out PATH]
+//! $ cargo run --release -p bench --bin model_scaling \
+//!     [-- --smoke] [--out PATH] [--par-workers 2,4]
 //! ```
 //!
 //! `--smoke` restricts the sweep to the fast shapes (CI's `bench-smoke`
@@ -25,13 +35,21 @@ use std::fmt::Write as _;
 use std::ops::ControlFlow;
 use std::time::Instant;
 use tso_model::{
-    check_validity, enumerate_candidates, for_each_valid_execution, Outcome, SearchStats,
+    allowed_outcomes_par, check_validity, enumerate_candidates, for_each_valid_execution, Outcome,
+    SearchStats,
 };
 
 /// Shapes smaller than this (materialized candidates) are calibration
 /// rows: both engines finish in microseconds there, so they are excluded
 /// from the headline `shared` speedup aggregate.
 const SHARED_MIN_CANDIDATES: f64 = 1000.0;
+
+/// One parallel measurement of a shape.
+struct ParRow {
+    workers: usize,
+    ms: f64,
+    outcomes_match: bool,
+}
 
 /// One measured shape.
 struct Row {
@@ -47,15 +65,21 @@ struct Row {
     /// `None` when the legacy enumerator was skipped (infeasible).
     legacy_ms: Option<f64>,
     outcomes_match: Option<bool>,
+    /// Parallel engine at each requested worker count.
+    parallel: Vec<ParRow>,
 }
 
 impl Row {
     fn speedup(&self) -> Option<f64> {
         self.legacy_ms.map(|l| l / self.streaming_ms.max(1e-6))
     }
+
+    fn par_speedup(&self, p: &ParRow) -> f64 {
+        self.streaming_ms / p.ms.max(1e-6)
+    }
 }
 
-fn measure(threads: usize, rounds: usize, run_legacy: bool) -> Row {
+fn measure(threads: usize, rounds: usize, run_legacy: bool, par_workers: &[usize]) -> Row {
     let program = dekker_variant(threads, rounds);
     let events = threads * rounds * 2 + threads; // per-thread W+R pairs + init writes
 
@@ -80,6 +104,19 @@ fn measure(threads: usize, rounds: usize, run_legacy: bool) -> Row {
         (None, None)
     };
 
+    let parallel = par_workers
+        .iter()
+        .map(|&workers| {
+            let start = Instant::now();
+            let par = allowed_outcomes_par(&program, workers);
+            ParRow {
+                workers,
+                ms: start.elapsed().as_secs_f64() * 1e3,
+                outcomes_match: par == streamed,
+            }
+        })
+        .collect();
+
     Row {
         name: format!("dekker n={threads} r={rounds}"),
         threads,
@@ -91,6 +128,7 @@ fn measure(threads: usize, rounds: usize, run_legacy: bool) -> Row {
         outcomes: streamed.len(),
         legacy_ms,
         outcomes_match,
+        parallel,
     }
 }
 
@@ -102,12 +140,13 @@ fn json_num(v: f64) -> String {
     }
 }
 
-fn to_json(rows: &[Row], mode: &str) -> String {
+fn to_json(rows: &[Row], mode: &str, host_parallelism: usize) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"experiment\": \"model_scaling\",");
     let _ = writeln!(s, "  \"paper\": \"conf_pldi_RajaramNSE13\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
     let _ = writeln!(s, "  \"shapes\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(s, "    {{");
@@ -122,6 +161,20 @@ fn to_json(rows: &[Row], mode: &str) -> String {
         let _ = writeln!(s, "      \"complete\": {},", r.stats.complete);
         let _ = writeln!(s, "      \"valid\": {},", r.stats.valid);
         let _ = writeln!(s, "      \"outcomes\": {},", r.outcomes);
+        let _ = writeln!(s, "      \"parallel\": [");
+        for (j, p) in r.parallel.iter().enumerate() {
+            let comma = if j + 1 < r.parallel.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"workers\": {}, \"ms\": {}, \"speedup_vs_sequential\": {}, \
+                 \"outcomes_match\": {}}}{comma}",
+                p.workers,
+                json_num(p.ms),
+                json_num(r.par_speedup(p)),
+                p.outcomes_match
+            );
+        }
+        let _ = writeln!(s, "      ],");
         match r.legacy_ms {
             Some(ms) => {
                 let _ = writeln!(s, "      \"legacy_ms\": {},", json_num(ms));
@@ -177,6 +230,22 @@ fn to_json(rows: &[Row], mode: &str) -> String {
         json_num(if min.is_finite() { min } else { 0.0 })
     );
     let _ = writeln!(s, "    \"geomean_speedup\": {}", json_num(geomean));
+    let _ = writeln!(s, "  }},");
+    // Parallel headline: best parallel speedup over the non-trivial
+    // shapes (meaningful only when host_parallelism > 1 — CI gates its
+    // floor on that; equality is asserted unconditionally above).
+    let best = rows
+        .iter()
+        .filter(|r| r.candidates >= SHARED_MIN_CANDIDATES)
+        .flat_map(|r| r.parallel.iter().map(move |p| (r, p)))
+        .map(|(r, p)| r.par_speedup(p))
+        .fold(0.0f64, f64::max);
+    let all_match = rows
+        .iter()
+        .all(|r| r.parallel.iter().all(|p| p.outcomes_match));
+    let _ = writeln!(s, "  \"parallel\": {{");
+    let _ = writeln!(s, "    \"all_outcomes_match\": {all_match},");
+    let _ = writeln!(s, "    \"best_speedup\": {}", json_num(best));
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     s
@@ -190,11 +259,29 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_model.json".to_owned());
+    let par_workers: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--par-workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|csv| {
+            csv.split(',')
+                .map(|w| w.parse().expect("--par-workers takes e.g. 2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![2, 4]);
 
     // (threads, rounds, run_legacy). Legacy is skipped where the
-    // materialized candidate space stops fitting in memory.
+    // materialized candidate space stops fitting in memory. The big
+    // streaming-only shapes are exactly where the parallel engine earns
+    // its keep, so dekker n=3 r=3 stays in the smoke sweep too.
     let shapes: &[(usize, usize, bool)] = if smoke {
-        &[(2, 1, true), (2, 2, true), (3, 1, true), (2, 3, true)]
+        &[
+            (2, 1, true),
+            (2, 2, true),
+            (3, 1, true),
+            (2, 3, true),
+            (3, 3, false),
+        ]
     } else {
         &[
             (2, 1, true),
@@ -207,19 +294,35 @@ fn main() {
         ]
     };
 
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "model_scaling ({}): streaming pruned search vs legacy enumeration",
-        if smoke { "smoke" } else { "full" }
+        "model_scaling ({}): streaming pruned search vs legacy enumeration, \
+         parallel workers {:?} (host parallelism {host_parallelism})",
+        if smoke { "smoke" } else { "full" },
+        par_workers
     );
     println!(
-        "{:<16} {:>8} {:>14} {:>12} {:>12} {:>8} {:>10}",
-        "shape", "events", "candidates", "stream ms", "legacy ms", "speedup", "outcomes"
+        "{:<16} {:>8} {:>14} {:>12} {:>12} {:>8} {:>10} {:>16}",
+        "shape",
+        "events",
+        "candidates",
+        "stream ms",
+        "legacy ms",
+        "speedup",
+        "outcomes",
+        "par ms (speedup)"
     );
     let mut rows = Vec::new();
     for &(n, r, legacy) in shapes {
-        let row = measure(n, r, legacy);
+        let row = measure(n, r, legacy, &par_workers);
+        let par_col = row
+            .parallel
+            .iter()
+            .map(|p| format!("{}w {:.1} ({:.2}x)", p.workers, p.ms, row.par_speedup(p)))
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "{:<16} {:>8} {:>14.3e} {:>12.2} {:>12} {:>8} {:>10}",
+            "{:<16} {:>8} {:>14.3e} {:>12.2} {:>12} {:>8} {:>10} {:>16}",
             row.name,
             row.events,
             row.candidates,
@@ -228,15 +331,27 @@ fn main() {
                 .map_or("skipped".into(), |v| format!("{v:.2}")),
             row.speedup().map_or("-".into(), |v| format!("{v:.1}x")),
             row.outcomes,
+            par_col,
         );
         if let Some(false) = row.outcomes_match {
             eprintln!("ERROR: {}: engines disagree on the outcome set", row.name);
             std::process::exit(1);
         }
+        if let Some(bad) = row.parallel.iter().find(|p| !p.outcomes_match) {
+            eprintln!(
+                "ERROR: {}: parallel engine at {} workers disagrees with sequential",
+                row.name, bad.workers
+            );
+            std::process::exit(1);
+        }
         rows.push(row);
     }
 
-    let json = to_json(&rows, if smoke { "smoke" } else { "full" });
+    let json = to_json(
+        &rows,
+        if smoke { "smoke" } else { "full" },
+        host_parallelism,
+    );
     std::fs::write(&out_path, &json).expect("write BENCH_model.json");
     println!("\nwrote {out_path}");
 }

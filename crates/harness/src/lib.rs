@@ -12,11 +12,21 @@
 //!    timing machine configured to match, and the simulator's outcome
 //!    (read values *and* final memory) must be in the model's allowed set.
 //!
-//! The batch runner ([`run_batch`]) distributes tests over a pool of
-//! worker threads pulling indices from a shared channel-fed queue — an
-//! idle worker steals the next test the moment it frees up, so long-tail
-//! tests don't serialize the batch. Results stream back over a second
-//! channel and are reassembled in corpus order.
+//! The batch runner ([`run_batch`]) distributes tests over the shared
+//! [`exec_pool`] worker pool — tests are pulled from a channel-fed queue,
+//! so an idle worker steals the next test the moment it frees up and
+//! long-tail tests don't serialize the batch. Each outcome records the
+//! **stable worker id** (`0..jobs`, assigned at spawn) that executed it,
+//! so per-test timings in the JSON report attribute to real workers
+//! rather than implicit spawn order. The pool's oversubscription guard
+//! keeps the per-test *model* searches sequential inside harness workers:
+//! `--jobs N` means N threads, not N × model-workers.
+//!
+//! Model queries go through `tso-model`'s memoized outcome-set cache
+//! (canonical-fingerprint keyed): the verdict check and the three
+//! per-atomicity differential sets collapse to one model invocation per
+//! canonical program class, and the report carries the process-wide
+//! counters ([`Report::model_cache`]).
 //!
 //! The `litmus_run` binary wraps this in a CLI with `--filter`, `--jobs`,
 //! `--smoke`, and `--format json|tap|summary`; see `README.md`.
@@ -26,10 +36,8 @@
 
 use litmus::{classic, gen, paper, Expect, Litmus};
 use rmw_types::{Atomicity, Value};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tso_model::allowed_outcomes;
+use tso_model::{allowed_outcomes_cached, SearchStats};
 use tso_sim::{lower_with_line_size, sim_addr, Machine, SimConfig};
 
 /// Which simulated machine the differential side runs on.
@@ -128,6 +136,19 @@ pub struct TestOutcome {
     pub differential: Vec<DiffOutcome>,
     /// Wall-clock microseconds this test took (model + 3 sim runs).
     pub micros: u64,
+    /// Stable id of the pool worker that executed the test (0 when run
+    /// outside a batch).
+    pub worker: usize,
+    /// Model search stats summed over this test's model queries (the
+    /// verdict check plus one outcome set per atomicity). Cache hits
+    /// carry the stats of the search that originally proved the entry,
+    /// so the numbers describe the *class weight*, not necessarily work
+    /// done during this test.
+    pub model_stats: SearchStats,
+    /// Model queries this test issued (verdict + per-atomicity sets).
+    pub model_queries: u32,
+    /// How many of those were served from the memoized verdict cache.
+    pub model_cache_hits: u32,
 }
 
 impl TestOutcome {
@@ -174,10 +195,18 @@ pub fn differential_check(l: &Litmus) -> TestOutcome {
 
 /// Runs one litmus test: model verdict plus the three-atomicity
 /// differential comparison against the simulator, on the chosen machine.
+///
+/// All model queries (the verdict and the per-atomicity outcome sets) go
+/// through the memoized cache — an RMW-free test costs one model
+/// invocation instead of four, and permutation-equivalent tests elsewhere
+/// in the corpus cost none.
 pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
     let started = Instant::now();
     let check = l.check();
     let failure_detail = (!check.passed).then(|| check.report());
+    let mut model_stats = check.model_stats;
+    let mut model_queries = 1u32;
+    let mut model_cache_hits = u32::from(check.cache_hit);
 
     let mut differential = Vec::with_capacity(Atomicity::ALL.len());
     for atomicity in Atomicity::ALL {
@@ -187,11 +216,14 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
         let line_size = cfg.line_size;
         let result = Machine::new(cfg, lower_with_line_size(&prog, line_size)).run();
         let sim_reads: Vec<Value> = result.reads.iter().flatten().copied().collect();
-        let agreed = !result.deadlocked && {
-            let allowed = allowed_outcomes(&prog);
-            allowed.iter().any(|o| {
+        let allowed = allowed_outcomes_cached(&prog);
+        model_stats.absorb(&allowed.stats);
+        model_queries += 1;
+        model_cache_hits += u32::from(allowed.hit);
+        let agreed = !result.deadlocked
+            && allowed.outcomes.iter().any(|o| {
                 o.read_values() == sim_reads
-                    && o.final_memory().iter().all(|(&a, &v)| {
+                    && o.final_memory().iter().all(|&(a, v)| {
                         result
                             .memory
                             .get(&sim_addr(a, line_size))
@@ -199,8 +231,7 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
                             .unwrap_or(0)
                             == v
                     })
-            })
-        };
+            });
         differential.push(DiffOutcome {
             atomicity,
             agreed,
@@ -217,6 +248,10 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
         failure_detail,
         differential,
         micros: started.elapsed().as_micros() as u64,
+        worker: 0,
+        model_stats,
+        model_queries,
+        model_cache_hits,
     }
 }
 
@@ -246,10 +281,11 @@ pub fn run_batch(tests: &[Litmus], jobs: usize) -> (Vec<TestOutcome>, Duration) 
     run_batch_on(tests, jobs, MachineKind::Small)
 }
 
-/// Runs `tests` on `jobs` worker threads (a shared channel-fed queue; idle
-/// workers pull the next index, so stragglers never serialize the batch),
-/// with the differential side on `machine`. Returns per-test outcomes in
-/// input order plus the batch wall-clock.
+/// Runs `tests` on `jobs` workers of the shared [`exec_pool`] (a
+/// channel-fed queue; idle workers pull the next index, so stragglers
+/// never serialize the batch), with the differential side on `machine`.
+/// Returns per-test outcomes in input order — each stamped with the
+/// stable id of the worker that executed it — plus the batch wall-clock.
 pub fn run_batch_on(
     tests: &[Litmus],
     jobs: usize,
@@ -257,40 +293,11 @@ pub fn run_batch_on(
 ) -> (Vec<TestOutcome>, Duration) {
     let jobs = jobs.max(1).min(tests.len().max(1));
     let started = Instant::now();
-    let (job_tx, job_rx) = mpsc::channel::<usize>();
-    for i in 0..tests.len() {
-        job_tx.send(i).expect("queue accepts all indices");
-    }
-    drop(job_tx);
-    let job_rx = Arc::new(Mutex::new(job_rx));
-    let (res_tx, res_rx) = mpsc::channel::<(usize, TestOutcome)>();
-    let mut slots: Vec<Option<TestOutcome>> = tests.iter().map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let job_rx = Arc::clone(&job_rx);
-            let res_tx = res_tx.clone();
-            scope.spawn(move || loop {
-                // Take the lock only to pop the next index; the check runs
-                // with the queue free for the other workers.
-                let idx = match job_rx.lock().expect("job queue lock").recv() {
-                    Ok(i) => i,
-                    Err(_) => break, // queue drained
-                };
-                let outcome = differential_check_on(&tests[idx], machine);
-                if res_tx.send((idx, outcome)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(res_tx);
-        for (idx, outcome) in res_rx {
-            slots[idx] = Some(outcome);
-        }
+    let outcomes = exec_pool::run_all(jobs, tests.len(), |worker, idx| {
+        let mut outcome = differential_check_on(&tests[idx], machine);
+        outcome.worker = worker;
+        outcome
     });
-    let outcomes = slots
-        .into_iter()
-        .map(|o| o.expect("every queued test reports back"))
-        .collect();
     (outcomes, started.elapsed())
 }
 
@@ -366,5 +373,35 @@ mod tests {
     fn smoke_filter_keeps_the_small_shapes() {
         assert!(smoke_filter(&classic::sb()));
         assert!(!smoke_filter(&litmus::gen::sb_ring(6)));
+    }
+
+    #[test]
+    fn outcomes_carry_stable_worker_ids_and_model_accounting() {
+        let tests = classic::all();
+        let jobs = 2;
+        let (outcomes, _) = run_batch(&tests, jobs);
+        for o in &outcomes {
+            assert!(
+                o.worker < jobs,
+                "{}: worker id {} out of range",
+                o.name,
+                o.worker
+            );
+            assert_eq!(
+                o.model_queries, 4,
+                "{}: verdict + one set per atomicity",
+                o.name
+            );
+            assert!(o.model_cache_hits <= o.model_queries);
+            assert!(
+                o.model_stats.nodes > 0,
+                "{}: attributed model stats must be non-trivial",
+                o.name
+            );
+        }
+        // RMW-free tests collapse their atomicity rewrites onto one cache
+        // entry, so a second batch over the same corpus is all hits.
+        let (again, _) = run_batch(&tests, jobs);
+        assert!(again.iter().all(|o| o.model_cache_hits == o.model_queries));
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::{MachineKind, TestOutcome};
 use std::fmt::Write as _;
+use tso_model::CacheCounters;
 
 /// Aggregated result of one harness run.
 #[derive(Debug, Clone)]
@@ -19,6 +20,11 @@ pub struct Report {
     pub elapsed_ms: f64,
     /// Wall-clock of the same selection at one worker, when measured.
     pub baseline_jobs1_ms: Option<f64>,
+    /// Process-wide model-cache counters at report time: how many
+    /// outcome-set queries the run (and any warm-up) issued versus how
+    /// many model searches actually ran — the memoization + symmetry
+    /// savings, observable from the JSON alone.
+    pub model_cache: Option<CacheCounters>,
 }
 
 impl Report {
@@ -92,7 +98,34 @@ impl Report {
         if let Some(sp) = self.speedup_vs_jobs1() {
             let _ = write!(s, "; {sp:.2}x vs --jobs 1");
         }
+        if let Some(c) = &self.model_cache {
+            let _ = write!(
+                s,
+                "; model cache: {} searches for {} queries ({} hits)",
+                c.invocations,
+                c.queries,
+                c.hits()
+            );
+        }
         s
+    }
+
+    /// Total model queries issued by the reported tests (verdict + three
+    /// atomicity sets each).
+    pub fn model_queries(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| u64::from(o.model_queries))
+            .sum()
+    }
+
+    /// How many of [`Report::model_queries`] the memoized verdict cache
+    /// answered without a search.
+    pub fn model_query_hits(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| u64::from(o.model_cache_hits))
+            .sum()
     }
 
     /// The full report as JSON (hand-rolled — the build is hermetic, no
@@ -127,6 +160,21 @@ impl Report {
         );
         let _ = writeln!(s, "  \"deadlocks\": {},", self.deadlocks());
         let _ = writeln!(s, "  \"passed\": {},", self.passed());
+        let _ = writeln!(s, "  \"model_queries\": {},", self.model_queries());
+        let _ = writeln!(s, "  \"model_query_hits\": {},", self.model_query_hits());
+        match &self.model_cache {
+            Some(c) => {
+                let _ = writeln!(s, "  \"model_cache\": {{");
+                let _ = writeln!(s, "    \"queries\": {},", c.queries);
+                let _ = writeln!(s, "    \"invocations\": {},", c.invocations);
+                let _ = writeln!(s, "    \"hits\": {},", c.hits());
+                let _ = writeln!(s, "    \"entries\": {}", c.entries);
+                let _ = writeln!(s, "  }},");
+            }
+            None => {
+                let _ = writeln!(s, "  \"model_cache\": null,");
+            }
+        }
         let _ = writeln!(s, "  \"failures\": [");
         let failures: Vec<&TestOutcome> = self.outcomes.iter().filter(|o| !o.passed()).collect();
         for (i, o) in failures.iter().enumerate() {
@@ -136,6 +184,31 @@ impl Report {
                 "    {{\"name\": \"{}\", \"diagnosis\": \"{}\"}}{comma}",
                 json_escape(&o.name),
                 json_escape(&o.diagnosis())
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        // Per-test perf attribution: wall-clock, the stable worker id that
+        // ran the test, and the model-search weight behind its verdicts —
+        // enough to spot a perf regression from `litmus_run` output alone.
+        let _ = writeln!(s, "  \"tests\": [");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let comma = if i + 1 < self.outcomes.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"worker\": {}, \"micros\": {}, \
+                 \"model_nodes\": {}, \"model_pruned\": {}, \"model_valid\": {}, \
+                 \"model_tasks\": {}, \"model_workers\": {}, \
+                 \"model_queries\": {}, \"model_cache_hits\": {}}}{comma}",
+                json_escape(&o.name),
+                o.worker,
+                o.micros,
+                o.model_stats.nodes,
+                o.model_stats.pruned,
+                o.model_stats.valid,
+                o.model_stats.tasks,
+                o.model_stats.workers,
+                o.model_queries,
+                o.model_cache_hits,
             );
         }
         let _ = writeln!(s, "  ]");
@@ -192,6 +265,7 @@ mod tests {
             machine: MachineKind::Small,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             baseline_jobs1_ms: Some(10.0),
+            model_cache: Some(tso_model::cache::counters()),
         }
     }
 
@@ -208,10 +282,27 @@ mod tests {
             "\"speedup_vs_jobs1\"",
             "\"differential_disagreements\": 0",
             "\"passed\": true",
+            "\"model_queries\":",
+            "\"model_query_hits\":",
+            "\"model_cache\": {",
+            "\"invocations\":",
             "\"failures\": [",
+            "\"tests\": [",
+            "\"worker\":",
+            "\"model_nodes\":",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");
         }
+    }
+
+    #[test]
+    fn per_test_entries_cover_every_outcome() {
+        let r = small_report();
+        let j = r.to_json();
+        assert!(j.contains("\"name\": \"SB\""));
+        assert!(j.contains("\"name\": \"MP\""));
+        assert_eq!(r.model_queries(), 8, "2 tests x (verdict + 3 sets)");
+        assert!(r.model_query_hits() <= r.model_queries());
     }
 
     #[test]
@@ -236,6 +327,7 @@ mod tests {
             machine: MachineKind::Paper,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             baseline_jobs1_ms: None,
+            model_cache: None,
         };
         assert!(!r.passed());
         assert_eq!(r.model_failures(), 1);

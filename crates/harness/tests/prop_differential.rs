@@ -38,7 +38,7 @@ proptest! {
             prop_assert!(
                 allowed.iter().any(|o| {
                     o.read_values() == sim_reads
-                        && o.final_memory().iter().all(|(&a, &v)| {
+                        && o.final_memory().iter().all(|&(a, v)| {
                             result.memory.get(&sim_addr(a, line_size)).copied().unwrap_or(0) == v
                         })
                 }),

@@ -24,7 +24,9 @@
 #![warn(missing_docs)]
 
 use rmw_types::{Atomicity, Value};
-use tso_model::{find_execution, outcome_allowed, CandidateExecution, Program};
+use tso_model::{
+    allowed_outcomes_cached, find_execution, CandidateExecution, Program, SearchStats,
+};
 
 pub mod classic;
 pub mod fmt;
@@ -105,6 +107,13 @@ pub struct CheckResult {
     /// witness). In particular, a **failed** `Forbidden` expectation always
     /// carries the counterexample execution.
     pub witness: Option<CandidateExecution>,
+    /// Stats of the model search behind this verdict. On a cache hit the
+    /// numbers are *attributed* — the search ran once, when the program's
+    /// canonical class was first proven.
+    pub model_stats: SearchStats,
+    /// True when the verdict was served from the memoized outcome-set
+    /// cache (no model search ran for this call).
+    pub cache_hit: bool,
 }
 
 impl CheckResult {
@@ -132,15 +141,30 @@ impl CheckResult {
 impl Litmus {
     /// Runs the axiomatic model and compares against the expectation.
     ///
-    /// The verdict is computed on the streaming, pruned search engine:
-    /// [`find_execution`] walks valid executions incrementally and exits
-    /// at the first one matching the target, so `Allowed` verdicts cost
-    /// one witness and `Forbidden` verdicts cost one pruned search — never
-    /// a materialized candidate enumeration. The matching execution, when
-    /// one exists, is kept as the [`CheckResult::witness`].
+    /// The verdict rides on the **memoized** outcome-set cache
+    /// ([`allowed_outcomes_cached`]): the program is canonicalized under
+    /// thread- and address-renaming, its full allowed-outcome set is
+    /// proven once per equivalence class (on the parallel root-split
+    /// search when cores are available), and the target is tested against
+    /// that set. Checking the same program again — or any of its permuted
+    /// siblings, or its `with_atomicity` rewrites when it has no RMWs —
+    /// costs a lookup, not a search. When the target is observed, a
+    /// concrete witness execution is recovered with an early-exit
+    /// [`find_execution`] and kept as [`CheckResult::witness`].
     pub fn check(&self) -> CheckResult {
-        let witness = find_execution(&self.program, |reads| self.target.matches(reads));
-        let observed_allowed = witness.is_some();
+        let cached = allowed_outcomes_cached(&self.program);
+        let observed_allowed = cached
+            .outcomes
+            .iter()
+            .any(|o| self.target.matches(&o.read_values()));
+        let witness = if observed_allowed {
+            Some(
+                find_execution(&self.program, |reads| self.target.matches(reads))
+                    .expect("an observed outcome has a witness execution"),
+            )
+        } else {
+            None
+        };
         let passed = match self.expect {
             Expect::Allowed => observed_allowed,
             Expect::Forbidden => !observed_allowed,
@@ -151,6 +175,8 @@ impl Litmus {
             expect: self.expect,
             passed,
             witness,
+            model_stats: cached.stats,
+            cache_hit: cached.hit,
         }
     }
 }
@@ -195,7 +221,10 @@ pub fn table1() -> Vec<Table1Row> {
 }
 
 fn observed(l: Litmus) -> bool {
-    outcome_allowed(&l.program, |reads| l.target.matches(reads))
+    allowed_outcomes_cached(&l.program)
+        .outcomes
+        .iter()
+        .any(|o| l.target.matches(&o.read_values()))
 }
 
 #[cfg(test)]

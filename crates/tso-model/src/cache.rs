@@ -1,0 +1,255 @@
+//! Process-wide verdict memoization for the axiomatic model.
+//!
+//! Every consumer that needs a program's full behaviour — the litmus
+//! verdicts, the harness's three-atomicity differential comparison, the
+//! corpus generators — funnels through [`allowed_outcomes_cached`]. The
+//! cache is keyed by the **full canonical serialization** of the program
+//! ([`Program::canonicalize`] — thread- and address-renaming quotiented,
+//! collision-proof by construction), so:
+//!
+//! * the three `with_atomicity` rewrites of an RMW-free test are *one*
+//!   entry (they are literally the same program);
+//! * thread-permuted / address-renamed duplicates across the generated
+//!   families and random corpus collapse to one model invocation each;
+//! * a litmus verdict and the harness's differential pass over the same
+//!   program never search twice.
+//!
+//! Entries store the outcome set in canonical coordinates plus the
+//! [`SearchStats`] of the search that produced it; lookups map the set
+//! back into the caller's coordinates ([`Canonical::outcome_to_original`])
+//! and report whether they hit. Concurrent misses on the same key are
+//! collapsed by a per-entry [`OnceLock`], so two harness workers racing on
+//! equivalent tests compute the search once and one of them blocks
+//! briefly instead of both burning a core.
+//!
+//! On a miss the search runs on the parallel root-split engine
+//! ([`crate::par`]) at [`exec_pool::default_workers`] — full machine width
+//! from a top-level caller, automatically sequential inside a harness
+//! worker (the oversubscription guard), and identical results either way.
+//!
+//! The cache grows with distinct canonical programs. Litmus-scale
+//! workloads (a few hundred small entries) make eviction pointless;
+//! [`clear`] exists for tests and long-lived embedders.
+
+use crate::canon::Canonical;
+use crate::outcome::Outcome;
+use crate::program::Program;
+use crate::search::SearchStats;
+use rmw_types::fasthash::FastHashMap;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One cached canonical program: its outcome set (canonical coordinates)
+/// and the stats of the search that computed it.
+struct Entry {
+    outcomes: BTreeSet<Outcome>,
+    stats: SearchStats,
+}
+
+type Cell = Arc<OnceLock<Arc<Entry>>>;
+
+fn cache() -> &'static Mutex<FastHashMap<Vec<u64>, Cell>> {
+    static CACHE: OnceLock<Mutex<FastHashMap<Vec<u64>, Cell>>> = OnceLock::new();
+    CACHE.get_or_init(Mutex::default)
+}
+
+static QUERIES: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative cache counters, as exposed in the harness JSON report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Outcome-set queries answered (hit or miss).
+    pub queries: u64,
+    /// Queries that ran an actual model search — the "total model
+    /// invocations" number the memoization layer exists to shrink.
+    pub invocations: u64,
+    /// Distinct canonical programs currently cached.
+    pub entries: u64,
+}
+
+impl CacheCounters {
+    /// Queries served without a search.
+    pub fn hits(&self) -> u64 {
+        self.queries - self.invocations
+    }
+}
+
+/// Snapshot of the process-wide counters.
+pub fn counters() -> CacheCounters {
+    CacheCounters {
+        queries: QUERIES.load(Ordering::Relaxed),
+        invocations: MISSES.load(Ordering::Relaxed),
+        entries: cache().lock().expect("model cache lock").len() as u64,
+    }
+}
+
+/// Empties the cache and zeroes the counters (tests; embedders that want
+/// a fresh measurement).
+pub fn clear() {
+    cache().lock().expect("model cache lock").clear();
+    QUERIES.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// A memoized outcome-set query, in the **original program's**
+/// coordinates.
+#[derive(Debug, Clone)]
+pub struct CachedOutcomes {
+    /// The allowed outcome set, identical to
+    /// [`allowed_outcomes`](crate::outcome::allowed_outcomes) on the same
+    /// program.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Stats of the search that populated the entry. On a hit this is
+    /// *attributed* (the work happened when the entry was created,
+    /// possibly for a permuted sibling), so consumers can still see how
+    /// heavy the program class is.
+    pub stats: SearchStats,
+    /// True when no search ran for this query.
+    pub hit: bool,
+    /// The canonical fingerprint the entry is filed under (diagnostics).
+    pub fingerprint: u64,
+}
+
+/// The memoized [`allowed_outcomes`](crate::outcome::allowed_outcomes):
+/// canonicalize, look up, search only on a miss (parallel, at
+/// [`exec_pool::default_workers`]), and map the set back into the
+/// caller's coordinates.
+pub fn allowed_outcomes_cached(program: &Program) -> CachedOutcomes {
+    let canon = program.canonicalize();
+    allowed_outcomes_canonical(&canon)
+}
+
+/// [`allowed_outcomes_cached`] for callers that already canonicalized.
+pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
+    QUERIES.fetch_add(1, Ordering::Relaxed);
+    let cell: Cell = {
+        let mut map = cache().lock().expect("model cache lock");
+        Arc::clone(map.entry(canon.key().to_vec()).or_default())
+    };
+    let mut computed = false;
+    let entry = Arc::clone(cell.get_or_init(|| {
+        computed = true;
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let workers = exec_pool::default_workers();
+        let (outcomes, stats) = if workers > 1 {
+            crate::par::allowed_outcomes_par_with_stats(canon.program(), workers)
+        } else {
+            crate::outcome::allowed_outcomes_with_stats(canon.program())
+        };
+        Arc::new(Entry { outcomes, stats })
+    }));
+    let outcomes = entry
+        .outcomes
+        .iter()
+        .map(|o| canon.outcome_to_original(o))
+        .collect();
+    CachedOutcomes {
+        outcomes,
+        stats: entry.stats,
+        hit: !computed,
+        fingerprint: canon.fingerprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::allowed_outcomes;
+    use crate::program::ProgramBuilder;
+    use rmw_types::{Addr, Atomicity, RmwKind};
+
+    const X: Addr = Addr(0);
+    const Y: Addr = Addr(1);
+
+    // NB: the cache and its counters are process-wide and the test harness
+    // is multi-threaded, so assertions compare *deltas of this test's own
+    // queries* or use programs unique to each test.
+
+    fn unique_program(tag: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        // The written value makes the program unique to the caller: values
+        // are not quotiented by canonicalization.
+        b.thread().write(X, 1000 + tag).read(Y);
+        b.thread().write(Y, 2000 + tag).read(X);
+        b.build()
+    }
+
+    #[test]
+    fn cached_set_equals_direct_set() {
+        let p = unique_program(1);
+        let cached = allowed_outcomes_cached(&p);
+        assert_eq!(cached.outcomes, allowed_outcomes(&p));
+        assert!(!cached.hit, "first query of a unique program must miss");
+        let again = allowed_outcomes_cached(&p);
+        assert!(again.hit);
+        assert_eq!(again.outcomes, cached.outcomes);
+        assert_eq!(again.stats, cached.stats, "stats are attributed on hits");
+    }
+
+    #[test]
+    fn permuted_siblings_share_one_entry_with_correct_frames() {
+        // Same program modulo thread order and address names — and with
+        // asymmetric threads, so the coordinate mapping actually works.
+        let mut a = ProgramBuilder::new();
+        a.thread().write(X, 3001).write(Y, 3002);
+        a.thread().read(Y).read(X);
+        let a = a.build();
+
+        let mut b = ProgramBuilder::new();
+        b.thread().read(Addr(7)).read(Addr(5));
+        b.thread().write(Addr(5), 3001).write(Addr(7), 3002);
+        let b = b.build();
+
+        let ca = allowed_outcomes_cached(&a);
+        let cb = allowed_outcomes_cached(&b);
+        assert_eq!(ca.fingerprint, cb.fingerprint);
+        assert!(!ca.hit || !cb.hit, "at most one of the pair computes");
+        assert!(ca.hit || cb.hit, "the second query must hit");
+        // Each answer is in its own frame and matches a direct search.
+        assert_eq!(ca.outcomes, allowed_outcomes(&a));
+        assert_eq!(cb.outcomes, allowed_outcomes(&b));
+    }
+
+    #[test]
+    fn atomicity_rewrites_of_rmw_free_programs_collapse() {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 4001).read(Y);
+        b.thread().write(Y, 4002).fence().read(X);
+        let p = b.build();
+        let mut hits = 0;
+        for atomicity in Atomicity::ALL {
+            if allowed_outcomes_cached(&p.with_atomicity(atomicity)).hit {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 2, "RMW-free rewrites are identical programs");
+    }
+
+    #[test]
+    fn rmw_atomicity_is_part_of_the_key() {
+        let mk = |a: Atomicity| {
+            let mut b = ProgramBuilder::new();
+            b.thread().rmw(X, RmwKind::FetchAndAdd(5001), a).read(Y);
+            b.thread().write(Y, 5002).read(X);
+            b.build()
+        };
+        let f1 = mk(Atomicity::Type1).canonical_fingerprint();
+        let f3 = mk(Atomicity::Type3).canonical_fingerprint();
+        assert_ne!(f1, f3, "atomicity must distinguish cache entries");
+    }
+
+    #[test]
+    fn counters_move_with_queries() {
+        let before = counters();
+        let p = unique_program(6);
+        let _ = allowed_outcomes_cached(&p);
+        let _ = allowed_outcomes_cached(&p);
+        let after = counters();
+        assert!(after.queries >= before.queries + 2);
+        assert!(after.invocations > before.invocations);
+        assert!(after.hits() > before.hits());
+        assert!(after.entries >= 1);
+    }
+}

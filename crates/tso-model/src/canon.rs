@@ -1,0 +1,456 @@
+//! Symmetry reduction: canonical forms of programs under thread- and
+//! address-renaming.
+//!
+//! The axiomatic model is blind to thread identity and to which concrete
+//! [`Addr`] values a program uses: permuting the threads of a program and
+//! bijectively renaming its addresses permutes the allowed outcome set in
+//! the same way (reads reorder with their threads, final-memory entries
+//! rename with their addresses) but changes nothing semantically — `ppo`,
+//! `bar`, `po-loc`, the `ato` disjunctions, and the initial-value-0
+//! convention are all symmetric in both. The generated litmus families
+//! are riddled with such permutation-equivalent programs (scaled rings,
+//! the three per-atomicity rewrites of RMW-free tests, random draws), so
+//! the verdict cache ([`crate::cache`]) keys on the canonical form and
+//! proves each equivalence class **once**.
+//!
+//! [`Program::canonicalize`] picks the canonical representative:
+//!
+//! * threads are permuted to minimize the serialized form — exhaustively
+//!   for programs up to [`PERM_SEARCH_MAX_THREADS`] threads, identity
+//!   order above (still sound: a coarser canonical form only misses
+//!   dedup opportunities, it never conflates inequivalent programs);
+//! * addresses are renamed to `0, 1, 2, …` in order of first appearance
+//!   under that thread order;
+//! * instruction values, RMW kinds, and atomicities are serialized
+//!   verbatim — only thread order and address names are quotiented.
+//!
+//! The full canonical serialization (not its 64-bit
+//! [`fingerprint`](Canonical::fingerprint)) is the cache key, so a hash
+//! collision can never smuggle one program's verdict to another. The
+//! [`Canonical`] value keeps both direction maps, letting callers
+//! translate read indices and addresses between original and canonical
+//! coordinates — [`Canonical::outcome_to_original`] is how the cache
+//! hands back outcome sets in the caller's frame.
+
+use crate::outcome::Outcome;
+use crate::program::{Instr, Program};
+use rmw_types::fasthash::FastHasher;
+use rmw_types::{Addr, Atomicity, RmwKind, ThreadId};
+use std::collections::BTreeMap;
+use std::hash::Hasher as _;
+
+/// Exhaustive thread-permutation search is bounded by this thread count
+/// (7! = 5040 serializations); larger programs keep their thread order.
+/// The bound covers every generated family in the corpus (≤ 7 threads).
+pub const PERM_SEARCH_MAX_THREADS: usize = 7;
+
+/// A program's canonical form with the coordinate maps back to the
+/// original. Produced by [`Program::canonicalize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canonical {
+    program: Program,
+    key: Vec<u64>,
+    fingerprint: u64,
+    /// `perm[canonical thread position] = original ThreadId`.
+    perm: Vec<ThreadId>,
+    /// Original address → canonical address, sorted by original.
+    addr_to_canon: Vec<(Addr, Addr)>,
+    /// `read_map[original read index] = canonical read index`, both in
+    /// the respective `(thread, po)` orders.
+    read_map: Vec<usize>,
+}
+
+impl Canonical {
+    /// The canonical representative program — what the cache actually
+    /// searches.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// 64-bit fingerprint of the canonical serialization (for reports and
+    /// diagnostics; the cache keys on the full serialization).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The collision-proof cache key: the canonical serialization itself.
+    pub fn key(&self) -> &[u64] {
+        &self.key
+    }
+
+    /// Maps a canonical-coordinate outcome back into the original
+    /// program's frame: reads reorder through the inverse read map,
+    /// memory entries rename through the inverse address map.
+    pub fn outcome_to_original(&self, canonical: &Outcome) -> Outcome {
+        let canon_reads = canonical.read_values();
+        let reads = self
+            .read_map
+            .iter()
+            .map(|&ci| canon_reads[ci])
+            .collect::<Vec<_>>();
+        let memory = canonical
+            .final_memory()
+            .iter()
+            .map(|&(ca, v)| (self.addr_to_original(ca), v))
+            .collect();
+        Outcome::new(reads, memory)
+    }
+
+    /// Maps an original read-value vector into canonical order (the
+    /// direction membership queries need).
+    pub fn reads_to_canonical(&self, original: &[u64]) -> Vec<u64> {
+        let mut canon = vec![0u64; original.len()];
+        for (oi, &ci) in self.read_map.iter().enumerate() {
+            canon[ci] = original[oi];
+        }
+        canon
+    }
+
+    /// Canonical name of an original address.
+    pub fn addr_to_canonical(&self, addr: Addr) -> Addr {
+        self.addr_to_canon
+            .binary_search_by_key(&addr, |&(o, _)| o)
+            .map(|i| self.addr_to_canon[i].1)
+            .expect("address appears in the program")
+    }
+
+    /// Original name of a canonical address.
+    pub fn addr_to_original(&self, canon: Addr) -> Addr {
+        self.addr_to_canon
+            .iter()
+            .find(|&&(_, c)| c == canon)
+            .map(|&(o, _)| o)
+            .expect("canonical address came from this program")
+    }
+
+    /// `perm[canonical thread position] = original ThreadId`.
+    pub fn thread_perm(&self) -> &[ThreadId] {
+        &self.perm
+    }
+}
+
+impl Program {
+    /// Canonicalizes the program under thread permutation and address
+    /// renaming; see the module docs for the exact quotient.
+    pub fn canonicalize(&self) -> Canonical {
+        let n = self.num_threads();
+        let identity: Vec<usize> = (0..n).collect();
+        type Best = Option<(Vec<u64>, Vec<usize>, BTreeMap<Addr, Addr>)>;
+        let mut best: Best = None;
+        let consider = |perm: &[usize], best: &mut Option<_>| {
+            let (key, addr_map) = serialize_under(self, perm);
+            let better = match best {
+                Some((best_key, _, _)) => key < *best_key,
+                None => true,
+            };
+            if better {
+                *best = Some((key, perm.to_vec(), addr_map));
+            }
+        };
+        if n <= PERM_SEARCH_MAX_THREADS {
+            let mut perm = identity;
+            permute(&mut perm, 0, &mut |p| consider(p, &mut best));
+        } else {
+            consider(&identity, &mut best);
+        }
+        let (key, perm, addr_map) = best.expect("at least the identity permutation considered");
+
+        let mut hasher = FastHasher::default();
+        for &word in &key {
+            hasher.write_u64(word);
+        }
+        let fingerprint = hasher.finish();
+
+        // Rebuild the canonical program from the winning permutation.
+        let mut canonical = Program::new();
+        for &t in &perm {
+            let instrs = self
+                .thread(ThreadId(t))
+                .iter()
+                .map(|&i| rename_instr(i, &addr_map))
+                .collect();
+            canonical.add_thread(instrs);
+        }
+
+        // Original read index -> canonical read index: reads stay in po
+        // order within their thread; threads move as blocks.
+        let reads_per_thread: Vec<usize> = (0..n)
+            .map(|t| thread_read_count(self.thread(ThreadId(t))))
+            .collect();
+        let mut canon_offset_of_original = vec![0usize; n];
+        let mut offset = 0usize;
+        for &t in &perm {
+            canon_offset_of_original[t] = offset;
+            offset += reads_per_thread[t];
+        }
+        let mut read_map = Vec::with_capacity(offset);
+        for (t, &count) in reads_per_thread.iter().enumerate() {
+            for j in 0..count {
+                read_map.push(canon_offset_of_original[t] + j);
+            }
+        }
+
+        Canonical {
+            program: canonical,
+            key,
+            fingerprint,
+            perm: perm.into_iter().map(ThreadId).collect(),
+            addr_to_canon: addr_map.into_iter().collect(),
+            read_map,
+        }
+    }
+
+    /// The canonical fingerprint alone — a stable 64-bit identity shared
+    /// by every thread-permuted / address-renamed variant of the program
+    /// (up to the permutation-search bound).
+    pub fn canonical_fingerprint(&self) -> u64 {
+        self.canonicalize().fingerprint()
+    }
+}
+
+fn thread_read_count(instrs: &[Instr]) -> usize {
+    instrs
+        .iter()
+        .filter(|i| matches!(i, Instr::Read(_) | Instr::Rmw { .. }))
+        .count()
+}
+
+/// Serializes the program with threads in `perm` order and addresses
+/// renamed by first appearance; returns the word stream and the rename map.
+fn serialize_under(p: &Program, perm: &[usize]) -> (Vec<u64>, BTreeMap<Addr, Addr>) {
+    let mut addr_map: BTreeMap<Addr, Addr> = BTreeMap::new();
+    let mut next_addr = 0u64;
+    let mut canon_of = |a: Addr, map: &mut BTreeMap<Addr, Addr>| -> u64 {
+        map.entry(a)
+            .or_insert_with(|| {
+                let c = Addr(next_addr);
+                next_addr += 1;
+                c
+            })
+            .0
+    };
+    let mut words = Vec::with_capacity(p.num_instrs() * 4 + perm.len() + 1);
+    words.push(perm.len() as u64);
+    for &t in perm {
+        let instrs = p.thread(ThreadId(t));
+        words.push(u64::MAX); // unambiguous thread separator
+        words.push(instrs.len() as u64);
+        for &i in instrs {
+            match i {
+                Instr::Read(a) => {
+                    words.push(1);
+                    words.push(canon_of(a, &mut addr_map));
+                }
+                Instr::Write(a, v) => {
+                    words.push(2);
+                    words.push(canon_of(a, &mut addr_map));
+                    words.push(v);
+                }
+                Instr::Rmw {
+                    addr,
+                    kind,
+                    atomicity,
+                } => {
+                    words.push(3);
+                    words.push(canon_of(addr, &mut addr_map));
+                    let (k, a1, a2) = encode_kind(kind);
+                    words.push(k);
+                    words.push(a1);
+                    words.push(a2);
+                    words.push(atomicity_rank(atomicity));
+                }
+                Instr::Fence => words.push(4),
+            }
+        }
+    }
+    (words, addr_map)
+}
+
+fn rename_instr(i: Instr, addr_map: &BTreeMap<Addr, Addr>) -> Instr {
+    match i {
+        Instr::Read(a) => Instr::Read(addr_map[&a]),
+        Instr::Write(a, v) => Instr::Write(addr_map[&a], v),
+        Instr::Rmw {
+            addr,
+            kind,
+            atomicity,
+        } => Instr::Rmw {
+            addr: addr_map[&addr],
+            kind,
+            atomicity,
+        },
+        Instr::Fence => Instr::Fence,
+    }
+}
+
+fn encode_kind(kind: RmwKind) -> (u64, u64, u64) {
+    match kind {
+        RmwKind::TestAndSet => (0, 0, 0),
+        RmwKind::FetchAndAdd(k) => (1, k, 0),
+        RmwKind::CompareAndSwap { expected, new } => (2, expected, new),
+        RmwKind::Exchange(v) => (3, v, 0),
+    }
+}
+
+fn atomicity_rank(a: Atomicity) -> u64 {
+    match a {
+        Atomicity::Type1 => 1,
+        Atomicity::Type2 => 2,
+        Atomicity::Type3 => 3,
+    }
+}
+
+/// Visits every permutation of `items` (Heap's-style recursive swap
+/// enumeration; deterministic order).
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k + 1 >= items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::allowed_outcomes;
+    use crate::program::ProgramBuilder;
+    use std::collections::BTreeSet;
+
+    const X: Addr = Addr(0);
+    const Y: Addr = Addr(1);
+    const Z: Addr = Addr(2);
+
+    fn sb(first: Addr, second: Addr) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(first, 1).read(second);
+        b.thread().write(second, 1).read(first);
+        b.build()
+    }
+
+    #[test]
+    fn thread_permutation_shares_a_fingerprint() {
+        // SB with its threads swapped is the same program to the model.
+        let a = sb(X, Y);
+        let mut b = ProgramBuilder::new();
+        b.thread().write(Y, 1).read(X);
+        b.thread().write(X, 1).read(Y);
+        let b = b.build();
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+        assert_eq!(a.canonicalize().key(), b.canonicalize().key());
+    }
+
+    #[test]
+    fn address_renaming_shares_a_fingerprint() {
+        assert_eq!(
+            sb(X, Y).canonical_fingerprint(),
+            sb(Z, Addr(17)).canonical_fingerprint()
+        );
+    }
+
+    #[test]
+    fn distinct_programs_get_distinct_keys() {
+        let a = sb(X, Y); // W x; R y  ‖  W y; R x
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).read(X); // same-location variant
+        b.thread().write(Y, 1).read(Y);
+        let b = b.build();
+        assert_ne!(a.canonicalize().key(), b.canonicalize().key());
+        // Values are NOT quotiented.
+        let mut c = ProgramBuilder::new();
+        c.thread().write(X, 2).read(Y);
+        c.thread().write(Y, 1).read(X);
+        let c = c.build();
+        assert_ne!(a.canonicalize().key(), c.canonicalize().key());
+    }
+
+    #[test]
+    fn outcome_mapping_round_trips_the_allowed_set() {
+        // allowed(P) must equal the canonical set mapped back through the
+        // coordinate maps — for a program where the permutation is
+        // non-trivial (distinguishable threads).
+        let mut b = ProgramBuilder::new();
+        b.thread().read(Y).read(X);
+        b.thread().write(X, 1).write(Y, 2);
+        let p = b.build();
+        let canon = p.canonicalize();
+        let direct = allowed_outcomes(&p);
+        let mapped: BTreeSet<Outcome> = allowed_outcomes(canon.program())
+            .iter()
+            .map(|o| canon.outcome_to_original(o))
+            .collect();
+        assert_eq!(direct, mapped);
+    }
+
+    #[test]
+    fn reads_map_is_a_bijection_consistent_with_both_frames() {
+        let mut b = ProgramBuilder::new();
+        b.thread().read(Y); // 1 read
+        b.thread().write(X, 1).read(X).read(Y); // 2 reads
+        let p = b.build();
+        let canon = p.canonicalize();
+        let outs = allowed_outcomes(&p);
+        for o in &outs {
+            let rv = o.read_values();
+            let there = canon.reads_to_canonical(&rv);
+            let back = canon.outcome_to_original(&Outcome::new(
+                there,
+                o.final_memory()
+                    .iter()
+                    .map(|&(a, v)| (canon.addr_to_canonical(a), v))
+                    .collect(),
+            ));
+            assert_eq!(&back, o);
+        }
+    }
+
+    #[test]
+    fn canonical_verdicts_match_original_verdicts() {
+        // The semantic core of symmetry reduction: the canonical program's
+        // outcome set, mapped back, is the original's.
+        for p in [sb(Addr(5), Addr(3)), {
+            let mut b = ProgramBuilder::new();
+            b.thread()
+                .rmw(Z, rmw_types::RmwKind::TestAndSet, Atomicity::Type2)
+                .read(X);
+            b.thread().write(X, 1).fence().write(Z, 2);
+            b.build()
+        }] {
+            let canon = p.canonicalize();
+            let direct = allowed_outcomes(&p);
+            let mapped: BTreeSet<Outcome> = allowed_outcomes(canon.program())
+                .iter()
+                .map(|o| canon.outcome_to_original(o))
+                .collect();
+            assert_eq!(direct, mapped, "program {p:?}");
+        }
+    }
+
+    #[test]
+    fn many_threaded_programs_still_canonicalize_soundly() {
+        // Above the permutation bound only addresses are canonicalized;
+        // the form must still be deterministic and self-consistent.
+        let mut b = ProgramBuilder::new();
+        for i in 0..(PERM_SEARCH_MAX_THREADS + 2) {
+            b.thread().write(Addr(i as u64 + 40), 1).read(Addr(40));
+        }
+        let p = b.build();
+        let c1 = p.canonicalize();
+        let c2 = p.canonicalize();
+        assert_eq!(c1.key(), c2.key());
+        assert_eq!(c1.program().num_threads(), p.num_threads());
+        // Addresses were renamed densely from 0.
+        let addrs = c1.program().addresses();
+        assert_eq!(addrs, (0..addrs.len() as u64).map(Addr).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let p = sb(X, Y);
+        assert_eq!(p.canonical_fingerprint(), p.canonical_fingerprint());
+    }
+}

@@ -104,8 +104,10 @@ impl CandidateExecution {
             .collect()
     }
 
-    /// Final memory value per location: the last write in `ws`.
-    pub fn final_memory(&self) -> BTreeMap<Addr, Value> {
+    /// Final memory value per location — the last write in `ws` — as
+    /// `(addr, value)` pairs sorted by address (the `ws` map iterates in
+    /// address order already, so the sort is free).
+    pub fn final_memory(&self) -> Vec<(Addr, Value)> {
         self.ws
             .iter()
             .map(|(&a, order)| {
@@ -596,7 +598,9 @@ mod tests {
             .collect();
         assert!(!chained.is_empty());
         for c in chained {
-            assert!(c.final_memory()[&Addr(0)] == 2 || c.final_memory()[&Addr(0)] == 1);
+            let mem = c.final_memory();
+            let (_, x_final) = mem.iter().find(|&&(a, _)| a == Addr(0)).expect("x written");
+            assert!(*x_final == 2 || *x_final == 1);
         }
     }
 

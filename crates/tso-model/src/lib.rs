@@ -30,6 +30,19 @@
 //! [`enumerate_candidates`] survives as a materializing compatibility
 //! wrapper.
 //!
+//! Three layers scale that engine across cores and across a corpus
+//! (each observationally invisible — same sets, same verdicts, same
+//! decision stats):
+//!
+//! * [`par`] — root-split **parallel search**: the first decision levels
+//!   are expanded into independent subtree tasks fanned out on the
+//!   shared `exec-pool` workers, merged deterministically;
+//! * [`canon`] — **symmetry reduction**: programs are canonicalized
+//!   under thread- and address-renaming
+//!   ([`Program::canonicalize`](program::Program::canonicalize));
+//! * [`cache`] — **verdict memoization**: [`allowed_outcomes_cached`]
+//!   proves each canonical class once, process-wide.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -51,19 +64,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod canon;
 pub mod event;
 pub mod execution;
 pub mod graph;
 pub mod lemmas;
 pub mod outcome;
+pub mod par;
 pub mod program;
 pub mod search;
 pub mod validity;
 
+pub use cache::{allowed_outcomes_cached, CacheCounters, CachedOutcomes};
+pub use canon::Canonical;
 pub use event::{Event, EventId, EventKind, RmwHalf};
 pub use execution::{enumerate_candidates, CandidateExecution};
 pub use graph::DiGraph;
-pub use outcome::{allowed_outcomes, find_execution, outcome_allowed, Outcome};
+pub use outcome::{
+    allowed_outcomes, allowed_outcomes_with_stats, find_execution, outcome_allowed, Outcome,
+};
+pub use par::{
+    allowed_outcomes_par, allowed_outcomes_par_with_stats, fold_valid_executions_par,
+    outcome_allowed_par, valid_executions_par,
+};
 pub use program::{Instr, Program, ProgramBuilder, ThreadBuilder};
 pub use search::{any_valid_execution, for_each_valid_execution, valid_executions, SearchStats};
 pub use validity::{check_validity, Validity, Witness};

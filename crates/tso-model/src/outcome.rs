@@ -10,24 +10,40 @@
 //! [`crate::search`]: `allowed_outcomes` folds the visited executions into
 //! a set without ever materializing the candidate space, and
 //! `outcome_allowed` stops at the first witness.
+//!
+//! Hot-path representation: while the search runs, outcomes accumulate in
+//! a [`FastHashSet`] (the deterministic multiplicative hasher from
+//! `rmw_types::fasthash` — one hash per candidate instead of a `BTreeSet`'s
+//! log-depth comparison chain), and the final memory inside an [`Outcome`]
+//! is a `Vec` sorted by address rather than a pointer-chasing `BTreeMap`.
+//! Ordering is applied once at the edge: the public result is still a
+//! sorted `BTreeSet<Outcome>`, so every downstream consumer (reports,
+//! equality tests, JSON) sees the same deterministic order as before.
 
 use crate::execution::CandidateExecution;
 use crate::program::Program;
-use crate::search::{any_valid_execution, for_each_valid_execution};
+use crate::search::{any_valid_execution, for_each_valid_execution, SearchStats};
+use rmw_types::fasthash::FastHashSet;
 use rmw_types::{Addr, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
 /// Observable result of one valid execution.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Outcome {
     reads: Vec<Value>,
-    memory: BTreeMap<Addr, Value>,
+    /// Final value per location, sorted by address (the `ws` map the
+    /// search maintains is address-ordered, so this costs nothing to
+    /// produce and keeps `Ord`/`Hash` canonical).
+    memory: Vec<(Addr, Value)>,
 }
 
 impl Outcome {
-    /// Creates an outcome from its parts (mostly useful in tests).
-    pub fn new(reads: Vec<Value>, memory: BTreeMap<Addr, Value>) -> Self {
+    /// Creates an outcome from its parts (mostly useful in tests). The
+    /// memory pairs are sorted by address so equality and ordering are
+    /// representation-independent.
+    pub fn new(reads: Vec<Value>, mut memory: Vec<(Addr, Value)>) -> Self {
+        memory.sort_unstable_by_key(|&(a, _)| a);
         Outcome { reads, memory }
     }
 
@@ -37,9 +53,17 @@ impl Outcome {
         self.reads.clone()
     }
 
-    /// Final value of each location.
-    pub fn final_memory(&self) -> &BTreeMap<Addr, Value> {
+    /// Final value of each location, sorted by address.
+    pub fn final_memory(&self) -> &[(Addr, Value)] {
         &self.memory
+    }
+
+    /// Final value of one location, if the program touches it.
+    pub fn memory_value(&self, addr: Addr) -> Option<Value> {
+        self.memory
+            .binary_search_by_key(&addr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.memory[i].1)
     }
 
     /// Extracts the outcome of a candidate execution (valid or not).
@@ -54,12 +78,18 @@ impl Outcome {
 /// All outcomes of valid executions of `program`, via the streaming search
 /// (one execution in memory at a time).
 pub fn allowed_outcomes(program: &Program) -> BTreeSet<Outcome> {
-    let mut out = BTreeSet::new();
-    for_each_valid_execution(program, |exec| {
-        out.insert(Outcome::of_execution(exec));
+    allowed_outcomes_with_stats(program).0
+}
+
+/// [`allowed_outcomes`] plus the search's [`SearchStats`] — the numbers the
+/// harness plumbs into its per-test JSON report.
+pub fn allowed_outcomes_with_stats(program: &Program) -> (BTreeSet<Outcome>, SearchStats) {
+    let mut seen: FastHashSet<Outcome> = FastHashSet::default();
+    let stats = for_each_valid_execution(program, |exec| {
+        seen.insert(Outcome::of_execution(exec));
         ControlFlow::Continue(())
     });
-    out
+    (seen.into_iter().collect(), stats)
 }
 
 /// True iff some valid execution satisfies `pred` on its read-value vector.
@@ -111,7 +141,9 @@ mod tests {
         assert_eq!(outs.len(), 1);
         let o = outs.iter().next().unwrap();
         assert_eq!(o.read_values(), Vec::<Value>::new());
-        assert_eq!(o.final_memory()[&X], 7);
+        assert_eq!(o.memory_value(X), Some(7));
+        assert_eq!(o.memory_value(Y), None);
+        assert_eq!(o.final_memory(), &[(X, 7)]);
     }
 
     #[test]
@@ -123,7 +155,7 @@ mod tests {
         let p = b.build();
         let finals: BTreeSet<Value> = allowed_outcomes(&p)
             .into_iter()
-            .map(|o| o.final_memory()[&X])
+            .map(|o| o.memory_value(X).expect("x is written"))
             .collect();
         assert_eq!(finals, BTreeSet::from([1, 2]));
     }
@@ -191,5 +223,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn outcome_new_sorts_its_memory() {
+        let a = Outcome::new(vec![1], vec![(Y, 2), (X, 1)]);
+        let b = Outcome::new(vec![1], vec![(X, 1), (Y, 2)]);
+        assert_eq!(a, b);
+        assert_eq!(a.final_memory(), &[(X, 1), (Y, 2)]);
+    }
+
+    #[test]
+    fn stats_ride_along_with_the_outcome_set() {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).read(Y);
+        b.thread().write(Y, 1).read(X);
+        let p = b.build();
+        let (outs, stats) = allowed_outcomes_with_stats(&p);
+        assert_eq!(outs, allowed_outcomes(&p));
+        assert!(stats.nodes > 0);
+        assert_eq!(stats.valid as usize, crate::valid_executions(&p).len());
+        assert_eq!((stats.tasks, stats.workers), (1, 1));
     }
 }

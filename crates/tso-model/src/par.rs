@@ -1,0 +1,275 @@
+//! Root-split parallel search: the engine of [`crate::search`] fanned out
+//! over the shared `exec-pool` workers.
+//!
+//! The sequential engine explores one decision tree — `ws` placements,
+//! then `rf` choices, pruning doomed branches. Its first few levels
+//! partition everything below into *independent* subtrees, so the parallel
+//! engine:
+//!
+//! 1. expands those levels sequentially (`search::split_prefixes`) into viable
+//!    decision prefixes, in exactly the order the sequential DFS visits
+//!    the corresponding subtrees (for `ws`-trivial programs the split
+//!    extends into the `rf` levels, so reads-heavy litmus shapes
+//!    parallelize too);
+//! 2. fans the prefixes out as tasks on an [`exec_pool`] worker pool
+//!    (stable task indexing — results come back in subtree order no
+//!    matter how workers interleave);
+//! 3. merges deterministically: per-task accumulators are combined in
+//!    task order, and per-task [`SearchStats`] are summed onto the split
+//!    stats, which reproduces the sequential engine's decision counters
+//!    *bit-for-bit at any worker count*.
+//!
+//! Early exit ([`outcome_allowed_par`]) uses a shared [`AtomicBool`]: the
+//! task that finds a witness raises it, every other task aborts at its
+//! next decision node, and the pool drains unstarted tasks without
+//! running them.
+//!
+//! The sequential engine remains the reference implementation;
+//! `tests/par_equiv.rs` asserts both yield identical execution sequences,
+//! outcome sets, verdicts, and decision stats over the full litmus
+//! corpora and random programs at 1, 2, and 8 workers.
+
+use crate::execution::CandidateExecution;
+use crate::outcome::Outcome;
+use crate::program::Program;
+use crate::search::{self, for_each_valid_execution, SearchStats};
+use rmw_types::fasthash::FastHashSet;
+use rmw_types::Value;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Subtree tasks to aim for per worker: enough oversplit that one heavy
+/// subtree does not serialize the pool, little enough that split overhead
+/// stays negligible.
+const TASKS_PER_WORKER: usize = 4;
+
+/// The workhorse: folds every valid execution of `program` into per-task
+/// accumulators on `workers` threads. `make` builds one accumulator per
+/// subtree task; `fold` is called with each valid execution, in sequential
+/// DFS order *within* a task; returning [`ControlFlow::Break`] stops the
+/// whole search (cooperatively, across all workers).
+///
+/// Returns the accumulators **in deterministic subtree order** plus the
+/// merged stats. With no early exit, the stats' decision counters equal
+/// the sequential engine's at any worker count; `tasks`/`workers` report
+/// the parallel plumbing. `workers` is clamped by
+/// [`exec_pool::effective_workers`] (nested pools run sequentially), and
+/// `workers <= 1` falls through to the sequential engine with a single
+/// accumulator.
+pub fn fold_valid_executions_par<T, A, F>(
+    program: &Program,
+    workers: usize,
+    make: A,
+    fold: F,
+) -> (Vec<T>, SearchStats)
+where
+    T: Send,
+    A: Fn() -> T + Sync,
+    F: Fn(&mut T, &CandidateExecution) -> ControlFlow<()> + Sync,
+{
+    let workers = exec_pool::effective_workers(workers);
+    if workers <= 1 {
+        let mut acc = make();
+        let stats = for_each_valid_execution(program, |exec| fold(&mut acc, exec));
+        return (vec![acc], stats);
+    }
+
+    let sc = search::build_ctx(program);
+    let (prefixes, mut stats) = search::split_prefixes(&sc, workers * TASKS_PER_WORKER);
+    let stop = AtomicBool::new(false);
+    let results = exec_pool::run_indexed(workers, prefixes.len(), &stop, |_worker, i| {
+        let mut acc = make();
+        let mut visitor = |exec: &CandidateExecution| match fold(&mut acc, exec) {
+            ControlFlow::Continue(()) => ControlFlow::Continue(()),
+            ControlFlow::Break(()) => {
+                stop.store(true, Ordering::Relaxed);
+                ControlFlow::Break(())
+            }
+        };
+        let task_stats = search::run_prefix(&sc, &prefixes[i], &mut visitor, Some(&stop));
+        (acc, task_stats)
+    });
+
+    let mut accs = Vec::with_capacity(results.len());
+    for result in results {
+        match result {
+            Some((acc, task_stats)) => {
+                stats.absorb(&task_stats);
+                accs.push(acc);
+            }
+            // Drained without running: the stop flag fired first.
+            None => stats.stopped_early = true,
+        }
+    }
+    stats.tasks = prefixes.len() as u64;
+    // Report what the pool could actually use: a split that yields fewer
+    // subtrees than workers leaves the surplus threads idle (or runs
+    // inline when there is a single task).
+    stats.workers = workers.min(prefixes.len().max(1)) as u64;
+    (accs, stats)
+}
+
+/// Parallel [`allowed_outcomes`](crate::outcome::allowed_outcomes): the
+/// same outcome set, computed on `workers` threads. Per-task hash sets
+/// are unioned in stable task order into the final `BTreeSet` (sorted
+/// once, at the edge).
+pub fn allowed_outcomes_par(program: &Program, workers: usize) -> BTreeSet<Outcome> {
+    allowed_outcomes_par_with_stats(program, workers).0
+}
+
+/// [`allowed_outcomes_par`] plus the merged [`SearchStats`].
+pub fn allowed_outcomes_par_with_stats(
+    program: &Program,
+    workers: usize,
+) -> (BTreeSet<Outcome>, SearchStats) {
+    let (sets, stats) = fold_valid_executions_par(
+        program,
+        workers,
+        FastHashSet::<Outcome>::default,
+        |set, exec| {
+            set.insert(Outcome::of_execution(exec));
+            ControlFlow::Continue(())
+        },
+    );
+    let mut out = BTreeSet::new();
+    for set in sets {
+        out.extend(set);
+    }
+    (out, stats)
+}
+
+/// Parallel [`valid_executions`](crate::search::valid_executions): because
+/// tasks are indexed in subtree (sequential DFS) order and each task
+/// yields in DFS order, the concatenation reproduces the sequential
+/// engine's yield *sequence* exactly, not just its set.
+pub fn valid_executions_par(program: &Program, workers: usize) -> Vec<CandidateExecution> {
+    let (chunks, _) = fold_valid_executions_par(program, workers, Vec::new, |out, exec| {
+        out.push(exec.clone());
+        ControlFlow::Continue(())
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Parallel [`outcome_allowed`](crate::outcome::outcome_allowed): true iff
+/// some valid execution's read-value vector satisfies `pred`. The first
+/// witness raises the shared stop flag and the remaining subtrees abort —
+/// the verdict is deterministic (a witness exists or it does not), only
+/// the amount of work skipped varies with scheduling.
+pub fn outcome_allowed_par(
+    program: &Program,
+    workers: usize,
+    pred: impl Fn(&[Value]) -> bool + Sync,
+) -> bool {
+    let (founds, _) = fold_valid_executions_par(
+        program,
+        workers,
+        || false,
+        |found, exec| {
+            if pred(&exec.read_values()) {
+                *found = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    );
+    founds.into_iter().any(|f| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::allowed_outcomes;
+    use crate::program::ProgramBuilder;
+    use crate::search::valid_executions;
+    use rmw_types::{Addr, Atomicity, RmwKind};
+
+    const X: Addr = Addr(0);
+    const Y: Addr = Addr(1);
+
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).write(X, 2).read(Y);
+        b.thread()
+            .rmw(Y, RmwKind::FetchAndAdd(1), Atomicity::Type2)
+            .read(X);
+        b.thread().write(Y, 5).fence().read(X);
+        b.build()
+    }
+
+    #[test]
+    fn outcome_sets_match_sequential_at_every_worker_count() {
+        let p = mixed_program();
+        let seq = allowed_outcomes(&p);
+        for workers in [1, 2, 8] {
+            let (par, stats) = allowed_outcomes_par_with_stats(&p, workers);
+            assert_eq!(par, seq, "workers={workers}");
+            assert!(stats.valid >= par.len() as u64);
+        }
+    }
+
+    #[test]
+    fn decision_stats_are_worker_count_independent() {
+        let p = mixed_program();
+        let seq = for_each_valid_execution(&p, |_| ControlFlow::Continue(()));
+        for workers in [2, 3, 8] {
+            let (_, stats) = allowed_outcomes_par_with_stats(&p, workers);
+            assert_eq!(stats.nodes, seq.nodes, "workers={workers}");
+            assert_eq!(stats.pruned, seq.pruned, "workers={workers}");
+            assert_eq!(stats.complete, seq.complete, "workers={workers}");
+            assert_eq!(stats.valid, seq.valid, "workers={workers}");
+            assert!(!stats.stopped_early);
+            // Reported workers are what the task count could occupy.
+            assert!(stats.workers >= 1 && stats.workers <= workers as u64);
+            assert_eq!(stats.workers, (workers as u64).min(stats.tasks.max(1)));
+            assert!(stats.tasks >= 1);
+        }
+    }
+
+    #[test]
+    fn execution_sequence_is_reproduced_not_just_the_set() {
+        let p = mixed_program();
+        let seq: Vec<Vec<u64>> = valid_executions(&p)
+            .iter()
+            .map(CandidateExecution::read_values)
+            .collect();
+        for workers in [2, 8] {
+            let par: Vec<Vec<u64>> = valid_executions_par(&p, workers)
+                .iter()
+                .map(CandidateExecution::read_values)
+                .collect();
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn early_exit_verdicts_match_sequential() {
+        let p = mixed_program();
+        let outs = allowed_outcomes(&p);
+        for workers in [1, 2, 8] {
+            for o in &outs {
+                let target = o.read_values();
+                assert!(
+                    outcome_allowed_par(&p, workers, |rv| rv == target),
+                    "workers={workers}: {target:?} must be allowed"
+                );
+            }
+            assert!(!outcome_allowed_par(&p, workers, |rv| rv
+                .iter()
+                .all(|&v| v == 99)));
+        }
+    }
+
+    #[test]
+    fn empty_and_read_free_programs_work_in_parallel() {
+        let empty = Program::new();
+        assert_eq!(allowed_outcomes_par(&empty, 8), allowed_outcomes(&empty));
+
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 7);
+        let p = b.build();
+        assert_eq!(allowed_outcomes_par(&p, 8), allowed_outcomes(&p));
+        assert!(outcome_allowed_par(&p, 8, |rv| rv.is_empty()));
+    }
+}

@@ -36,6 +36,22 @@
 //! Valid executions are yielded through a visitor
 //! ([`for_each_valid_execution`]); returning [`ControlFlow::Break`] stops
 //! the search, which is what gives `outcome_allowed` its early exit.
+//!
+//! # Parallelism hooks
+//!
+//! The decision tree has an exploitable shape: the first few decision
+//! levels partition the remaining search into *independent* subtrees. The
+//! crate-private primitives at the bottom of this module —
+//! `build_ctx` (the immutable per-program context), `split_prefixes`
+//! (a bounded DFS over the first `ws`-placement — and, for `ws`-trivial
+//! programs, `rf` — levels, yielding viable decision prefixes in exactly
+//! the order the sequential engine would visit them), and `run_prefix`
+//! (replay a prefix, then resume the ordinary DFS below it, with an
+//! optional cooperative stop flag) — are what [`crate::par`] fans out over
+//! the shared `exec-pool` workers. The split counts decision nodes
+//! exactly as the sequential engine would for those levels, so
+//! `split stats + Σ task stats` equals the sequential [`SearchStats`]
+//! identically, at any task granularity.
 
 use crate::event::{EventId, RmwHalf};
 use crate::execution::{
@@ -48,9 +64,18 @@ use crate::validity::{atomicity_disjuncts, solve_ato, Disjunct, Validity};
 use rmw_types::Addr;
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Counters describing one search run, for benchmarks and scaling reports.
+///
+/// The decision-tree counters (`nodes`, `pruned`, `complete`, `valid`) are
+/// *engine-independent*: the parallel root-split engine ([`crate::par`])
+/// reports exactly the sequential engine's numbers at every worker count
+/// (asserted by `tests/par_equiv.rs`), because the split phase counts the
+/// top-of-tree decisions once and each subtree task counts only its own.
+/// `tasks`/`workers` describe the parallel plumbing and legitimately vary
+/// with the worker count (both are 1 on the sequential engine).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Partial-assignment decision nodes explored (one per `ws` placement
@@ -63,8 +88,29 @@ pub struct SearchStats {
     pub complete: u64,
     /// Valid executions yielded to the visitor.
     pub valid: u64,
+    /// Independent subtree tasks the search ran as (1 = sequential).
+    pub tasks: u64,
+    /// Worker threads those tasks were distributed over (1 = sequential).
+    pub workers: u64,
     /// True when the visitor stopped the search early.
     pub stopped_early: bool,
+}
+
+impl SearchStats {
+    /// Accumulates another run's counters into `self`: decision counters
+    /// and `tasks` add, `workers` takes the maximum, `stopped_early` ORs.
+    /// Used both by the parallel engine (merging per-task stats) and by
+    /// consumers aggregating several searches (e.g. the harness's
+    /// per-test model stats across its four model queries).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.pruned += other.pruned;
+        self.complete += other.complete;
+        self.valid += other.valid;
+        self.tasks += other.tasks;
+        self.workers = self.workers.max(other.workers);
+        self.stopped_early |= other.stopped_early;
+    }
 }
 
 /// What the search yields and how aggressively it prunes.
@@ -143,13 +189,265 @@ struct LocWrites {
     writes: Vec<EventId>,
 }
 
-struct Search<'a> {
+/// Immutable per-program search context: everything the DFS reads but
+/// never writes. Shared by reference across the parallel subtree tasks.
+pub(crate) struct SearchCtx {
     ctx: Arc<ExecCtx>,
     mode: Mode,
     locs: Vec<LocWrites>,
     reads: Vec<EventId>,
     rf_choices: Vec<Vec<EventId>>,
     disjuncts: Vec<Disjunct>,
+    /// `ppo ∪ bar` plus the fixed init→write `ws` edges.
+    base_ghb: DiGraph,
+    /// `po-loc` plus the fixed init→write `ws` edges.
+    base_uni: DiGraph,
+    /// Each RMW's internal `Ra → Wa` value dependency.
+    base_dep: DiGraph,
+    /// Per-location serializations holding just the init writes.
+    base_ws: BTreeMap<Addr, Vec<EventId>>,
+}
+
+/// Builds the search context for the valid-only (pruned) engine — the
+/// parallel front end in [`crate::par`] starts here.
+pub(crate) fn build_ctx(program: &Program) -> SearchCtx {
+    SearchCtx::build(program, Mode::ValidOnly)
+}
+
+impl SearchCtx {
+    fn build(program: &Program, mode: Mode) -> SearchCtx {
+        let events = build_events(program);
+        let n = events.len();
+
+        // Candidate rf sources per read: writes to the same address, except
+        // the read's own RMW write half ("Ra reads an earlier value, not
+        // Wa's").
+        let reads: Vec<EventId> = events
+            .iter()
+            .filter(|e| e.is_read())
+            .map(|e| e.id)
+            .collect();
+        let rf_choices: Vec<Vec<EventId>> = reads
+            .iter()
+            .map(|&r| {
+                let er = &events[r.index()];
+                events
+                    .iter()
+                    .filter(|w| w.is_write() && w.addr == er.addr)
+                    .filter(|w| match (er.rmw, w.rmw) {
+                        (Some(lr), Some(lw)) => lr.rmw_id != lw.rmw_id,
+                        _ => true,
+                    })
+                    .map(|w| w.id)
+                    .collect()
+            })
+            .collect();
+
+        // Per-location write sets, keyed by the (sorted) initial writes.
+        let mut by_addr: BTreeMap<Addr, (EventId, Vec<EventId>)> = events
+            .iter()
+            .filter(|e| e.is_init())
+            .map(|e| (e.addr.expect("init write has addr"), (e.id, Vec::new())))
+            .collect();
+        for e in &events {
+            if e.is_write() && !e.is_init() {
+                by_addr
+                    .get_mut(&e.addr.expect("write has addr"))
+                    .expect("every address has an init write")
+                    .1
+                    .push(e.id);
+            }
+        }
+
+        // Fixed graph parts. The init write precedes every other write of
+        // its location in every candidate, so those `ws` edges are part of
+        // the base.
+        let (base_ghb, base_uni) = if mode == Mode::ValidOnly {
+            let mut ghb = ppo_graph_of(&events);
+            ghb.union_with(&bar_graph_of(&events));
+            let mut uni = poloc_graph_of(&events);
+            for (init, ws_writes) in by_addr.values() {
+                for &w in ws_writes {
+                    ghb.add_edge(init.index(), w.index());
+                    uni.add_edge(init.index(), w.index());
+                }
+            }
+            (ghb, uni)
+        } else {
+            (DiGraph::new(n), DiGraph::new(n))
+        };
+
+        // Value dependencies internal to each RMW: Wa's value is computed
+        // from what Ra read.
+        let mut base_dep = DiGraph::new(n);
+        {
+            let mut ra_of: BTreeMap<usize, EventId> = BTreeMap::new();
+            for e in &events {
+                if let Some(l) = e.rmw {
+                    if l.half == RmwHalf::Read {
+                        ra_of.insert(l.rmw_id.0, e.id);
+                    }
+                }
+            }
+            for e in &events {
+                if let Some(l) = e.rmw {
+                    if l.half == RmwHalf::Write {
+                        base_dep.add_edge(ra_of[&l.rmw_id.0].index(), e.id.index());
+                    }
+                }
+            }
+        }
+
+        let base_ws: BTreeMap<Addr, Vec<EventId>> = by_addr
+            .iter()
+            .map(|(&a, (init, _))| (a, vec![*init]))
+            .collect();
+        let locs: Vec<LocWrites> = by_addr
+            .into_iter()
+            .map(|(addr, (_, writes))| LocWrites { addr, writes })
+            .collect();
+        let disjuncts = if mode == Mode::ValidOnly {
+            atomicity_disjuncts(&events)
+        } else {
+            Vec::new()
+        };
+
+        SearchCtx {
+            ctx: ExecCtx::new(events),
+            mode,
+            locs,
+            reads,
+            rf_choices,
+            disjuncts,
+            base_ghb,
+            base_uni,
+            base_dep,
+            base_ws,
+        }
+    }
+
+    /// Branching factor of each decision level, in decision order: for
+    /// every location the factors `k, k-1, …, 1` of its placement steps,
+    /// then one factor per read (`rf` source count). Used to pick the
+    /// root-split depth.
+    fn level_factors(&self) -> Vec<usize> {
+        let mut factors = Vec::new();
+        for loc in &self.locs {
+            for placed in 0..loc.writes.len() {
+                factors.push(loc.writes.len() - placed);
+            }
+        }
+        for choices in &self.rf_choices {
+            factors.push(choices.len());
+        }
+        factors
+    }
+}
+
+/// A decision prefix identifying one independent subtree of the search:
+/// the first `ws` placements (in decision order, locations in address
+/// order), and — only when every write is already placed — the first
+/// `rf` choices. Produced by [`split_prefixes`], consumed by
+/// [`run_prefix`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Prefix {
+    ws: Vec<EventId>,
+    rf: Vec<EventId>,
+}
+
+/// Enumerates the viable decision prefixes at a depth chosen so their
+/// count reaches `target` (or the whole tree if it never does), in
+/// exactly the order the sequential DFS visits those subtrees. The
+/// returned stats cover the split levels' decision nodes — sequential
+/// totals are `split stats + Σ` [`run_prefix`] stats.
+pub(crate) fn split_prefixes(sc: &SearchCtx, target: usize) -> (Vec<Prefix>, SearchStats) {
+    let factors = sc.level_factors();
+    let mut depth = 0usize;
+    let mut product = 1u64;
+    while depth < factors.len() && product < target as u64 {
+        product = product.saturating_mul(factors[depth] as u64);
+        depth += 1;
+    }
+    let mut out = Vec::new();
+    let mut stats = SearchStats::default();
+    if depth == 0 {
+        // No decisions to split on (or target ≤ 1): one task, whole tree.
+        out.push(Prefix::default());
+        return (out, stats);
+    }
+    let mut sink = |_: &CandidateExecution| ControlFlow::Continue(());
+    let mut search = Search::new(sc, &mut sink, None);
+    let mut path = Prefix::default();
+    search.split_ws(0, depth, &mut path, &mut out);
+    stats.absorb(&search.stats);
+    // `absorb` summed the split's zeroed tasks/workers; the caller sets
+    // the real values after merging task stats.
+    (out, stats)
+}
+
+/// Replays `prefix` (whose viability the split already established) and
+/// resumes the ordinary DFS below it, yielding to `visitor`. `stop` is a
+/// cooperative cancellation flag checked at every decision node.
+pub(crate) fn run_prefix(
+    sc: &SearchCtx,
+    prefix: &Prefix,
+    visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+    stop: Option<&AtomicBool>,
+) -> SearchStats {
+    let mut search = Search::new(sc, visitor, stop);
+
+    // Replay the ws placements. Decision order fills locations in order,
+    // so the prefix entries for the current location form the contiguous
+    // slice `prefix.ws[loc_start..]`.
+    let (mut li, mut loc_start) = (0usize, 0usize);
+    for (pos, &w) in prefix.ws.iter().enumerate() {
+        while sc.locs[li].writes.len() == pos - loc_start {
+            li += 1;
+            loc_start = pos;
+        }
+        let placed = &prefix.ws[loc_start..pos];
+        let mut added = Vec::new();
+        for &u in &sc.locs[li].writes {
+            if u != w && !placed.contains(&u) {
+                search.add_com_edge(w, u, &mut added);
+            }
+        }
+        search
+            .ws
+            .get_mut(&sc.locs[li].addr)
+            .expect("ws has every addr")
+            .push(w);
+        // The edges stay committed for the lifetime of the task.
+    }
+
+    if prefix.rf.is_empty() {
+        // Resume mid-placement (or at the rf phase if everything is
+        // placed — `place_writes` falls through on an empty remainder).
+        if li < sc.locs.len() {
+            let placed = &prefix.ws[loc_start..];
+            let mut remaining: Vec<EventId> = sc.locs[li]
+                .writes
+                .iter()
+                .copied()
+                .filter(|u| !placed.contains(u))
+                .collect();
+            let _ = search.place_writes(li, &mut remaining);
+        } else {
+            let _ = search.search_rf(0);
+        }
+    } else {
+        // An rf prefix implies every write was placed during the split.
+        for (ri, &w) in prefix.rf.iter().enumerate() {
+            let mut added = Vec::new();
+            search.push_rf(ri, w, &mut added);
+        }
+        let _ = search.search_rf(prefix.rf.len());
+    }
+    search.stats
+}
+
+struct Search<'a> {
+    sc: &'a SearchCtx,
     /// `com ∪ ppo ∪ bar`, maintained incrementally (`ValidOnly` mode).
     ghb: DiGraph,
     /// `com ∪ po-loc` — the uniproc check (`ValidOnly` mode).
@@ -159,6 +457,7 @@ struct Search<'a> {
     ws: BTreeMap<Addr, Vec<EventId>>,
     rf: BTreeMap<EventId, EventId>,
     stats: SearchStats,
+    stop: Option<&'a AtomicBool>,
     visitor: &'a mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
 }
 
@@ -167,125 +466,49 @@ fn run(
     mode: Mode,
     visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
 ) -> SearchStats {
-    let events = build_events(program);
-    let n = events.len();
-
-    // Candidate rf sources per read: writes to the same address, except the
-    // read's own RMW write half ("Ra reads an earlier value, not Wa's").
-    let reads: Vec<EventId> = events
-        .iter()
-        .filter(|e| e.is_read())
-        .map(|e| e.id)
-        .collect();
-    let rf_choices: Vec<Vec<EventId>> = reads
-        .iter()
-        .map(|&r| {
-            let er = &events[r.index()];
-            events
-                .iter()
-                .filter(|w| w.is_write() && w.addr == er.addr)
-                .filter(|w| match (er.rmw, w.rmw) {
-                    (Some(lr), Some(lw)) => lr.rmw_id != lw.rmw_id,
-                    _ => true,
-                })
-                .map(|w| w.id)
-                .collect()
-        })
-        .collect();
-
-    // Per-location write sets, keyed by the (sorted) initial writes.
-    let mut by_addr: BTreeMap<Addr, (EventId, Vec<EventId>)> = events
-        .iter()
-        .filter(|e| e.is_init())
-        .map(|e| (e.addr.expect("init write has addr"), (e.id, Vec::new())))
-        .collect();
-    for e in &events {
-        if e.is_write() && !e.is_init() {
-            by_addr
-                .get_mut(&e.addr.expect("write has addr"))
-                .expect("every address has an init write")
-                .1
-                .push(e.id);
-        }
-    }
-
-    // Fixed graph parts. The init write precedes every other write of its
-    // location in every candidate, so those `ws` edges are part of the base.
-    let (ghb, uni) = if mode == Mode::ValidOnly {
-        let mut ghb = ppo_graph_of(&events);
-        ghb.union_with(&bar_graph_of(&events));
-        let mut uni = poloc_graph_of(&events);
-        for (init, ws_writes) in by_addr.values() {
-            for &w in ws_writes {
-                ghb.add_edge(init.index(), w.index());
-                uni.add_edge(init.index(), w.index());
-            }
-        }
-        (ghb, uni)
-    } else {
-        (DiGraph::new(n), DiGraph::new(n))
-    };
-
-    // Value dependencies internal to each RMW: Wa's value is computed from
-    // what Ra read.
-    let mut dep = DiGraph::new(n);
-    {
-        let mut ra_of: BTreeMap<usize, EventId> = BTreeMap::new();
-        for e in &events {
-            if let Some(l) = e.rmw {
-                if l.half == RmwHalf::Read {
-                    ra_of.insert(l.rmw_id.0, e.id);
-                }
-            }
-        }
-        for e in &events {
-            if let Some(l) = e.rmw {
-                if l.half == RmwHalf::Write {
-                    dep.add_edge(ra_of[&l.rmw_id.0].index(), e.id.index());
-                }
-            }
-        }
-    }
-
-    let ws: BTreeMap<Addr, Vec<EventId>> = by_addr
-        .iter()
-        .map(|(&a, (init, _))| (a, vec![*init]))
-        .collect();
-    let locs: Vec<LocWrites> = by_addr
-        .into_iter()
-        .map(|(addr, (_, writes))| LocWrites { addr, writes })
-        .collect();
-    let disjuncts = if mode == Mode::ValidOnly {
-        atomicity_disjuncts(&events)
-    } else {
-        Vec::new()
-    };
-
-    let mut search = Search {
-        ctx: ExecCtx::new(events),
-        mode,
-        locs,
-        reads,
-        rf_choices,
-        disjuncts,
-        ghb,
-        uni,
-        dep,
-        ws,
-        rf: BTreeMap::new(),
-        stats: SearchStats::default(),
-        visitor,
-    };
+    let sc = SearchCtx::build(program, mode);
+    let mut search = Search::new(&sc, visitor, None);
     // A `Break` here is just the early exit reaching the root.
     let _ = search.search_ws(0);
-    search.stats
+    let mut stats = search.stats;
+    stats.tasks = 1;
+    stats.workers = 1;
+    stats
 }
 
-impl Search<'_> {
+impl<'a> Search<'a> {
+    fn new(
+        sc: &'a SearchCtx,
+        visitor: &'a mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+        stop: Option<&'a AtomicBool>,
+    ) -> Self {
+        Search {
+            sc,
+            ghb: sc.base_ghb.clone(),
+            uni: sc.base_uni.clone(),
+            dep: sc.base_dep.clone(),
+            ws: sc.base_ws.clone(),
+            rf: BTreeMap::new(),
+            stats: SearchStats::default(),
+            stop,
+            visitor,
+        }
+    }
+
+    /// True when a cooperative stop was requested; the caller unwinds with
+    /// `Break` (marking the run as stopped early).
+    fn should_stop(&mut self) -> bool {
+        let stopped = self.stop.is_some_and(|flag| flag.load(Ordering::Relaxed));
+        if stopped {
+            self.stats.stopped_early = true;
+        }
+        stopped
+    }
+
     /// DFS level 1: serialize the writes of location `li` (then recurse to
     /// the next location, then to `rf` assignment).
     fn search_ws(&mut self, li: usize) -> ControlFlow<()> {
-        let Some(loc) = self.locs.get(li) else {
+        let Some(loc) = self.sc.locs.get(li) else {
             return self.search_rf(0);
         };
         let mut remaining = loc.writes.clone();
@@ -298,8 +521,11 @@ impl Search<'_> {
         if remaining.is_empty() {
             return self.search_ws(li + 1);
         }
-        let addr = self.locs[li].addr;
+        let addr = self.sc.locs[li].addr;
         for i in 0..remaining.len() {
+            if self.should_stop() {
+                return ControlFlow::Break(());
+            }
             let w = remaining.remove(i);
             self.stats.nodes += 1;
             // Placing `w` next means `w` precedes every still-unplaced
@@ -307,14 +533,14 @@ impl Search<'_> {
             // (Edges from the already-placed prefix to `w` were added when
             // those writes were placed; init → `w` is in the base.)
             let mut added = Vec::new();
-            if self.mode == Mode::ValidOnly {
+            if self.sc.mode == Mode::ValidOnly {
                 for &u in remaining.iter() {
                     self.add_com_edge(w, u, &mut added);
                 }
             }
             self.ws.get_mut(&addr).expect("ws has every addr").push(w);
 
-            let viable = self.mode == Mode::AllCandidates || self.still_acyclic(&added);
+            let viable = self.sc.mode == Mode::AllCandidates || self.still_acyclic(&added);
             let flow = if viable {
                 self.place_writes(li, remaining)
             } else {
@@ -334,54 +560,31 @@ impl Search<'_> {
     /// serializations are complete at this point, so the choice fixes the
     /// read's `rfe` and `fr` edges exactly).
     fn search_rf(&mut self, ri: usize) -> ControlFlow<()> {
-        let Some(&r) = self.reads.get(ri) else {
+        let Some(&r) = self.sc.reads.get(ri) else {
             return self.complete();
         };
         // Value dependencies can only cycle through an RMW read half: a
         // plain read has no outgoing dep edge (its value feeds nothing), so
         // it can never be part of a cycle and its dep edge can be elided.
-        let is_rmw_read = self.ctx.events[r.index()].rmw.is_some();
-        for ci in 0..self.rf_choices[ri].len() {
-            let w = self.rf_choices[ri][ci];
+        let is_rmw_read = self.sc.ctx.events[r.index()].rmw.is_some();
+        for ci in 0..self.sc.rf_choices[ri].len() {
+            if self.should_stop() {
+                return ControlFlow::Break(());
+            }
+            let w = self.sc.rf_choices[ri][ci];
             self.stats.nodes += 1;
 
             // Value dependency r ← w; a cycle means an RMW's value would
             // depend on itself — dropped in every mode (as the legacy
             // enumerator drops candidates `resolve_values` rejects).
-            if is_rmw_read {
-                // Adding w → r closes a cycle iff r already reaches w.
-                if self.dep.reaches(r.index(), w.index()) {
-                    self.stats.pruned += 1;
-                    continue;
-                }
-                self.dep.add_edge(w.index(), r.index());
+            // Adding w → r closes a cycle iff r already reaches w.
+            if is_rmw_read && self.dep.reaches(r.index(), w.index()) {
+                self.stats.pruned += 1;
+                continue;
             }
-            self.rf.insert(r, w);
-
             let mut added = Vec::new();
-            let viable = if self.mode == Mode::ValidOnly {
-                let er = &self.ctx.events[r.index()];
-                let ew = &self.ctx.events[w.index()];
-                let external = ew.is_init() || er.tid != ew.tid;
-                let addr = er.addr.expect("read has addr");
-                // rfe: external reads-from participates in com.
-                if external {
-                    self.add_com_edge(w, r, &mut added);
-                }
-                // fr: r precedes every write ws-after its source.
-                let order = &self.ws[&addr];
-                let pos = order
-                    .iter()
-                    .position(|&x| x == w)
-                    .expect("rf source is in ws");
-                let later: Vec<EventId> = order[pos + 1..].to_vec();
-                for u in later {
-                    self.add_com_edge(r, u, &mut added);
-                }
-                self.still_acyclic(&added)
-            } else {
-                true
-            };
+            self.push_rf(ri, w, &mut added);
+            let viable = self.sc.mode == Mode::AllCandidates || self.still_acyclic(&added);
 
             let flow = if viable {
                 self.search_rf(ri + 1)
@@ -390,38 +593,77 @@ impl Search<'_> {
                 ControlFlow::Continue(())
             };
 
-            self.remove_com_edges(&added);
-            self.rf.remove(&r);
-            if is_rmw_read {
-                self.dep.remove_edge(w.index(), r.index());
-            }
+            self.pop_rf(ri, w, &added);
             flow?;
         }
         ControlFlow::Continue(())
+    }
+
+    /// Commits read `ri`'s `rf` choice `w`: the value-dependency edge (for
+    /// RMW read halves), the `rf` map entry, and — in pruning mode — the
+    /// implied `rfe` and `fr` `com` edges, recorded in `added` for undo.
+    /// The dep-cycle check is the *caller's* job (a prefix replay skips it;
+    /// the split established viability already).
+    fn push_rf(&mut self, ri: usize, w: EventId, added: &mut Vec<(usize, usize, bool, bool)>) {
+        let r = self.sc.reads[ri];
+        if self.sc.ctx.events[r.index()].rmw.is_some() {
+            self.dep.add_edge(w.index(), r.index());
+        }
+        self.rf.insert(r, w);
+        if self.sc.mode == Mode::ValidOnly {
+            let er = &self.sc.ctx.events[r.index()];
+            let ew = &self.sc.ctx.events[w.index()];
+            let external = ew.is_init() || er.tid != ew.tid;
+            let addr = er.addr.expect("read has addr");
+            // rfe: external reads-from participates in com.
+            if external {
+                self.add_com_edge(w, r, added);
+            }
+            // fr: r precedes every write ws-after its source.
+            let order = &self.ws[&addr];
+            let pos = order
+                .iter()
+                .position(|&x| x == w)
+                .expect("rf source is in ws");
+            let later: Vec<EventId> = order[pos + 1..].to_vec();
+            for u in later {
+                self.add_com_edge(r, u, added);
+            }
+        }
+    }
+
+    /// Undoes [`Search::push_rf`].
+    fn pop_rf(&mut self, ri: usize, w: EventId, added: &[(usize, usize, bool, bool)]) {
+        let r = self.sc.reads[ri];
+        self.remove_com_edges(added);
+        self.rf.remove(&r);
+        if self.sc.ctx.events[r.index()].rmw.is_some() {
+            self.dep.remove_edge(w.index(), r.index());
+        }
     }
 
     /// A complete `rf × ws` assignment: assemble the execution, finish the
     /// validity check (the atomicity disjunctions), and yield.
     fn complete(&mut self) -> ControlFlow<()> {
         self.stats.complete += 1;
-        let Some(values) = resolve_values(&self.ctx.events, &self.rf) else {
+        let Some(values) = resolve_values(&self.sc.ctx.events, &self.rf) else {
             // Unreachable: the dep graph is acyclic on this path, and it
             // contains every value dependency `resolve_values` follows.
             return ControlFlow::Continue(());
         };
         let exec = CandidateExecution::assemble(
-            Arc::clone(&self.ctx),
+            Arc::clone(&self.sc.ctx),
             self.rf.clone(),
             self.ws.clone(),
             values,
         );
-        let flow = match self.mode {
+        let flow = match self.sc.mode {
             Mode::AllCandidates => (self.visitor)(&exec),
             Mode::ValidOnly => {
                 // uniproc already holds (incremental `uni` checks); what is
                 // left is the existential over atomicity-induced edges, on
                 // the incrementally maintained `com ∪ ppo ∪ bar`.
-                match solve_ato(&exec, self.ghb.clone(), &self.disjuncts) {
+                match solve_ato(&exec, self.ghb.clone(), &self.sc.disjuncts) {
                     Validity::Valid(_) => {
                         self.stats.valid += 1;
                         (self.visitor)(&exec)
@@ -434,6 +676,93 @@ impl Search<'_> {
             self.stats.stopped_early = true;
         }
         flow
+    }
+
+    /// Split-phase mirror of [`Search::search_ws`]: descend `depth_left`
+    /// more decision levels, emitting every viable prefix.
+    fn split_ws(&mut self, li: usize, depth_left: usize, path: &mut Prefix, out: &mut Vec<Prefix>) {
+        if depth_left == 0 {
+            out.push(path.clone());
+            return;
+        }
+        let Some(loc) = self.sc.locs.get(li) else {
+            self.split_rf(0, depth_left, path, out);
+            return;
+        };
+        let mut remaining = loc.writes.clone();
+        self.split_place(li, &mut remaining, depth_left, path, out);
+    }
+
+    /// Split-phase mirror of [`Search::place_writes`], counting nodes and
+    /// prunes exactly as the sequential engine would at these levels.
+    fn split_place(
+        &mut self,
+        li: usize,
+        remaining: &mut Vec<EventId>,
+        depth_left: usize,
+        path: &mut Prefix,
+        out: &mut Vec<Prefix>,
+    ) {
+        if depth_left == 0 {
+            out.push(path.clone());
+            return;
+        }
+        if remaining.is_empty() {
+            self.split_ws(li + 1, depth_left, path, out);
+            return;
+        }
+        let addr = self.sc.locs[li].addr;
+        for i in 0..remaining.len() {
+            let w = remaining.remove(i);
+            self.stats.nodes += 1;
+            let mut added = Vec::new();
+            for &u in remaining.iter() {
+                self.add_com_edge(w, u, &mut added);
+            }
+            self.ws.get_mut(&addr).expect("ws has every addr").push(w);
+
+            if self.still_acyclic(&added) {
+                path.ws.push(w);
+                self.split_place(li, remaining, depth_left - 1, path, out);
+                path.ws.pop();
+            } else {
+                self.stats.pruned += 1;
+            }
+
+            self.ws.get_mut(&addr).expect("ws has every addr").pop();
+            self.remove_com_edges(&added);
+            remaining.insert(i, w);
+        }
+    }
+
+    /// Split-phase mirror of [`Search::search_rf`] — reached only when the
+    /// program has so little `ws` choice that the split extends into the
+    /// `rf` levels to find enough independent subtrees.
+    fn split_rf(&mut self, ri: usize, depth_left: usize, path: &mut Prefix, out: &mut Vec<Prefix>) {
+        if depth_left == 0 || ri >= self.sc.reads.len() {
+            out.push(path.clone());
+            return;
+        }
+        let r = self.sc.reads[ri];
+        let is_rmw_read = self.sc.ctx.events[r.index()].rmw.is_some();
+        for ci in 0..self.sc.rf_choices[ri].len() {
+            let w = self.sc.rf_choices[ri][ci];
+            self.stats.nodes += 1;
+            if is_rmw_read && self.dep.reaches(r.index(), w.index()) {
+                self.stats.pruned += 1;
+                continue;
+            }
+            let mut added = Vec::new();
+            self.push_rf(ri, w, &mut added);
+            if self.still_acyclic(&added) {
+                path.rf.push(w);
+                self.split_rf(ri + 1, depth_left - 1, path, out);
+                path.rf.pop();
+            } else {
+                self.stats.pruned += 1;
+            }
+            self.pop_rf(ri, w, &added);
+        }
     }
 
     /// Adds a `com` edge to both incremental graphs, recording which of the
@@ -523,6 +852,7 @@ mod tests {
         assert_eq!(streamed, legacy_valid_read_values(&p));
         assert_eq!(stats.valid as usize, valid_executions(&p).len());
         assert!(!stats.stopped_early);
+        assert_eq!((stats.tasks, stats.workers), (1, 1));
     }
 
     #[test]
@@ -596,5 +926,106 @@ mod tests {
             ControlFlow::Continue(())
         });
         assert_eq!(stats.valid, 1);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_ors_early_stop() {
+        let mut a = SearchStats {
+            nodes: 10,
+            pruned: 2,
+            complete: 3,
+            valid: 1,
+            tasks: 1,
+            workers: 4,
+            stopped_early: false,
+        };
+        let b = SearchStats {
+            nodes: 5,
+            pruned: 1,
+            complete: 2,
+            valid: 2,
+            tasks: 2,
+            workers: 2,
+            stopped_early: true,
+        };
+        a.absorb(&b);
+        assert_eq!(a.nodes, 15);
+        assert_eq!(a.pruned, 3);
+        assert_eq!(a.complete, 5);
+        assert_eq!(a.valid, 3);
+        assert_eq!(a.tasks, 3);
+        assert_eq!(a.workers, 4);
+        assert!(a.stopped_early);
+    }
+
+    #[test]
+    fn split_plus_task_stats_equal_sequential_stats() {
+        // The invariant the parallel engine's determinism rests on:
+        // split-phase nodes plus per-subtree nodes add up to exactly the
+        // sequential engine's counts, whatever the split target.
+        let mut b = ProgramBuilder::new();
+        b.thread().write(X, 1).write(Y, 1).read(Y);
+        b.thread()
+            .write(Y, 2)
+            .rmw(X, RmwKind::TestAndSet, Atomicity::Type3);
+        b.thread().read(X).read(Y);
+        let p = b.build();
+        let seq = for_each_valid_execution(&p, |_| ControlFlow::Continue(()));
+        for target in [2usize, 4, 16, 64, 1 << 20] {
+            let sc = build_ctx(&p);
+            let (prefixes, mut total) = split_prefixes(&sc, target);
+            let mut yielded = Vec::new();
+            for prefix in &prefixes {
+                let mut visitor = |e: &CandidateExecution| {
+                    yielded.push(e.read_values());
+                    ControlFlow::Continue(())
+                };
+                total.absorb(&run_prefix(&sc, prefix, &mut visitor, None));
+            }
+            assert_eq!(total.nodes, seq.nodes, "target {target}");
+            assert_eq!(total.pruned, seq.pruned, "target {target}");
+            assert_eq!(total.complete, seq.complete, "target {target}");
+            assert_eq!(total.valid, seq.valid, "target {target}");
+            // Task order is DFS order: concatenation reproduces the
+            // sequential yield sequence exactly.
+            let mut seq_yield = Vec::new();
+            for_each_valid_execution(&p, |e| {
+                seq_yield.push(e.read_values());
+                ControlFlow::Continue(())
+            });
+            assert_eq!(yielded, seq_yield, "target {target}");
+        }
+    }
+
+    #[test]
+    fn split_extends_into_rf_levels_when_ws_is_trivial() {
+        // Single-write locations: the only ws order is forced, so subtree
+        // tasks must come from rf choices.
+        let p = sb();
+        let sc = build_ctx(&p);
+        let (prefixes, _) = split_prefixes(&sc, 4);
+        assert!(
+            prefixes.len() > 1,
+            "expected rf-level split, got {} task(s)",
+            prefixes.len()
+        );
+        assert!(prefixes.iter().any(|p| !p.rf.is_empty()));
+    }
+
+    #[test]
+    fn stop_flag_aborts_the_search() {
+        let p = sb();
+        let sc = build_ctx(&p);
+        let (prefixes, _) = split_prefixes(&sc, 1);
+        assert_eq!(prefixes.len(), 1);
+        let stop = AtomicBool::new(true);
+        let mut seen = 0u32;
+        let mut visitor = |_: &CandidateExecution| {
+            seen += 1;
+            ControlFlow::Continue(())
+        };
+        let stats = run_prefix(&sc, &prefixes[0], &mut visitor, Some(&stop));
+        assert_eq!(seen, 0, "pre-set stop flag must abort before any yield");
+        assert!(stats.stopped_early);
     }
 }

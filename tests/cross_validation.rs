@@ -44,7 +44,7 @@ fn check(program: &Program, name: &str) {
         assert!(
             allowed.iter().any(|o| {
                 o.read_values() == sim_reads
-                    && o.final_memory().iter().all(|(&a, &v)| sim_mem_of(a) == v)
+                    && o.final_memory().iter().all(|&(a, v)| sim_mem_of(a) == v)
             }),
             "{name} ({atomicity}): final memory disagrees with every matching model outcome"
         );
