@@ -425,6 +425,18 @@ mod tests {
     }
 
     #[test]
+    fn generated_families_round_trip() {
+        // Every generated family instance — including the zoo idiom
+        // shapes, whose names carry an atomicity suffix and whose targets
+        // span RMW reads — must survive print∘parse byte-for-byte. The
+        // random tail is a small sample (the families are the point; the
+        // random generator's output is structurally covered by them).
+        for t in crate::gen::generated_corpus(crate::gen::DEFAULT_SEED, 8) {
+            round_trip(&t);
+        }
+    }
+
+    #[test]
     fn corpus_printing_round_trips() {
         let tests: Vec<Litmus> = classic::all().into_iter().chain(paper::all()).collect();
         let printed = print_corpus(&tests);

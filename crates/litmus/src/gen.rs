@@ -254,6 +254,196 @@ pub fn dekker_rounds(
 }
 
 // ---------------------------------------------------------------------------
+// Zoo kernel idioms
+// ---------------------------------------------------------------------------
+
+/// A synchronization idiom from the `workloads::zoo` kernels, distilled to
+/// a straight-line litmus shape (the model has no branches, so each shape
+/// pins the *ordering* claim the kernel's control flow relies on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZooIdiom {
+    /// TAS-lock handoff: acquirer after a release must see the CS data.
+    SpinHandoff,
+    /// Ticket-lock handoff: seeing `serving == my ticket` implies the
+    /// previous holder's CS writes are visible.
+    TicketHandoff,
+    /// Drepper 3-state mutex unlock (`xchg 0`): an acquirer whose `xchg`
+    /// observes the release must see the CS data.
+    Mutex3Unlock,
+    /// RW-lock entry race: a reader whose FAA observes the writer's held
+    /// lock may still miss the writer's buffered data store (why readers
+    /// must undo and wait).
+    RwlockEnter,
+    /// One-shot publish, read-replacement check: an `FAA(0)` on the ready
+    /// flag that returns 1 implies the payload is visible.
+    OneshotPublish,
+    /// SPSC ring index lag: producer and consumer may each miss the
+    /// other's latest index store (both sit in write buffers). No RMWs.
+    SpscIndexLag,
+    /// Arc drop race: a plain check-then-poison lets a live reference
+    /// observe the poison (why real drops need stronger ordering).
+    ArcDropRace,
+}
+
+impl ZooIdiom {
+    /// All idioms, in presentation order.
+    pub const ALL: [ZooIdiom; 7] = [
+        ZooIdiom::SpinHandoff,
+        ZooIdiom::TicketHandoff,
+        ZooIdiom::Mutex3Unlock,
+        ZooIdiom::RwlockEnter,
+        ZooIdiom::OneshotPublish,
+        ZooIdiom::SpscIndexLag,
+        ZooIdiom::ArcDropRace,
+    ];
+
+    /// True if the shape contains RMWs (and so the atomicity parameter
+    /// changes the program).
+    pub fn uses_rmws(self) -> bool {
+        self != ZooIdiom::SpscIndexLag
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            ZooIdiom::SpinHandoff => "spin-handoff",
+            ZooIdiom::TicketHandoff => "ticket-handoff",
+            ZooIdiom::Mutex3Unlock => "mutex3-unlock",
+            ZooIdiom::RwlockEnter => "rwlock-enter",
+            ZooIdiom::OneshotPublish => "oneshot-publish",
+            ZooIdiom::SpscIndexLag => "spsc-index-lag",
+            ZooIdiom::ArcDropRace => "arc-drop-race",
+        }
+    }
+}
+
+/// Builds the litmus shape for one zoo idiom with every RMW at
+/// `atomicity`. All verdicts are **model-derived**: the point of the
+/// family is to pin what the axiomatic model says about the kernels'
+/// load-bearing orderings, per atomicity, and feed the same shapes
+/// through the formatter and differential harness.
+pub fn zoo_idiom(idiom: ZooIdiom, atomicity: Atomicity) -> Litmus {
+    let a = atomicity;
+    let (lock, data, aux) = (x(0), x(1), x(2));
+    let mut b = ProgramBuilder::new();
+    let (target, description) = match idiom {
+        ZooIdiom::SpinHandoff => {
+            // T0 acquires (TAS reads 0), writes data, releases (w lock 0);
+            // T1's TAS also reads 0 — serialized after the release — yet
+            // sees stale data.
+            b.thread()
+                .rmw(lock, RmwKind::TestAndSet, a)
+                .write(data, 1)
+                .write(lock, 0);
+            b.thread().rmw(lock, RmwKind::TestAndSet, a).read(data);
+            (
+                Target(vec![(0, 0), (1, 0), (2, 0)]),
+                "TAS handoff: second acquirer sees stale critical-section data",
+            )
+        }
+        ZooIdiom::TicketHandoff => {
+            // aux = next-ticket counter, lock = serving counter.
+            b.thread()
+                .rmw(aux, RmwKind::FetchAndAdd(1), a)
+                .read(lock)
+                .write(data, 1)
+                .rmw(lock, RmwKind::FetchAndAdd(1), a);
+            b.thread()
+                .rmw(aux, RmwKind::FetchAndAdd(1), a)
+                .read(lock)
+                .read(data);
+            (
+                // T0 drew ticket 0 and saw its turn; T1 drew ticket 1, saw
+                // serving advance to 1, but reads stale data.
+                Target(vec![(0, 0), (1, 0), (3, 1), (4, 1), (5, 0)]),
+                "ticket handoff: serving==ticket yet stale critical-section data",
+            )
+        }
+        ZooIdiom::Mutex3Unlock => {
+            b.thread()
+                .rmw(lock, RmwKind::Exchange(1), a)
+                .write(data, 1)
+                .rmw(lock, RmwKind::Exchange(0), a);
+            b.thread().rmw(lock, RmwKind::Exchange(2), a).read(data);
+            (
+                // T0: clean acquire (read 0) and uncontended release
+                // (read 1); T1's xchg read 0 — i.e. after the release,
+                // since before T0's acquire it would make T0 read 2 —
+                // yet stale data.
+                Target(vec![(0, 0), (1, 1), (2, 0), (3, 0)]),
+                "3-state unlock: contended acquire after release sees stale data",
+            )
+        }
+        ZooIdiom::RwlockEnter => {
+            // Writer CAS-acquires then writes under the lock; a reader's
+            // FAA observes the held lock (reads 8).
+            b.thread()
+                .rmw(
+                    lock,
+                    RmwKind::CompareAndSwap {
+                        expected: 0,
+                        new: 8,
+                    },
+                    a,
+                )
+                .write(data, 1);
+            b.thread().rmw(lock, RmwKind::FetchAndAdd(1), a).read(data);
+            (
+                // Reader entered after the writer held the lock but the
+                // writer's data store is still buffered.
+                Target(vec![(0, 0), (1, 8), (2, 0)]),
+                "rwlock entry: reader sees writer-held lock but not its data",
+            )
+        }
+        ZooIdiom::OneshotPublish => {
+            b.thread().write(data, 42).write(lock, 1);
+            b.thread().rmw(lock, RmwKind::FetchAndAdd(0), a).read(data);
+            (
+                Target(vec![(0, 1), (1, 0)]),
+                "one-shot publish: ready flag read by RMW yet payload missing",
+            )
+        }
+        ZooIdiom::SpscIndexLag => {
+            // lock = tail, aux = head, data = the slot.
+            b.thread().read(aux).write(data, 7).write(lock, 1);
+            b.thread().read(lock).read(data).write(aux, 1);
+            (
+                // Producer already saw head=1 while the consumer still saw
+                // tail=0 — both index stores buffered past the reads.
+                Target(vec![(0, 1), (1, 0)]),
+                "SPSC indices: producer and consumer each miss the other's index store",
+            )
+        }
+        ZooIdiom::ArcDropRace => {
+            // aux = strong count; T1 checks the count (FAA 0) and poisons.
+            b.thread().rmw(aux, RmwKind::FetchAndAdd(1), a).read(data);
+            b.thread()
+                .rmw(aux, RmwKind::FetchAndAdd(0), a)
+                .write(data, 13);
+            (
+                // The observer saw zero references, yet the clone-holding
+                // thread reads the poison.
+                Target(vec![(1, 13), (2, 0)]),
+                "Arc drop: zero-refcount observer poisons while a reference reads it",
+            )
+        }
+    };
+    let program = b.build();
+    let expect = expect_from_model(&program, &target);
+    let name = if idiom.uses_rmws() {
+        format!("zoo-{} {atomicity}", idiom.tag())
+    } else {
+        format!("zoo-{}", idiom.tag())
+    };
+    Litmus {
+        name,
+        description: format!("{description}; model-derived verdict"),
+        program,
+        target,
+        expect,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Seeded random programs
 // ---------------------------------------------------------------------------
 
@@ -409,6 +599,15 @@ pub fn generated_corpus(seed: u64, random_count: usize) -> Vec<Litmus> {
             ));
         }
     }
+    for idiom in ZooIdiom::ALL {
+        if idiom.uses_rmws() {
+            for atomicity in Atomicity::ALL {
+                tests.push(zoo_idiom(idiom, atomicity));
+            }
+        } else {
+            tests.push(zoo_idiom(idiom, Atomicity::Type1));
+        }
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..random_count {
         tests.push(random_litmus(&mut rng, i));
@@ -459,6 +658,52 @@ mod tests {
             };
             assert_eq!(wr.expect, expected, "write replacement under {a}");
         }
+    }
+
+    #[test]
+    fn zoo_idioms_pin_the_kernels_load_bearing_orderings() {
+        // The handoff/publish shapes are the orderings the zoo kernels'
+        // correctness rests on: under every atomicity the model must
+        // forbid a post-release acquirer from missing critical-section
+        // data, and the `Litmus::check` pin must be self-consistent.
+        for idiom in ZooIdiom::ALL {
+            for atomicity in Atomicity::ALL {
+                let t = zoo_idiom(idiom, atomicity);
+                assert!(t.check().passed, "{} must pass its own pin", t.name);
+                let reads = t.program.num_reads();
+                for &(idx, _) in &t.target.0 {
+                    assert!(idx < reads, "{}: r{idx} out of {reads}", t.name);
+                }
+            }
+            let forbidden = matches!(
+                idiom,
+                ZooIdiom::SpinHandoff
+                    | ZooIdiom::TicketHandoff
+                    | ZooIdiom::Mutex3Unlock
+                    | ZooIdiom::OneshotPublish
+            );
+            if forbidden {
+                for atomicity in Atomicity::ALL {
+                    assert_eq!(
+                        zoo_idiom(idiom, atomicity).expect,
+                        Expect::Forbidden,
+                        "{idiom:?} handoff must be forbidden under {atomicity}"
+                    );
+                }
+            }
+        }
+        // The two deliberately racy shapes are allowed: the rwlock reader
+        // can miss the writer's buffered store (hence the undo-and-wait
+        // protocol), and both SPSC index stores can lag (hence the ring
+        // tolerates stale indices).
+        assert_eq!(
+            zoo_idiom(ZooIdiom::RwlockEnter, Atomicity::Type1).expect,
+            Expect::Allowed
+        );
+        assert_eq!(
+            zoo_idiom(ZooIdiom::SpscIndexLag, Atomicity::Type1).expect,
+            Expect::Allowed
+        );
     }
 
     #[test]

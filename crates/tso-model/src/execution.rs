@@ -148,6 +148,22 @@ impl CandidateExecution {
             .collect()
     }
 
+    /// `rfi`: the internal sub-relation of `rf` (same thread). Not part of
+    /// `ghb` — TSO lets a read forward from its own buffered store before
+    /// that store commits — but it *is* part of `uniproc`: without it a
+    /// read could source its own po-**later** write (reading from the
+    /// future), which no per-location-coherent machine permits.
+    pub fn rfi_edges(&self) -> Vec<(EventId, EventId)> {
+        self.rf
+            .iter()
+            .filter(|(&r, &w)| {
+                let (er, ew) = (self.event(r), self.event(w));
+                !ew.is_init() && er.tid == ew.tid
+            })
+            .map(|(&r, &w)| (w, r))
+            .collect()
+    }
+
     /// `ws` as edges (transitively reduced: consecutive pairs suffice for
     /// cycle detection; we emit the full order for clarity).
     pub fn ws_edges(&self) -> Vec<(EventId, EventId)> {

@@ -615,9 +615,14 @@ impl<'a> Search<'a> {
             let ew = &self.sc.ctx.events[w.index()];
             let external = ew.is_init() || er.tid != ew.tid;
             let addr = er.addr.expect("read has addr");
-            // rfe: external reads-from participates in com.
+            // rfe: external reads-from participates in com (both graphs);
+            // rfi participates in uniproc only — it is not `ghb` (TSO
+            // store forwarding) but still forbids reading one's own
+            // po-later write.
             if external {
                 self.add_com_edge(w, r, added);
+            } else {
+                self.add_uni_edge(w, r, added);
             }
             // fr: r precedes every write ws-after its source.
             let order = &self.ws[&addr];
@@ -788,6 +793,21 @@ impl<'a> Search<'a> {
         }
     }
 
+    /// Adds an edge to the `uni` (uniproc) graph only — used for `rfi`,
+    /// which constrains per-location coherence but not `ghb`.
+    fn add_uni_edge(
+        &mut self,
+        u: EventId,
+        v: EventId,
+        added: &mut Vec<(usize, usize, bool, bool)>,
+    ) {
+        let (ui, vi) = (u.index(), v.index());
+        if !self.uni.has_edge(ui, vi) {
+            self.uni.add_edge(ui, vi);
+            added.push((ui, vi, false, true));
+        }
+    }
+
     /// True iff `ghb` and `uni` are still acyclic after the batch of edge
     /// insertions recorded in `added`. Both graphs were acyclic before the
     /// batch, so any new cycle must pass through an inserted edge
@@ -853,6 +873,49 @@ mod tests {
         assert_eq!(stats.valid as usize, valid_executions(&p).len());
         assert!(!stats.stopped_early);
         assert_eq!((stats.tasks, stats.workers), (1, 1));
+    }
+
+    #[test]
+    fn reads_never_source_their_own_future_writes() {
+        // Regression: `rfi` was absent from the uniproc graph in both
+        // engines, so a read could source its own po-*later* write. Found
+        // by the zoo spin-handoff litmus family — the phantom execution
+        // let a lock acquirer see 0 from its own upcoming release store.
+        let mut b = ProgramBuilder::new();
+        b.thread().read(X).write(X, 1);
+        b.thread().write(X, 2);
+        let p = b.build();
+        for c in enumerate_candidates(&p) {
+            if c.read_values() == vec![1] {
+                assert!(
+                    !check_validity(&c).is_valid(),
+                    "legacy checker accepted a read-from-the-future"
+                );
+            }
+        }
+        let streamed = legacy_valid_read_values(&p);
+        assert_eq!(streamed, BTreeSet::from([vec![0], vec![2]]));
+        for e in valid_executions(&p) {
+            assert_ne!(
+                e.read_values(),
+                vec![1],
+                "streaming search accepted a read-from-the-future"
+            );
+        }
+        // The TAS handoff shape that exposed the bug: T0 acquires,
+        // publishes, releases; T1's TAS observes the release. T1 reading
+        // stale data is forbidden once the phantom execution is gone.
+        let (lock, data) = (X, Y);
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .rmw(lock, RmwKind::TestAndSet, Atomicity::Type1)
+            .write(data, 1)
+            .write(lock, 0);
+        b.thread()
+            .rmw(lock, RmwKind::TestAndSet, Atomicity::Type1)
+            .read(data);
+        let p = b.build();
+        assert!(!any_valid_execution(&p, |e| e.read_values() == vec![0, 0, 0]));
     }
 
     #[test]

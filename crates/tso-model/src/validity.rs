@@ -94,9 +94,14 @@ pub(crate) fn atomicity_disjuncts(events: &[Event]) -> Vec<Disjunct> {
 
 /// Checks the validity of a candidate execution.
 pub fn check_validity(exec: &CandidateExecution) -> Validity {
-    // uniproc: com ∪ po-loc acyclic.
+    // uniproc: com ∪ po-loc acyclic. `com_graph` carries only `rfe` (the
+    // `ghb` view of `rf`); uniproc additionally needs `rfi`, or a read
+    // could source its own po-later write.
     let mut uni = exec.com_graph();
     uni.union_with(&exec.poloc_graph());
+    for (w, r) in exec.rfi_edges() {
+        uni.add_edge(w.index(), r.index());
+    }
     if !uni.is_acyclic() {
         return Validity::UniprocViolation;
     }

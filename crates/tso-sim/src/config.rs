@@ -61,6 +61,15 @@ pub struct SimConfig {
     /// Declare deadlock after this many cycles without any core making
     /// progress.
     pub deadlock_threshold: u64,
+    /// Hard cycle ceiling: the machine halts (with
+    /// [`SimResult::truncated`](crate::SimResult::truncated) set) at this
+    /// cycle even if cores are still making progress. Spin livelock counts
+    /// as progress, so the watchdog alone cannot bound a buggy spin
+    /// kernel; this can. Both engines stop at exactly the same cycle.
+    pub max_cycles: u64,
+    /// Kernel-trap latency of a futex call (`wait`/`wake`), in cycles.
+    /// Must be ≥ 1: a woken core resumes strictly after the waking cycle.
+    pub futex_latency: u64,
     /// Cache line size in bytes.
     pub line_size: u64,
 }
@@ -84,6 +93,10 @@ impl SimConfig {
             parallel_drain: true,
             fence_after_rmw: false,
             deadlock_threshold: 2_000_000,
+            max_cycles: u64::MAX,
+            // Half a memory round trip: a trap is cheaper than a cold
+            // miss but far from free on the Table 2 machine.
+            futex_latency: 150,
             line_size: 64,
         }
     }
@@ -104,6 +117,8 @@ impl SimConfig {
             parallel_drain: true,
             fence_after_rmw: false,
             deadlock_threshold: 100_000,
+            max_cycles: u64::MAX,
+            futex_latency: 30,
             line_size: 64,
         }
     }
@@ -135,6 +150,12 @@ impl SimConfig {
         }
         if self.coherence.num_cores > self.coherence.mesh.num_nodes() {
             return Err("more cores than mesh nodes".into());
+        }
+        if self.futex_latency == 0 {
+            return Err("futex latency must be at least one cycle".into());
+        }
+        if self.max_cycles == 0 {
+            return Err("max_cycles must be nonzero".into());
         }
         Ok(())
     }
@@ -177,6 +198,14 @@ mod tests {
 
         let mut c = SimConfig::small(2);
         c.line_size = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::small(2);
+        c.futex_latency = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::small(2);
+        c.max_cycles = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -40,7 +40,7 @@
 use crate::config::SimConfig;
 use crate::sched::EventKind;
 use crate::stats::SimStats;
-use crate::trace::{Op, Trace};
+use crate::trace::{Op, Reg, Src, Trace, NUM_REGS};
 use bloom::BloomFilter;
 use coherence::{CoherenceSystem, LockKind};
 use interconnect::{Cycle, Network, TrafficClass};
@@ -87,6 +87,9 @@ struct RmwInFlight {
     addr: Addr,
     line: CacheLine,
     kind: RmwKind,
+    /// Register receiving the observed old value (`Op::RmwTo`); `None`
+    /// appends it to the recorded read stream (`Op::Rmw`).
+    dest: Option<Reg>,
     phase: RmwPhase,
     /// Cycle the RMW began (for attribution).
     started: Cycle,
@@ -123,6 +126,32 @@ pub(crate) enum NetMsg {
     },
 }
 
+/// The machine-wide futex state: one FIFO wait queue per address, plus
+/// the pending resume time of each woken core.
+///
+/// Semantics mirror the kernel's: both futex calls first drain the
+/// caller's write buffer (the bucket-lock / syscall serialization point),
+/// so a waiter's expected-value check reads *committed* memory and a
+/// waker's preceding stores are globally visible before it scans the
+/// queue. That ordering is exactly what makes the userspace protocols
+/// (store-then-wake vs. check-then-sleep) lose no wakeups.
+#[derive(Debug, Default)]
+pub(crate) struct FutexTable {
+    /// FIFO waiters per address.
+    queues: FastHashMap<Addr, VecDeque<usize>>,
+    /// Resume cycle of each woken-but-not-yet-resumed core (index = id).
+    woken: Vec<Option<Cycle>>,
+}
+
+impl FutexTable {
+    pub fn new(num_cores: usize) -> Self {
+        FutexTable {
+            queues: FastHashMap::default(),
+            woken: vec![None; num_cores],
+        }
+    }
+}
+
 /// Shared machine state each core ticks against.
 #[derive(Debug)]
 pub(crate) struct Shared {
@@ -150,6 +179,8 @@ pub(crate) struct Shared {
     /// broadcasting core instead of O(cores × nodes) for every machine,
     /// which used to dominate `Machine::new` for short programs.
     pub bcast_ack_latency: Vec<Option<Cycle>>,
+    /// Futex wait queues + pending wakeups.
+    pub futex: FutexTable,
 }
 
 impl Shared {
@@ -178,6 +209,15 @@ pub(crate) struct Core {
     /// First cycle of the current full-write-buffer stall (a store at
     /// issue, or a type-2/3 `Wa` at retirement), if any.
     wb_stall_since: Option<Cycle>,
+    /// Architectural registers (zoo control flow / futex operands).
+    regs: [Value; NUM_REGS],
+    /// Cycle this core went to sleep on a futex queue, if asleep.
+    futex_sleep: Option<Cycle>,
+    /// Cycle of the last futex resume, pending attribution to
+    /// `wake_to_acquire_cycles` at the next completed RMW.
+    woken_at: Option<Cycle>,
+    /// First back-edge cycle of the current spin episode, if spinning.
+    spin_since: Option<Cycle>,
     /// Values observed by reads and RMW reads, in program order.
     pub reads: Vec<Value>,
     pub stats: SimStats,
@@ -196,6 +236,10 @@ impl Core {
             fence_since: None,
             read_blocked_since: None,
             wb_stall_since: None,
+            regs: [0; NUM_REGS],
+            futex_sleep: None,
+            woken_at: None,
+            spin_since: None,
             reads: Vec::new(),
             stats: SimStats::default(),
         }
@@ -207,6 +251,7 @@ impl Core {
             && self.wb.is_empty()
             && self.rmw.is_none()
             && self.fence_since.is_none()
+            && self.futex_sleep.is_none()
     }
 
     /// True while this core is blocked on a *foreign* line lock (a denied
@@ -296,6 +341,26 @@ impl Core {
             }
         }
 
+        if let Some(since) = self.futex_sleep {
+            // Asleep on a futex queue. The buffer was drained before the
+            // sleep, the phase machines are idle, so a sleeping core's
+            // tick is a pure wait until the waker-armed resume cycle —
+            // the event engine skips straight to it.
+            match shared.futex.woken[self.id] {
+                Some(resume) if now >= resume => {
+                    shared.futex.woken[self.id] = None;
+                    self.futex_sleep = None;
+                    self.stats.futex_wakeups += 1;
+                    self.stats.blocked_cycles += now - since;
+                    self.woken_at = Some(now);
+                    shared.last_progress = now;
+                    changed = true;
+                    // Fall through: the next op issues this very cycle.
+                }
+                _ => return changed,
+            }
+        }
+
         if self.busy_until > now || self.pc >= self.trace.len() {
             return changed;
         }
@@ -311,81 +376,263 @@ impl Core {
                 self.retire(now, shared);
             }
             Op::Write(addr, value) => {
-                if self.wb.len() >= config.write_buffer_entries {
-                    // Stalled on a slot; woken by our own WB completion.
-                    if self.wb_stall_since.is_none() {
-                        self.wb_stall_since = Some(now);
-                    }
+                if !self.issue_write(now, shared, config, addr, value) {
                     return changed;
                 }
-                if let Some(since) = self.wb_stall_since.take() {
-                    self.stats.wb_full_stalls += now - since;
+            }
+            Op::WriteFrom(addr, reg) => {
+                let value = self.regs[reg as usize];
+                if !self.issue_write(now, shared, config, addr, value) {
+                    return changed;
                 }
-                self.wb.push_back(WbEntry {
-                    addr,
-                    value,
-                    line: addr.line(config.line_size),
-                    request_arrives: None,
-                    issued_done: None,
-                    unlock_on_pop: false,
-                });
-                self.set_busy(now, now + 1, shared);
-                self.stats.mem_ops += 1;
-                self.retire(now, shared);
             }
             Op::Read(addr) => {
-                // Store forwarding from the youngest matching buffer entry.
-                if let Some(e) = self.wb.iter().rev().find(|e| e.addr == addr) {
-                    self.reads.push(e.value);
-                    self.set_busy(now, now + config.coherence.l1_latency, shared);
-                    self.stats.mem_ops += 1;
-                    self.retire(now, shared);
-                    return true;
-                }
-                let line = addr.line(config.line_size);
-                if shared.coherence.read_denied_by(self.id, line).is_some() {
-                    // Blocked on a foreign lock; woken when the holder
-                    // makes progress (its unlock arms an Advance event).
-                    if self.read_blocked_since.is_none() {
-                        self.read_blocked_since = Some(now);
-                    }
+                if !self.issue_read(now, shared, config, addr, None) {
                     return changed;
                 }
-                let acc = shared
-                    .coherence
-                    .read(self.id, line, now)
-                    .expect("denial probe said the read proceeds");
-                if let Some(since) = self.read_blocked_since.take() {
-                    self.stats.lock_retries += now - since;
+            }
+            Op::ReadTo(reg, addr) => {
+                if !self.issue_read(now, shared, config, addr, Some(reg)) {
+                    return changed;
                 }
-                let v = shared.memory.get(&addr).copied().unwrap_or(0);
-                self.reads.push(v);
-                self.set_busy(now, acc.done_at, shared);
-                self.stats.mem_ops += 1;
+            }
+            Op::Rmw(addr, kind) => self.start_rmw(now, shared, config, addr, kind, None),
+            Op::RmwTo(reg, addr, kind) => {
+                self.start_rmw(now, shared, config, addr, kind, Some(reg));
+            }
+            Op::MovImm(reg, value) => {
+                self.regs[reg as usize] = value;
+                self.set_busy(now, now + 1, shared);
                 self.retire(now, shared);
             }
-            Op::Rmw(addr, kind) => {
-                let line = addr.line(config.line_size);
-                let phase = match (config.rmw_atomicity, config.bloom_enabled) {
-                    (Atomicity::Type1, _) => RmwPhase::Drain,
-                    (_, true) => RmwPhase::Bloom,
-                    (_, false) => RmwPhase::Acquire,
-                };
-                self.rmw = Some(RmwInFlight {
-                    addr,
-                    line,
-                    kind,
-                    phase,
-                    started: now,
-                    drain_started: (phase == RmwPhase::Drain).then_some(now),
-                    acquire_started: (phase == RmwPhase::Acquire).then_some(now),
-                    lock_blocked_since: None,
-                    pre_acquire_rawa: 0,
-                });
+            Op::AddImm(reg, value) => {
+                self.regs[reg as usize] = self.regs[reg as usize].wrapping_add(value);
+                self.set_busy(now, now + 1, shared);
+                self.retire(now, shared);
+            }
+            Op::Jump(target) => {
+                self.set_busy(now, now + 1, shared);
+                self.branch_to(now, target as usize, shared);
+            }
+            Op::Branch {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => {
+                let l = self.regs[lhs as usize];
+                let r = self.resolve(rhs);
+                self.set_busy(now, now + 1, shared);
+                if cond.eval(l, r) {
+                    self.branch_to(now, target as usize, shared);
+                } else {
+                    // A fall-through exits the loop the branch guarded.
+                    self.end_spin(now);
+                    self.retire(now, shared);
+                }
+            }
+            Op::FutexWait(addr, expected) => {
+                if !self.wb.is_empty() {
+                    // Kernel entry serializes with memory (the wake path
+                    // takes the same bucket lock): drain first, then
+                    // re-dispatch this op against committed state.
+                    self.fence_since = Some(now);
+                    return true;
+                }
+                let expected = self.resolve(expected);
+                let v = shared.memory.get(&addr).copied().unwrap_or(0);
+                self.end_spin(now);
+                if v == expected {
+                    self.stats.futex_waits += 1;
+                    self.woken_at = None;
+                    self.futex_sleep = Some(now);
+                    shared
+                        .futex
+                        .queues
+                        .entry(addr)
+                        .or_default()
+                        .push_back(self.id);
+                } else {
+                    // EAGAIN: the value moved on — never enqueued, so a
+                    // failed check can never be woken.
+                    self.stats.futex_immediate += 1;
+                    self.set_busy(now, now + config.futex_latency, shared);
+                }
+                self.retire(now, shared);
+            }
+            Op::FutexWake(addr, n) => {
+                if !self.wb.is_empty() {
+                    // Same serialization as the wait side: our preceding
+                    // stores are globally visible before the queue scan,
+                    // so no waiter that checked before us is missed.
+                    self.fence_since = Some(now);
+                    return true;
+                }
+                let mut woke = 0u32;
+                if let Some(q) = shared.futex.queues.get_mut(&addr) {
+                    while woke < n {
+                        let Some(id) = q.pop_front() else { break };
+                        let resume = now + config.futex_latency;
+                        shared.futex.woken[id] = Some(resume);
+                        shared
+                            .sched
+                            .wake_core(now, resume, id, EventKind::FutexWake);
+                        woke += 1;
+                    }
+                }
+                self.stats.futex_wakes += u64::from(woke);
+                self.set_busy(now, now + config.futex_latency, shared);
                 self.retire(now, shared);
             }
         }
         true
+    }
+
+    /// Resolves a branch/futex operand against the register file.
+    fn resolve(&self, src: Src) -> Value {
+        match src {
+            Src::Imm(v) => v,
+            Src::Reg(r) => self.regs[r as usize],
+        }
+    }
+
+    /// Issues a load (recorded when `dest` is `None`, into a register
+    /// otherwise). Returns `false` when blocked on a foreign line lock.
+    fn issue_read(
+        &mut self,
+        now: Cycle,
+        shared: &mut Shared,
+        config: &SimConfig,
+        addr: Addr,
+        dest: Option<Reg>,
+    ) -> bool {
+        // Store forwarding from the youngest matching buffer entry.
+        if let Some(e) = self.wb.iter().rev().find(|e| e.addr == addr) {
+            let v = e.value;
+            self.deliver_read(v, dest);
+            self.set_busy(now, now + config.coherence.l1_latency, shared);
+            self.stats.mem_ops += 1;
+            self.retire(now, shared);
+            return true;
+        }
+        let line = addr.line(config.line_size);
+        if shared.coherence.read_denied_by(self.id, line).is_some() {
+            // Blocked on a foreign lock; woken when the holder
+            // makes progress (its unlock arms an Advance event).
+            if self.read_blocked_since.is_none() {
+                self.read_blocked_since = Some(now);
+            }
+            return false;
+        }
+        let acc = shared
+            .coherence
+            .read(self.id, line, now)
+            .expect("denial probe said the read proceeds");
+        if let Some(since) = self.read_blocked_since.take() {
+            self.stats.lock_retries += now - since;
+        }
+        let v = shared.memory.get(&addr).copied().unwrap_or(0);
+        self.deliver_read(v, dest);
+        self.set_busy(now, acc.done_at, shared);
+        self.stats.mem_ops += 1;
+        self.retire(now, shared);
+        true
+    }
+
+    fn deliver_read(&mut self, value: Value, dest: Option<Reg>) {
+        match dest {
+            None => self.reads.push(value),
+            Some(r) => self.regs[r as usize] = value,
+        }
+    }
+
+    /// Enqueues a store. Returns `false` when stalled on a full buffer
+    /// (woken by our own WB completion).
+    fn issue_write(
+        &mut self,
+        now: Cycle,
+        shared: &mut Shared,
+        config: &SimConfig,
+        addr: Addr,
+        value: Value,
+    ) -> bool {
+        if self.wb.len() >= config.write_buffer_entries {
+            if self.wb_stall_since.is_none() {
+                self.wb_stall_since = Some(now);
+            }
+            return false;
+        }
+        if let Some(since) = self.wb_stall_since.take() {
+            self.stats.wb_full_stalls += now - since;
+        }
+        self.wb.push_back(WbEntry {
+            addr,
+            value,
+            line: addr.line(config.line_size),
+            request_arrives: None,
+            issued_done: None,
+            unlock_on_pop: false,
+        });
+        self.set_busy(now, now + 1, shared);
+        self.stats.mem_ops += 1;
+        self.retire(now, shared);
+        true
+    }
+
+    fn start_rmw(
+        &mut self,
+        now: Cycle,
+        shared: &mut Shared,
+        config: &SimConfig,
+        addr: Addr,
+        kind: RmwKind,
+        dest: Option<Reg>,
+    ) {
+        let line = addr.line(config.line_size);
+        let phase = match (config.rmw_atomicity, config.bloom_enabled) {
+            (Atomicity::Type1, _) => RmwPhase::Drain,
+            (_, true) => RmwPhase::Bloom,
+            (_, false) => RmwPhase::Acquire,
+        };
+        self.rmw = Some(RmwInFlight {
+            addr,
+            line,
+            kind,
+            dest,
+            phase,
+            started: now,
+            drain_started: (phase == RmwPhase::Drain).then_some(now),
+            acquire_started: (phase == RmwPhase::Acquire).then_some(now),
+            lock_blocked_since: None,
+            pre_acquire_rawa: 0,
+        });
+        self.retire(now, shared);
+    }
+
+    /// Redirects control flow to `target` (a taken branch or jump),
+    /// maintaining the spin-episode accounting: a back-edge is a spin
+    /// retry, a forward transfer exits the current loop.
+    fn branch_to(&mut self, now: Cycle, target: usize, shared: &mut Shared) {
+        if target <= self.pc {
+            self.stats.spin_retries += 1;
+            if self.spin_since.is_none() {
+                self.spin_since = Some(now);
+            }
+        } else {
+            self.end_spin(now);
+        }
+        self.pc = target;
+        self.stats.ops += 1;
+        shared.last_progress = now;
+    }
+
+    /// Closes the current spin episode, attributing its length in bulk
+    /// (cycle-identical in both engines: episode boundaries are retire
+    /// events both engines execute at the same cycles).
+    fn end_spin(&mut self, now: Cycle) {
+        if let Some(since) = self.spin_since.take() {
+            self.stats.spin_cycles += now - since;
+        }
     }
 
     fn retire(&mut self, now: Cycle, shared: &mut Shared) {
@@ -679,7 +926,7 @@ impl Core {
                     .find(|e| e.addr == rmw.addr)
                     .map(|e| e.value)
                     .unwrap_or_else(|| shared.memory.get(&rmw.addr).copied().unwrap_or(0));
-                self.reads.push(old);
+                self.deliver_read(old, rmw.dest);
                 let new = rmw.kind.apply(old);
 
                 if config.rmw_atomicity == Atomicity::Type1 {
@@ -710,6 +957,14 @@ impl Core {
                 let acquire_started = rmw.acquire_started.expect("acquire phase ran");
                 self.stats.rmw_cost.ra_wa_cycles +=
                     (now - acquire_started) + rmw.pre_acquire_rawa + 1;
+                // Wake-to-acquire: the first RMW a core completes after a
+                // futex resume is (in every zoo kernel) its lock
+                // re-acquisition — the handoff latency of Fig.-style
+                // fairness plots.
+                if let Some(woken) = self.woken_at.take() {
+                    self.stats.wake_to_acquire_cycles += now - woken;
+                    self.stats.handoffs += 1;
+                }
                 self.stats.rmw_count += 1;
                 self.stats.mem_ops += 1;
                 shared.unique_rmw_lines.insert(rmw.line);

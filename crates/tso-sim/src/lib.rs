@@ -71,4 +71,4 @@ pub use lower::{lower, lower_with_line_size, sim_addr};
 pub use machine::{Machine, SimResult};
 pub use sched::{EventKind, Scheduler};
 pub use stats::{NetTraffic, RmwCostBreakdown, SimStats};
-pub use trace::{Op, Trace};
+pub use trace::{Cond, Op, Reg, Src, Trace, NUM_REGS};

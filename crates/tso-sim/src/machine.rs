@@ -8,7 +8,7 @@
 //! enforces it.
 
 use crate::config::{SimConfig, StepMode};
-use crate::core::{Core, NetMsg, Shared};
+use crate::core::{Core, FutexTable, NetMsg, Shared};
 use crate::sched::{Due, EventKind, Scheduler};
 use crate::stats::{EngineStats, NetTraffic, SimStats};
 use crate::trace::Trace;
@@ -39,6 +39,11 @@ pub struct SimResult {
     /// configured threshold (e.g. the Fig. 10 write-deadlock with the
     /// Bloom filter disabled).
     pub deadlocked: bool,
+    /// True if the machine halted at the [`SimConfig::max_cycles`] ceiling
+    /// with cores still running (spin livelocks count as watchdog
+    /// progress, so only this bound stops them). Both engines truncate at
+    /// exactly the same cycle.
+    pub truncated: bool,
 }
 
 /// The simulated CMP.
@@ -91,6 +96,7 @@ impl Machine {
         let blocked = vec![false; cores.len()];
         let live: Vec<bool> = cores.iter().map(|c| !c.done()).collect();
         let num_live = live.iter().filter(|&&l| l).count();
+        let futex = FutexTable::new(cores.len());
         Machine {
             cores,
             shared: Shared {
@@ -103,6 +109,7 @@ impl Machine {
                 lock_released: false,
                 last_progress: 0,
                 bcast_ack_latency,
+                futex,
             },
             config,
             now: 0,
@@ -133,10 +140,13 @@ impl Machine {
         let mut bloom_resets = 0u64;
         loop {
             if self.cores.iter().all(Core::done) {
-                return self.finish(false, bloom_resets);
+                return self.finish(false, false, bloom_resets);
+            }
+            if self.now >= self.config.max_cycles {
+                return self.finish(false, true, bloom_resets);
             }
             if self.now.saturating_sub(self.shared.last_progress) > self.config.deadlock_threshold {
-                return self.finish(true, bloom_resets);
+                return self.finish(true, false, bloom_resets);
             }
             self.deliver_due_messages();
             for i in 0..self.cores.len() {
@@ -157,7 +167,7 @@ impl Machine {
     fn run_event_driven(mut self) -> SimResult {
         let mut bloom_resets = 0u64;
         if self.num_live == 0 {
-            return self.finish(false, bloom_resets); // nothing to run
+            return self.finish(false, false, bloom_resets); // nothing to run
         }
         // Every live core is due at cycle 0, exactly like lockstep's first
         // tick; afterwards the due set comes from the armed events.
@@ -170,7 +180,7 @@ impl Machine {
                 // Lockstep notices completion at the top of the next
                 // cycle; report the identical cycle count.
                 self.now += 1;
-                return self.finish(false, bloom_resets);
+                return self.finish(false, false, bloom_resets);
             }
             if self.shared.lock_released && !self.blocked_ids.is_empty() {
                 // The event-time replacement for lockstep's per-cycle lock
@@ -204,14 +214,21 @@ impl Machine {
                 .last_progress
                 .saturating_add(self.config.deadlock_threshold)
                 .saturating_add(1);
+            // The hard ceiling composes the same way: lockstep checks
+            // `done → truncate → watchdog` at the top of each cycle, so at
+            // the stop cycle itself nothing executes — any armed event at
+            // or beyond `stop` is never visited, and a tie between the
+            // ceiling and the watchdog resolves as truncation.
+            let stop = fire.min(self.config.max_cycles);
             match self.shared.sched.next_after(self.now) {
-                Some(at) if at < fire => {
+                Some(at) if at < stop => {
                     debug_assert!(at > self.now, "scheduler moved time backwards");
                     self.now = at;
                 }
                 _ => {
-                    self.now = fire;
-                    return self.finish(true, bloom_resets);
+                    let truncated = self.config.max_cycles <= fire;
+                    self.now = stop;
+                    return self.finish(!truncated, truncated, bloom_resets);
                 }
             }
             due.clear();
@@ -364,7 +381,7 @@ impl Machine {
         true
     }
 
-    fn finish(self, deadlocked: bool, bloom_resets: u64) -> SimResult {
+    fn finish(self, deadlocked: bool, truncated: bool, bloom_resets: u64) -> SimResult {
         let mut agg = SimStats::default();
         let mut per_core = Vec::with_capacity(self.cores.len());
         let mut reads = Vec::with_capacity(self.cores.len());
@@ -394,6 +411,7 @@ impl Machine {
             net,
             engine,
             deadlocked,
+            truncated,
         }
     }
 }
@@ -401,7 +419,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::Op;
+    use crate::trace::{Cond, Op, Src};
     use rmw_types::{Addr, Atomicity};
 
     fn addr(i: u64) -> Addr {
@@ -761,5 +779,94 @@ mod tests {
         assert_eq!(ev.memory, ls.memory);
         assert_eq!(ev.net, ls.net);
         assert_eq!(ev.deadlocked, ls.deadlocked);
+        assert_eq!(ev.truncated, ls.truncated);
+    }
+
+    #[test]
+    fn futex_wait_wake_round_trip() {
+        for mode in [StepMode::EventDriven, StepMode::Lockstep] {
+            let mut cfg = SimConfig::small(2);
+            cfg.step_mode = mode;
+            let t0 = Trace::new(vec![Op::FutexWait(addr(0), Src::Imm(0)), Op::read(addr(1))]);
+            let t1 = Trace::new(vec![
+                Op::Compute(300),
+                Op::write(addr(1), 7),
+                Op::FutexWake(addr(0), 1),
+            ]);
+            let r = Machine::new(cfg, vec![t0, t1]).run();
+            assert!(!r.deadlocked && !r.truncated, "{mode:?}");
+            assert_eq!(r.stats.futex_waits, 1, "{mode:?}");
+            assert_eq!(r.stats.futex_wakes, 1, "{mode:?}");
+            assert_eq!(r.stats.futex_wakeups, 1, "{mode:?}");
+            assert!(r.stats.blocked_cycles > 0, "{mode:?}");
+            // The wake drained the waker's buffer first, so the sleeper's
+            // post-resume read observes the store that preceded the wake.
+            assert_eq!(r.reads[0], vec![7], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn futex_wrong_expected_returns_immediately() {
+        let t = Trace::new(vec![Op::FutexWait(addr(0), Src::Imm(5)), Op::read(addr(0))]);
+        let r = Machine::new(SimConfig::small(1), vec![t]).run();
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.futex_waits, 0);
+        assert_eq!(r.stats.futex_immediate, 1);
+        assert_eq!(r.stats.futex_wakeups, 0);
+    }
+
+    #[test]
+    fn max_cycles_truncates_identically_in_both_engines() {
+        // An infinite spin loop: taken branches are watchdog progress, so
+        // only the hard ceiling stops the run.
+        let mk = |mode: StepMode| {
+            let mut cfg = SimConfig::small(1);
+            cfg.step_mode = mode;
+            cfg.max_cycles = 5_000;
+            let t = Trace::new(vec![
+                Op::ReadTo(0, addr(0)),
+                Op::Branch {
+                    cond: Cond::Eq,
+                    lhs: 0,
+                    rhs: Src::Imm(0),
+                    target: 0,
+                },
+            ]);
+            Machine::new(cfg, vec![t]).run()
+        };
+        let ev = mk(StepMode::EventDriven);
+        let ls = mk(StepMode::Lockstep);
+        assert!(ev.truncated && ls.truncated);
+        assert!(!ev.deadlocked && !ls.deadlocked);
+        assert_eq!(ev.stats.cycles, 5_000);
+        assert_eq!(ev.stats, ls.stats);
+        assert_eq!(ev.per_core, ls.per_core);
+        assert!(ev.stats.spin_retries > 0, "back-edges counted as retries");
+    }
+
+    #[test]
+    fn register_ops_and_control_flow() {
+        // r0 = 3; loop { r0 -= 1 } while r0 != 0; store r0+10 to memory.
+        let t = Trace::new(vec![
+            Op::MovImm(0, 3),
+            Op::AddImm(0, u64::MAX), // wrapping -1
+            Op::Branch {
+                cond: Cond::Ne,
+                lhs: 0,
+                rhs: Src::Imm(0),
+                target: 1,
+            },
+            Op::AddImm(0, 10),
+            Op::WriteFrom(addr(2), 0),
+        ]);
+        for mode in [StepMode::EventDriven, StepMode::Lockstep] {
+            let mut cfg = SimConfig::small(1);
+            cfg.step_mode = mode;
+            let r = Machine::new(cfg, vec![t.clone()]).run();
+            assert!(!r.deadlocked && !r.truncated, "{mode:?}");
+            assert_eq!(r.memory.get(&addr(2)), Some(&10), "{mode:?}");
+            assert_eq!(r.stats.spin_retries, 2, "{mode:?}");
+            assert!(r.reads[0].is_empty(), "register reads are not recorded");
+        }
     }
 }

@@ -80,11 +80,15 @@ pub enum EventKind {
     /// (the event-time replacement for lockstep's per-cycle lock
     /// re-polling).
     LockRelease,
+    /// A futex-sleeping core's resume time (`futex_latency` cycles after
+    /// an `Op::FutexWake` dequeued it). Armed by the *waker*; the sleeper
+    /// itself arms nothing while asleep.
+    FutexWake,
 }
 
 impl EventKind {
     /// All kinds, indexable for the per-kind counters.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 9] = [
         EventKind::CoreReady,
         EventKind::WbRequestArrival,
         EventKind::WbCompletion,
@@ -93,6 +97,7 @@ impl EventKind {
         EventKind::NetDelivery,
         EventKind::Advance,
         EventKind::LockRelease,
+        EventKind::FutexWake,
     ];
 
     fn index(self) -> usize {

@@ -98,8 +98,35 @@ pub struct SimStats {
     /// store waiting for a free slot, or a type-2/3 RMW whose `Wa` could
     /// not retire into the buffer. Attributed when the stall ends.
     pub wb_full_stalls: u64,
-    /// Fence stalls (cycles waiting on `mfence` drains).
+    /// Fence stalls (cycles waiting on `mfence` drains) — including the
+    /// pre-futex write-buffer drains (kernel-entry serialization).
     pub fence_cycles: Cycle,
+    /// `FutexWait` calls that found `memory[addr] == expected` and slept.
+    pub futex_waits: u64,
+    /// `FutexWait` calls whose expected-value check failed (EAGAIN — the
+    /// caller returned immediately and was never enqueued).
+    pub futex_immediate: u64,
+    /// Waiters dequeued by this core's `FutexWake` calls.
+    pub futex_wakes: u64,
+    /// Times this core was woken from a futex sleep. Machine-wide this
+    /// matches `futex_wakes` unless the run ended with wakeups in flight.
+    pub futex_wakeups: u64,
+    /// Cycles spent asleep on a futex queue (blocked, burning no events).
+    pub blocked_cycles: Cycle,
+    /// Taken backward branches/jumps — each one is a spin-loop retry.
+    pub spin_retries: u64,
+    /// Cycles inside spin episodes: from the first taken back-edge until
+    /// the loop exits (a fall-through or taken forward branch) or the
+    /// core sleeps. The spin/blocked split is the paper-facing contrast
+    /// between spinning and futex-based kernels.
+    pub spin_cycles: Cycle,
+    /// Cycles between waking from a futex sleep and completing the next
+    /// RMW (the first lock-word access after resume) — the wake-to-acquire
+    /// handoff latency.
+    pub wake_to_acquire_cycles: Cycle,
+    /// Completed wake→RMW handoffs (the count behind
+    /// `wake_to_acquire_cycles`).
+    pub handoffs: u64,
 }
 
 impl SimStats {
@@ -172,7 +199,25 @@ impl SimStats {
         self.lock_retries += other.lock_retries;
         self.wb_full_stalls += other.wb_full_stalls;
         self.fence_cycles += other.fence_cycles;
+        self.futex_waits += other.futex_waits;
+        self.futex_immediate += other.futex_immediate;
+        self.futex_wakes += other.futex_wakes;
+        self.futex_wakeups += other.futex_wakeups;
+        self.blocked_cycles += other.blocked_cycles;
+        self.spin_retries += other.spin_retries;
+        self.spin_cycles += other.spin_cycles;
+        self.wake_to_acquire_cycles += other.wake_to_acquire_cycles;
+        self.handoffs += other.handoffs;
         // unique_rmw_addrs is machine-global; set by the machine, not merged.
+    }
+
+    /// Average wake→RMW handoff latency in cycles (0 with no handoffs).
+    pub fn avg_wake_to_acquire(&self) -> f64 {
+        if self.handoffs == 0 {
+            0.0
+        } else {
+            self.wake_to_acquire_cycles as f64 / self.handoffs as f64
+        }
     }
 }
 
@@ -245,5 +290,39 @@ mod tests {
         assert_eq!(a.cycles, 200, "cycles take the max");
         assert_eq!(a.ops, 30);
         assert_eq!(a.rmw_count, 3);
+    }
+
+    #[test]
+    fn contention_fields_merge_and_average() {
+        let mut a = SimStats {
+            futex_waits: 1,
+            futex_wakes: 2,
+            blocked_cycles: 50,
+            spin_retries: 3,
+            handoffs: 1,
+            wake_to_acquire_cycles: 30,
+            ..Default::default()
+        };
+        let b = SimStats {
+            futex_waits: 4,
+            futex_immediate: 1,
+            futex_wakeups: 2,
+            blocked_cycles: 10,
+            spin_cycles: 7,
+            handoffs: 1,
+            wake_to_acquire_cycles: 10,
+            ..Default::default()
+        };
+        a.merge_core(&b);
+        assert_eq!(a.futex_waits, 5);
+        assert_eq!(a.futex_immediate, 1);
+        assert_eq!(a.futex_wakes, 2);
+        assert_eq!(a.futex_wakeups, 2);
+        assert_eq!(a.blocked_cycles, 60);
+        assert_eq!(a.spin_retries, 3);
+        assert_eq!(a.spin_cycles, 7);
+        assert_eq!(a.handoffs, 2);
+        assert!((a.avg_wake_to_acquire() - 20.0).abs() < 1e-9);
+        assert_eq!(SimStats::default().avg_wake_to_acquire(), 0.0);
     }
 }

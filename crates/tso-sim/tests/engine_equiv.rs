@@ -20,7 +20,7 @@
 use proptest::prelude::*;
 use rmw_types::{Addr, Atomicity, RmwKind};
 use tso_sim::{
-    lower_with_line_size, Machine, Op, Scheduler, SimConfig, SimResult, StepMode, Trace,
+    lower_with_line_size, Machine, Op, Scheduler, SimConfig, SimResult, Src, StepMode, Trace,
 };
 
 /// Runs the same configuration + traces under both engines and asserts
@@ -38,6 +38,10 @@ fn assert_engines_agree(mut cfg: SimConfig, traces: Vec<Trace>, label: &str) -> 
     assert_eq!(
         ev.deadlocked, ls.deadlocked,
         "{label}: deadlock flag diverged"
+    );
+    assert_eq!(
+        ev.truncated, ls.truncated,
+        "{label}: truncation flag diverged"
     );
     ev
 }
@@ -156,6 +160,22 @@ fn quiescent_compute_watchdog_is_engine_equivalent() {
     assert_eq!(r.stats.cycles, 1_001);
 }
 
+/// One zoo kernel under both engines on the small machine — the futex /
+/// branch / register paths exercised by a real lock algorithm (the full
+/// matrix lives in `workloads/tests/zoo_invariants.rs`; this anchors the
+/// contract from the sim crate's side).
+#[test]
+fn zoo_futex_kernel_is_engine_equivalent() {
+    for atomicity in Atomicity::ALL {
+        let mut cfg = SimConfig::small(4);
+        cfg.rmw_atomicity = atomicity;
+        let traces = workloads::zoo::ZooKernel::FutexMutex3.traces(4, 4);
+        let r = assert_engines_agree(cfg, traces, &format!("futex_mutex3 / {atomicity}"));
+        assert!(!r.deadlocked);
+        assert_eq!(r.stats.futex_waits, r.stats.futex_wakeups);
+    }
+}
+
 fn arb_op(lines: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
         3 => (0..lines).prop_map(|l| Op::Read(Addr(l * 64))),
@@ -171,6 +191,21 @@ fn arb_traces(cores: usize, lines: u64, max_len: usize) -> impl Strategy<Value =
         proptest::collection::vec(arb_op(lines), 1..max_len).prop_map(Trace::new),
         cores..=cores,
     )
+}
+
+/// Random op mix that also exercises the futex primitive. Expected values
+/// are drawn from the same small range as stores, so waits split between
+/// genuine sleeps and EAGAIN returns; unmatched waits are caught by the
+/// watchdog or the cycle ceiling — identically in both engines.
+fn arb_futex_op(lines: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..lines).prop_map(|l| Op::Read(Addr(l * 64))),
+        3 => ((0..lines), (0u64..3)).prop_map(|(l, v)| Op::Write(Addr(l * 64), v)),
+        2 => (0..lines).prop_map(|l| Op::Rmw(Addr(l * 64), RmwKind::FetchAndAdd(1))),
+        2 => ((0..lines), (0u64..3)).prop_map(|(l, v)| Op::FutexWait(Addr(l * 64), Src::Imm(v))),
+        2 => ((0..lines), (1u32..4)).prop_map(|(l, n)| Op::FutexWake(Addr(l * 64), n)),
+        1 => (1u32..30).prop_map(Op::Compute),
+    ]
 }
 
 proptest! {
@@ -189,6 +224,111 @@ proptest! {
             cfg.rmw_atomicity = atomicity;
             cfg.write_buffer_entries = wb;
             assert_engines_agree(cfg, traces.clone(), &format!("random / {atomicity} / wb={wb}"));
+        }
+    }
+
+    /// Futex liveness: however the arrival times fall, a publishing waker
+    /// (store flag, wake all) never loses a waiter — every sleep is paired
+    /// with a wakeup, and every waiter (slept or EAGAIN'd) observes the
+    /// payload published *before* the flag store, under every atomicity
+    /// and in both engines.
+    #[test]
+    fn futex_wakeups_are_never_lost(
+        delays in proptest::collection::vec(1u32..400, 1..5),
+        wake_delay in 1u32..400,
+    ) {
+        let flag = Addr(0);
+        let data = Addr(64);
+        let waiters = delays.len();
+        let mut traces: Vec<Trace> = delays
+            .iter()
+            .map(|&d| {
+                Trace::new(vec![
+                    Op::Compute(d),
+                    Op::FutexWait(flag, Src::Imm(0)),
+                    Op::read(data),
+                ])
+            })
+            .collect();
+        traces.push(Trace::new(vec![
+            Op::Compute(wake_delay),
+            Op::write(data, 42),
+            Op::write(flag, 1),
+            Op::FutexWake(flag, u32::MAX),
+        ]));
+        for atomicity in Atomicity::ALL {
+            let mut cfg = SimConfig::small(waiters + 1);
+            cfg.rmw_atomicity = atomicity;
+            let r = assert_engines_agree(
+                cfg,
+                traces.clone(),
+                &format!("no-lost-wakeup / {atomicity}"),
+            );
+            prop_assert!(!r.deadlocked, "a waiter slept through the wakeup");
+            prop_assert_eq!(r.stats.futex_wakeups, r.stats.futex_waits);
+            prop_assert_eq!(
+                r.stats.futex_waits + r.stats.futex_immediate,
+                waiters as u64
+            );
+            for w in 0..waiters {
+                // The wake drains the waker's buffer first, so by TSO FIFO
+                // order the payload is visible to every released waiter.
+                prop_assert_eq!(&r.reads[w], &vec![42u64], "waiter {} payload", w);
+            }
+        }
+    }
+
+    /// A wait whose expected-value check fails returns EAGAIN and must
+    /// never be put to sleep or woken; a wake on an empty queue releases
+    /// nobody.
+    #[test]
+    fn failed_expected_check_is_never_woken(
+        delays in proptest::collection::vec(1u32..200, 1..4),
+        expected in 2u64..9,
+    ) {
+        let flag = Addr(0);
+        let waiters = delays.len();
+        // The flag only ever holds 0 or 1, never `expected`.
+        let mut traces: Vec<Trace> = delays
+            .iter()
+            .map(|&d| {
+                Trace::new(vec![
+                    Op::Compute(d),
+                    Op::FutexWait(flag, Src::Imm(expected)),
+                    Op::FutexWait(flag, Src::Imm(expected)),
+                ])
+            })
+            .collect();
+        traces.push(Trace::new(vec![
+            Op::write(flag, 1),
+            Op::FutexWake(flag, u32::MAX),
+        ]));
+        let cfg = SimConfig::small(waiters + 1);
+        let r = assert_engines_agree(cfg, traces, "failed-expected");
+        prop_assert!(!r.deadlocked);
+        prop_assert_eq!(r.stats.futex_waits, 0, "a failed check went to sleep");
+        prop_assert_eq!(r.stats.futex_wakeups, 0, "a non-sleeper was woken");
+        prop_assert_eq!(r.stats.futex_immediate, 2 * waiters as u64);
+        prop_assert_eq!(r.stats.futex_wakes, 0, "empty-queue wake dequeued someone");
+    }
+
+    /// Random programs over the *full* op set — futexes included — agree
+    /// between the engines under a hard cycle ceiling. Orphaned sleepers
+    /// end in watchdog deadlock or truncation; both flags and all partial
+    /// statistics must match exactly.
+    #[test]
+    fn random_futex_traces_are_engine_equivalent(
+        traces in proptest::collection::vec(
+            proptest::collection::vec(arb_futex_op(3), 1..12).prop_map(Trace::new),
+            3..=3,
+        ),
+    ) {
+        for atomicity in Atomicity::ALL {
+            let mut cfg = SimConfig::small(3);
+            cfg.rmw_atomicity = atomicity;
+            cfg.deadlock_threshold = 4_000;
+            cfg.max_cycles = 20_000;
+            assert_engines_agree(cfg, traces.clone(), &format!("random-futex / {atomicity}"));
         }
     }
 

@@ -36,6 +36,7 @@ pub mod layout;
 pub mod profile;
 pub mod spinlock;
 pub mod tl2;
+pub mod zoo;
 
 pub use profile::{table3_profiles, Idiom, Profile};
 

@@ -1,0 +1,93 @@
+//! Reference-counting stress: the `Arc` clone/read/drop idiom.
+//!
+//! Core 0 initializes the payload and opens a futex start gate; every
+//! core then repeatedly clones (FAA +1), reads the payload (recorded),
+//! and drops (FAA −1). A completion counter elects the last core out,
+//! which poisons the payload — exactly the "drop the contents when the
+//! strong count hits zero" shape. The invariant: every recorded read saw
+//! the live payload, the refcount balances to zero, and the poison store
+//! landed last.
+
+use super::asm::Asm;
+use super::{MAGIC, NEG_1, R0, R1, R2};
+use crate::layout::{shared, sync_var};
+use rmw_types::{Addr, RmwKind, Value};
+use tso_sim::{Cond, Op, SimResult, Src, Trace};
+
+const DEAD: Value = 0xDEAD;
+/// Hold time between clone and drop.
+const HOLD: u32 = 12;
+
+fn go() -> Addr {
+    sync_var(0)
+}
+fn count() -> Addr {
+    sync_var(1)
+}
+fn done() -> Addr {
+    sync_var(2)
+}
+fn data() -> Addr {
+    shared(0)
+}
+
+pub(crate) fn traces(n: usize, iters: u64) -> Vec<Trace> {
+    (0..n)
+        .map(|c| {
+            let mut a = Asm::new();
+            if c == 0 {
+                // Init payload, then open the start gate. The wake's
+                // buffer drain commits both stores before any waiter runs.
+                a.op(Op::Write(data(), MAGIC));
+                a.op(Op::Write(go(), 1));
+                a.op(Op::FutexWake(go(), u32::MAX));
+            } else {
+                let open = a.fresh();
+                let wait = a.here();
+                a.op(Op::ReadTo(R0, go()));
+                a.branch(Cond::Ne, R0, Src::Imm(0), open);
+                a.op(Op::FutexWait(go(), Src::Imm(0)));
+                a.jump(wait);
+                a.bind(open);
+            }
+            for _ in 0..iters {
+                a.op(Op::RmwTo(R1, count(), RmwKind::FetchAndAdd(1)));
+                a.op(Op::Read(data()));
+                a.op(Op::Compute(HOLD));
+                a.op(Op::RmwTo(R1, count(), RmwKind::FetchAndAdd(NEG_1)));
+                a.op(Op::Compute(5 + c as u32 % 4));
+            }
+            // Last core out poisons the payload.
+            let end = a.fresh();
+            a.op(Op::RmwTo(R2, done(), RmwKind::FetchAndAdd(1)));
+            a.branch(Cond::Ne, R2, Src::Imm(n as u64 - 1), end);
+            a.op(Op::Write(data(), DEAD));
+            a.bind(end);
+            a.finish()
+        })
+        .collect()
+}
+
+pub(crate) fn check(r: &SimResult, n: usize, iters: u64) -> Result<(), String> {
+    for c in 0..n {
+        if r.reads[c].len() != iters as usize {
+            return Err(format!(
+                "core {c}: {} payload reads, want {iters}",
+                r.reads[c].len()
+            ));
+        }
+        if let Some(v) = r.reads[c].iter().find(|&&v| v != MAGIC) {
+            return Err(format!(
+                "core {c} observed {v:#x} — payload freed while referenced"
+            ));
+        }
+    }
+    let rc = r.memory.get(&count()).copied().unwrap_or(u64::MAX);
+    if rc != 0 {
+        return Err(format!("refcount {rc} at exit, want 0"));
+    }
+    if r.memory.get(&data()).copied() != Some(DEAD) {
+        return Err("payload was never dropped".into());
+    }
+    Ok(())
+}

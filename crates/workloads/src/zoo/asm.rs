@@ -1,0 +1,121 @@
+//! A tiny two-pass assembler for the zoo kernels.
+//!
+//! Kernels are written against fresh [`Label`]s (forward references
+//! allowed); [`Asm::finish`] patches every `Jump`/`Branch` target and
+//! panics on an unbound label, so a malformed kernel fails at
+//! construction, not as a silent wild branch in the simulator.
+
+use tso_sim::{Cond, Op, Reg, Src, Trace};
+
+/// An opaque jump target. Create with [`Asm::fresh`], place with
+/// [`Asm::bind`] (or both at once with [`Asm::here`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Label(usize);
+
+/// Builder for one core's [`Trace`].
+#[derive(Debug, Default)]
+pub(crate) struct Asm {
+    ops: Vec<Op>,
+    bound: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Allocates an unbound label.
+    pub fn fresh(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Binds `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.bound[l.0].is_none(), "label bound twice");
+        self.bound[l.0] = Some(self.ops.len() as u32);
+    }
+
+    /// Allocates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.fresh();
+        self.bind(l);
+        l
+    }
+
+    /// Appends a raw op.
+    pub fn op(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Appends an unconditional jump to `l`.
+    pub fn jump(&mut self, l: Label) {
+        self.fixups.push((self.ops.len(), l));
+        self.ops.push(Op::Jump(u32::MAX));
+    }
+
+    /// Appends a conditional branch to `l`.
+    pub fn branch(&mut self, cond: Cond, lhs: Reg, rhs: Src, l: Label) {
+        self.fixups.push((self.ops.len(), l));
+        self.ops.push(Op::Branch {
+            cond,
+            lhs,
+            rhs,
+            target: u32::MAX,
+        });
+    }
+
+    /// Resolves all fixups and returns the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Trace {
+        for &(at, l) in &self.fixups {
+            let target = self.bound[l.0].expect("unbound label in kernel");
+            match &mut self.ops[at] {
+                Op::Jump(t) | Op::Branch { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-branch op {other:?}"),
+            }
+        }
+        Trace::new(self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let end = a.fresh();
+        let top = a.here();
+        a.op(Op::Compute(1));
+        a.branch(Cond::Eq, 0, Src::Imm(0), end);
+        a.jump(top);
+        a.bind(end);
+        a.op(Op::Compute(2));
+        let t = a.finish();
+        assert_eq!(
+            t.ops()[1],
+            Op::Branch {
+                cond: Cond::Eq,
+                lhs: 0,
+                rhs: Src::Imm(0),
+                target: 3
+            }
+        );
+        assert_eq!(t.ops()[2], Op::Jump(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.fresh();
+        a.jump(l);
+        a.finish();
+    }
+}

@@ -1,0 +1,228 @@
+//! Channel/condition-variable kernels: a mutex+condvar mailbox, a
+//! lock-free SPSC ring, and a blocking one-shot channel.
+
+use super::asm::Asm;
+use super::mutex::{lock3, unlock3};
+use super::{BACKOFF, MAGIC, NEG_1, R0, R1, R2, R3};
+use crate::layout::{shared, sync_var};
+use rmw_types::{Addr, RmwKind};
+use tso_sim::{Cond, Op, SimResult, Src, Trace};
+
+// ---------------------------------------------------------------- condvar
+
+fn cv_mutex() -> Addr {
+    sync_var(0)
+}
+fn cv_seq() -> Addr {
+    sync_var(1)
+}
+fn cv_count() -> Addr {
+    shared(0)
+}
+
+/// Mutex + condition variable: core 0 produces `(n-1) × iters` items into
+/// a counter guarded by a 3-state futex mutex, bumping a sequence word and
+/// `notify_all`-ing after each; cores 1..n each consume `iters` items with
+/// the canonical re-check-the-predicate wait loop (read `seq` under the
+/// lock, unlock, `FutexWait(seq, observed)`, relock, recheck).
+///
+/// Both the increment and the decrement of the item counter are
+/// non-atomic register sequences, so the invariant `count == 0` at the end
+/// proves the mutex held across every producer *and* consumer touch.
+pub(crate) fn condvar(n: usize, iters: u64) -> Vec<Trace> {
+    assert!(n >= 2, "condvar needs a producer and a consumer");
+    let mut traces = Vec::with_capacity(n);
+    // Producer.
+    let mut a = Asm::new();
+    for _ in 0..(n as u64 - 1) * iters {
+        lock3(&mut a, cv_mutex());
+        a.op(Op::ReadTo(R1, cv_count()));
+        a.op(Op::AddImm(R1, 1));
+        a.op(Op::WriteFrom(cv_count(), R1));
+        unlock3(&mut a, cv_mutex());
+        a.op(Op::RmwTo(R3, cv_seq(), RmwKind::FetchAndAdd(1)));
+        a.op(Op::FutexWake(cv_seq(), u32::MAX));
+        a.op(Op::Compute(15));
+    }
+    traces.push(a.finish());
+    // Consumers.
+    for c in 1..n {
+        let mut a = Asm::new();
+        a.op(Op::Compute(1 + 2 * c as u32));
+        for _ in 0..iters {
+            lock3(&mut a, cv_mutex());
+            let consume = a.fresh();
+            let check = a.here();
+            a.op(Op::ReadTo(R1, cv_count()));
+            a.branch(Cond::Ne, R1, Src::Imm(0), consume);
+            // cv_wait(seq, mutex): capture the generation under the lock,
+            // release, sleep unless the generation already moved, retake.
+            a.op(Op::ReadTo(R2, cv_seq()));
+            unlock3(&mut a, cv_mutex());
+            a.op(Op::FutexWait(cv_seq(), Src::Reg(R2)));
+            lock3(&mut a, cv_mutex());
+            a.jump(check);
+            a.bind(consume);
+            a.op(Op::AddImm(R1, NEG_1));
+            a.op(Op::WriteFrom(cv_count(), R1));
+            unlock3(&mut a, cv_mutex());
+            a.op(Op::Compute(10 + c as u32 % 4));
+        }
+        traces.push(a.finish());
+    }
+    traces
+}
+
+pub(crate) fn check_condvar(r: &SimResult, _n: usize, _iters: u64) -> Result<(), String> {
+    let count = r.memory.get(&cv_count()).copied().unwrap_or(u64::MAX);
+    if count != 0 {
+        return Err(format!("mailbox count {count} at exit, want 0"));
+    }
+    if r.stats.futex_wakes == 0 {
+        return Err("condvar never notified".into());
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- spsc ring
+
+/// Ring capacity (slots per pair).
+const CAP: u64 = 4;
+
+fn spsc_head(pair: usize) -> Addr {
+    sync_var(2 * pair as u64)
+}
+fn spsc_tail(pair: usize) -> Addr {
+    sync_var(2 * pair as u64 + 1)
+}
+fn spsc_slot(pair: usize, j: u64) -> Addr {
+    shared(pair as u64 * CAP + j % CAP)
+}
+
+/// Lock-free single-producer single-consumer ring buffer, one
+/// producer/consumer pair per two cores (an odd trailing core idles).
+///
+/// Pure TSO message passing — no RMWs at all: the producer publishes
+/// `slot` before `tail` and the consumer's FIFO order falls out of the
+/// write buffer's in-order commit. The consumer *records* every payload
+/// read, so the invariant is exact: `reads == [MAGIC, MAGIC+1, ...]`.
+pub(crate) fn spsc_ring(n: usize, iters: u64) -> Vec<Trace> {
+    assert!(n >= 2, "spsc needs a producer and a consumer");
+    (0..n)
+        .map(|c| {
+            let pair = c / 2;
+            if c % 2 == 0 && c + 1 < n {
+                // Producer: wait for space, publish slot then tail.
+                let mut a = Asm::new();
+                for j in 0..iters {
+                    if j >= CAP {
+                        let ok = a.fresh();
+                        let wait = a.here();
+                        a.op(Op::ReadTo(R0, spsc_head(pair)));
+                        a.branch(Cond::Ge, R0, Src::Imm(j + 1 - CAP), ok);
+                        a.op(Op::Compute(BACKOFF));
+                        a.jump(wait);
+                        a.bind(ok);
+                    }
+                    a.op(Op::Write(spsc_slot(pair, j), MAGIC + j));
+                    a.op(Op::Write(spsc_tail(pair), j + 1));
+                }
+                a.finish()
+            } else if c % 2 == 1 {
+                // Consumer: wait for data, record payload, retire slot.
+                let mut a = Asm::new();
+                for j in 0..iters {
+                    let ok = a.fresh();
+                    let wait = a.here();
+                    a.op(Op::ReadTo(R0, spsc_tail(pair)));
+                    a.branch(Cond::Ge, R0, Src::Imm(j + 1), ok);
+                    a.op(Op::Compute(BACKOFF));
+                    a.jump(wait);
+                    a.bind(ok);
+                    a.op(Op::Read(spsc_slot(pair, j)));
+                    a.op(Op::Write(spsc_head(pair), j + 1));
+                }
+                a.finish()
+            } else {
+                Trace::default() // odd core out
+            }
+        })
+        .collect()
+}
+
+pub(crate) fn check_spsc(r: &SimResult, n: usize, iters: u64) -> Result<(), String> {
+    let expect: Vec<u64> = (0..iters).map(|j| MAGIC + j).collect();
+    for c in (1..n).step_by(2) {
+        if r.reads[c] != expect {
+            return Err(format!(
+                "consumer {c}: FIFO order broken, got {:?}",
+                &r.reads[c][..r.reads[c].len().min(8)]
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- oneshot
+
+fn oneshot_ready(pair: usize, j: u64, iters: u64) -> Addr {
+    sync_var(pair as u64 * iters + j)
+}
+fn oneshot_data(pair: usize, j: u64, iters: u64) -> Addr {
+    shared(pair as u64 * iters + j)
+}
+
+/// Blocking one-shot channel, a fresh one per iteration per pair: the
+/// sender stores the payload, stores `ready = 1`, and wakes; the receiver
+/// checks `ready` once and futex-sleeps on it if unset. The wake-side
+/// buffer drain guarantees the receiver's post-wake payload read sees the
+/// sender's store — the no-lost-wakeup property end to end.
+pub(crate) fn oneshot(n: usize, iters: u64) -> Vec<Trace> {
+    assert!(n >= 2, "oneshot needs a sender and a receiver");
+    (0..n)
+        .map(|c| {
+            let pair = c / 2;
+            if c % 2 == 0 && c + 1 < n {
+                let mut a = Asm::new();
+                for j in 0..iters {
+                    a.op(Op::Compute(20 + 7 * (j as u32 % 5)));
+                    a.op(Op::Write(oneshot_data(pair, j, iters), MAGIC + j));
+                    a.op(Op::Write(oneshot_ready(pair, j, iters), 1));
+                    a.op(Op::FutexWake(oneshot_ready(pair, j, iters), u32::MAX));
+                }
+                a.finish()
+            } else if c % 2 == 1 {
+                let mut a = Asm::new();
+                for j in 0..iters {
+                    let got = a.fresh();
+                    let wait = a.here();
+                    a.op(Op::ReadTo(R0, oneshot_ready(pair, j, iters)));
+                    a.branch(Cond::Ne, R0, Src::Imm(0), got);
+                    a.op(Op::FutexWait(oneshot_ready(pair, j, iters), Src::Imm(0)));
+                    a.jump(wait);
+                    a.bind(got);
+                    a.op(Op::Read(oneshot_data(pair, j, iters)));
+                }
+                a.finish()
+            } else {
+                Trace::default()
+            }
+        })
+        .collect()
+}
+
+pub(crate) fn check_oneshot(r: &SimResult, n: usize, iters: u64) -> Result<(), String> {
+    let expect: Vec<u64> = (0..iters).map(|j| MAGIC + j).collect();
+    for c in (1..n).step_by(2) {
+        if r.reads[c] != expect {
+            return Err(format!(
+                "receiver {c}: payload mismatch, got {:?}",
+                &r.reads[c][..r.reads[c].len().min(8)]
+            ));
+        }
+    }
+    if r.stats.futex_wakeups > r.stats.futex_waits {
+        return Err("more wakeups than sleeps".into());
+    }
+    Ok(())
+}

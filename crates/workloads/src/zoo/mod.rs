@@ -1,0 +1,244 @@
+//! The synchronization-algorithm zoo: real lock/channel kernels written
+//! in the simulator's control-flow ISA (registers, branches, futex), each
+//! with a machine-checkable correctness invariant.
+//!
+//! Unlike the statistical Table 3 generators (which reproduce workload
+//! *characteristics*), every zoo kernel is an actual algorithm — a
+//! test-and-set lock, a ticket lock, three futex mutexes, three
+//! reader-writer locks, a condition-variable mailbox, an SPSC ring, a
+//! blocking one-shot channel, and an `Arc` refcount stress — whose
+//! outcome is **verifiable**: lost counter updates expose a mutual
+//! exclusion failure, torn read pairs expose a reader-writer failure,
+//! out-of-order payloads expose a channel FIFO failure. Running the same
+//! kernel under the paper's three RMW atomicities is therefore a
+//! semantics test, not just a timing comparison: Table 3's claim is that
+//! types 2/3 change *when* RMWs cost, never *what* they compute.
+//!
+//! ```
+//! use workloads::zoo::ZooKernel;
+//! use tso_sim::{Machine, SimConfig};
+//!
+//! let cfg = SimConfig::small(4);
+//! let r = Machine::new(cfg, ZooKernel::SpinMutex.traces(4, 5)).run();
+//! ZooKernel::SpinMutex.check(&r, 4, 5).expect("mutual exclusion holds");
+//! ```
+
+mod arc;
+mod asm;
+mod channel;
+mod mutex;
+mod rwlock;
+
+use rmw_types::Value;
+use tso_sim::{Reg, SimResult, Trace};
+
+pub(crate) const R0: Reg = 0;
+pub(crate) const R1: Reg = 1;
+pub(crate) const R2: Reg = 2;
+pub(crate) const R3: Reg = 3;
+/// Payload marker value.
+pub(crate) const MAGIC: Value = 0x5EED_0000;
+/// Spin backoff (cycles of `Compute` per retry).
+pub(crate) const BACKOFF: u32 = 16;
+/// Critical-section work.
+pub(crate) const CS_WORK: u32 = 20;
+/// Wrapping −1 for `FetchAndAdd`/`AddImm`.
+pub(crate) const NEG_1: Value = u64::MAX;
+
+/// One zoo kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZooKernel {
+    /// Test-and-set spin lock with fixed backoff.
+    SpinMutex,
+    /// FIFO ticket lock (FAA ticket, spin on `serving`).
+    TicketMutex,
+    /// 2-state futex mutex (`xchg(1)`, sleep on 1, unlock always wakes).
+    FutexMutex,
+    /// Drepper 3-state futex mutex (0 free / 1 locked / 2 contended).
+    FutexMutex3,
+    /// Adaptive mutex: bounded CAS spin, then the 3-state sleep path.
+    FutexMutexSpin,
+    /// Reader-writer lock, spinning readers and writer.
+    RwlockSpin,
+    /// Reader-writer lock, futex-sleeping readers and writer.
+    RwlockFutex,
+    /// Reader-writer lock with writer preference (readers stand back
+    /// while writers queue).
+    RwlockWpref,
+    /// Mutex + condition variable guarding a produced/consumed counter.
+    Condvar,
+    /// Lock-free SPSC ring buffer (pure TSO message passing, no RMWs).
+    SpscRing,
+    /// Blocking one-shot channel (store payload, store ready, wake).
+    Oneshot,
+    /// `Arc` clone/read/drop refcount stress with last-one-out poison.
+    ArcStress,
+}
+
+impl ZooKernel {
+    /// All kernels, in presentation order.
+    pub const ALL: [ZooKernel; 12] = [
+        ZooKernel::SpinMutex,
+        ZooKernel::TicketMutex,
+        ZooKernel::FutexMutex,
+        ZooKernel::FutexMutex3,
+        ZooKernel::FutexMutexSpin,
+        ZooKernel::RwlockSpin,
+        ZooKernel::RwlockFutex,
+        ZooKernel::RwlockWpref,
+        ZooKernel::Condvar,
+        ZooKernel::SpscRing,
+        ZooKernel::Oneshot,
+        ZooKernel::ArcStress,
+    ];
+
+    /// Stable display/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ZooKernel::SpinMutex => "spin_mutex",
+            ZooKernel::TicketMutex => "ticket_mutex",
+            ZooKernel::FutexMutex => "futex_mutex",
+            ZooKernel::FutexMutex3 => "futex_mutex3",
+            ZooKernel::FutexMutexSpin => "futex_mutex_spin",
+            ZooKernel::RwlockSpin => "rwlock_spin",
+            ZooKernel::RwlockFutex => "rwlock_futex",
+            ZooKernel::RwlockWpref => "rwlock_wpref",
+            ZooKernel::Condvar => "condvar",
+            ZooKernel::SpscRing => "spsc_ring",
+            ZooKernel::Oneshot => "oneshot",
+            ZooKernel::ArcStress => "arc_stress",
+        }
+    }
+
+    /// True if the kernel blocks in the futex rather than (only) spinning.
+    pub fn uses_futex(self) -> bool {
+        matches!(
+            self,
+            ZooKernel::FutexMutex
+                | ZooKernel::FutexMutex3
+                | ZooKernel::FutexMutexSpin
+                | ZooKernel::RwlockFutex
+                | ZooKernel::Condvar
+                | ZooKernel::Oneshot
+                | ZooKernel::ArcStress
+        )
+    }
+
+    /// Builds the per-core traces for `n` cores, `iters` iterations per
+    /// participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (every kernel is a multi-core protocol).
+    pub fn traces(self, n: usize, iters: u64) -> Vec<Trace> {
+        assert!(n >= 2, "zoo kernels need at least two cores");
+        match self {
+            ZooKernel::SpinMutex => mutex::spin_mutex(n, iters),
+            ZooKernel::TicketMutex => mutex::ticket_mutex(n, iters),
+            ZooKernel::FutexMutex => mutex::futex_mutex(n, iters),
+            ZooKernel::FutexMutex3 => mutex::futex_mutex3(n, iters),
+            ZooKernel::FutexMutexSpin => mutex::futex_mutex_spin(n, iters),
+            ZooKernel::RwlockSpin => rwlock::traces(rwlock::Variant::Spin, n, iters),
+            ZooKernel::RwlockFutex => rwlock::traces(rwlock::Variant::Futex, n, iters),
+            ZooKernel::RwlockWpref => rwlock::traces(rwlock::Variant::WriterPref, n, iters),
+            ZooKernel::Condvar => channel::condvar(n, iters),
+            ZooKernel::SpscRing => channel::spsc_ring(n, iters),
+            ZooKernel::Oneshot => channel::oneshot(n, iters),
+            ZooKernel::ArcStress => arc::traces(n, iters),
+        }
+    }
+
+    /// Verifies the kernel's correctness invariant on a finished run
+    /// (plus the universal ones: the run neither deadlocked nor hit the
+    /// cycle ceiling).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check(self, r: &SimResult, n: usize, iters: u64) -> Result<(), String> {
+        if r.deadlocked {
+            return Err("run deadlocked".into());
+        }
+        if r.truncated {
+            return Err("run hit the cycle ceiling".into());
+        }
+        match self {
+            ZooKernel::SpinMutex
+            | ZooKernel::TicketMutex
+            | ZooKernel::FutexMutex
+            | ZooKernel::FutexMutex3
+            | ZooKernel::FutexMutexSpin => mutex::check_mutex(r, n, iters),
+            ZooKernel::RwlockSpin | ZooKernel::RwlockFutex | ZooKernel::RwlockWpref => {
+                rwlock::check(r, n, iters)
+            }
+            ZooKernel::Condvar => channel::check_condvar(r, n, iters),
+            ZooKernel::SpscRing => channel::check_spsc(r, n, iters),
+            ZooKernel::Oneshot => channel::check_oneshot(r, n, iters),
+            ZooKernel::ArcStress => arc::check(r, n, iters),
+        }
+    }
+}
+
+impl core::fmt::Display for ZooKernel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tso_sim::{Machine, SimConfig};
+
+    #[test]
+    fn every_kernel_passes_its_invariant_on_the_small_machine() {
+        for k in ZooKernel::ALL {
+            let cfg = SimConfig::small(4);
+            let r = Machine::new(cfg, k.traces(4, 4)).run();
+            k.check(&r, 4, 4).unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn futex_kernels_actually_sleep_under_contention() {
+        for k in [
+            ZooKernel::FutexMutex,
+            ZooKernel::FutexMutex3,
+            ZooKernel::Oneshot,
+        ] {
+            let cfg = SimConfig::small(4);
+            let r = Machine::new(cfg, k.traces(4, 6)).run();
+            k.check(&r, 4, 6).unwrap_or_else(|e| panic!("{k}: {e}"));
+            assert!(k.uses_futex());
+            assert!(
+                r.stats.futex_waits + r.stats.futex_immediate > 0,
+                "{k}: futex path never taken"
+            );
+            assert_eq!(
+                r.stats.futex_waits, r.stats.futex_wakeups,
+                "{k}: a sleeper was never woken"
+            );
+        }
+    }
+
+    #[test]
+    fn spin_kernels_account_their_spinning() {
+        let cfg = SimConfig::small(4);
+        let r = Machine::new(cfg, ZooKernel::SpinMutex.traces(4, 6)).run();
+        assert!(
+            r.stats.spin_retries > 0,
+            "4 cores on one TAS lock must spin"
+        );
+        assert!(r.stats.spin_cycles > 0);
+        assert_eq!(r.stats.futex_waits, 0, "spin lock never sleeps");
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut names: Vec<&str> = ZooKernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ZooKernel::ALL.len());
+        assert_eq!(ZooKernel::SpinMutex.to_string(), "spin_mutex");
+    }
+}

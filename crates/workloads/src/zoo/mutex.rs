@@ -1,0 +1,227 @@
+//! Mutual-exclusion kernels: test-and-set spin lock, ticket lock, and
+//! three futex mutexes (2-state, 3-state, spin-then-sleep).
+//!
+//! Every kernel guards the same critical section: a deliberately
+//! **non-atomic** read-modify-write of a shared counter
+//! (`ReadTo; AddImm; WriteFrom`). Any mutual-exclusion violation — by the
+//! lock algorithm or by the simulator's RMW atomicity — loses updates, so
+//! the invariant is simply `counter == cores × iters` at the end.
+
+use super::asm::Asm;
+use super::{BACKOFF, CS_WORK, R0, R1, R2};
+use crate::layout::{shared, sync_var};
+use rmw_types::{Addr, RmwKind, Value};
+use tso_sim::{Cond, Op, SimResult, Src, Trace};
+
+fn lock_word() -> Addr {
+    sync_var(0)
+}
+
+fn counter() -> Addr {
+    shared(0)
+}
+
+/// The guarded critical section: `counter += 1`, non-atomically.
+fn cs_increment(a: &mut Asm) {
+    a.op(Op::ReadTo(R1, counter()));
+    a.op(Op::AddImm(R1, 1));
+    a.op(Op::WriteFrom(counter(), R1));
+    a.op(Op::Compute(CS_WORK));
+}
+
+/// Per-core arrival stagger + inter-iteration pause (deterministic).
+fn stagger(a: &mut Asm, core: usize) {
+    a.op(Op::Compute(1 + 3 * core as u32));
+}
+
+fn pause(a: &mut Asm, core: usize) {
+    a.op(Op::Compute(5 + (core as u32 % 3)));
+}
+
+/// Test-and-test-and-set spin lock with per-core backoff. The read-only
+/// inner spin matters in the simulator for the same reason it does on
+/// hardware: a pure TAS loop keeps the lock's line RMW-locked nearly
+/// continuously, starving the holder's release store (symmetric spinners
+/// settle into a deterministic resonance and the run livelocks).
+pub(crate) fn spin_mutex(n: usize, iters: u64) -> Vec<Trace> {
+    (0..n)
+        .map(|c| {
+            let mut a = Asm::new();
+            stagger(&mut a, c);
+            for _ in 0..iters {
+                let enter = a.fresh();
+                let take = a.fresh();
+                let head = a.here();
+                a.op(Op::ReadTo(R0, lock_word()));
+                a.branch(Cond::Eq, R0, Src::Imm(0), take);
+                a.op(Op::Compute(BACKOFF + 5 * c as u32 % 13));
+                a.jump(head);
+                a.bind(take);
+                a.op(Op::RmwTo(R0, lock_word(), RmwKind::TestAndSet));
+                a.branch(Cond::Eq, R0, Src::Imm(0), enter);
+                a.op(Op::Compute(BACKOFF + 7 * c as u32 % 17));
+                a.jump(head);
+                a.bind(enter);
+                cs_increment(&mut a);
+                a.op(Op::Write(lock_word(), 0));
+                pause(&mut a, c);
+            }
+            a.finish()
+        })
+        .collect()
+}
+
+/// Ticket lock: FIFO-fair, acquire = FAA ticket + spin on `serving`.
+pub(crate) fn ticket_mutex(n: usize, iters: u64) -> Vec<Trace> {
+    let next = sync_var(0);
+    let serving = sync_var(1);
+    (0..n)
+        .map(|c| {
+            let mut a = Asm::new();
+            stagger(&mut a, c);
+            for _ in 0..iters {
+                a.op(Op::RmwTo(R0, next, RmwKind::FetchAndAdd(1)));
+                let enter = a.fresh();
+                let head = a.here();
+                a.op(Op::ReadTo(R1, serving));
+                a.branch(Cond::Eq, R1, Src::Reg(R0), enter);
+                a.op(Op::Compute(BACKOFF));
+                a.jump(head);
+                a.bind(enter);
+                cs_increment(&mut a);
+                a.op(Op::RmwTo(R2, serving, RmwKind::FetchAndAdd(1)));
+                pause(&mut a, c);
+            }
+            a.finish()
+        })
+        .collect()
+}
+
+/// 2-state futex mutex: `xchg(1)` to acquire, sleep while the word is 1;
+/// unlock stores 0 and always wakes one waiter.
+pub(crate) fn futex_mutex(n: usize, iters: u64) -> Vec<Trace> {
+    (0..n)
+        .map(|c| {
+            let mut a = Asm::new();
+            stagger(&mut a, c);
+            for _ in 0..iters {
+                let enter = a.fresh();
+                let head = a.here();
+                a.op(Op::RmwTo(R0, lock_word(), RmwKind::Exchange(1)));
+                a.branch(Cond::Eq, R0, Src::Imm(0), enter);
+                a.op(Op::FutexWait(lock_word(), Src::Imm(1)));
+                a.jump(head);
+                a.bind(enter);
+                cs_increment(&mut a);
+                a.op(Op::Write(lock_word(), 0));
+                a.op(Op::FutexWake(lock_word(), 1));
+                pause(&mut a, c);
+            }
+            a.finish()
+        })
+        .collect()
+}
+
+/// Drepper 3-state lock path: CAS(0→1) fast path, `xchg(2)` marks
+/// contention, sleep while 2. Shared with [`super::channel`]'s condvar.
+pub(crate) fn lock3(a: &mut Asm, lock: Addr) {
+    let enter = a.fresh();
+    a.op(Op::RmwTo(
+        R0,
+        lock,
+        RmwKind::CompareAndSwap {
+            expected: 0,
+            new: 1,
+        },
+    ));
+    a.branch(Cond::Eq, R0, Src::Imm(0), enter);
+    let slow = a.here();
+    a.op(Op::RmwTo(R0, lock, RmwKind::Exchange(2)));
+    a.branch(Cond::Eq, R0, Src::Imm(0), enter);
+    a.op(Op::FutexWait(lock, Src::Imm(2)));
+    a.jump(slow);
+    a.bind(enter);
+}
+
+/// 3-state unlock: `xchg(0)`; wake one waiter only if the lock was
+/// contended (old value 2).
+pub(crate) fn unlock3(a: &mut Asm, lock: Addr) {
+    let done = a.fresh();
+    a.op(Op::RmwTo(R1, lock, RmwKind::Exchange(0)));
+    a.branch(Cond::Eq, R1, Src::Imm(1), done);
+    a.op(Op::FutexWake(lock, 1));
+    a.bind(done);
+}
+
+/// 3-state futex mutex (no userspace spinning beyond the single CAS).
+pub(crate) fn futex_mutex3(n: usize, iters: u64) -> Vec<Trace> {
+    (0..n)
+        .map(|c| {
+            let mut a = Asm::new();
+            stagger(&mut a, c);
+            for _ in 0..iters {
+                lock3(&mut a, lock_word());
+                cs_increment(&mut a);
+                unlock3(&mut a, lock_word());
+                pause(&mut a, c);
+            }
+            a.finish()
+        })
+        .collect()
+}
+
+/// CAS spin budget of the spin-then-sleep mutex.
+const SPIN_BUDGET: Value = 24;
+
+/// Adaptive mutex: bounded CAS spin, then the 3-state sleeping slow path.
+pub(crate) fn futex_mutex_spin(n: usize, iters: u64) -> Vec<Trace> {
+    (0..n)
+        .map(|c| {
+            let mut a = Asm::new();
+            stagger(&mut a, c);
+            for _ in 0..iters {
+                let enter = a.fresh();
+                a.op(Op::MovImm(R1, 0));
+                let spin = a.here();
+                a.op(Op::RmwTo(
+                    R0,
+                    lock_word(),
+                    RmwKind::CompareAndSwap {
+                        expected: 0,
+                        new: 1,
+                    },
+                ));
+                a.branch(Cond::Eq, R0, Src::Imm(0), enter);
+                a.op(Op::AddImm(R1, 1));
+                a.op(Op::Compute(BACKOFF));
+                a.branch(Cond::Lt, R1, Src::Imm(SPIN_BUDGET), spin);
+                let slow = a.here();
+                a.op(Op::RmwTo(R0, lock_word(), RmwKind::Exchange(2)));
+                a.branch(Cond::Eq, R0, Src::Imm(0), enter);
+                a.op(Op::FutexWait(lock_word(), Src::Imm(2)));
+                a.jump(slow);
+                a.bind(enter);
+                cs_increment(&mut a);
+                unlock3(&mut a, lock_word());
+                pause(&mut a, c);
+            }
+            a.finish()
+        })
+        .collect()
+}
+
+/// The shared mutex invariant: no lost counter updates, no recorded reads.
+pub(crate) fn check_mutex(r: &SimResult, n: usize, iters: u64) -> Result<(), String> {
+    let want = n as u64 * iters;
+    let got = r.memory.get(&counter()).copied().unwrap_or(0);
+    if got != want {
+        return Err(format!(
+            "mutual exclusion violated: counter {got}, want {want} ({} updates lost)",
+            want - got.min(want)
+        ));
+    }
+    if r.reads.iter().any(|v| !v.is_empty()) {
+        return Err("mutex kernels record no reads".into());
+    }
+    Ok(())
+}

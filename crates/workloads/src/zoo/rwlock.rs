@@ -1,0 +1,215 @@
+//! Reader-writer lock kernels over one state word: reader count in the
+//! low bits, the writer claim in bit 32.
+//!
+//! Core 0 is the writer; every other core is a reader. The writer keeps
+//! the pair `(data_a, data_b)` equal — it stores the iteration number to
+//! both, with simulated work in between — so the invariant is: every
+//! reader-recorded `(a, b)` pair is equal (reader-writer exclusion), and
+//! the final pair equals the writer's iteration count.
+//!
+//! Reader release must be an RMW (`FAA(-1)`), never a plain store: a
+//! concurrent reader's transient `FAA(+1)`-then-undo would be clobbered.
+//! Same for the writer's `FAA(-W)` release.
+
+use super::asm::Asm;
+use super::{BACKOFF, NEG_1, R0, R1, R2};
+use crate::layout::{shared, sync_var};
+use rmw_types::{Addr, RmwKind, Value};
+use tso_sim::{Cond, Op, SimResult, Src, Trace};
+
+/// The writer claim bit, far above any plausible reader count.
+pub(crate) const W: Value = 1 << 32;
+const NEG_W: Value = W.wrapping_neg();
+/// Writer hold time (cycles) between the two data stores.
+const HOLD: u32 = 30;
+
+fn state() -> Addr {
+    sync_var(0)
+}
+fn wq() -> Addr {
+    sync_var(1)
+}
+fn data_a() -> Addr {
+    shared(0)
+}
+fn data_b() -> Addr {
+    shared(1)
+}
+
+/// Which lock variant a trace set implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Variant {
+    /// Spinning readers and writer.
+    Spin,
+    /// Futex-sleeping readers and writer (register-expected waits on the
+    /// state word itself).
+    Futex,
+    /// Spinning with writer preference: readers stand back while the
+    /// `wq` waiting-writers count is nonzero.
+    WriterPref,
+}
+
+/// The writer's protected section: `data_a = data_b = j + 1`.
+fn write_section(a: &mut Asm, j: u64) {
+    a.op(Op::Write(data_a(), j + 1));
+    a.op(Op::Compute(HOLD));
+    a.op(Op::Write(data_b(), j + 1));
+}
+
+/// The reader's protected section: record both halves of the pair.
+fn read_section(a: &mut Asm) {
+    a.op(Op::Read(data_a()));
+    a.op(Op::Read(data_b()));
+}
+
+fn writer(variant: Variant, iters: u64) -> Trace {
+    let mut a = Asm::new();
+    for j in 0..iters {
+        if variant == Variant::WriterPref {
+            a.op(Op::RmwTo(R1, wq(), RmwKind::FetchAndAdd(1)));
+        }
+        let wgot = a.fresh();
+        let wacq = a.here();
+        a.op(Op::RmwTo(
+            R0,
+            state(),
+            RmwKind::CompareAndSwap {
+                expected: 0,
+                new: W,
+            },
+        ));
+        a.branch(Cond::Eq, R0, Src::Imm(0), wgot);
+        match variant {
+            Variant::Spin | Variant::WriterPref => {
+                a.op(Op::Compute(BACKOFF));
+                a.jump(wacq);
+            }
+            Variant::Futex => {
+                a.op(Op::ReadTo(R0, state()));
+                a.branch(Cond::Eq, R0, Src::Imm(0), wacq);
+                a.op(Op::FutexWait(state(), Src::Reg(R0)));
+                a.jump(wacq);
+            }
+        }
+        a.bind(wgot);
+        if variant == Variant::WriterPref {
+            a.op(Op::RmwTo(R1, wq(), RmwKind::FetchAndAdd(NEG_1)));
+        }
+        write_section(&mut a, j);
+        a.op(Op::RmwTo(R2, state(), RmwKind::FetchAndAdd(NEG_W)));
+        if variant == Variant::Futex {
+            a.op(Op::FutexWake(state(), u32::MAX));
+        }
+        a.op(Op::Compute(40));
+    }
+    a.finish()
+}
+
+fn reader(variant: Variant, core: usize, iters: u64) -> Trace {
+    let mut a = Asm::new();
+    a.op(Op::Compute(1 + 2 * core as u32));
+    for _ in 0..iters {
+        let rgot = a.fresh();
+        let racq = a.here();
+        match variant {
+            Variant::Spin | Variant::Futex => {
+                a.op(Op::RmwTo(R0, state(), RmwKind::FetchAndAdd(1)));
+                a.branch(Cond::Lt, R0, Src::Imm(W), rgot);
+                a.op(Op::RmwTo(R1, state(), RmwKind::FetchAndAdd(NEG_1)));
+                if variant == Variant::Spin {
+                    let rwait = a.here();
+                    a.op(Op::ReadTo(R0, state()));
+                    a.branch(Cond::Lt, R0, Src::Imm(W), racq);
+                    a.op(Op::Compute(BACKOFF + 3 * core as u32));
+                    a.jump(rwait);
+                } else {
+                    a.op(Op::ReadTo(R0, state()));
+                    a.branch(Cond::Lt, R0, Src::Imm(W), racq);
+                    a.op(Op::FutexWait(state(), Src::Reg(R0)));
+                    a.jump(racq);
+                }
+            }
+            Variant::WriterPref => {
+                // Stand back while writers are queued, then try. The
+                // backoff must differ per core: with one shared constant
+                // the 31 deterministic readers phase-lock into a cycle
+                // where `state` is never exactly 0 at any of the writer's
+                // CAS instants, and the run livelocks (observed under
+                // type-3, whose uniform RMW cost aligns the resonance).
+                let rtry = a.fresh();
+                a.op(Op::ReadTo(R0, wq()));
+                a.branch(Cond::Eq, R0, Src::Imm(0), rtry);
+                let rback = a.here();
+                a.op(Op::Compute(BACKOFF + 3 * core as u32));
+                a.jump(racq);
+                a.bind(rtry);
+                a.op(Op::RmwTo(R0, state(), RmwKind::FetchAndAdd(1)));
+                a.branch(Cond::Lt, R0, Src::Imm(W), rgot);
+                a.op(Op::RmwTo(R1, state(), RmwKind::FetchAndAdd(NEG_1)));
+                a.jump(rback);
+            }
+        }
+        a.bind(rgot);
+        read_section(&mut a);
+        a.op(Op::RmwTo(R1, state(), RmwKind::FetchAndAdd(NEG_1)));
+        if variant == Variant::Futex {
+            // Last reader out wakes a possibly sleeping writer.
+            let skip = a.fresh();
+            a.branch(Cond::Ne, R1, Src::Imm(1), skip);
+            a.op(Op::FutexWake(state(), u32::MAX));
+            a.bind(skip);
+        }
+        a.op(Op::Compute(10 + core as u32 % 5));
+    }
+    a.finish()
+}
+
+/// Builds the trace set: core 0 writes `iters` times, cores 1..n read
+/// `iters` times each.
+pub(crate) fn traces(variant: Variant, n: usize, iters: u64) -> Vec<Trace> {
+    assert!(n >= 2, "rwlock kernels need a writer and a reader");
+    (0..n)
+        .map(|c| {
+            if c == 0 {
+                writer(variant, iters)
+            } else {
+                reader(variant, c, iters)
+            }
+        })
+        .collect()
+}
+
+/// Reader-writer exclusion invariant (see module docs).
+pub(crate) fn check(r: &SimResult, n: usize, iters: u64) -> Result<(), String> {
+    for c in 1..n {
+        let reads = &r.reads[c];
+        if reads.len() != 2 * iters as usize {
+            return Err(format!(
+                "reader {c}: {} recorded reads, want {}",
+                reads.len(),
+                2 * iters
+            ));
+        }
+        for (i, pair) in reads.chunks(2).enumerate() {
+            if pair[0] != pair[1] {
+                return Err(format!(
+                    "reader {c} iteration {i}: torn pair ({}, {}) — writer ran during a read section",
+                    pair[0], pair[1]
+                ));
+            }
+            if pair[0] > iters {
+                return Err(format!("reader {c}: impossible value {}", pair[0]));
+            }
+        }
+    }
+    let a = r.memory.get(&data_a()).copied().unwrap_or(0);
+    let b = r.memory.get(&data_b()).copied().unwrap_or(0);
+    if a != iters || b != iters {
+        return Err(format!("final pair ({a}, {b}), want ({iters}, {iters})"));
+    }
+    let s = r.memory.get(&state()).copied().unwrap_or(0);
+    if s != 0 {
+        return Err(format!("lock state {s} not released"));
+    }
+    Ok(())
+}
