@@ -112,6 +112,7 @@ fn main() {
         cache_after_warmup.invocations
     );
     let _ = writeln!(s, "    \"hits\": {},", cache_after_warmup.hits());
+    let _ = writeln!(s, "    \"store_hits\": {},", cache_after_warmup.store_hits);
     let _ = writeln!(s, "    \"entries\": {}", cache_after_warmup.entries);
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"sweep\": [");

@@ -9,7 +9,7 @@
 //! $ cargo run --release -p harness --bin litmus_run -- [FLAGS]
 //! ```
 //!
-//! Flags:
+//! Flags (corpus mode, the default):
 //!
 //! * `--filter SUBSTR` — run only tests whose name contains `SUBSTR`;
 //! * `--jobs N` — worker threads (default: available parallelism);
@@ -20,12 +20,35 @@
 //! * `--format summary|json|tap` — output format (default `summary`);
 //! * `--out PATH` — also write the chosen format to `PATH`;
 //! * `--seed N` / `--random N` — corpus generation knobs;
+//! * `--store PATH` — persistent verdict store: model search results are
+//!   loaded from / appended to `PATH`, so reruns skip proven searches;
 //! * `--no-baseline` — skip the `--jobs 1` reference run that the speedup
 //!   figure in the JSON report is computed from.
 //!
-//! Exit status is nonzero if any test fails either check.
+//! Subcommands (see `README.md` for a campaign walkthrough):
+//!
+//! * `litmus_run campaign` — resumable sharded campaign over the
+//!   deterministic `litmus::gen::campaign_draft` stream. Key flags:
+//!   `--count N`, `--shard I/N`, `--seed N`, `--store PATH` (default
+//!   `verdicts.store`; per-shard files `PATH.i-of-n` when sharded),
+//!   `--no-store`, `--checkpoint PATH`, `--resume`, `--chunk N`,
+//!   `--jobs N`, `--machine`, `--out PATH`, `--max-chunks N` (stop early
+//!   after N chunks — simulates a kill, for testing resume).
+//! * `litmus_run merge REPORT...` — fold per-shard campaign reports into
+//!   one merged report (validates the shard set is exactly `0..n`).
+//! * `litmus_run compact STORE...` — rewrite store files with one record
+//!   per key; with `--merge OUT`, fold all inputs into `OUT` first.
+//!
+//! Exit status is nonzero if any test fails either check (or, for
+//! `merge`, if the merged campaign failed).
 
+use harness::campaign::{
+    default_checkpoint_name, merge_reports, run_campaign, CampaignConfig, DEFAULT_CHUNK,
+};
+use harness::store::{SharedStore, Store};
 use harness::{full_corpus, run_batch_on, smoke_filter, MachineKind, Report, SMOKE_CAP};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 struct Args {
     filter: Option<String>,
@@ -37,17 +60,32 @@ struct Args {
     random: usize,
     baseline: bool,
     machine: MachineKind,
+    store: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] [--machine small|paper] \
-         [--format summary|json|tap] [--out PATH] [--seed N] [--random N] [--no-baseline]"
+        "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] [--machine small|paper]\n\
+         \x20                [--format summary|json|tap] [--out PATH] [--seed N] [--random N]\n\
+         \x20                [--store PATH] [--no-baseline]\n\
+         \x20      litmus_run campaign [--count N] [--shard I/N] [--seed N] [--jobs N]\n\
+         \x20                [--machine small|paper] [--chunk N] [--store PATH | --no-store]\n\
+         \x20                [--checkpoint PATH] [--resume] [--out PATH] [--max-chunks N]\n\
+         \x20      litmus_run merge REPORT... [--out PATH]\n\
+         \x20      litmus_run compact STORE... [--merge OUT]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+/// `it.next()` or die — shared by every subcommand's flag parser.
+fn next_value(it: &mut impl Iterator<Item = String>, name: &str) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("{name} needs a value");
+        usage()
+    })
+}
+
+fn parse_corpus_args(rest: Vec<String>) -> Args {
     let mut args = Args {
         filter: None,
         jobs: std::thread::available_parallelism().map_or(2, |n| n.get()),
@@ -58,29 +96,38 @@ fn parse_args() -> Args {
         random: litmus::gen::DEFAULT_RANDOM_COUNT,
         baseline: true,
         machine: MachineKind::Small,
+        store: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = rest.into_iter();
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| {
-                eprintln!("{name} needs a value");
-                usage()
-            })
-        };
         match a.as_str() {
-            "--filter" => args.filter = Some(value("--filter")),
-            "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--filter" => args.filter = Some(next_value(&mut it, "--filter")),
+            "--jobs" => {
+                args.jobs = next_value(&mut it, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--smoke" => args.smoke = true,
-            "--format" => args.format = value("--format"),
-            "--out" => args.out = Some(value("--out")),
-            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
-            "--random" => args.random = value("--random").parse().unwrap_or_else(|_| usage()),
+            "--format" => args.format = next_value(&mut it, "--format"),
+            "--out" => args.out = Some(next_value(&mut it, "--out")),
+            "--seed" => {
+                args.seed = next_value(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--random" => {
+                args.random = next_value(&mut it, "--random")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--no-baseline" => args.baseline = false,
+            "--store" => args.store = Some(PathBuf::from(next_value(&mut it, "--store"))),
             "--machine" => {
-                args.machine = MachineKind::parse(&value("--machine")).unwrap_or_else(|| {
-                    eprintln!("--machine must be small or paper");
-                    usage()
-                })
+                args.machine =
+                    MachineKind::parse(&next_value(&mut it, "--machine")).unwrap_or_else(|| {
+                        eprintln!("--machine must be small or paper");
+                        usage()
+                    })
             }
             "--help" | "-h" => usage(),
             other => {
@@ -97,7 +144,38 @@ fn parse_args() -> Args {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("campaign") => {
+            argv.remove(0);
+            campaign_main(argv);
+        }
+        Some("merge") => {
+            argv.remove(0);
+            merge_main(argv);
+        }
+        Some("compact") => {
+            argv.remove(0);
+            compact_main(argv);
+        }
+        _ => corpus_main(argv),
+    }
+}
+
+fn corpus_main(argv: Vec<String>) {
+    let args = parse_corpus_args(argv);
+
+    // Install the persistent verdict store (if any) before corpus
+    // generation: the generated families derive their verdicts through
+    // the model cache, so a warm store already pays off there.
+    let store = args.store.as_ref().map(|path| {
+        let shared = Arc::new(SharedStore::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open store {}: {e}", path.display());
+            std::process::exit(2);
+        }));
+        tso_model::cache::set_store(shared.clone());
+        (shared, path)
+    });
 
     let corpus = full_corpus(args.seed, args.random);
     let corpus_total = corpus.len();
@@ -152,6 +230,17 @@ fn main() {
         model_cache: Some(tso_model::cache::counters()),
     };
 
+    if let Some((shared, path)) = &store {
+        let _ = tso_model::cache::take_store();
+        eprintln!(
+            "store {}: {} verdicts loaded, {} appended, {} keys on disk",
+            path.display(),
+            shared.loads(),
+            shared.with(|s| s.appended()),
+            shared.with(|s| s.len()),
+        );
+    }
+
     let rendered = match args.format.as_str() {
         "json" => report.to_json(),
         "tap" => report.to_tap(),
@@ -177,5 +266,247 @@ fn main() {
             }
         }
         std::process::exit(1);
+    }
+}
+
+/// Parses `I/N` (e.g. `--shard 2/4`) into `(shard, shards)`.
+fn parse_shard(s: &str) -> Option<(u32, u32)> {
+    let (i, n) = s.split_once('/')?;
+    let shard: u32 = i.parse().ok()?;
+    let shards: u32 = n.parse().ok()?;
+    (shards >= 1 && shard < shards).then_some((shard, shards))
+}
+
+fn campaign_main(argv: Vec<String>) {
+    let mut cfg = CampaignConfig::new(litmus::gen::DEFAULT_SEED, 10_000);
+    cfg.store_path = Some(PathBuf::from("verdicts.store"));
+    cfg.chunk = DEFAULT_CHUNK;
+    let mut out: Option<String> = None;
+    let mut checkpoint_set = false;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = next_value(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--count" => {
+                cfg.count = next_value(&mut it, "--count")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--shard" => {
+                let (shard, shards) =
+                    parse_shard(&next_value(&mut it, "--shard")).unwrap_or_else(|| {
+                        eprintln!("--shard must be I/N with I < N (e.g. 0/4)");
+                        usage()
+                    });
+                cfg.shard = shard;
+                cfg.shards = shards;
+            }
+            "--jobs" => {
+                cfg.jobs = next_value(&mut it, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--chunk" => {
+                cfg.chunk = next_value(&mut it, "--chunk")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--store" => cfg.store_path = Some(PathBuf::from(next_value(&mut it, "--store"))),
+            "--no-store" => cfg.store_path = None,
+            "--checkpoint" => {
+                cfg.checkpoint_path = PathBuf::from(next_value(&mut it, "--checkpoint"));
+                checkpoint_set = true;
+            }
+            "--resume" => cfg.resume = true,
+            "--out" => out = Some(next_value(&mut it, "--out")),
+            "--max-chunks" => {
+                cfg.max_chunks = Some(
+                    next_value(&mut it, "--max-chunks")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--machine" => {
+                cfg.machine =
+                    MachineKind::parse(&next_value(&mut it, "--machine")).unwrap_or_else(|| {
+                        eprintln!("--machine must be small or paper");
+                        usage()
+                    })
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown campaign flag {other}");
+                usage();
+            }
+        }
+    }
+    if !checkpoint_set {
+        cfg.checkpoint_path = PathBuf::from(default_checkpoint_name(cfg.shard, cfg.shards));
+    }
+
+    eprintln!(
+        "litmus_run campaign: shard {}/{} of {} drafts (seed {}), chunk {}, {} jobs, {} machine{}{}",
+        cfg.shard,
+        cfg.shards,
+        cfg.count,
+        cfg.seed,
+        cfg.chunk,
+        cfg.jobs,
+        cfg.machine,
+        match &cfg.store_path {
+            Some(p) => format!(", store {}", p.display()),
+            None => ", no store".to_owned(),
+        },
+        if cfg.resume { " (resuming)" } else { "" },
+    );
+
+    let report = run_campaign(&cfg).unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        std::process::exit(2);
+    });
+    let rendered = report.to_json();
+    print!("{rendered}");
+    eprintln!(
+        "campaign shard {}/{}: {} processed of {} scanned, {} model failures, \
+         {} disagreements, digest {:016x}{}",
+        cfg.shard,
+        cfg.shards,
+        report.state.processed,
+        report.state.scanned,
+        report.state.model_failures,
+        report.state.disagreements,
+        report.state.digest,
+        if report.complete {
+            String::new()
+        } else {
+            format!(
+                " [STOPPED at index {} — rerun with --resume]",
+                report.state.next_index
+            )
+        },
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, &rendered).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+    if !report.passed() {
+        for (name, diagnosis) in &report.state.failures {
+            eprintln!("FAIL {name}: {diagnosis}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn merge_main(argv: Vec<String>) {
+    let mut paths: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(next_value(&mut it, "--out")),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown merge flag {flag}");
+                usage();
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("merge needs at least one shard report");
+        usage();
+    }
+    let inputs: Vec<(String, String)> = paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("cannot read {p}: {e}");
+                std::process::exit(2);
+            });
+            (p.clone(), text)
+        })
+        .collect();
+    let merged = merge_reports(&inputs).unwrap_or_else(|e| {
+        eprintln!("merge failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{merged}");
+    if let Some(path) = &out {
+        std::fs::write(path, &merged).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+    if merged.contains("\"passed\": false") {
+        std::process::exit(1);
+    }
+}
+
+fn compact_main(argv: Vec<String>) {
+    let mut paths: Vec<String> = Vec::new();
+    let mut merge_out: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--merge" => merge_out = Some(next_value(&mut it, "--merge")),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown compact flag {flag}");
+                usage();
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("compact needs at least one store file");
+        usage();
+    }
+    let die = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    match merge_out {
+        Some(out) => {
+            // Fold every input into the output store, then compact it.
+            let mut target =
+                Store::open(&out).unwrap_or_else(|e| die(format!("cannot open {out}: {e}")));
+            for p in &paths {
+                let src = Store::open(p).unwrap_or_else(|e| die(format!("cannot open {p}: {e}")));
+                let added = target
+                    .absorb(&src)
+                    .unwrap_or_else(|e| die(format!("cannot fold {p} into {out}: {e}")));
+                eprintln!("{p}: {} keys, {added} new", src.len());
+            }
+            let (before, after) = target
+                .compact()
+                .unwrap_or_else(|e| die(format!("cannot compact {out}: {e}")));
+            eprintln!(
+                "{out}: merged {} files, {before} records -> {after}",
+                paths.len()
+            );
+        }
+        None => {
+            for p in &paths {
+                let mut store =
+                    Store::open(p).unwrap_or_else(|e| die(format!("cannot open {p}: {e}")));
+                let recovered = store.recovered_bytes();
+                let (before, after) = store
+                    .compact()
+                    .unwrap_or_else(|e| die(format!("cannot compact {p}: {e}")));
+                eprint!("{p}: {before} records -> {after}");
+                if recovered > 0 {
+                    eprint!(" ({recovered} torn bytes dropped)");
+                }
+                eprintln!();
+            }
+        }
     }
 }

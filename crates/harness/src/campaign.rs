@@ -1,0 +1,795 @@
+//! Resumable sharded litmus campaigns.
+//!
+//! A campaign streams the deterministic random-access test sequence
+//! `litmus::gen::campaign_draft(seed, 0..count)` through the differential
+//! harness with **bounded memory**: drafts are generated chunk by chunk,
+//! never materializing the whole corpus. Three properties make campaigns
+//! scale past what one invocation (or one machine) can do in one sitting:
+//!
+//! * **Sharding** — shard `i` of `n` runs exactly the drafts whose
+//!   canonical fingerprint satisfies `fingerprint % n == i`. The
+//!   fingerprint depends only on the program (and drafting is cheap —
+//!   no model query), so the partition is deterministic, disjoint, and
+//!   complete: every draft lands in exactly one shard, and `n` machines
+//!   can split a campaign with no coordination beyond the final
+//!   [`merge_reports`].
+//! * **Checkpoints** — after every chunk the driver atomically rewrites
+//!   (temp file + rename) a small JSON checkpoint: the next draft index
+//!   plus the running aggregates and result digest. `--resume` reloads
+//!   it, validates that the campaign parameters match, and continues
+//!   from the cut. A killed run loses at most one chunk of work — and
+//!   with a verdict store attached, not even the model searches of that
+//!   chunk.
+//! * **The verdict store** — when configured, the campaign installs a
+//!   [`crate::store::SharedStore`] as the model cache's
+//!   persistence hook, so every model search result survives the
+//!   process. Concurrent shards must not share a store file (the store
+//!   does no locking), so the driver derives a per-shard file name
+//!   (`PATH.i-of-n`) whenever `shards > 1`; fold the pieces afterwards
+//!   with `litmus_run compact --merge`.
+//!
+//! Equivalence under resume: the draft stream is random-access, chunks
+//! are processed in index order, and the worker pool returns outcomes in
+//! input order, so the per-shard aggregates and the order-dependent
+//! result [digest](CampaignState::digest) of a resumed run are identical
+//! to an uninterrupted one. Only wall-clock and cache/store counters
+//! differ — and those are excluded from the digest.
+
+use crate::report::json_escape;
+use crate::store::SharedStore;
+use crate::{differential_check_on, jsonx, MachineKind, TestOutcome};
+use litmus::gen::campaign_draft;
+use litmus::Expect;
+use rmw_types::fasthash::FastHasher;
+use std::hash::Hasher as _;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Failures recorded verbatim in checkpoints and reports; beyond this the
+/// counters still count but the diagnoses are dropped (a campaign that
+/// fails thousands of tests has a systemic bug, not thousands of
+/// interesting diagnoses).
+pub const MAX_RECORDED_FAILURES: usize = 1000;
+
+/// Default number of draft indices scanned per chunk (and thus per
+/// checkpoint). Memory use is bounded by the chunk, not the campaign.
+pub const DEFAULT_CHUNK: u64 = 1024;
+
+/// Everything that defines a campaign run. The tuple
+/// `(seed, count, shard, shards, machine)` defines the *work*; the rest
+/// is execution policy (parallelism, chunking, persistence paths).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign seed: drafts are `campaign_draft(seed, index)`.
+    pub seed: u64,
+    /// Total draft indices in the campaign, across all shards.
+    pub count: u64,
+    /// This shard's id, in `0..shards`.
+    pub shard: u32,
+    /// Total shards the campaign is split into.
+    pub shards: u32,
+    /// Worker threads for the run phase.
+    pub jobs: usize,
+    /// Simulated machine for the differential side.
+    pub machine: MachineKind,
+    /// Draft indices per chunk (checkpoint granularity, memory bound).
+    pub chunk: u64,
+    /// Verdict store file, or `None` to run without persistence. With
+    /// `shards > 1` the actual file is `PATH.shard-of-shards`.
+    pub store_path: Option<PathBuf>,
+    /// Checkpoint file path.
+    pub checkpoint_path: PathBuf,
+    /// Resume from the checkpoint instead of starting at index 0.
+    pub resume: bool,
+    /// Test hook: stop (checkpointed) after this many chunks, simulating
+    /// a kill. `None` runs to completion.
+    pub max_chunks: Option<u64>,
+}
+
+impl CampaignConfig {
+    /// A single-shard campaign with default policy: all parallelism,
+    /// small machine, default chunk, no store, checkpoint beside the cwd.
+    pub fn new(seed: u64, count: u64) -> Self {
+        CampaignConfig {
+            seed,
+            count,
+            shard: 0,
+            shards: 1,
+            jobs: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            machine: MachineKind::Small,
+            chunk: DEFAULT_CHUNK,
+            store_path: None,
+            checkpoint_path: PathBuf::from(default_checkpoint_name(0, 1)),
+            resume: false,
+            max_chunks: None,
+        }
+    }
+}
+
+/// The default checkpoint file name for a shard.
+pub fn default_checkpoint_name(shard: u32, shards: u32) -> String {
+    format!("campaign-{shard}-of-{shards}.checkpoint.json")
+}
+
+/// The per-shard store file derived from the configured base path:
+/// `PATH.i-of-n` when `shards > 1`, the path itself for a single shard.
+pub fn shard_store_path(base: &Path, shard: u32, shards: u32) -> PathBuf {
+    if shards <= 1 {
+        base.to_path_buf()
+    } else {
+        let mut name = base.as_os_str().to_os_string();
+        name.push(format!(".{shard}-of-{shards}"));
+        PathBuf::from(name)
+    }
+}
+
+/// The deterministic running state of a shard: exactly what a checkpoint
+/// persists. Every field is a pure function of
+/// `(seed, count, shard, shards, machine, next_index)` — nothing
+/// wall-clock- or cache-dependent — which is what makes kill/resume
+/// equivalence checkable by comparing states.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignState {
+    /// Next draft index to scan (all indices below are done).
+    pub next_index: u64,
+    /// Draft indices scanned (in-shard or not).
+    pub scanned: u64,
+    /// In-shard tests executed.
+    pub processed: u64,
+    /// Tests whose model verdict contradicted the expectation.
+    pub model_failures: u64,
+    /// (test, atomicity) pairs where the simulator left the allowed set.
+    pub disagreements: u64,
+    /// Simulator deadlocks observed.
+    pub deadlocks: u64,
+    /// Order-dependent fasthash over every processed outcome (name,
+    /// verdicts, per-atomicity agreement and read values). Shards XOR
+    /// their digests at merge time.
+    pub digest: u64,
+    /// Recorded failures, capped at [`MAX_RECORDED_FAILURES`].
+    pub failures: Vec<(String, String)>,
+}
+
+impl CampaignState {
+    fn fold(&mut self, o: &TestOutcome) {
+        self.processed += 1;
+        if !o.model_passed {
+            self.model_failures += 1;
+        }
+        self.disagreements += o.differential.iter().filter(|d| !d.agreed).count() as u64;
+        self.deadlocks += o.differential.iter().filter(|d| d.deadlocked).count() as u64;
+        let mut h = FastHasher::default();
+        h.write_u64(self.digest);
+        h.write(o.name.as_bytes());
+        h.write_u8(u8::from(o.expect == Expect::Allowed));
+        h.write_u8(u8::from(o.observed_allowed));
+        h.write_u8(u8::from(o.model_passed));
+        for d in &o.differential {
+            h.write_u8(u8::from(d.agreed));
+            h.write_u8(u8::from(d.deadlocked));
+            for &r in &d.sim_reads {
+                h.write_u64(r);
+            }
+        }
+        self.digest = h.finish();
+        if !o.passed() && self.failures.len() < MAX_RECORDED_FAILURES {
+            self.failures.push((o.name.clone(), o.diagnosis()));
+        }
+    }
+}
+
+/// Verdict-store activity during a campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// The per-shard store file actually used.
+    pub path: String,
+    /// Model-cache misses answered from the store (searches avoided).
+    pub loads: u64,
+    /// Fresh verdicts appended this run.
+    pub appended: u64,
+    /// Distinct keys in the store after the run.
+    pub keys: u64,
+    /// Bytes dropped from a torn tail when the store was opened.
+    pub recovered_bytes: u64,
+    /// Swallowed write failures (persistence is best-effort).
+    pub save_errors: u64,
+}
+
+/// The result of [`run_campaign`] for one shard.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The configuration the shard ran under.
+    pub config: CampaignConfig,
+    /// Final deterministic state (aggregates, digest, failures).
+    pub state: CampaignState,
+    /// True when every draft index was scanned (`max_chunks` can stop a
+    /// run early; such a report is a checkpointed partial, not mergeable).
+    pub complete: bool,
+    /// Wall-clock of this invocation (a resumed run counts only itself).
+    pub elapsed_ms: f64,
+    /// Process-wide model cache counters at report time.
+    pub model_cache: tso_model::CacheCounters,
+    /// Store activity, when a store was configured.
+    pub store: Option<StoreCounters>,
+}
+
+impl CampaignReport {
+    /// True iff every processed test passed both checks.
+    pub fn passed(&self) -> bool {
+        self.state.model_failures == 0 && self.state.disagreements == 0
+    }
+
+    /// The shard report as JSON — the input format of `litmus_run merge`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"experiment\": \"litmus_campaign\",");
+        let _ = writeln!(s, "  \"paper\": \"conf_pldi_RajaramNSE13\",");
+        let _ = writeln!(s, "  \"seed\": {},", self.config.seed);
+        let _ = writeln!(s, "  \"count\": {},", self.config.count);
+        let _ = writeln!(s, "  \"shard\": {},", self.config.shard);
+        let _ = writeln!(s, "  \"shards\": {},", self.config.shards);
+        let _ = writeln!(s, "  \"machine\": \"{}\",", self.config.machine);
+        let _ = writeln!(s, "  \"jobs\": {},", self.config.jobs);
+        let _ = writeln!(s, "  \"chunk\": {},", self.config.chunk);
+        let _ = writeln!(s, "  \"complete\": {},", self.complete);
+        let _ = writeln!(s, "  \"next_index\": {},", self.state.next_index);
+        let _ = writeln!(s, "  \"scanned\": {},", self.state.scanned);
+        let _ = writeln!(s, "  \"processed\": {},", self.state.processed);
+        let _ = writeln!(s, "  \"model_failures\": {},", self.state.model_failures);
+        let _ = writeln!(
+            s,
+            "  \"differential_disagreements\": {},",
+            self.state.disagreements
+        );
+        let _ = writeln!(s, "  \"deadlocks\": {},", self.state.deadlocks);
+        let _ = writeln!(s, "  \"passed\": {},", self.passed());
+        let _ = writeln!(s, "  \"digest\": {},", self.state.digest);
+        let _ = writeln!(s, "  \"elapsed_ms\": {:.3},", self.elapsed_ms);
+        let c = &self.model_cache;
+        let _ = writeln!(s, "  \"model_cache\": {{");
+        let _ = writeln!(s, "    \"queries\": {},", c.queries);
+        let _ = writeln!(s, "    \"invocations\": {},", c.invocations);
+        let _ = writeln!(s, "    \"hits\": {},", c.hits());
+        let _ = writeln!(s, "    \"store_hits\": {},", c.store_hits);
+        let _ = writeln!(s, "    \"entries\": {}", c.entries);
+        let _ = writeln!(s, "  }},");
+        match &self.store {
+            Some(st) => {
+                let _ = writeln!(s, "  \"store\": {{");
+                let _ = writeln!(s, "    \"path\": \"{}\",", json_escape(&st.path));
+                let _ = writeln!(s, "    \"loads\": {},", st.loads);
+                let _ = writeln!(s, "    \"appended\": {},", st.appended);
+                let _ = writeln!(s, "    \"keys\": {},", st.keys);
+                let _ = writeln!(s, "    \"recovered_bytes\": {},", st.recovered_bytes);
+                let _ = writeln!(s, "    \"save_errors\": {}", st.save_errors);
+                let _ = writeln!(s, "  }},");
+            }
+            None => {
+                let _ = writeln!(s, "  \"store\": null,");
+            }
+        }
+        let _ = write!(s, "{}", failures_json(&self.state.failures, "  "));
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+fn failures_json(failures: &[(String, String)], indent: &str) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{indent}\"failures\": [");
+    for (i, (name, diagnosis)) in failures.iter().enumerate() {
+        let comma = if i + 1 < failures.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "{indent}  {{\"name\": \"{}\", \"diagnosis\": \"{}\"}}{comma}",
+            json_escape(name),
+            json_escape(diagnosis)
+        );
+    }
+    let _ = writeln!(s, "{indent}]");
+    s
+}
+
+fn checkpoint_json(cfg: &CampaignConfig, state: &CampaignState) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"experiment\": \"litmus_campaign_checkpoint\",");
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"count\": {},", cfg.count);
+    let _ = writeln!(s, "  \"shard\": {},", cfg.shard);
+    let _ = writeln!(s, "  \"shards\": {},", cfg.shards);
+    let _ = writeln!(s, "  \"machine\": \"{}\",", cfg.machine);
+    let _ = writeln!(s, "  \"next_index\": {},", state.next_index);
+    let _ = writeln!(s, "  \"scanned\": {},", state.scanned);
+    let _ = writeln!(s, "  \"processed\": {},", state.processed);
+    let _ = writeln!(s, "  \"model_failures\": {},", state.model_failures);
+    let _ = writeln!(s, "  \"disagreements\": {},", state.disagreements);
+    let _ = writeln!(s, "  \"deadlocks\": {},", state.deadlocks);
+    let _ = writeln!(s, "  \"digest\": {},", state.digest);
+    let _ = write!(s, "{}", failures_json(&state.failures, "  "));
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Atomically writes the checkpoint for `state` (temp file + rename, so a
+/// crash mid-write leaves the previous checkpoint intact).
+pub fn write_checkpoint(
+    path: &Path,
+    cfg: &CampaignConfig,
+    state: &CampaignState,
+) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(checkpoint_json(cfg, state).as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn invalid<T>(msg: String) -> io::Result<T> {
+    Err(io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
+fn field(v: &jsonx::Value, key: &str) -> io::Result<u64> {
+    match v.get(key).and_then(jsonx::Value::as_u64) {
+        Some(n) => Ok(n),
+        None => invalid(format!("checkpoint missing numeric field {key:?}")),
+    }
+}
+
+/// Loads a checkpoint and validates that it belongs to this campaign —
+/// `seed`, `count`, `shard`, `shards`, and `machine` must all match, so a
+/// stale file from a different campaign fails loudly instead of silently
+/// resuming the wrong work.
+pub fn load_checkpoint(path: &Path, cfg: &CampaignConfig) -> io::Result<CampaignState> {
+    let text = std::fs::read_to_string(path)?;
+    let v = jsonx::parse(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })?;
+    if v.get("experiment").and_then(jsonx::Value::as_str) != Some("litmus_campaign_checkpoint") {
+        return invalid(format!("{}: not a campaign checkpoint", path.display()));
+    }
+    let expected: [(&str, u64); 4] = [
+        ("seed", cfg.seed),
+        ("count", cfg.count),
+        ("shard", u64::from(cfg.shard)),
+        ("shards", u64::from(cfg.shards)),
+    ];
+    for (key, want) in expected {
+        let got = field(&v, key)?;
+        if got != want {
+            return invalid(format!(
+                "{}: checkpoint {key} {got} does not match campaign {key} {want}",
+                path.display()
+            ));
+        }
+    }
+    let machine = v
+        .get("machine")
+        .and_then(jsonx::Value::as_str)
+        .unwrap_or("");
+    if machine != cfg.machine.name() {
+        return invalid(format!(
+            "{}: checkpoint machine {machine:?} does not match campaign machine {:?}",
+            path.display(),
+            cfg.machine.name()
+        ));
+    }
+    let mut failures = Vec::new();
+    if let Some(arr) = v.get("failures").and_then(jsonx::Value::as_arr) {
+        for f in arr {
+            let name = f.get("name").and_then(jsonx::Value::as_str).unwrap_or("");
+            let diagnosis = f
+                .get("diagnosis")
+                .and_then(jsonx::Value::as_str)
+                .unwrap_or("");
+            failures.push((name.to_owned(), diagnosis.to_owned()));
+        }
+    }
+    Ok(CampaignState {
+        next_index: field(&v, "next_index")?,
+        scanned: field(&v, "scanned")?,
+        processed: field(&v, "processed")?,
+        model_failures: field(&v, "model_failures")?,
+        disagreements: field(&v, "disagreements")?,
+        deadlocks: field(&v, "deadlocks")?,
+        digest: field(&v, "digest")?,
+        failures,
+    })
+}
+
+/// Runs one shard of a campaign to completion (or to `max_chunks`),
+/// checkpointing after every chunk. See the module docs for the sharding,
+/// resume, and persistence contracts.
+///
+/// When a store is configured it is installed as the process-wide model
+/// persistence hook for the duration of the run and uninstalled before
+/// returning (replacing any previously installed store).
+pub fn run_campaign(cfg: &CampaignConfig) -> io::Result<CampaignReport> {
+    if cfg.shards == 0 || cfg.shard >= cfg.shards {
+        return invalid(format!(
+            "shard {} out of range for {} shards",
+            cfg.shard, cfg.shards
+        ));
+    }
+    if cfg.chunk == 0 {
+        return invalid("chunk size must be positive".to_owned());
+    }
+
+    let store = match &cfg.store_path {
+        Some(base) => {
+            let path = shard_store_path(base, cfg.shard, cfg.shards);
+            let shared = Arc::new(SharedStore::open(&path)?);
+            tso_model::cache::set_store(shared.clone());
+            Some((shared, path))
+        }
+        None => None,
+    };
+
+    let mut state = if cfg.resume {
+        load_checkpoint(&cfg.checkpoint_path, cfg)?
+    } else {
+        CampaignState::default()
+    };
+
+    let started = Instant::now();
+    let mut chunks_done = 0u64;
+    while state.next_index < cfg.count {
+        let end = (state.next_index + cfg.chunk).min(cfg.count);
+        let drafts: Vec<litmus::gen::CampaignDraft> = (state.next_index..end)
+            .map(|i| campaign_draft(cfg.seed, i))
+            .filter(|d| d.fingerprint() % u64::from(cfg.shards) == u64::from(cfg.shard))
+            .collect();
+        state.scanned += end - state.next_index;
+        let jobs = cfg.jobs.max(1).min(drafts.len().max(1));
+        let outcomes = exec_pool::run_all(jobs, drafts.len(), |_, idx| {
+            differential_check_on(&drafts[idx].clone().finish(), cfg.machine)
+        });
+        for o in &outcomes {
+            state.fold(o);
+        }
+        state.next_index = end;
+        write_checkpoint(&cfg.checkpoint_path, cfg, &state)?;
+        chunks_done += 1;
+        if cfg.max_chunks.is_some_and(|max| chunks_done >= max) {
+            break;
+        }
+    }
+
+    let store_counters = store.map(|(shared, path)| {
+        let _ = tso_model::cache::take_store();
+        StoreCounters {
+            path: path.display().to_string(),
+            loads: shared.loads(),
+            save_errors: shared.save_errors(),
+            appended: shared.with(|s| s.appended()),
+            keys: shared.with(|s| s.len() as u64),
+            recovered_bytes: shared.with(|s| s.recovered_bytes()),
+        }
+    });
+
+    Ok(CampaignReport {
+        complete: state.next_index == cfg.count,
+        config: cfg.clone(),
+        state,
+        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        model_cache: tso_model::cache::counters(),
+        store: store_counters,
+    })
+}
+
+/// Folds per-shard campaign report JSONs (the output of
+/// `litmus_run campaign --format json` / `--out`) into one merged report.
+///
+/// Validates that every input is a *complete* `litmus_campaign` report,
+/// that they agree on `(seed, count, shards, machine)`, that the shard
+/// ids form exactly `0..shards` with no duplicates, and that the shards'
+/// `processed` counts sum to `count` (the partition really was disjoint
+/// and complete). Counters are summed, failure lists concatenated in
+/// shard order, and the per-shard digests XOR-folded into one
+/// order-independent campaign digest.
+pub fn merge_reports(inputs: &[(String, String)]) -> Result<String, String> {
+    use std::fmt::Write as _;
+    if inputs.is_empty() {
+        return Err("merge needs at least one shard report".to_owned());
+    }
+    struct Shard {
+        name: String,
+        shard: u64,
+        processed: u64,
+        scanned: u64,
+        model_failures: u64,
+        disagreements: u64,
+        deadlocks: u64,
+        digest: u64,
+        elapsed_ms: f64,
+        failures: Vec<(String, String)>,
+    }
+    let mut header: Option<(u64, u64, u64, String)> = None; // seed count shards machine
+    let mut shards_seen: Vec<Shard> = Vec::new();
+    for (name, text) in inputs {
+        let v = jsonx::parse(text).map_err(|e| format!("{name}: {e}"))?;
+        if v.get("experiment").and_then(jsonx::Value::as_str) != Some("litmus_campaign") {
+            return Err(format!("{name}: not a campaign shard report"));
+        }
+        if v.get("complete").and_then(jsonx::Value::as_bool) != Some(true) {
+            return Err(format!(
+                "{name}: shard report is incomplete (resume it first)"
+            ));
+        }
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(jsonx::Value::as_u64)
+                .ok_or_else(|| format!("{name}: missing numeric field {key:?}"))
+        };
+        let this = (
+            num("seed")?,
+            num("count")?,
+            num("shards")?,
+            v.get("machine")
+                .and_then(jsonx::Value::as_str)
+                .unwrap_or("")
+                .to_owned(),
+        );
+        match &header {
+            None => header = Some(this),
+            Some(h) => {
+                if *h != this {
+                    return Err(format!(
+                        "{name}: campaign parameters {this:?} do not match first shard {h:?}"
+                    ));
+                }
+            }
+        }
+        let mut failures = Vec::new();
+        if let Some(arr) = v.get("failures").and_then(jsonx::Value::as_arr) {
+            for f in arr {
+                failures.push((
+                    f.get("name")
+                        .and_then(jsonx::Value::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
+                    f.get("diagnosis")
+                        .and_then(jsonx::Value::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
+                ));
+            }
+        }
+        shards_seen.push(Shard {
+            name: name.clone(),
+            shard: num("shard")?,
+            processed: num("processed")?,
+            scanned: num("scanned")?,
+            model_failures: num("model_failures")?,
+            disagreements: num("differential_disagreements")?,
+            deadlocks: num("deadlocks")?,
+            digest: num("digest")?,
+            elapsed_ms: v
+                .get("elapsed_ms")
+                .and_then(jsonx::Value::as_f64)
+                .unwrap_or(0.0),
+            failures,
+        });
+    }
+    let (seed, count, shards, machine) = header.expect("at least one input");
+    if shards_seen.len() as u64 != shards {
+        return Err(format!(
+            "campaign has {shards} shards but {} reports were given",
+            shards_seen.len()
+        ));
+    }
+    shards_seen.sort_by_key(|s| s.shard);
+    for (want, s) in shards_seen.iter().enumerate() {
+        if s.shard != want as u64 {
+            return Err(format!(
+                "{}: expected shard {want} at this position, got shard {} \
+                 (shard set must be exactly 0..{shards})",
+                s.name, s.shard
+            ));
+        }
+        if s.scanned != count {
+            return Err(format!(
+                "{}: shard scanned {} of {count} draft indices — incomplete",
+                s.name, s.scanned
+            ));
+        }
+    }
+    let processed: u64 = shards_seen.iter().map(|s| s.processed).sum();
+    if processed != count {
+        return Err(format!(
+            "shards processed {processed} tests in total, campaign has {count} — \
+             the shard partition was not disjoint and complete"
+        ));
+    }
+    let model_failures: u64 = shards_seen.iter().map(|s| s.model_failures).sum();
+    let disagreements: u64 = shards_seen.iter().map(|s| s.disagreements).sum();
+    let deadlocks: u64 = shards_seen.iter().map(|s| s.deadlocks).sum();
+    let digest = shards_seen.iter().fold(0u64, |d, s| d ^ s.digest);
+    let cpu_ms: f64 = shards_seen.iter().map(|s| s.elapsed_ms).sum();
+    let failures: Vec<(String, String)> =
+        shards_seen.into_iter().flat_map(|s| s.failures).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"experiment\": \"litmus_campaign_merged\",");
+    let _ = writeln!(out, "  \"paper\": \"conf_pldi_RajaramNSE13\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"count\": {count},");
+    let _ = writeln!(out, "  \"shards\": {shards},");
+    let _ = writeln!(out, "  \"machine\": \"{machine}\",");
+    let _ = writeln!(out, "  \"processed\": {processed},");
+    let _ = writeln!(out, "  \"model_failures\": {model_failures},");
+    let _ = writeln!(out, "  \"differential_disagreements\": {disagreements},");
+    let _ = writeln!(out, "  \"deadlocks\": {deadlocks},");
+    let _ = writeln!(
+        out,
+        "  \"passed\": {},",
+        model_failures == 0 && disagreements == 0
+    );
+    let _ = writeln!(out, "  \"digest\": {digest},");
+    let _ = writeln!(out, "  \"shard_elapsed_ms_sum\": {cpu_ms:.3},");
+    let _ = write!(out, "{}", failures_json(&failures, "  "));
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("campaign-{}-{name}", std::process::id()))
+    }
+
+    fn small_cfg(name: &str, shard: u32, shards: u32) -> CampaignConfig {
+        let mut cfg = CampaignConfig::new(99, 60);
+        cfg.shard = shard;
+        cfg.shards = shards;
+        cfg.jobs = 2;
+        cfg.chunk = 16;
+        cfg.checkpoint_path = tmp(&format!("{name}-{shard}.json"));
+        cfg
+    }
+
+    #[test]
+    fn shards_partition_the_campaign_and_merge_reconstructs_it() {
+        let solo = {
+            let cfg = small_cfg("solo", 0, 1);
+            run_campaign(&cfg).unwrap()
+        };
+        assert!(solo.complete);
+        assert_eq!(solo.state.processed, 60);
+        assert_eq!(solo.state.scanned, 60);
+
+        let mut inputs = Vec::new();
+        let mut processed_sum = 0;
+        for shard in 0..3 {
+            let cfg = small_cfg("split", shard, 3);
+            let r = run_campaign(&cfg).unwrap();
+            assert!(r.complete);
+            processed_sum += r.state.processed;
+            inputs.push((format!("shard{shard}"), r.to_json()));
+        }
+        assert_eq!(processed_sum, 60, "shards partition the draft space");
+        let merged = merge_reports(&inputs).unwrap();
+        let v = jsonx::parse(&merged).unwrap();
+        assert_eq!(
+            v.get("experiment").and_then(jsonx::Value::as_str),
+            Some("litmus_campaign_merged")
+        );
+        assert_eq!(v.get("processed").and_then(jsonx::Value::as_u64), Some(60));
+        assert_eq!(
+            v.get("passed").and_then(jsonx::Value::as_bool),
+            Some(solo.passed())
+        );
+        for shard in 0..3 {
+            let _ = std::fs::remove_file(tmp(&format!("split-{shard}.json")));
+        }
+        let _ = std::fs::remove_file(tmp("solo-0.json"));
+    }
+
+    #[test]
+    fn merge_rejects_missing_and_mismatched_shards() {
+        let mut inputs = Vec::new();
+        for shard in 0..2 {
+            let cfg = small_cfg("reject", shard, 2);
+            let r = run_campaign(&cfg).unwrap();
+            inputs.push((format!("shard{shard}"), r.to_json()));
+            let _ = std::fs::remove_file(tmp(&format!("reject-{shard}.json")));
+        }
+        // Dropping a shard is caught.
+        assert!(merge_reports(&inputs[..1])
+            .unwrap_err()
+            .contains("2 shards"));
+        // Duplicating a shard is caught.
+        let dup = vec![inputs[0].clone(), inputs[0].clone()];
+        assert!(merge_reports(&dup).unwrap_err().contains("shard"));
+        // Garbage is caught.
+        assert!(merge_reports(&[("x".into(), "{}".into())]).is_err());
+    }
+
+    #[test]
+    fn checkpoints_validate_campaign_identity() {
+        let cfg = small_cfg("identity", 0, 1);
+        let state = CampaignState {
+            next_index: 32,
+            scanned: 32,
+            processed: 32,
+            digest: u64::MAX - 3,
+            failures: vec![("t".into(), "model: bad".into())],
+            ..CampaignState::default()
+        };
+        write_checkpoint(&cfg.checkpoint_path, &cfg, &state).unwrap();
+        let loaded = load_checkpoint(&cfg.checkpoint_path, &cfg).unwrap();
+        assert_eq!(loaded, state, "checkpoints roundtrip exactly");
+
+        let mut other = cfg.clone();
+        other.seed += 1;
+        let err = load_checkpoint(&cfg.checkpoint_path, &other).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        let mut other = cfg.clone();
+        other.machine = MachineKind::Paper;
+        assert!(load_checkpoint(&cfg.checkpoint_path, &other).is_err());
+        std::fs::remove_file(&cfg.checkpoint_path).unwrap();
+    }
+
+    #[test]
+    fn killed_and_resumed_runs_match_the_uninterrupted_one() {
+        let uninterrupted = {
+            let cfg = small_cfg("straight", 0, 1);
+            let r = run_campaign(&cfg).unwrap();
+            let _ = std::fs::remove_file(&cfg.checkpoint_path);
+            r
+        };
+
+        // "Kill" after two chunks, then resume to completion.
+        let mut cfg = small_cfg("resumed", 0, 1);
+        cfg.max_chunks = Some(2);
+        let partial = run_campaign(&cfg).unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.state.next_index, 32, "2 chunks of 16");
+        cfg.max_chunks = None;
+        cfg.resume = true;
+        let resumed = run_campaign(&cfg).unwrap();
+        assert!(resumed.complete);
+        assert_eq!(
+            resumed.state, uninterrupted.state,
+            "deterministic state (aggregates, digest, failures) must be \
+             identical across a kill/resume cut"
+        );
+        std::fs::remove_file(&cfg.checkpoint_path).unwrap();
+    }
+
+    #[test]
+    fn shard_store_paths_are_distinct_per_shard() {
+        let base = PathBuf::from("verdicts.store");
+        assert_eq!(shard_store_path(&base, 0, 1), base);
+        let a = shard_store_path(&base, 0, 4);
+        let b = shard_store_path(&base, 3, 4);
+        assert_eq!(a, PathBuf::from("verdicts.store.0-of-4"));
+        assert_eq!(b, PathBuf::from("verdicts.store.3-of-4"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = CampaignConfig::new(1, 10);
+        cfg.shard = 2;
+        cfg.shards = 2;
+        assert!(run_campaign(&cfg).is_err(), "shard out of range");
+        let mut cfg = CampaignConfig::new(1, 10);
+        cfg.chunk = 0;
+        assert!(run_campaign(&cfg).is_err(), "zero chunk");
+    }
+}

@@ -1,0 +1,300 @@
+//! A minimal JSON reader for the harness's own artifacts.
+//!
+//! The workspace is hermetic (no serde), and the campaign driver needs to
+//! read back two things it wrote itself: checkpoint files (`--resume`)
+//! and per-shard campaign reports (`litmus_run merge`). This module
+//! parses standard JSON into a small [`Value`] tree — enough for those
+//! callers, with strict-enough errors that a hand-edited file fails
+//! loudly instead of resuming from garbage.
+//!
+//! Numbers are kept as `f64` plus the raw text, so exact `u64` counters
+//! (digests, indices) can be re-parsed losslessly via [`Value::as_u64`].
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept with its raw source text for lossless integers.
+    Num(f64, String),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (insertion order not preserved; keys sorted).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value at `key`, when this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n, _) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, re-parsed from the source text (so
+    /// 64-bit digests and counters survive, where `f64` would round).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(_, raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Value::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Value::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| "bad \\u codepoint".to_string())?,
+                                );
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Copy the full UTF-8 sequence starting at `c`.
+                        let width = utf8_width(c);
+                        let chunk = b
+                            .get(*pos..*pos + width)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        s.push_str(
+                            std::str::from_utf8(chunk).map_err(|_| "bad UTF-8".to_string())?,
+                        );
+                        *pos += width;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let raw = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number".to_string())?;
+            let n: f64 = raw
+                .parse()
+                .map_err(|_| format!("bad number {raw:?} at byte {start}"))?;
+            Ok(Value::Num(n, raw.to_string()))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_our_reports_use() {
+        let v = parse(
+            r#"{"a": 1, "b": [true, null, "x\ny"], "c": {"d": -2.5}, "big": 18446744073709551615}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("b").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("x\ny")
+        );
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(v.get("big").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap()[1], Value::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{1: 2}").is_err());
+    }
+
+    #[test]
+    fn roundtrips_our_own_report_output() {
+        use crate::{run_batch, MachineKind, Report};
+        let tests = vec![litmus::classic::sb()];
+        let (outcomes, elapsed) = run_batch(&tests, 1);
+        let report = Report {
+            outcomes,
+            corpus_total: 1,
+            jobs: 1,
+            machine: MachineKind::Small,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            baseline_jobs1_ms: None,
+            model_cache: Some(tso_model::cache::counters()),
+        };
+        let v = parse(&report.to_json()).unwrap();
+        assert_eq!(
+            v.get("experiment").unwrap().as_str(),
+            Some("litmus_harness")
+        );
+        assert_eq!(v.get("selected").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("passed").unwrap().as_bool(), Some(true));
+    }
+}

@@ -100,7 +100,11 @@ impl core::fmt::Display for MachineKind {
     }
 }
 
+pub mod campaign;
 pub mod report;
+pub mod store;
+
+mod jsonx;
 
 pub use report::Report;
 

@@ -168,6 +168,7 @@ impl Report {
                 let _ = writeln!(s, "    \"queries\": {},", c.queries);
                 let _ = writeln!(s, "    \"invocations\": {},", c.invocations);
                 let _ = writeln!(s, "    \"hits\": {},", c.hits());
+                let _ = writeln!(s, "    \"store_hits\": {},", c.store_hits);
                 let _ = writeln!(s, "    \"entries\": {}", c.entries);
                 let _ = writeln!(s, "  }},");
             }
@@ -232,7 +233,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,638 @@
+//! The persistent verdict store: an append-only record file that keeps
+//! model verdicts across `litmus_run` invocations.
+//!
+//! The in-memory verdict cache (`tso_model::cache`) eliminates repeated
+//! model searches *within* a process; this store eliminates them *across*
+//! processes. It is the storage tier behind campaign mode: the first run
+//! over a corpus pays every model search once and appends each result;
+//! every later run — a resumed shard, a re-run, a different shard sharing
+//! the file, tomorrow's regression sweep — answers those queries with a
+//! file lookup instead of a search.
+//!
+//! # On-disk format (version 1)
+//!
+//! Everything is little-endian. The file is a fixed 8-byte header
+//! followed by length-prefixed records (see `DESIGN.md` "verdict store"
+//! for the normative byte-level specification):
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "RMWVST01"                      (8 bytes: format + version)
+//! record := len:u32 checksum:u64 payload    (len = 8 + payload bytes)
+//! payload:= fingerprint:u64
+//!           key_words:u32  key:u64[key_words]
+//!           stats:u64[6]                    (nodes pruned complete valid tasks workers)
+//!           outcome_count:u32 outcome*
+//! outcome:= reads:u32 read_value:u64[reads]
+//!           mem:u32  (addr:u64 value:u64)[mem]
+//! ```
+//!
+//! The record key is the program's **full canonical serialization**
+//! (`tso_model::Canonical::key`) — collision-proof by construction; the
+//! 64-bit `fingerprint` rides along for diagnostics and shard routing.
+//! Outcome reads/memory are in the canonical program's coordinates, which
+//! is exactly what the in-memory cache stores; coordinate translation back
+//! to each caller's frame stays where it always was, in `tso_model::cache`.
+//!
+//! # Crash safety
+//!
+//! Appends are atomic at the record level: a record is serialized to one
+//! buffer and written with a single `write_all`. A crash (or `kill -9`,
+//! or a full disk) can leave at most a torn record at the *tail*.
+//! [`Store::open`] replays the file and accepts the longest valid prefix:
+//! a record is valid iff its length field fits in the remaining bytes and
+//! the checksum (fasthash of the payload) matches. At the first invalid
+//! record the file is truncated back to the end of the valid prefix and
+//! the dropped byte count is reported in [`Store::recovered_bytes`]. A
+//! torn tail therefore costs at most one verdict — which the next run
+//! simply recomputes and re-appends.
+//!
+//! Later records win: appending the same key again shadows the earlier
+//! record at load time. [`Store::compact`] rewrites the file with one
+//! record per key (atomically, via a temp file + rename) — worth running
+//! after long campaigns that recorded shadowed entries, and it doubles as
+//! the fold when merging per-shard store files into one.
+//!
+//! One process per store file at a time: the store does no file locking,
+//! so concurrent *shards* must write distinct files (the campaign driver
+//! derives `PATH.i-of-n` names automatically) and fold them afterwards
+//! with `litmus_run compact --merge`.
+//!
+//! # Example
+//!
+//! ```
+//! use harness::store::{Store, StoredVerdict};
+//!
+//! let path = std::env::temp_dir().join(format!("doc-store-{}.bin", std::process::id()));
+//! # let _ = std::fs::remove_file(&path);
+//! // Open (creating) a store, append a verdict, and look it back up.
+//! let mut store = Store::open(&path)?;
+//! let key = vec![2, u64::MAX, 2, 1, 0, 1, 1];
+//! let verdict = StoredVerdict {
+//!     outcomes: vec![(vec![0], vec![(0, 1)]), (vec![1], vec![(0, 1)])],
+//!     stats: [9, 4, 2, 2, 1, 1],
+//! };
+//! store.append(&key, 0xfee1, &verdict)?;
+//! assert_eq!(store.lookup(&key), Some(&verdict));
+//! assert_eq!(store.len(), 1);
+//!
+//! // Reopen: the record survives the process.
+//! drop(store);
+//! let reopened = Store::open(&path)?;
+//! assert_eq!(reopened.lookup(&key), Some(&verdict));
+//! # std::fs::remove_file(&path)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use rmw_types::fasthash::{FastHashMap, FastHasher};
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher as _;
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tso_model::{Outcome, SearchStats, VerdictStore};
+
+/// File magic: format name + on-disk version in one 8-byte prefix.
+pub const MAGIC: &[u8; 8] = b"RMWVST01";
+
+/// Number of `u64` stats words in a record (`nodes`, `pruned`, `complete`,
+/// `valid`, `tasks`, `workers` — the additive [`SearchStats`] counters).
+pub const STATS_WORDS: usize = 6;
+
+/// One allowed outcome in storable form: the read values in `(thread, po)`
+/// order, and the final `(addr, value)` memory pairs, address-sorted.
+pub type StoredOutcome = (Vec<u64>, Vec<(u64, u64)>);
+
+/// One stored verdict: the allowed outcome set of a canonical program and
+/// the (attributed) stats of the search that proved it.
+///
+/// Outcomes are `(read_values, final_memory)` pairs in the canonical
+/// program's coordinates, exactly as `tso_model::cache` keeps them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredVerdict {
+    /// The allowed outcomes, one [`StoredOutcome`] per model outcome.
+    pub outcomes: Vec<StoredOutcome>,
+    /// The additive [`SearchStats`] counters, in record order.
+    pub stats: [u64; STATS_WORDS],
+}
+
+impl StoredVerdict {
+    /// Converts a model cache entry into its storable form.
+    pub fn from_model(outcomes: &BTreeSet<Outcome>, stats: &SearchStats) -> Self {
+        StoredVerdict {
+            outcomes: outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.read_values(),
+                        o.final_memory().iter().map(|&(a, v)| (a.0, v)).collect(),
+                    )
+                })
+                .collect(),
+            stats: [
+                stats.nodes,
+                stats.pruned,
+                stats.complete,
+                stats.valid,
+                stats.tasks,
+                stats.workers,
+            ],
+        }
+    }
+
+    /// Reconstructs the model cache entry form.
+    pub fn to_model(&self) -> (BTreeSet<Outcome>, SearchStats) {
+        let outcomes = self
+            .outcomes
+            .iter()
+            .map(|(reads, mem)| {
+                Outcome::new(
+                    reads.clone(),
+                    mem.iter().map(|&(a, v)| (rmw_types::Addr(a), v)).collect(),
+                )
+            })
+            .collect();
+        let [nodes, pruned, complete, valid, tasks, workers] = self.stats;
+        let stats = SearchStats {
+            nodes,
+            pruned,
+            complete,
+            valid,
+            tasks,
+            workers,
+            stopped_early: false,
+        };
+        (outcomes, stats)
+    }
+}
+
+/// Statistics from opening a store file — how much survived recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenStats {
+    /// Valid records replayed (including shadowed duplicates).
+    pub records: u64,
+    /// Distinct keys in the index after replay.
+    pub keys: u64,
+    /// Bytes dropped from a torn tail (0 on a clean file).
+    pub recovered_bytes: u64,
+}
+
+/// The append-only verdict store. See the module docs for the format and
+/// crash-safety contract.
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    file: File,
+    index: FastHashMap<Vec<u64>, StoredVerdict>,
+    open_stats: OpenStats,
+    appended: u64,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `path`, replaying every
+    /// valid record into the in-memory index and truncating any torn
+    /// tail left by a crash mid-append.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            return Ok(Store {
+                path,
+                file,
+                index: FastHashMap::default(),
+                open_stats: OpenStats::default(),
+                appended: 0,
+            });
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: not a verdict store (bad magic)", path.display()),
+            ));
+        }
+
+        let mut index = FastHashMap::default();
+        let mut records = 0u64;
+        let mut pos = MAGIC.len();
+        while let Some((consumed, key, verdict)) = parse_record(&bytes[pos..]) {
+            index.insert(key, verdict);
+            records += 1;
+            pos += consumed;
+        }
+        let recovered_bytes = (bytes.len() - pos) as u64;
+        if recovered_bytes > 0 {
+            // Torn tail: truncate back to the valid prefix so the next
+            // append starts on a record boundary.
+            file.set_len(pos as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let keys = index.len() as u64;
+        Ok(Store {
+            path,
+            file,
+            index,
+            open_stats: OpenStats {
+                records,
+                keys,
+                recovered_bytes,
+            },
+            appended: 0,
+        })
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Looks up the verdict for a canonical-serialization key.
+    pub fn lookup(&self, key: &[u64]) -> Option<&StoredVerdict> {
+        self.index.get(key)
+    }
+
+    /// Distinct keys currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the store holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Replay/recovery statistics from [`Store::open`].
+    pub fn open_stats(&self) -> OpenStats {
+        self.open_stats
+    }
+
+    /// Bytes dropped from a torn tail when the store was opened.
+    pub fn recovered_bytes(&self) -> u64 {
+        self.open_stats.recovered_bytes
+    }
+
+    /// Records appended through this handle since it was opened.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Appends a verdict record and updates the index. The record is
+    /// written with a single `write_all` and flushed, so a crash leaves
+    /// at most a torn tail that the next [`Store::open`] truncates.
+    pub fn append(
+        &mut self,
+        key: &[u64],
+        fingerprint: u64,
+        verdict: &StoredVerdict,
+    ) -> io::Result<()> {
+        let record = encode_record(key, fingerprint, verdict);
+        self.file.write_all(&record)?;
+        self.file.flush()?;
+        self.index.insert(key.to_vec(), verdict.clone());
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Rewrites the file with exactly one record per key (later appends
+    /// already won at replay time), atomically via a temp file + rename.
+    /// Returns `(records_before, records_after)`.
+    pub fn compact(&mut self) -> io::Result<(u64, u64)> {
+        let before = self.open_stats.records + self.appended;
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            let mut buf = Vec::with_capacity(MAGIC.len());
+            buf.extend_from_slice(MAGIC);
+            // Deterministic output order: sort by key so compacting the
+            // same logical contents always produces identical bytes.
+            let mut entries: Vec<(&Vec<u64>, &StoredVerdict)> = self.index.iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            for (key, verdict) in entries {
+                let fingerprint = fingerprint_of(key);
+                buf.extend_from_slice(&encode_record(key, fingerprint, verdict));
+            }
+            out.write_all(&buf)?;
+            out.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the handle on the rewritten file, positioned at its end.
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        let after = self.index.len() as u64;
+        self.open_stats.records = after;
+        self.appended = 0;
+        Ok((before, after))
+    }
+
+    /// Folds every verdict of `other` into this store (appending records
+    /// for keys this store doesn't already have — existing entries win,
+    /// matching "first prover wins" semantics across shard files).
+    pub fn absorb(&mut self, other: &Store) -> io::Result<u64> {
+        let mut added = 0;
+        for (key, verdict) in &other.index {
+            if !self.index.contains_key(key) {
+                self.append(key, fingerprint_of(key), verdict)?;
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+}
+
+/// The canonical-serialization fingerprint, recomputed from a key (the
+/// same fasthash `tso_model::canon` uses).
+fn fingerprint_of(key: &[u64]) -> u64 {
+    let mut hasher = FastHasher::default();
+    for &w in key {
+        hasher.write_u64(w);
+    }
+    hasher.finish()
+}
+
+fn encode_record(key: &[u64], fingerprint: u64, verdict: &StoredVerdict) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + key.len() * 8);
+    payload.extend_from_slice(&fingerprint.to_le_bytes());
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    for &w in key {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    for &s in &verdict.stats {
+        payload.extend_from_slice(&s.to_le_bytes());
+    }
+    payload.extend_from_slice(&(verdict.outcomes.len() as u32).to_le_bytes());
+    for (reads, mem) in &verdict.outcomes {
+        payload.extend_from_slice(&(reads.len() as u32).to_le_bytes());
+        for &r in reads {
+            payload.extend_from_slice(&r.to_le_bytes());
+        }
+        payload.extend_from_slice(&(mem.len() as u32).to_le_bytes());
+        for &(a, v) in mem {
+            payload.extend_from_slice(&a.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let mut checksum = FastHasher::default();
+    checksum.write(&payload);
+    let mut record = Vec::with_capacity(12 + payload.len());
+    record.extend_from_slice(&((payload.len() + 8) as u32).to_le_bytes());
+    record.extend_from_slice(&checksum.finish().to_le_bytes());
+    record.extend_from_slice(&payload);
+    record
+}
+
+/// Parses one record from the front of `bytes`. Returns the bytes
+/// consumed, the key, and the verdict — or `None` if the prefix is not a
+/// complete, checksummed record (torn tail).
+fn parse_record(bytes: &[u8]) -> Option<(usize, Vec<u64>, StoredVerdict)> {
+    let len = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+    let body = bytes.get(4..4 + len)?;
+    let stored_checksum = u64::from_le_bytes(body.get(..8)?.try_into().ok()?);
+    let payload = &body[8..];
+    let mut checksum = FastHasher::default();
+    checksum.write(payload);
+    if checksum.finish() != stored_checksum {
+        return None;
+    }
+    let mut cur = Cursor { bytes: payload };
+    let _fingerprint = cur.u64()?;
+    let key_words = cur.u32()? as usize;
+    let mut key = Vec::with_capacity(key_words);
+    for _ in 0..key_words {
+        key.push(cur.u64()?);
+    }
+    let mut stats = [0u64; STATS_WORDS];
+    for s in &mut stats {
+        *s = cur.u64()?;
+    }
+    let outcome_count = cur.u32()? as usize;
+    let mut outcomes = Vec::with_capacity(outcome_count);
+    for _ in 0..outcome_count {
+        let reads_len = cur.u32()? as usize;
+        let mut reads = Vec::with_capacity(reads_len);
+        for _ in 0..reads_len {
+            reads.push(cur.u64()?);
+        }
+        let mem_len = cur.u32()? as usize;
+        let mut mem = Vec::with_capacity(mem_len);
+        for _ in 0..mem_len {
+            let a = cur.u64()?;
+            let v = cur.u64()?;
+            mem.push((a, v));
+        }
+        outcomes.push((reads, mem));
+    }
+    if !cur.bytes.is_empty() {
+        return None; // trailing garbage inside a checksummed record
+    }
+    Some((4 + len, key, StoredVerdict { outcomes, stats }))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn u32(&mut self) -> Option<u32> {
+        let v = u32::from_le_bytes(self.bytes.get(..4)?.try_into().ok()?);
+        self.bytes = &self.bytes[4..];
+        Some(v)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let v = u64::from_le_bytes(self.bytes.get(..8)?.try_into().ok()?);
+        self.bytes = &self.bytes[8..];
+        Some(v)
+    }
+}
+
+/// A [`Store`] behind a mutex, implementing the model cache's
+/// [`VerdictStore`] hook — this is what `litmus_run` installs with
+/// `tso_model::cache::set_store` so every model query in the process
+/// reads and writes one shared file.
+///
+/// Write errors during [`VerdictStore::save`] are counted
+/// ([`SharedStore::save_errors`]) but otherwise swallowed: persistence is
+/// an optimization, and a full disk must not fail a verification run.
+#[derive(Debug)]
+pub struct SharedStore {
+    inner: Mutex<Store>,
+    loads: AtomicU64,
+    save_errors: AtomicU64,
+}
+
+impl SharedStore {
+    /// Wraps an opened store for concurrent use.
+    pub fn new(store: Store) -> Self {
+        SharedStore {
+            inner: Mutex::new(store),
+            loads: AtomicU64::new(0),
+            save_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (creating) the store at `path`; see [`Store::open`].
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Store::open(path).map(SharedStore::new)
+    }
+
+    /// Successful [`VerdictStore::load`] answers served so far.
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Failed (swallowed) [`VerdictStore::save`] attempts so far.
+    pub fn save_errors(&self) -> u64 {
+        self.save_errors.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` on the underlying store (for counters and compaction).
+    pub fn with<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
+        f(&mut self.inner.lock().expect("verdict store poisoned"))
+    }
+
+    /// Unwraps back into the plain [`Store`].
+    pub fn into_inner(self) -> Store {
+        self.inner.into_inner().expect("verdict store poisoned")
+    }
+}
+
+impl VerdictStore for SharedStore {
+    fn load(&self, key: &[u64]) -> Option<(BTreeSet<Outcome>, SearchStats)> {
+        let inner = self.inner.lock().expect("verdict store poisoned");
+        let found = inner.lookup(key).map(StoredVerdict::to_model);
+        if found.is_some() {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn save(
+        &self,
+        key: &[u64],
+        fingerprint: u64,
+        outcomes: &BTreeSet<Outcome>,
+        stats: &SearchStats,
+    ) {
+        let verdict = StoredVerdict::from_model(outcomes, stats);
+        let mut inner = self.inner.lock().expect("verdict store poisoned");
+        if inner.append(key, fingerprint, &verdict).is_err() {
+            self.save_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vstore-{}-{name}.bin", std::process::id()))
+    }
+
+    fn sample(tag: u64) -> (Vec<u64>, StoredVerdict) {
+        (
+            vec![2, u64::MAX, 2, 1, 0, 2, 1, tag],
+            StoredVerdict {
+                outcomes: vec![
+                    (vec![0, tag], vec![(0, 1), (1, tag)]),
+                    (vec![1, 0], vec![(0, 1)]),
+                    (Vec::new(), Vec::new()),
+                ],
+                stats: [10 + tag, 4, 3, 3, 1, 1],
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrips_records_across_reopen() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = Store::open(&path).unwrap();
+            assert!(s.is_empty());
+            for tag in 0..5 {
+                let (k, v) = sample(tag);
+                s.append(&k, tag, &v).unwrap();
+            }
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.appended(), 5);
+        }
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.open_stats().records, 5);
+        assert_eq!(s.recovered_bytes(), 0);
+        for tag in 0..5 {
+            let (k, v) = sample(tag);
+            assert_eq!(s.lookup(&k), Some(&v), "tag {tag}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn later_records_shadow_earlier_ones() {
+        let path = tmp("shadow");
+        let _ = std::fs::remove_file(&path);
+        let (k, v1) = sample(1);
+        let mut v2 = v1.clone();
+        v2.stats[0] = 999;
+        let mut s = Store::open(&path).unwrap();
+        s.append(&k, 1, &v1).unwrap();
+        s.append(&k, 1, &v2).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.lookup(&k), Some(&v2));
+        drop(s);
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.open_stats().records, 2, "both records replay");
+        assert_eq!(s.len(), 1, "one key survives");
+        assert_eq!(s.lookup(&k), Some(&v2), "the later record wins");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn model_conversion_roundtrips() {
+        use tso_model::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .write(rmw_types::Addr(0), 1)
+            .read(rmw_types::Addr(1));
+        b.thread()
+            .write(rmw_types::Addr(1), 1)
+            .read(rmw_types::Addr(0));
+        let p = b.build();
+        let (outcomes, stats) = tso_model::allowed_outcomes_with_stats(&p);
+        let stored = StoredVerdict::from_model(&outcomes, &stats);
+        let (back, back_stats) = stored.to_model();
+        assert_eq!(back, outcomes);
+        assert_eq!(back_stats.nodes, stats.nodes);
+        assert_eq!(back_stats.valid, stats.valid);
+    }
+
+    #[test]
+    fn shared_store_counts_loads_and_survives_missing_keys() {
+        let path = tmp("shared");
+        let _ = std::fs::remove_file(&path);
+        let shared = SharedStore::open(&path).unwrap();
+        assert!(VerdictStore::load(&shared, &[1, 2, 3]).is_none());
+        assert_eq!(shared.loads(), 0, "misses are not loads");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_files_with_wrong_magic() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"definitely not a store").unwrap();
+        assert!(Store::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

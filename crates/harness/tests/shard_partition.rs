@@ -1,0 +1,56 @@
+//! Property test: campaign sharding by canonical fingerprint is a true
+//! partition — for any `(seed, count, shards)`, every draft index lands
+//! in exactly one shard (disjointness + completeness), and the
+//! assignment is stable across repeated drafting (what lets shards run
+//! on different machines with no coordination).
+//!
+//! Only drafting happens here — no model queries — so the cases stay
+//! cheap even though each one regenerates its drafts three times.
+
+use litmus::gen::campaign_draft;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shards_partition_the_draft_index_space(
+        seed in 0u64..1_000_000,
+        count in 1u64..40,
+        shards in 1u64..5,
+    ) {
+        // Assignment of every index, computed once...
+        let assigned: Vec<u64> = (0..count)
+            .map(|i| campaign_draft(seed, i).fingerprint() % shards)
+            .collect();
+        // ...must match what each shard's independent filter selects.
+        let mut covered = vec![0u32; count as usize];
+        for shard in 0..shards {
+            for i in 0..count {
+                let d = campaign_draft(seed, i);
+                if d.fingerprint() % shards == shard {
+                    prop_assert_eq!(
+                        assigned[i as usize], shard,
+                        "index {} flapped between shards", i
+                    );
+                    covered[i as usize] += 1;
+                }
+            }
+        }
+        for (i, n) in covered.iter().enumerate() {
+            prop_assert_eq!(*n, 1, "index {} claimed by {} shards", i, n);
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_redrafting(
+        seed in 0u64..1_000_000,
+        index in 0u64..100_000,
+    ) {
+        let a = campaign_draft(seed, index);
+        let b = campaign_draft(seed, index);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.program, b.program);
+        prop_assert_eq!(a.name, b.name);
+    }
+}

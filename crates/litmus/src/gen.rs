@@ -210,6 +210,36 @@ pub fn dekker_rounds(
     atomicity: Atomicity,
     flavor: DekkerFlavor,
 ) -> Litmus {
+    let (program, target) = dekker_rounds_parts(n, rounds, atomicity, flavor);
+    let expect = expect_from_model(&program, &target);
+    let tag = match flavor {
+        DekkerFlavor::ReadReplacement => "rr",
+        DekkerFlavor::WriteReplacement => "wr",
+    };
+    Litmus {
+        name: format!("dekker-gen-{tag}-n{n}-r{rounds} {atomicity}"),
+        description: format!(
+            "generated Dekker ring ({n} threads, {rounds} rounds, {flavor:?}); model-derived verdict"
+        ),
+        program,
+        target,
+        expect,
+    }
+}
+
+/// The program and target of [`dekker_rounds`] without the model-derived
+/// expectation — the cheap half the campaign stream uses so shard
+/// partitioning never pays a model query for out-of-shard drafts.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `rounds < 1`.
+pub fn dekker_rounds_parts(
+    n: usize,
+    rounds: usize,
+    atomicity: Atomicity,
+    flavor: DekkerFlavor,
+) -> (Program, Target) {
     assert!(n >= 2 && rounds >= 1, "need >= 2 threads and >= 1 round");
     let mut b = ProgramBuilder::new();
     let mut constraints: Vec<(usize, Value)> = Vec::new();
@@ -235,22 +265,7 @@ pub fn dekker_rounds(
             }
         }
     }
-    let program = b.build();
-    let target = Target(constraints);
-    let expect = expect_from_model(&program, &target);
-    let tag = match flavor {
-        DekkerFlavor::ReadReplacement => "rr",
-        DekkerFlavor::WriteReplacement => "wr",
-    };
-    Litmus {
-        name: format!("dekker-gen-{tag}-n{n}-r{rounds} {atomicity}"),
-        description: format!(
-            "generated Dekker ring ({n} threads, {rounds} rounds, {flavor:?}); model-derived verdict"
-        ),
-        program,
-        target,
-        expect,
-    }
+    (b.build(), Target(constraints))
 }
 
 // ---------------------------------------------------------------------------
@@ -484,21 +499,65 @@ fn candidate_estimate(p: &Program) -> f64 {
     ws * rf
 }
 
-/// Generates one random well-formed program: 2–3 threads, 1–4 instructions
-/// each, over 4 locations, with all RMW kinds and atomicities represented.
-/// Draws whose estimated candidate space exceeds an internal cap
-/// (`MAX_CANDIDATE_ESTIMATE`) are rejected and redrawn, bounding per-test
-/// checking cost.
+/// The dimensions a random program is drawn from. The corpus default
+/// ([`RandomSpace::default`]) matches the original PR 3 generator; the
+/// campaign stream uses the larger [`RandomSpace::CAMPAIGN`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomSpace {
+    /// Threads are drawn from `2..=max_threads`.
+    pub max_threads: usize,
+    /// Instructions per thread are drawn from `1..=max_instrs`.
+    pub max_instrs: usize,
+    /// Addresses are drawn from `0..locations`.
+    pub locations: u64,
+    /// Written values are drawn from `1..=max_value`.
+    pub max_value: Value,
+}
+
+impl Default for RandomSpace {
+    fn default() -> Self {
+        RandomSpace {
+            max_threads: 3,
+            max_instrs: 4,
+            locations: 4,
+            max_value: 3,
+        }
+    }
+}
+
+impl RandomSpace {
+    /// The bigger space the campaign stream draws from: up to 4 threads ×
+    /// 5 instructions over 5 locations. The candidate-estimate rejection
+    /// cap still bounds per-test checking cost, so the bigger space means
+    /// more *shapes*, not unboundedly heavier tests.
+    pub const CAMPAIGN: RandomSpace = RandomSpace {
+        max_threads: 4,
+        max_instrs: 5,
+        locations: 5,
+        max_value: 4,
+    };
+}
+
+/// Generates one random well-formed program from the default
+/// [`RandomSpace`]: 2–3 threads, 1–4 instructions each, over 4 locations,
+/// with all RMW kinds and atomicities represented. Draws whose estimated
+/// candidate space exceeds an internal cap (`MAX_CANDIDATE_ESTIMATE`) are
+/// rejected and redrawn, bounding per-test checking cost.
 pub fn random_program(rng: &mut StdRng) -> Program {
+    random_program_in(rng, &RandomSpace::default())
+}
+
+/// [`random_program`] over an explicit [`RandomSpace`].
+pub fn random_program_in(rng: &mut StdRng, space: &RandomSpace) -> Program {
     loop {
-        let p = draw_program(rng);
+        let p = draw_program(rng, space);
         if candidate_estimate(&p) <= MAX_CANDIDATE_ESTIMATE {
             return p;
         }
     }
 }
 
-fn draw_program(rng: &mut StdRng) -> Program {
+fn draw_program(rng: &mut StdRng, space: &RandomSpace) -> Program {
     let kinds = [
         RmwKind::TestAndSet,
         RmwKind::FetchAndAdd(1),
@@ -513,16 +572,16 @@ fn draw_program(rng: &mut StdRng) -> Program {
             new: 2,
         },
     ];
-    let n_threads = rng.gen_range(2usize..4);
+    let n_threads = rng.gen_range(2usize..space.max_threads + 1);
     let mut b = ProgramBuilder::new();
     for _ in 0..n_threads {
-        let len = rng.gen_range(1usize..5);
+        let len = rng.gen_range(1usize..space.max_instrs + 1);
         let mut t = b.thread();
         for _ in 0..len {
-            let a = Addr(rng.gen_range(0u64..4));
+            let a = Addr(rng.gen_range(0u64..space.locations));
             match rng.gen_range(0u32..100) {
                 0..=29 => t.read(a),
-                30..=59 => t.write(a, rng.gen_range(1u64..4)),
+                30..=59 => t.write(a, rng.gen_range(1u64..space.max_value + 1)),
                 60..=84 => t.rmw(
                     a,
                     kinds[rng.gen_range(0usize..kinds.len())],
@@ -613,6 +672,380 @@ pub fn generated_corpus(seed: u64, random_count: usize) -> Vec<Litmus> {
         tests.push(random_litmus(&mut rng, i));
     }
     tests
+}
+
+// ---------------------------------------------------------------------------
+// Campaign stream
+// ---------------------------------------------------------------------------
+
+/// A campaign test whose model verdict may still be pending.
+///
+/// The campaign driver shards tests by canonical fingerprint *before*
+/// running them, so drafting must be cheap: a draft carries the program
+/// and target but defers the model-derived expectation until
+/// [`finish`](CampaignDraft::finish) — which only in-shard tests ever
+/// call. Drafts from families with textbook verdicts (the scaled rings)
+/// arrive with `expect` already `Some`, also without a model query.
+#[derive(Debug, Clone)]
+pub struct CampaignDraft {
+    /// Unique name, prefixed `camp-{index:07}-`.
+    pub name: String,
+    /// One-line provenance description.
+    pub description: String,
+    /// The program.
+    pub program: Program,
+    /// The interesting outcome.
+    pub target: Target,
+    /// The expected verdict, when known without a model query.
+    pub expect: Option<Expect>,
+}
+
+impl CampaignDraft {
+    /// The program's canonical fingerprint — the campaign's shard key and
+    /// the verdict store's record key prefix. Cheap relative to a model
+    /// search (no search, no canonical program rebuild).
+    pub fn fingerprint(&self) -> u64 {
+        self.program.canonical_fingerprint()
+    }
+
+    /// Resolves the draft into a runnable [`Litmus`], deriving the
+    /// expectation from the model if it was deferred. This is the step
+    /// that may pay a model search (or hit the memo cache / verdict
+    /// store), so the campaign driver calls it from worker threads, for
+    /// in-shard tests only.
+    pub fn finish(self) -> Litmus {
+        let expect = match self.expect {
+            Some(e) => e,
+            None => expect_from_model(&self.program, &self.target),
+        };
+        Litmus {
+            name: self.name,
+            description: self.description,
+            program: self.program,
+            target: self.target,
+            expect,
+        }
+    }
+}
+
+/// SplitMix64-style finalizer mixing a campaign seed with a test index
+/// into an independent per-test RNG seed. Random-access: draft `i` never
+/// depends on drafts `0..i`, which is what makes sharding and resume cuts
+/// exact.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The mutation/splice base pool: every hand-written test (classic +
+/// paper corpora). Built once per process.
+fn base_pool() -> &'static [Litmus] {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<Vec<Litmus>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut pool = crate::classic::all();
+        pool.extend(crate::paper::all());
+        pool
+    })
+}
+
+/// Draws a random target over the program's reads (up to two constrained
+/// reads, values in `0..max_value+1`). Empty program ⇒ empty target.
+fn draw_target(rng: &mut StdRng, program: &Program, max_value: Value) -> Target {
+    let num_reads = program.num_reads();
+    if num_reads == 0 {
+        return Target(Vec::new());
+    }
+    let count = rng.gen_range(1usize..2.min(num_reads) + 1);
+    let mut indices: Vec<usize> = Vec::new();
+    while indices.len() < count {
+        let i = rng.gen_range(0usize..num_reads);
+        if !indices.contains(&i) {
+            indices.push(i);
+        }
+    }
+    indices.sort_unstable();
+    Target(
+        indices
+            .into_iter()
+            .map(|i| (i, rng.gen_range(0u64..max_value + 1)))
+            .collect(),
+    )
+}
+
+/// One structural mutation of a base program. Returns the mutated threads
+/// and a tag naming the mutation (for the draft description).
+fn mutate_program(rng: &mut StdRng, base: &Program) -> (Program, &'static str) {
+    let mut threads: Vec<Vec<Instr>> = base.iter().map(|(_, t)| t.to_vec()).collect();
+    let tid = rng.gen_range(0usize..threads.len());
+    let tag = match rng.gen_range(0u32..6) {
+        0 => {
+            // Cycle the atomicity of one RMW (if the chosen thread has any).
+            let rmws: Vec<usize> = threads[tid]
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Instr::Rmw { .. }))
+                .map(|(k, _)| k)
+                .collect();
+            if !rmws.is_empty() {
+                let k = rmws[rng.gen_range(0usize..rmws.len())];
+                if let Instr::Rmw { atomicity, .. } = &mut threads[tid][k] {
+                    *atomicity = match *atomicity {
+                        Atomicity::Type1 => Atomicity::Type2,
+                        Atomicity::Type2 => Atomicity::Type3,
+                        Atomicity::Type3 => Atomicity::Type1,
+                    };
+                }
+            }
+            "flip-atomicity"
+        }
+        1 => {
+            // Tweak one written value.
+            let writes: Vec<usize> = threads[tid]
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Instr::Write(..)))
+                .map(|(k, _)| k)
+                .collect();
+            if !writes.is_empty() {
+                let k = writes[rng.gen_range(0usize..writes.len())];
+                if let Instr::Write(_, v) = &mut threads[tid][k] {
+                    *v = rng.gen_range(1u64..5);
+                }
+            }
+            "tweak-value"
+        }
+        2 => {
+            // Insert a fence at a random point.
+            let pos = rng.gen_range(0usize..threads[tid].len() + 1);
+            threads[tid].insert(pos, Instr::Fence);
+            "insert-fence"
+        }
+        3 => {
+            // Swap two adjacent instructions.
+            if threads[tid].len() >= 2 {
+                let k = rng.gen_range(0usize..threads[tid].len() - 1);
+                threads[tid].swap(k, k + 1);
+            }
+            "swap-adjacent"
+        }
+        4 => {
+            // Strengthen one plain read into a read-replacement FAA(0).
+            let reads: Vec<usize> = threads[tid]
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Instr::Read(_)))
+                .map(|(k, _)| k)
+                .collect();
+            if !reads.is_empty() {
+                let k = reads[rng.gen_range(0usize..reads.len())];
+                if let Instr::Read(a) = threads[tid][k] {
+                    threads[tid][k] = Instr::Rmw {
+                        addr: a,
+                        kind: RmwKind::FetchAndAdd(0),
+                        atomicity: Atomicity::ALL[rng.gen_range(0usize..3)],
+                    };
+                }
+            }
+            "read-to-faa"
+        }
+        _ => {
+            // Strengthen one plain write into a write-replacement xchg.
+            let writes: Vec<usize> = threads[tid]
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Instr::Write(..)))
+                .map(|(k, _)| k)
+                .collect();
+            if !writes.is_empty() {
+                let k = writes[rng.gen_range(0usize..writes.len())];
+                if let Instr::Write(a, v) = threads[tid][k] {
+                    threads[tid][k] = Instr::Rmw {
+                        addr: a,
+                        kind: RmwKind::Exchange(v),
+                        atomicity: Atomicity::ALL[rng.gen_range(0usize..3)],
+                    };
+                }
+            }
+            "write-to-xchg"
+        }
+    };
+    let mut p = Program::new();
+    for t in threads {
+        p.add_thread(t);
+    }
+    (p, tag)
+}
+
+/// Draft candidate before the candidate-estimate gate is applied.
+fn campaign_candidate(rng: &mut StdRng, index: u64) -> CampaignDraft {
+    let pick = rng.gen_range(0u32..100);
+    if pick < 35 {
+        // Bigger random space than the corpus default.
+        let program = random_program_in(rng, &RandomSpace::CAMPAIGN);
+        let target = draw_target(rng, &program, RandomSpace::CAMPAIGN.max_value);
+        CampaignDraft {
+            name: format!("camp-{index:07}-rand"),
+            description: "campaign random program (big space); model-derived verdict".into(),
+            program,
+            target,
+            expect: None,
+        }
+    } else if pick < 55 {
+        // Scaled families past the corpus defaults. The rings carry their
+        // textbook verdicts (no model query); the Dekker variants defer.
+        match rng.gen_range(0u32..6) {
+            0 => {
+                let n = rng.gen_range(2usize..9);
+                let l = sb_ring(n);
+                family_draft(index, l)
+            }
+            1 => {
+                let n = rng.gen_range(2usize..9);
+                family_draft(index, mp_chain(n))
+            }
+            2 => {
+                let n = rng.gen_range(2usize..9);
+                family_draft(index, lb_ring(n))
+            }
+            3 => {
+                let n = rng.gen_range(2usize..8);
+                family_draft(index, two_two_w_ring(n))
+            }
+            4 => {
+                let readers = rng.gen_range(2usize..7);
+                family_draft(index, iriw(readers))
+            }
+            _ => {
+                let n = rng.gen_range(2usize..4);
+                let rounds = rng.gen_range(1usize..4);
+                let atomicity = Atomicity::ALL[rng.gen_range(0usize..3)];
+                let flavor = if rng.gen_range(0u32..2) == 0 {
+                    DekkerFlavor::ReadReplacement
+                } else {
+                    DekkerFlavor::WriteReplacement
+                };
+                let (program, target) = dekker_rounds_parts(n, rounds, atomicity, flavor);
+                CampaignDraft {
+                    name: format!("camp-{index:07}-dekker-n{n}-r{rounds}"),
+                    description: format!(
+                        "campaign Dekker ring ({n} threads, {rounds} rounds, {flavor:?}, \
+                         {atomicity}); model-derived verdict"
+                    ),
+                    program,
+                    target,
+                    expect: None,
+                }
+            }
+        }
+    } else if pick < 78 {
+        // One structural mutation of a hand-written base test.
+        let pool = base_pool();
+        let base = &pool[rng.gen_range(0usize..pool.len())];
+        let (program, tag) = mutate_program(rng, &base.program);
+        // Reuse the base target when its read indices survived the
+        // mutation; otherwise redraw over the mutated program's reads.
+        let target = if base.target.0.iter().all(|&(i, _)| i < program.num_reads())
+            && !base.target.0.is_empty()
+        {
+            base.target.clone()
+        } else {
+            draw_target(rng, &program, 3)
+        };
+        CampaignDraft {
+            name: format!("camp-{index:07}-mut-{tag}"),
+            description: format!(
+                "campaign mutation ({tag}) of {:?}; model-derived verdict",
+                base.name
+            ),
+            program,
+            target,
+            expect: None,
+        }
+    } else {
+        // Thread-splice cross-product of two hand-written base tests.
+        let pool = base_pool();
+        let a = &pool[rng.gen_range(0usize..pool.len())];
+        let b = &pool[rng.gen_range(0usize..pool.len())];
+        let mut threads: Vec<Vec<Instr>> = Vec::new();
+        for (_, t) in a.program.iter() {
+            threads.push(t.to_vec());
+        }
+        for (_, t) in b.program.iter() {
+            if threads.len() >= 4 {
+                break;
+            }
+            threads.push(t.to_vec());
+        }
+        threads.truncate(4);
+        let mut program = Program::new();
+        for t in threads {
+            program.add_thread(t);
+        }
+        let target = draw_target(rng, &program, 3);
+        CampaignDraft {
+            name: format!("camp-{index:07}-splice"),
+            description: format!(
+                "campaign splice of {:?} × {:?} threads; model-derived verdict",
+                a.name, b.name
+            ),
+            program,
+            target,
+            expect: None,
+        }
+    }
+}
+
+/// Wraps a family [`Litmus`] (textbook verdict already attached) as a
+/// campaign draft under the campaign naming scheme.
+fn family_draft(index: u64, l: Litmus) -> CampaignDraft {
+    CampaignDraft {
+        name: format!("camp-{index:07}-fam-{}", l.name),
+        description: l.description,
+        program: l.program,
+        target: l.target,
+        expect: Some(l.expect),
+    }
+}
+
+/// Draft number `index` of the campaign stream for `seed`.
+///
+/// Deterministic and **random-access**: the draft depends only on
+/// `(seed, index)`, never on earlier drafts, so any shard of the index
+/// space can be generated independently and a resumed run regenerates
+/// exactly the drafts it skipped. The stream mixes four sources —
+/// ~35% big-space random programs, ~20% scaled families beyond the
+/// corpus defaults, ~23% structural mutations of the hand-written
+/// corpora, ~22% thread-splices of two hand-written tests. Drafts whose
+/// estimated candidate space exceeds the generator cap are redrawn (and
+/// after a few tries fall back to a default-space random program), so
+/// per-test checking cost stays bounded.
+///
+/// No draft pays a model query: verdicts are either textbook
+/// (`expect: Some`) or deferred to [`CampaignDraft::finish`].
+pub fn campaign_draft(seed: u64, index: u64) -> CampaignDraft {
+    let mut rng = StdRng::seed_from_u64(mix(seed, index));
+    for _ in 0..8 {
+        let draft = campaign_candidate(&mut rng, index);
+        if candidate_estimate(&draft.program) <= MAX_CANDIDATE_ESTIMATE {
+            return draft;
+        }
+    }
+    // Fallback: the default random space always passes the gate quickly.
+    let program = random_program(&mut rng);
+    let target = draw_target(&mut rng, &program, 3);
+    CampaignDraft {
+        name: format!("camp-{index:07}-rand"),
+        description: "campaign random program (fallback space); model-derived verdict".into(),
+        program,
+        target,
+        expect: None,
+    }
 }
 
 #[cfg(test)]
@@ -739,6 +1172,71 @@ mod tests {
             }
             // The model-derived verdict is self-consistent by construction.
             assert!(t.check().passed, "{} must pass its own pin", t.name);
+        }
+    }
+
+    #[test]
+    fn campaign_drafts_are_deterministic_and_random_access() {
+        // The same (seed, index) must yield byte-identical drafts no
+        // matter what was generated before — this is the property the
+        // sharded/resumable campaign driver rests on.
+        for index in [0u64, 1, 17, 999, 123_456] {
+            let a = campaign_draft(42, index);
+            let b = campaign_draft(42, index);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.expect, b.expect);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+        // Different seeds decorrelate the stream.
+        let names_42: Vec<String> = (0..20).map(|i| campaign_draft(42, i).name).collect();
+        let names_43: Vec<String> = (0..20).map(|i| campaign_draft(43, i).name).collect();
+        assert_ne!(names_42, names_43);
+    }
+
+    #[test]
+    fn campaign_drafts_are_well_formed_and_uniquely_named() {
+        let mut names = std::collections::BTreeSet::new();
+        for index in 0..200u64 {
+            let d = campaign_draft(7, index);
+            assert!(names.insert(d.name.clone()), "duplicate name {}", d.name);
+            assert!(d.name.starts_with(&format!("camp-{index:07}-")));
+            let reads = d.program.num_reads();
+            for &(idx, _) in &d.target.0 {
+                assert!(idx < reads, "{}: r{idx} out of {reads}", d.name);
+            }
+            assert!(
+                candidate_estimate(&d.program) <= MAX_CANDIDATE_ESTIMATE,
+                "{} exceeds the candidate cap",
+                d.name
+            );
+            assert!(d.program.num_threads() >= 2, "{} single-threaded", d.name);
+        }
+    }
+
+    #[test]
+    fn finished_campaign_drafts_pass_their_own_pin() {
+        // finish() derives deferred verdicts from the model, so the
+        // resulting Litmus must be self-consistent; family drafts carry
+        // textbook verdicts that must also agree with the model.
+        for index in 0..12u64 {
+            let t = campaign_draft(11, index).finish();
+            assert!(t.check().passed, "{} must pass its own pin", t.name);
+        }
+    }
+
+    #[test]
+    fn campaign_fingerprint_matches_full_canonicalization() {
+        for index in 0..30u64 {
+            let d = campaign_draft(3, index);
+            let full = d.program.canonicalize();
+            assert_eq!(
+                d.fingerprint(),
+                full.fingerprint(),
+                "{}: fast fingerprint drifted from canonical form",
+                d.name
+            );
         }
     }
 }

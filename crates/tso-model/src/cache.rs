@@ -30,6 +30,21 @@
 //! The cache grows with distinct canonical programs. Litmus-scale
 //! workloads (a few hundred small entries) make eviction pointless;
 //! [`clear`] exists for tests and long-lived embedders.
+//!
+//! # Persistence
+//!
+//! The in-memory cache dies with the process. A [`VerdictStore`]
+//! registered via [`set_store`] extends it across invocations: on a miss
+//! the cache first asks the store for the key ([`VerdictStore::load`] — a
+//! *store hit*, counted separately from searches), and only searches when
+//! the store doesn't know the program either, handing the fresh entry to
+//! [`VerdictStore::save`] so the next process never searches it again.
+//! The `harness` crate provides the production implementation (an
+//! append-only record file; see `DESIGN.md` "verdict store") and installs
+//! it from the `litmus_run` CLI; the hook lives here so *every* consumer
+//! of [`allowed_outcomes_cached`] — `Litmus::check`, corpus generation,
+//! the differential harness — shares one store without `tso-model`
+//! depending on any I/O code.
 
 use crate::canon::Canonical;
 use crate::outcome::Outcome;
@@ -38,7 +53,7 @@ use crate::search::SearchStats;
 use rmw_types::fasthash::FastHashMap;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// One cached canonical program: its outcome set (canonical coordinates)
 /// and the stats of the search that computed it.
@@ -56,6 +71,56 @@ fn cache() -> &'static Mutex<FastHashMap<Vec<u64>, Cell>> {
 
 static QUERIES: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static STORE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// A persistent verdict backend the in-memory cache consults on misses.
+///
+/// Keys are the program's **full canonical serialization**
+/// ([`Canonical::key`] — collision-proof), and outcome sets are in the
+/// canonical program's coordinates, exactly as cached in memory. An
+/// implementation must be internally synchronized: the cache calls it
+/// from concurrent workers.
+pub trait VerdictStore: Send + Sync {
+    /// Returns the persisted outcome set and attributed search stats for
+    /// `key`, or `None` when the store has never seen the program class.
+    fn load(&self, key: &[u64]) -> Option<(BTreeSet<Outcome>, SearchStats)>;
+
+    /// Persists a freshly searched entry. `fingerprint` is the 64-bit
+    /// canonical fingerprint of `key` (useful as an index/shard hint —
+    /// the collision-proof identity is still `key`). Failures must be
+    /// swallowed or logged by the implementation: persistence is an
+    /// optimization, never a correctness dependency.
+    fn save(
+        &self,
+        key: &[u64],
+        fingerprint: u64,
+        outcomes: &BTreeSet<Outcome>,
+        stats: &SearchStats,
+    );
+}
+
+fn store_slot() -> &'static RwLock<Option<Arc<dyn VerdictStore>>> {
+    static STORE: OnceLock<RwLock<Option<Arc<dyn VerdictStore>>>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs the process-wide persistent verdict store (replacing any
+/// previous one). Entries already cached in memory are not re-saved;
+/// install the store before the first query to capture everything.
+pub fn set_store(store: Arc<dyn VerdictStore>) {
+    *store_slot().write().expect("verdict store lock") = Some(store);
+}
+
+/// Uninstalls the persistent store, returning it so the owner can flush
+/// or inspect it. Subsequent misses search (and stay in memory) as if no
+/// store was ever configured.
+pub fn take_store() -> Option<Arc<dyn VerdictStore>> {
+    store_slot().write().expect("verdict store lock").take()
+}
+
+fn current_store() -> Option<Arc<dyn VerdictStore>> {
+    store_slot().read().expect("verdict store lock").clone()
+}
 
 /// Cumulative cache counters, as exposed in the harness JSON report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +130,10 @@ pub struct CacheCounters {
     /// Queries that ran an actual model search — the "total model
     /// invocations" number the memoization layer exists to shrink.
     pub invocations: u64,
+    /// Misses answered by the persistent [`VerdictStore`] instead of a
+    /// search (0 when no store is installed). Store hits are *not*
+    /// invocations: no search ran.
+    pub store_hits: u64,
     /// Distinct canonical programs currently cached.
     pub entries: u64,
 }
@@ -81,16 +150,20 @@ pub fn counters() -> CacheCounters {
     CacheCounters {
         queries: QUERIES.load(Ordering::Relaxed),
         invocations: MISSES.load(Ordering::Relaxed),
+        store_hits: STORE_HITS.load(Ordering::Relaxed),
         entries: cache().lock().expect("model cache lock").len() as u64,
     }
 }
 
-/// Empties the cache and zeroes the counters (tests; embedders that want
-/// a fresh measurement).
+/// Empties the in-memory cache and zeroes the counters (tests; embedders
+/// that want a fresh measurement). A registered [`VerdictStore`] is left
+/// installed and keeps its contents — persisted verdicts outlive clears
+/// by design; use [`take_store`] to detach it.
 pub fn clear() {
     cache().lock().expect("model cache lock").clear();
     QUERIES.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    STORE_HITS.store(0, Ordering::Relaxed);
 }
 
 /// A memoized outcome-set query, in the **original program's**
@@ -128,9 +201,17 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
         let mut map = cache().lock().expect("model cache lock");
         Arc::clone(map.entry(canon.key().to_vec()).or_default())
     };
-    let mut computed = false;
+    let mut searched = false;
     let entry = Arc::clone(cell.get_or_init(|| {
-        computed = true;
+        // Memory miss: the persistent store (when installed) is the next
+        // tier — a store hit costs a lookup, not a search.
+        if let Some(store) = current_store() {
+            if let Some((outcomes, stats)) = store.load(canon.key()) {
+                STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                return Arc::new(Entry { outcomes, stats });
+            }
+        }
+        searched = true;
         MISSES.fetch_add(1, Ordering::Relaxed);
         let workers = exec_pool::default_workers();
         let (outcomes, stats) = if workers > 1 {
@@ -138,6 +219,9 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
         } else {
             crate::outcome::allowed_outcomes_with_stats(canon.program())
         };
+        if let Some(store) = current_store() {
+            store.save(canon.key(), canon.fingerprint(), &outcomes, &stats);
+        }
         Arc::new(Entry { outcomes, stats })
     }));
     let outcomes = entry
@@ -148,7 +232,7 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
     CachedOutcomes {
         outcomes,
         stats: entry.stats,
-        hit: !computed,
+        hit: !searched,
         fingerprint: canon.fingerprint(),
     }
 }
@@ -238,6 +322,75 @@ mod tests {
         let f1 = mk(Atomicity::Type1).canonical_fingerprint();
         let f3 = mk(Atomicity::Type3).canonical_fingerprint();
         assert_ne!(f1, f3, "atomicity must distinguish cache entries");
+    }
+
+    #[test]
+    fn a_persistent_store_answers_misses_and_receives_fresh_entries() {
+        // An in-memory fake of the harness's on-disk store: the contract
+        // is load-on-miss / save-after-search, in canonical coordinates.
+        type Entry = (BTreeSet<Outcome>, SearchStats);
+        #[derive(Default)]
+        struct FakeStore {
+            entries: Mutex<FastHashMap<Vec<u64>, Entry>>,
+            loads: AtomicU64,
+            saves: AtomicU64,
+        }
+        impl VerdictStore for FakeStore {
+            fn load(&self, key: &[u64]) -> Option<(BTreeSet<Outcome>, SearchStats)> {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                self.entries.lock().unwrap().get(key).cloned()
+            }
+            fn save(
+                &self,
+                key: &[u64],
+                _fingerprint: u64,
+                outcomes: &BTreeSet<Outcome>,
+                stats: &SearchStats,
+            ) {
+                self.saves.fetch_add(1, Ordering::Relaxed);
+                self.entries
+                    .lock()
+                    .unwrap()
+                    .insert(key.to_vec(), (outcomes.clone(), *stats));
+            }
+        }
+
+        let store = Arc::new(FakeStore::default());
+        set_store(Arc::<FakeStore>::clone(&store));
+        // Fresh search: saved into the store.
+        let p = unique_program(71);
+        let first = allowed_outcomes_cached(&p);
+        assert!(!first.hit);
+        assert!(store.saves.load(Ordering::Relaxed) >= 1);
+        let key = p.canonicalize().key().to_vec();
+        assert!(store.entries.lock().unwrap().contains_key(&key));
+
+        // Simulate a process restart: drop the memory cache, keep the
+        // store. The next query is a *store hit* — no search, `hit` true.
+        let dropped = {
+            let mut map = cache().lock().unwrap();
+            map.remove(&key).is_some()
+        };
+        assert!(dropped, "entry was in the memory cache");
+        let before = counters();
+        let again = allowed_outcomes_cached(&p);
+        let after = counters();
+        assert!(again.hit, "store hits run no search");
+        assert_eq!(again.outcomes, first.outcomes);
+        assert_eq!(
+            again.stats, first.stats,
+            "stats attributed through the store"
+        );
+        assert_eq!(after.invocations, before.invocations, "no search ran");
+        assert!(after.store_hits > before.store_hits);
+
+        // Detach: the store comes back out, and a fresh miss searches
+        // again instead of loading.
+        let detached = take_store().expect("store was installed");
+        assert!(Arc::ptr_eq(
+            &(detached as Arc<dyn VerdictStore>),
+            &(store as Arc<dyn VerdictStore>)
+        ));
     }
 
     #[test]

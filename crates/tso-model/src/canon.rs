@@ -203,8 +203,38 @@ impl Program {
     /// The canonical fingerprint alone — a stable 64-bit identity shared
     /// by every thread-permuted / address-renamed variant of the program
     /// (up to the permutation-search bound).
+    ///
+    /// This is the cheap path consumers that only need the identity should
+    /// take (the campaign driver computes one per generated test to decide
+    /// `--shard i/n` membership): it runs the same minimum-serialization
+    /// search as [`Program::canonicalize`] but skips rebuilding the
+    /// canonical program and the coordinate maps.
     pub fn canonical_fingerprint(&self) -> u64 {
-        self.canonicalize().fingerprint()
+        let n = self.num_threads();
+        let mut best: Option<Vec<u64>> = None;
+        let mut consider = |perm: &[usize]| {
+            let (key, _) = serialize_under(self, perm);
+            let better = match &best {
+                Some(b) => key < *b,
+                None => true,
+            };
+            if better {
+                best = Some(key);
+            }
+        };
+        if n <= PERM_SEARCH_MAX_THREADS {
+            let mut perm: Vec<usize> = (0..n).collect();
+            permute(&mut perm, 0, &mut consider);
+        } else {
+            let identity: Vec<usize> = (0..n).collect();
+            consider(&identity);
+        }
+        let key = best.expect("at least the identity permutation considered");
+        let mut hasher = FastHasher::default();
+        for &word in &key {
+            hasher.write_u64(word);
+        }
+        hasher.finish()
     }
 }
 
@@ -452,5 +482,32 @@ mod tests {
     fn fingerprint_is_stable_across_calls() {
         let p = sb(X, Y);
         assert_eq!(p.canonical_fingerprint(), p.canonical_fingerprint());
+    }
+
+    #[test]
+    fn fast_fingerprint_agrees_with_full_canonicalization() {
+        // The rebuild-free path must hash the same minimum serialization
+        // as `canonicalize()`, on both sides of the permutation bound.
+        let mut small = ProgramBuilder::new();
+        small.thread().read(Y).write(X, 3);
+        small
+            .thread()
+            .rmw(X, rmw_types::RmwKind::TestAndSet, Atomicity::Type3)
+            .fence()
+            .read(Y);
+        let small = small.build();
+        assert_eq!(
+            small.canonical_fingerprint(),
+            small.canonicalize().fingerprint()
+        );
+        let mut big = ProgramBuilder::new();
+        for i in 0..(PERM_SEARCH_MAX_THREADS + 2) {
+            big.thread().write(Addr(i as u64 + 9), 1).read(Addr(9));
+        }
+        let big = big.build();
+        assert_eq!(
+            big.canonical_fingerprint(),
+            big.canonicalize().fingerprint()
+        );
     }
 }

@@ -76,7 +76,7 @@ pub mod program;
 pub mod search;
 pub mod validity;
 
-pub use cache::{allowed_outcomes_cached, CacheCounters, CachedOutcomes};
+pub use cache::{allowed_outcomes_cached, CacheCounters, CachedOutcomes, VerdictStore};
 pub use canon::Canonical;
 pub use event::{Event, EventId, EventKind, RmwHalf};
 pub use execution::{enumerate_candidates, CandidateExecution};

@@ -506,14 +506,21 @@ impl Core {
         addr: Addr,
         dest: Option<Reg>,
     ) -> bool {
-        // Store forwarding from the youngest matching buffer entry.
+        // Store forwarding from the youngest matching buffer entry — but
+        // only while that store is not yet globally visible. An accepted
+        // entry's value is already in memory (the slot only lingers for
+        // latency bookkeeping), and a foreign write may have been
+        // serialized after it; forwarding then would resurrect an
+        // overwritten value, which TSO forbids.
         if let Some(e) = self.wb.iter().rev().find(|e| e.addr == addr) {
-            let v = e.value;
-            self.deliver_read(v, dest);
-            self.set_busy(now, now + config.coherence.l1_latency, shared);
-            self.stats.mem_ops += 1;
-            self.retire(now, shared);
-            return true;
+            if e.issued_done.is_none() {
+                let v = e.value;
+                self.deliver_read(v, dest);
+                self.set_busy(now, now + config.coherence.l1_latency, shared);
+                self.stats.mem_ops += 1;
+                self.retire(now, shared);
+                return true;
+            }
         }
         let line = addr.line(config.line_size);
         if shared.coherence.read_denied_by(self.id, line).is_some() {
@@ -918,12 +925,15 @@ impl Core {
                 // Read value: with the deadlock-avoidance scheme a same-line
                 // pending write would have forced a drain, so the buffer is
                 // conflict-free here; forward anyway for the unsafe
-                // (bloom-disabled) configuration.
+                // (bloom-disabled) configuration. As in `issue_read`, only a
+                // not-yet-visible entry may forward — an accepted one is
+                // already in memory and possibly overwritten.
                 let old = self
                     .wb
                     .iter()
                     .rev()
                     .find(|e| e.addr == rmw.addr)
+                    .filter(|e| e.issued_done.is_none())
                     .map(|e| e.value)
                     .unwrap_or_else(|| shared.memory.get(&rmw.addr).copied().unwrap_or(0));
                 self.deliver_read(old, rmw.dest);
