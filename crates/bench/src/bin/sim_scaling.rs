@@ -1,5 +1,6 @@
-//! Simulator engine scaling: event-driven cycle-skipping vs. the lockstep
-//! reference, recorded as `BENCH_sim.json`.
+//! Simulator engine scaling: the event-driven cycle-skipping engine and
+//! the adaptive hybrid engine vs. the lockstep reference, recorded as
+//! `BENCH_sim.json`.
 //!
 //! Two families of shapes, all on paper-latency machines:
 //!
@@ -14,10 +15,16 @@
 //!   ticks every cycle; the event engine visits a few dozen cycles per
 //!   test. This is the paper-scale headline shape with the ≥10× floor.
 //!
-//! Every shape runs both [`StepMode`]s over identical inputs and asserts
-//! the results are **cycle-identical** (stats, reads, final memory — the
-//! engine-equivalence contract of `tso-sim/tests/engine_equiv.rs`) before
-//! recording the wall-clock ratio.
+//! A third family scales the machine itself: 128- and 256-core
+//! Table-2-latency configurations (`SimConfig::paper_scaled`), where
+//! lockstep pays the full core count every cycle and the density-adaptive
+//! engines must not.
+//!
+//! Every shape runs all three [`StepMode`]s over identical inputs and
+//! asserts the results are **cycle-identical** (stats, reads, final
+//! memory — the engine-equivalence contract of
+//! `tso-sim/tests/engine_equiv.rs`) before recording the wall-clock
+//! ratios.
 //!
 //! Usage:
 //!
@@ -131,6 +138,7 @@ struct Row {
     cycles: u64,
     event_ms: f64,
     lockstep_ms: f64,
+    hybrid_ms: f64,
     results_match: bool,
     paper_scale: bool,
 }
@@ -138,6 +146,10 @@ struct Row {
 impl Row {
     fn speedup(&self) -> f64 {
         self.lockstep_ms / self.event_ms.max(1e-6)
+    }
+
+    fn hybrid_speedup(&self) -> f64 {
+        self.lockstep_ms / self.hybrid_ms.max(1e-6)
     }
 }
 
@@ -157,28 +169,46 @@ fn run_all(runs: &[(SimConfig, Vec<Trace>)], mode: StepMode) -> (Vec<SimResult>,
 
 /// Timed passes per engine; the minimum is reported (robust against
 /// scheduler noise on shared machines).
-const PASSES: usize = 3;
+const PASSES: usize = 5;
 
-fn measure(shape: &Shape) -> Row {
-    let runs = shape.runs();
-    // Warm-up (allocator growth, page faults) so neither engine pays
-    // first-run costs; then timed passes over identical inputs.
-    let _ = run_all(&runs, StepMode::EventDriven);
-    let (ev, mut event_ms) = run_all(&runs, StepMode::EventDriven);
-    let (ls, mut lockstep_ms) = run_all(&runs, StepMode::Lockstep);
-    for _ in 1..PASSES {
-        event_ms = event_ms.min(run_all(&runs, StepMode::EventDriven).1);
-        lockstep_ms = lockstep_ms.min(run_all(&runs, StepMode::Lockstep).1);
-    }
-    let results_match = ev.len() == ls.len()
-        && ev.iter().zip(&ls).all(|(a, b)| {
+/// Cycle-identity of two result sets (the engine-equivalence contract;
+/// `engine` diagnostics legitimately differ between step modes).
+fn same_results(a: &[SimResult], b: &[SimResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(a, b)| {
             a.stats == b.stats
                 && a.per_core == b.per_core
                 && a.reads == b.reads
                 && a.memory == b.memory
                 && a.net == b.net
                 && a.deadlocked == b.deadlocked
-        });
+        })
+}
+
+fn measure(shape: &Shape) -> Row {
+    let runs = shape.runs();
+    // Warm-up (allocator growth, page faults) so no engine pays
+    // first-run costs; then timed passes over identical inputs.
+    let _ = run_all(&runs, StepMode::EventDriven);
+    let (ev, mut event_ms) = run_all(&runs, StepMode::EventDriven);
+    let (ls, mut lockstep_ms) = run_all(&runs, StepMode::Lockstep);
+    let (hy, mut hybrid_ms) = run_all(&runs, StepMode::Hybrid);
+    // The remaining passes rotate the engine order: slow drift in machine
+    // speed (frequency scaling, throttling) would otherwise systematically
+    // tax whichever engine always ran last in the rotation.
+    const ORDER: [StepMode; 3] = [StepMode::EventDriven, StepMode::Lockstep, StepMode::Hybrid];
+    for p in 1..PASSES {
+        for k in 0..ORDER.len() {
+            let mode = ORDER[(p + k) % ORDER.len()];
+            let ms = run_all(&runs, mode).1;
+            match mode {
+                StepMode::EventDriven => event_ms = event_ms.min(ms),
+                StepMode::Lockstep => lockstep_ms = lockstep_ms.min(ms),
+                StepMode::Hybrid => hybrid_ms = hybrid_ms.min(ms),
+            }
+        }
+    }
+    let results_match = same_results(&ev, &ls) && same_results(&hy, &ls);
     assert!(
         ev.iter().all(|r| !r.deadlocked),
         "{}: deadlocked — the avoidance scheme failed",
@@ -191,6 +221,7 @@ fn measure(shape: &Shape) -> Row {
         cycles: ev.iter().map(|r| r.stats.cycles).sum(),
         event_ms,
         lockstep_ms,
+        hybrid_ms,
         results_match,
         paper_scale: shape.cores() == 32,
     }
@@ -212,7 +243,9 @@ fn to_json(rows: &[Row], mode: &str) -> String {
         let _ = writeln!(s, "      \"simulated_cycles\": {},", r.cycles);
         let _ = writeln!(s, "      \"event_ms\": {:.3},", r.event_ms);
         let _ = writeln!(s, "      \"lockstep_ms\": {:.3},", r.lockstep_ms);
+        let _ = writeln!(s, "      \"hybrid_ms\": {:.3},", r.hybrid_ms);
         let _ = writeln!(s, "      \"speedup\": {:.3},", r.speedup());
+        let _ = writeln!(s, "      \"hybrid_speedup\": {:.3},", r.hybrid_speedup());
         let _ = writeln!(s, "      \"paper_scale\": {},", r.paper_scale);
         let _ = writeln!(s, "      \"results_match\": {}", r.results_match);
         let _ = writeln!(s, "    }}{comma}");
@@ -236,6 +269,16 @@ fn to_json(rows: &[Row], mode: &str) -> String {
         let log_sum: f64 = headline.iter().map(|r| r.speedup().ln()).sum();
         (log_sum / headline.len() as f64).exp()
     };
+    let hybrid_max = headline
+        .iter()
+        .map(|r| r.hybrid_speedup())
+        .fold(0.0, f64::max);
+    let hybrid_geomean = if headline.is_empty() {
+        0.0
+    } else {
+        let log_sum: f64 = headline.iter().map(|r| r.hybrid_speedup().ln()).sum();
+        (log_sum / headline.len() as f64).exp()
+    };
     let _ = writeln!(s, "  \"headline\": {{");
     let _ = writeln!(s, "    \"count\": {},", headline.len());
     let _ = writeln!(
@@ -244,7 +287,9 @@ fn to_json(rows: &[Row], mode: &str) -> String {
         headline.iter().all(|r| r.paper_scale)
     );
     let _ = writeln!(s, "    \"max_speedup\": {max:.3},");
-    let _ = writeln!(s, "    \"geomean_speedup\": {geomean:.3}");
+    let _ = writeln!(s, "    \"geomean_speedup\": {geomean:.3},");
+    let _ = writeln!(s, "    \"hybrid_max_speedup\": {hybrid_max:.3},");
+    let _ = writeln!(s, "    \"hybrid_geomean_speedup\": {hybrid_geomean:.3}");
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     s
@@ -277,7 +322,18 @@ fn main() {
     }
 
     let shapes: Vec<Shape> = if smoke {
-        vec![Shape::LitmusCorpus, Shape::LitmusAtScale]
+        vec![
+            Shape::LitmusCorpus,
+            Shape::LitmusAtScale,
+            // One scaled-machine row so CI proves the 128-core engines
+            // agree, not just the paper-scale ones.
+            Shape::Kernel {
+                bench: Benchmark::Genome,
+                cores: 128,
+                memops: 2_000,
+                atomicity: Atomicity::Type2,
+            },
+        ]
     } else {
         let kernel = |bench, atomicity| Shape::Kernel {
             bench,
@@ -292,27 +348,44 @@ fn main() {
             kernel(Benchmark::Radiosity, Atomicity::Type2),
             kernel(Benchmark::Bayes, Atomicity::Type2),
             kernel(Benchmark::WsqMstRr, Atomicity::Type3),
+            // The scaled machines the paper never evaluated: same Table 2
+            // latencies, 128/256 cores. Lockstep pays every core every
+            // cycle; the adaptive engines must not.
+            Shape::Kernel {
+                bench: Benchmark::Genome,
+                cores: 128,
+                memops: 2_000,
+                atomicity: Atomicity::Type2,
+            },
+            Shape::Kernel {
+                bench: Benchmark::Raytrace,
+                cores: 256,
+                memops: 1_000,
+                atomicity: Atomicity::Type3,
+            },
         ]
     };
 
     println!(
-        "sim_scaling ({}): event-driven cycle-skipping vs lockstep reference",
+        "sim_scaling ({}): event-driven + hybrid vs lockstep reference",
         if smoke { "smoke" } else { "full" }
     );
     println!(
-        "{:<42} {:>12} {:>10} {:>12} {:>8}",
-        "shape", "sim cycles", "event ms", "lockstep ms", "speedup"
+        "{:<42} {:>12} {:>9} {:>9} {:>12} {:>7} {:>7}",
+        "shape", "sim cycles", "event ms", "hyb ms", "lockstep ms", "ev x", "hyb x"
     );
     let mut rows = Vec::new();
     for shape in &shapes {
         let row = measure(shape);
         println!(
-            "{:<42} {:>12} {:>10.1} {:>12.1} {:>7.1}x",
+            "{:<42} {:>12} {:>9.1} {:>9.1} {:>12.1} {:>6.1}x {:>6.1}x",
             row.name,
             row.cycles,
             row.event_ms,
+            row.hybrid_ms,
             row.lockstep_ms,
-            row.speedup()
+            row.speedup(),
+            row.hybrid_speedup()
         );
         if !row.results_match {
             eprintln!("ERROR: {}: engines disagree", row.name);

@@ -42,26 +42,16 @@ pub fn cli_scale() -> (usize, usize) {
     (cores, memops)
 }
 
-/// A simulator configuration scaled down from Table 2 to `cores` cores
-/// (the mesh shrinks accordingly; all latencies stay at paper values).
+/// A simulator configuration scaled from Table 2 to `cores` cores
+/// (the mesh resizes accordingly; all latencies stay at paper values).
+/// Thin wrapper over [`SimConfig::paper_scaled`] that also sets the RMW
+/// atomicity.
 ///
 /// # Panics
 ///
 /// Panics if `cores` is zero.
 pub fn config_for(cores: usize, atomicity: Atomicity) -> SimConfig {
-    assert!(cores >= 1, "need at least 1 core, got {cores}");
-    let mut cfg = if cores == 32 {
-        SimConfig::paper_table2()
-    } else {
-        let mut c = SimConfig::paper_table2();
-        c.coherence.num_cores = cores;
-        // Keep a near-square mesh.
-        let width = (cores as f64).sqrt().ceil() as usize;
-        let height = cores.div_ceil(width);
-        c.coherence.mesh.width = width;
-        c.coherence.mesh.height = height;
-        c
-    };
+    let mut cfg = SimConfig::paper_scaled(cores);
     cfg.rmw_atomicity = atomicity;
     cfg
 }

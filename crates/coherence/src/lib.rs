@@ -166,15 +166,71 @@ pub struct CoherenceStats {
 
 #[derive(Debug, Clone)]
 struct Line {
-    /// Offset of this line's `num_cores` per-core states in the shared
-    /// `states` arena (one slab per line, allocated once in a growable
-    /// vector instead of a heap allocation per line — line creation is on
-    /// the simulator's cold-miss path).
-    base: usize,
+    /// The unique M/O/E core and its state, if any. MOESI permits at most
+    /// one owner per line, so storing it explicitly (instead of a
+    /// `num_cores`-wide state slab) keeps per-line memory flat as the
+    /// machine scales to 128/256 cores.
+    owner: Option<(u32, LineState)>,
+    /// Cores holding plain `S` copies, sorted ascending and disjoint from
+    /// `owner`. Every other core is implicitly `I`. Write invalidation
+    /// walks this set — O(sharers), not O(num_cores).
+    sharers: Vec<u32>,
     lock: Option<LineLock>,
     /// Whether the line has ever been brought on-chip (false ⇒ next access
     /// pays the memory latency).
     on_chip: bool,
+}
+
+impl Line {
+    fn new() -> Self {
+        Line {
+            owner: None,
+            sharers: Vec::new(),
+            lock: None,
+            on_chip: false,
+        }
+    }
+
+    fn state_of(&self, core: usize) -> LineState {
+        match self.owner {
+            Some((c, s)) if c as usize == core => s,
+            _ if self.sharers.binary_search(&(core as u32)).is_ok() => LineState::S,
+            _ => LineState::I,
+        }
+    }
+
+    fn add_sharer(&mut self, core: usize) {
+        if let Err(at) = self.sharers.binary_search(&(core as u32)) {
+            self.sharers.insert(at, core as u32);
+        }
+    }
+
+    /// Cores other than `core` holding a valid copy.
+    fn other_valid(&self, core: usize) -> impl Iterator<Item = usize> + '_ {
+        self.owner
+            .iter()
+            .map(|&(c, _)| c as usize)
+            .chain(self.sharers.iter().map(|&c| c as usize))
+            .filter(move |&c| c != core)
+    }
+}
+
+/// Whether `core`'s prospective access is denied by `lock`.
+/// `needs_coherence` is true when the access cannot be satisfied from
+/// the local L1 (miss or upgrade) and so must consult the directory.
+fn denied_by_lock(lock: Option<LineLock>, core: usize, needs_coherence: bool) -> Option<usize> {
+    let lock = lock?;
+    if lock.holder == core {
+        return None;
+    }
+    match lock.kind {
+        // A local lock implies the holder holds the sole valid copy, so
+        // any other core's access needs coherence and is denied.
+        LockKind::Local => Some(lock.holder),
+        // A directory lock only blocks requests that reach the
+        // directory; local S-state reads proceed.
+        LockKind::Directory => needs_coherence.then_some(lock.holder),
+    }
 }
 
 /// The coherence system: per-line MOESI state, a home directory slice per
@@ -184,8 +240,6 @@ pub struct CoherenceSystem {
     config: CoherenceConfig,
     mesh: Mesh,
     lines: FastHashMap<CacheLine, Line>,
-    /// Arena of per-core states, `num_cores` entries per known line.
-    states: Vec<LineState>,
     stats: CoherenceStats,
 }
 
@@ -205,7 +259,6 @@ impl CoherenceSystem {
             config,
             mesh: Mesh::new(config.mesh),
             lines: FastHashMap::default(),
-            states: Vec::new(),
             stats: CoherenceStats::default(),
         }
     }
@@ -239,12 +292,7 @@ impl CoherenceSystem {
     pub fn state_of(&self, core: usize, line: CacheLine) -> LineState {
         self.lines
             .get(&line)
-            .map_or(LineState::I, |l| self.states[l.base + core])
-    }
-
-    /// The per-core state slab of a known line.
-    fn states_of(&self, l: &Line) -> &[LineState] {
-        &self.states[l.base..l.base + self.config.num_cores]
+            .map_or(LineState::I, |l| l.state_of(core))
     }
 
     /// The lock on `line`, if any.
@@ -252,40 +300,9 @@ impl CoherenceSystem {
         self.lines.get(&line).and_then(|l| l.lock)
     }
 
-    /// The line's record plus mutable access to its state slab, creating
-    /// both on first touch.
-    fn line_mut(&mut self, line: CacheLine) -> (&mut Line, &mut [LineState]) {
-        let n = self.config.num_cores;
-        let states = &mut self.states;
-        let l = self.lines.entry(line).or_insert_with(|| {
-            let base = states.len();
-            states.resize(base + n, LineState::I);
-            Line {
-                base,
-                lock: None,
-                on_chip: false,
-            }
-        });
-        let base = l.base;
-        (l, &mut states[base..base + n])
-    }
-
-    /// Checks whether `core`'s prospective access is denied by a lock.
-    /// `needs_coherence` is true when the access cannot be satisfied from
-    /// the local L1 (miss or upgrade) and so must consult the directory.
-    fn lock_denies(&self, core: usize, line: CacheLine, needs_coherence: bool) -> Option<usize> {
-        let lock = self.lock_of(line)?;
-        if lock.holder == core {
-            return None;
-        }
-        match lock.kind {
-            // A local lock implies the holder holds the sole valid copy, so
-            // any other core's access needs coherence and is denied.
-            LockKind::Local => Some(lock.holder),
-            // A directory lock only blocks requests that reach the
-            // directory; local S-state reads proceed.
-            LockKind::Directory => needs_coherence.then_some(lock.holder),
-        }
+    /// The line's record, creating it on first touch.
+    fn line_mut(&mut self, line: CacheLine) -> &mut Line {
+        self.lines.entry(line).or_insert_with(Line::new)
     }
 
     /// Non-mutating probe: the core whose lock would deny a [`read`] by
@@ -299,8 +316,8 @@ impl CoherenceSystem {
     ///
     /// [`read`]: CoherenceSystem::read
     pub fn read_denied_by(&self, core: usize, line: CacheLine) -> Option<usize> {
-        let needs_coherence = !self.state_of(core, line).is_valid();
-        self.lock_denies(core, line, needs_coherence)
+        let l = self.lines.get(&line)?;
+        denied_by_lock(l.lock, core, !l.state_of(core).is_valid())
     }
 
     /// Non-mutating probe: the core whose lock would deny a [`write`] by
@@ -310,8 +327,8 @@ impl CoherenceSystem {
     /// [`write`]: CoherenceSystem::write
     /// [`read_denied_by`]: CoherenceSystem::read_denied_by
     pub fn write_denied_by(&self, core: usize, line: CacheLine) -> Option<usize> {
-        let needs_coherence = !self.state_of(core, line).is_writable();
-        self.lock_denies(core, line, needs_coherence)
+        let l = self.lines.get(&line)?;
+        denied_by_lock(l.lock, core, !l.state_of(core).is_writable())
     }
 
     /// Non-mutating probe: the core whose lock would deny `core` an RMW
@@ -332,9 +349,12 @@ impl CoherenceSystem {
     /// [`Denied::LockedBy`] if the line is locked by another core and the
     /// access needs a coherence transaction.
     pub fn read(&mut self, core: usize, line: CacheLine, now: Cycle) -> Result<Access, Denied> {
-        let state = self.state_of(core, line);
-        let needs_coherence = !state.is_valid();
-        if let Some(holder) = self.lock_denies(core, line, needs_coherence) {
+        // One map probe serves the whole transaction: denial check, hit
+        // path, and miss path all work off the same line record — this is
+        // the simulator's hottest function after `Core::tick` itself.
+        let l = self.lines.entry(line).or_insert_with(Line::new);
+        let state = l.state_of(core);
+        if let Some(holder) = denied_by_lock(l.lock, core, !state.is_valid()) {
             self.stats.lock_denials += 1;
             return Err(Denied::LockedBy(holder));
         }
@@ -348,20 +368,20 @@ impl CoherenceSystem {
             });
         }
         self.stats.misses += 1;
-        let home = self.home_of(line);
+        let home = ((line.0 >> 6) % self.config.num_cores as u64) as usize;
         let mut t =
             now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
         let mut from_memory = false;
 
-        let owner = self.owner_of(line);
-        if let Some(owner_core) = owner {
+        if let Some((oc, _)) = l.owner {
             // forward: home → owner → requester
+            let owner_core = oc as usize;
             t += self.mesh.latency(home, owner_core)
                 + self.config.l1_latency
                 + self.mesh.latency(owner_core, core);
             self.stats.forwards += 1;
         } else {
-            if !self.lines.get(&line).is_some_and(|l| l.on_chip) {
+            if !l.on_chip {
                 t += self.config.memory_latency;
                 from_memory = true;
                 self.stats.memory_fetches += 1;
@@ -370,26 +390,23 @@ impl CoherenceSystem {
         }
 
         // State transitions.
-        {
-            let (l, states) = self.line_mut(line);
-            l.on_chip = true;
-            let any_other_valid = states
-                .iter()
-                .enumerate()
-                .any(|(c, s)| c != core && s.is_valid());
-            if let Some(oc) = owner {
-                // owner downgrades: M→O, E→S, O stays O
-                states[oc] = match states[oc] {
-                    LineState::M => LineState::O,
-                    LineState::E => LineState::S,
-                    s => s,
-                };
+        l.on_chip = true;
+        let any_other_valid = l.other_valid(core).next().is_some();
+        // Owner downgrades: M→O, E→S (joins the sharer set), O stays O.
+        if let Some((oc, s)) = l.owner {
+            match s {
+                LineState::M => l.owner = Some((oc, LineState::O)),
+                LineState::E => {
+                    l.owner = None;
+                    l.add_sharer(oc as usize);
+                }
+                _ => {}
             }
-            states[core] = if any_other_valid {
-                LineState::S
-            } else {
-                LineState::E
-            };
+        }
+        if any_other_valid {
+            l.add_sharer(core);
+        } else {
+            l.owner = Some((core as u32, LineState::E));
         }
         Ok(Access {
             done_at: t,
@@ -406,17 +423,16 @@ impl CoherenceSystem {
     ///
     /// [`Denied::LockedBy`] if the line is locked by another core.
     pub fn write(&mut self, core: usize, line: CacheLine, now: Cycle) -> Result<Access, Denied> {
-        let state = self.state_of(core, line);
-        let needs_coherence = !state.is_writable();
-        if let Some(holder) = self.lock_denies(core, line, needs_coherence) {
+        // Single map probe, as in `read`.
+        let l = self.lines.entry(line).or_insert_with(Line::new);
+        let state = l.state_of(core);
+        if let Some(holder) = denied_by_lock(l.lock, core, !state.is_writable()) {
             self.stats.lock_denials += 1;
             return Err(Denied::LockedBy(holder));
         }
         if state.is_writable() {
             self.stats.hits += 1;
-            let (l, states) = self.line_mut(line);
-            let _ = l;
-            states[core] = LineState::M;
+            l.owner = Some((core as u32, LineState::M));
             return Ok(Access {
                 done_at: now + self.config.l1_latency,
                 hit: true,
@@ -425,20 +441,20 @@ impl CoherenceSystem {
             });
         }
         self.stats.misses += 1;
-        let home = self.home_of(line);
+        let home = ((line.0 >> 6) % self.config.num_cores as u64) as usize;
         let mut t =
             now + self.config.l1_latency + self.mesh.latency(core, home) + self.config.l2_latency;
         let mut from_memory = false;
 
         // Data supply if we don't have a valid copy at all.
-        let owner = self.owner_of(line);
         if state == LineState::I {
-            if let Some(owner_core) = owner {
+            if let Some((oc, _)) = l.owner {
+                let owner_core = oc as usize;
                 t += self.mesh.latency(home, owner_core)
                     + self.config.l1_latency
                     + self.mesh.latency(owner_core, core);
                 self.stats.forwards += 1;
-            } else if !self.lines.get(&line).is_some_and(|l| l.on_chip) {
+            } else if !l.on_chip {
                 t += self.config.memory_latency + self.mesh.latency(home, core);
                 from_memory = true;
                 self.stats.memory_fetches += 1;
@@ -448,31 +464,24 @@ impl CoherenceSystem {
         }
 
         // Invalidate every other valid copy; acks return to the requester
-        // in parallel — latest ack dominates. One line lookup, then the
-        // state slab directly — a per-core `state_of` here would redo the
-        // hash lookup `num_cores` times on the hot write path.
+        // in parallel — latest ack dominates. The sharded line walks only
+        // the owner + sharer set — O(sharers), independent of machine
+        // width, on the hot write path.
         let mut inv_done = t;
         let mut invalidations = 0usize;
-        if let Some(l) = self.lines.get(&line) {
-            for (c, s) in self.states_of(l).iter().enumerate() {
-                if c != core && s.is_valid() {
-                    let ack = t
-                        + self.mesh.latency(home, c)
-                        + self.config.l1_latency
-                        + self.mesh.latency(c, core);
-                    inv_done = inv_done.max(ack);
-                    invalidations += 1;
-                }
-            }
+        for c in l.other_valid(core) {
+            let ack = t
+                + self.mesh.latency(home, c)
+                + self.config.l1_latency
+                + self.mesh.latency(c, core);
+            inv_done = inv_done.max(ack);
+            invalidations += 1;
         }
         self.stats.invalidations += invalidations as u64;
 
-        {
-            let (l, states) = self.line_mut(line);
-            l.on_chip = true;
-            states.fill(LineState::I);
-            states[core] = LineState::M;
-        }
+        l.on_chip = true;
+        l.sharers.clear();
+        l.owner = Some((core as u32, LineState::M));
         Ok(Access {
             done_at: inv_done,
             hit: false,
@@ -514,7 +523,7 @@ impl CoherenceSystem {
                 "directory lock requires a valid copy, have {state:?}"
             ),
         }
-        self.line_mut(line).0.lock = Some(LineLock { holder: core, kind });
+        self.line_mut(line).lock = Some(LineLock { holder: core, kind });
         Ok(())
     }
 
@@ -524,7 +533,7 @@ impl CoherenceSystem {
     ///
     /// Panics if `core` does not hold the lock (internal bug).
     pub fn unlock(&mut self, core: usize, line: CacheLine) {
-        let (l, _) = self.line_mut(line);
+        let l = self.line_mut(line);
         match l.lock {
             Some(LineLock { holder, .. }) if holder == core => l.lock = None,
             other => panic!("core {core} unlocking {line} it does not hold: {other:?}"),
@@ -533,40 +542,41 @@ impl CoherenceSystem {
 
     /// The core currently designated to supply data (M/O/E), if any.
     pub fn owner_of(&self, line: CacheLine) -> Option<usize> {
-        let l = self.lines.get(&line)?;
-        self.states_of(l).iter().position(|s| s.is_owner())
+        self.lines.get(&line)?.owner.map(|(c, _)| c as usize)
     }
 
-    /// Invariant check used by tests: at most one core in `M`/`E`, and if a
-    /// core is in `M` or `E`, no other core holds a valid copy.
+    /// Invariant check used by tests: the sharded representation is
+    /// internally consistent (owner holds an owner state and is absent
+    /// from the sorted, deduplicated sharer set), and an `M`/`E` owner
+    /// coexists with no other valid copy.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (line, l) in &self.lines {
-            let states = self.states_of(l);
-            let exclusive: Vec<usize> = states
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.is_writable())
-                .map(|(c, _)| c)
-                .collect();
-            if exclusive.len() > 1 {
-                return Err(format!("{line}: multiple exclusive copies: {exclusive:?}"));
-            }
-            if let Some(&e) = exclusive.first() {
-                let others: Vec<usize> = states
-                    .iter()
-                    .enumerate()
-                    .filter(|&(c, s)| c != e && s.is_valid())
-                    .map(|(c, _)| c)
-                    .collect();
-                if !others.is_empty() {
+            if let Some((oc, s)) = l.owner {
+                if !s.is_owner() {
+                    return Err(format!("{line}: owner core {oc} in non-owner state {s:?}"));
+                }
+                if (oc as usize) >= self.config.num_cores {
+                    return Err(format!("{line}: owner core {oc} out of range"));
+                }
+                if l.sharers.binary_search(&oc).is_ok() {
+                    return Err(format!("{line}: owner core {oc} also in sharer set"));
+                }
+                if s.is_writable() && !l.sharers.is_empty() {
                     return Err(format!(
-                        "{line}: core {e} exclusive but {others:?} hold valid copies"
+                        "{line}: core {oc} exclusive but {:?} hold valid copies",
+                        l.sharers
                     ));
                 }
             }
-            let owners = states.iter().filter(|s| s.is_owner()).count();
-            if owners > 1 {
-                return Err(format!("{line}: {owners} owners"));
+            if !l.sharers.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("{line}: sharer set not sorted: {:?}", l.sharers));
+            }
+            if let Some(&c) = l
+                .sharers
+                .iter()
+                .find(|&&c| c as usize >= self.config.num_cores)
+            {
+                return Err(format!("{line}: sharer core {c} out of range"));
             }
         }
         Ok(())
@@ -766,6 +776,40 @@ mod tests {
         let homes: std::collections::BTreeSet<usize> =
             (0..64u64).map(|i| s.home_of(CacheLine(i * 64))).collect();
         assert_eq!(homes.len(), 4, "interleaving reaches every slice");
+    }
+
+    #[test]
+    fn sharded_lines_scale_to_wide_machines() {
+        // 256 cores: per-line state is owner + sharer set, so a line read
+        // by a handful of cores costs memory proportional to the sharers,
+        // and a write invalidates exactly that handful.
+        let mut s = CoherenceSystem::new(CoherenceConfig {
+            num_cores: 256,
+            mesh: MeshConfig {
+                width: 16,
+                height: 16,
+                link_latency: 1,
+                router_latency: 4,
+            },
+            ..CoherenceConfig::small(4)
+        });
+        let readers = [0usize, 17, 99, 200, 255];
+        for (i, &c) in readers.iter().enumerate() {
+            s.read(c, L, i as Cycle * 100).unwrap();
+        }
+        for &c in &readers {
+            assert_eq!(s.state_of(c, L), LineState::S);
+        }
+        assert_eq!(s.state_of(1, L), LineState::I);
+        s.check_invariants().unwrap();
+        let a = s.write(42, L, 10_000).unwrap();
+        assert_eq!(a.invalidations, readers.len());
+        assert_eq!(s.state_of(42, L), LineState::M);
+        assert_eq!(s.owner_of(L), Some(42));
+        for &c in &readers {
+            assert_eq!(s.state_of(c, L), LineState::I);
+        }
+        s.check_invariants().unwrap();
     }
 
     #[test]

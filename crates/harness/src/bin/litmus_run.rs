@@ -15,8 +15,9 @@
 //! * `--jobs N` — worker threads (default: available parallelism);
 //! * `--smoke` — small-program subset (capped), for CI; the reported
 //!   `corpus_total` still counts the full corpus;
-//! * `--machine small|paper` — differential side on the per-test small
-//!   machine (default) or the full 32-core Table 2 machine;
+//! * `--machine small|paper|128|256` — differential side on the per-test
+//!   small machine (default), the full 32-core Table 2 machine, or a
+//!   Table-2-latency machine scaled to 128/256 cores;
 //! * `--format summary|json|tap` — output format (default `summary`);
 //! * `--out PATH` — also write the chosen format to `PATH`;
 //! * `--seed N` / `--random N` — corpus generation knobs;
@@ -65,11 +66,11 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] [--machine small|paper]\n\
+        "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] [--machine small|paper|128|256]\n\
          \x20                [--format summary|json|tap] [--out PATH] [--seed N] [--random N]\n\
          \x20                [--store PATH] [--no-baseline]\n\
          \x20      litmus_run campaign [--count N] [--shard I/N] [--seed N] [--jobs N]\n\
-         \x20                [--machine small|paper] [--chunk N] [--store PATH | --no-store]\n\
+         \x20                [--machine small|paper|128|256] [--chunk N] [--store PATH | --no-store]\n\
          \x20                [--checkpoint PATH] [--resume] [--out PATH] [--max-chunks N]\n\
          \x20      litmus_run merge REPORT... [--out PATH]\n\
          \x20      litmus_run compact STORE... [--merge OUT]"
@@ -125,7 +126,7 @@ fn parse_corpus_args(rest: Vec<String>) -> Args {
             "--machine" => {
                 args.machine =
                     MachineKind::parse(&next_value(&mut it, "--machine")).unwrap_or_else(|| {
-                        eprintln!("--machine must be small or paper");
+                        eprintln!("--machine must be small, paper, 128, or 256");
                         usage()
                     })
             }
@@ -333,7 +334,7 @@ fn campaign_main(argv: Vec<String>) {
             "--machine" => {
                 cfg.machine =
                     MachineKind::parse(&next_value(&mut it, "--machine")).unwrap_or_else(|| {
-                        eprintln!("--machine must be small or paper");
+                        eprintln!("--machine must be small, paper, 128, or 256");
                         usage()
                     })
             }

@@ -178,17 +178,35 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
                             Some(b'b') => s.push('\u{8}'),
                             Some(b'f') => s.push('\u{c}'),
                             Some(b'u') => {
-                                let hex =
-                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
-                                let hex = std::str::from_utf8(hex)
-                                    .map_err(|_| "bad \\u escape".to_string())?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = parse_hex4(b, *pos + 1)?;
+                                *pos += 4;
+                                let code = match code {
+                                    // High surrogate: JSON encodes non-BMP
+                                    // characters as a \uD800–\uDBFF +
+                                    // \uDC00–\uDFFF pair.
+                                    0xD800..=0xDBFF => {
+                                        if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                            return Err("lone high surrogate \\u escape".into());
+                                        }
+                                        let low = parse_hex4(b, *pos + 3)?;
+                                        if !(0xDC00..=0xDFFF).contains(&low) {
+                                            return Err(format!(
+                                                "high surrogate followed by \\u{low:04X}, \
+                                                 not a low surrogate"
+                                            ));
+                                        }
+                                        *pos += 6;
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                    }
+                                    0xDC00..=0xDFFF => {
+                                        return Err("lone low surrogate \\u escape".into())
+                                    }
+                                    c => c,
+                                };
                                 s.push(
                                     char::from_u32(code)
                                         .ok_or_else(|| "bad \\u codepoint".to_string())?,
                                 );
-                                *pos += 4;
                             }
                             other => return Err(format!("bad escape {other:?}")),
                         }
@@ -236,6 +254,17 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
+/// Parses the four hex digits of a `\u` escape starting at byte `at`.
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let hex = b.get(at..at + 4).ok_or("truncated \\u escape")?;
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err("bad \\u escape".into());
+    }
+    // Infallible after the digit check, but stay on the Result path.
+    let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())
+}
+
 fn utf8_width(first: u8) -> usize {
     match first {
         0x00..=0x7f => 1,
@@ -273,6 +302,59 @@ mod tests {
         assert!(parse("{} extra").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("{1: 2}").is_err());
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs_and_raw_non_bmp() {
+        // JSON encodes non-BMP characters as UTF-16 surrogate pairs:
+        // U+1F600 is \uD83D\uDE00.
+        assert_eq!(
+            parse("\"\\uD83D\\uDE00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        // A pair embedded between other escapes and text.
+        assert_eq!(
+            parse("\"a\\n\\uD83D\\uDE00b\"").unwrap().as_str(),
+            Some("a\n\u{1F600}b")
+        );
+        // BMP escapes still decode directly.
+        assert_eq!(parse("\"\\u00e9\"").unwrap().as_str(), Some("\u{e9}"));
+        // Raw (unescaped) non-BMP UTF-8 passes through byte-for-byte.
+        assert_eq!(parse("\"\u{1F600}\"").unwrap().as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_lone_and_mismatched_surrogates() {
+        for bad in [
+            "\"\\uD83D\"",        // lone high surrogate at end of string
+            "\"\\uD83Dx\"",       // high surrogate followed by plain text
+            "\"\\uD83D\\n\"",     // high surrogate followed by another escape
+            "\"\\uD83D\\u0041\"", // high surrogate + non-surrogate escape
+            "\"\\uDE00\"",        // lone low surrogate
+            "\"\\uD83D\\uD83D\"", // high + high
+            "\"\\uD83\"",         // truncated hex
+            "\"\\u+123\"",        // sign is not a hex digit
+        ] {
+            assert!(parse(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn roundtrips_report_strings_with_non_bmp_characters() {
+        // `json_escape` in report.rs passes non-BMP characters through
+        // raw; the reader must accept both that form and the surrogate
+        // pair escaped form and produce the identical string.
+        let name = "sb+\u{1F600}\u{10348}";
+        let raw = format!("{{\"name\": \"{}\"}}", crate::report::json_escape(name));
+        assert_eq!(
+            parse(&raw).unwrap().get("name").unwrap().as_str(),
+            Some(name)
+        );
+        let escaped = "{\"name\": \"sb+\\uD83D\\uDE00\\uD800\\uDF48\"}";
+        assert_eq!(
+            parse(escaped).unwrap().get("name").unwrap().as_str(),
+            Some(name)
+        );
     }
 
     #[test]

@@ -46,6 +46,9 @@ use tso_sim::{lower_with_line_size, sim_addr, Machine, SimConfig};
 /// thread count; `Paper` runs every test on the full 32-core Table 2
 /// configuration (300-cycle memory, 8×4 mesh) — tractable for whole-corpus
 /// runs since the simulator's event-driven engine (`BENCH_sim.json`).
+/// `Scaled128`/`Scaled256` keep every Table 2 latency and grow the mesh
+/// ([`SimConfig::paper_scaled`]) — machines the paper never evaluated,
+/// used to probe whether its conclusions survive scaling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MachineKind {
     /// `SimConfig::small(threads)`: per-test sizing, short latencies.
@@ -53,6 +56,10 @@ pub enum MachineKind {
     Small,
     /// `SimConfig::paper_table2()`: the paper's 32-core machine.
     Paper,
+    /// `SimConfig::paper_scaled(128)`: Table 2 latencies, 12×11 mesh.
+    Scaled128,
+    /// `SimConfig::paper_scaled(256)`: Table 2 latencies, 16×16 mesh.
+    Scaled256,
 }
 
 impl MachineKind {
@@ -61,6 +68,8 @@ impl MachineKind {
         match self {
             MachineKind::Small => "small",
             MachineKind::Paper => "paper",
+            MachineKind::Scaled128 => "128",
+            MachineKind::Scaled256 => "256",
         }
     }
 
@@ -69,6 +78,8 @@ impl MachineKind {
         match s {
             "small" => Some(MachineKind::Small),
             "paper" => Some(MachineKind::Paper),
+            "128" => Some(MachineKind::Scaled128),
+            "256" => Some(MachineKind::Scaled256),
             _ => None,
         }
     }
@@ -77,20 +88,22 @@ impl MachineKind {
     ///
     /// # Panics
     ///
-    /// Panics if the program needs more threads than the paper machine
-    /// has cores.
+    /// Panics if the program needs more threads than the machine has
+    /// cores.
     pub fn config(self, threads: usize) -> SimConfig {
-        match self {
-            MachineKind::Small => SimConfig::small(threads.max(1)),
-            MachineKind::Paper => {
-                let cfg = SimConfig::paper_table2();
-                assert!(
-                    threads <= cfg.num_cores(),
-                    "{threads}-thread test exceeds the 32-core Table 2 machine"
-                );
-                cfg
-            }
-        }
+        let cfg = match self {
+            MachineKind::Small => return SimConfig::small(threads.max(1)),
+            MachineKind::Paper => SimConfig::paper_table2(),
+            MachineKind::Scaled128 => SimConfig::paper_scaled(128),
+            MachineKind::Scaled256 => SimConfig::paper_scaled(256),
+        };
+        assert!(
+            threads <= cfg.num_cores(),
+            "{threads}-thread test exceeds the {}-core {} machine",
+            cfg.num_cores(),
+            self.name()
+        );
+        cfg
     }
 }
 
@@ -343,10 +356,37 @@ mod tests {
     fn machine_kind_parses_and_sizes() {
         assert_eq!(MachineKind::parse("small"), Some(MachineKind::Small));
         assert_eq!(MachineKind::parse("paper"), Some(MachineKind::Paper));
+        assert_eq!(MachineKind::parse("128"), Some(MachineKind::Scaled128));
+        assert_eq!(MachineKind::parse("256"), Some(MachineKind::Scaled256));
         assert_eq!(MachineKind::parse("huge"), None);
         assert_eq!(MachineKind::Paper.config(4).num_cores(), 32);
         assert_eq!(MachineKind::Small.config(4).num_cores(), 4);
+        assert_eq!(MachineKind::Scaled128.config(4).num_cores(), 128);
+        assert_eq!(MachineKind::Scaled256.config(4).num_cores(), 256);
+        // Round-trip: every kind parses back from its own name.
+        for k in [
+            MachineKind::Small,
+            MachineKind::Paper,
+            MachineKind::Scaled128,
+            MachineKind::Scaled256,
+        ] {
+            assert_eq!(MachineKind::parse(k.name()), Some(k));
+        }
+        // Scaled machines keep paper latencies.
+        let c = MachineKind::Scaled256.config(2);
+        assert_eq!(c.coherence.memory_latency, 300);
         assert_eq!(MachineKind::default(), MachineKind::Small);
+    }
+
+    #[test]
+    fn scaled_machine_corpus_is_differentially_clean() {
+        // A couple of classics on the 128-core machine: the differential
+        // contract must hold on the scaled mesh too.
+        let tests = vec![classic::sb(), classic::mp()];
+        let (outcomes, _) = run_batch_on(&tests, 2, MachineKind::Scaled128);
+        for o in &outcomes {
+            assert!(o.passed(), "{}: {}", o.name, o.diagnosis());
+        }
     }
 
     #[test]

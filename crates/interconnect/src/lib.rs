@@ -67,6 +67,10 @@ impl MeshConfig {
 #[derive(Debug, Clone)]
 pub struct Mesh {
     config: MeshConfig,
+    /// `(x, y)` per node id, precomputed: hop distances sit on the
+    /// simulator's hottest paths (every coherence miss and write-buffer
+    /// request), where the row-major div/mod would dominate.
+    coords: Vec<(u32, u32)>,
 }
 
 impl Mesh {
@@ -80,7 +84,10 @@ impl Mesh {
             config.width > 0 && config.height > 0,
             "mesh dimensions must be nonzero"
         );
-        Mesh { config }
+        let coords = (0..config.num_nodes())
+            .map(|n| ((n % config.width) as u32, (n / config.width) as u32))
+            .collect();
+        Mesh { config, coords }
     }
 
     /// The configuration.
@@ -100,14 +107,15 @@ impl Mesh {
     /// Panics if `node` is out of range.
     pub fn coords(&self, node: usize) -> (usize, usize) {
         assert!(node < self.num_nodes(), "node {node} out of range");
-        (node % self.config.width, node / self.config.width)
+        let (x, y) = self.coords[node];
+        (x as usize, y as usize)
     }
 
     /// Manhattan hop count between two nodes (XY routing path length).
     pub fn hops(&self, a: usize, b: usize) -> usize {
-        let (ax, ay) = self.coords(a);
-        let (bx, by) = self.coords(b);
-        ax.abs_diff(bx) + ay.abs_diff(by)
+        let (ax, ay) = self.coords[a];
+        let (bx, by) = self.coords[b];
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as usize
     }
 
     /// One-way traversal latency from `a` to `b`: each hop crosses a link

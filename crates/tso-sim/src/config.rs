@@ -20,6 +20,15 @@ pub enum StepMode {
     /// stall-dominated (paper-scale) workloads.
     #[default]
     EventDriven,
+    /// Adaptive engine: tracks armed-event density over a sliding window
+    /// of visited cycles and switches between dense stepping (tick every
+    /// live core, no next-event scans — the lockstep shape) and sparse
+    /// event-driven jumps. State hands off cycle-exactly at every switch:
+    /// `now`, the watchdog (`last_progress`), and the pending
+    /// wheel/overflow contents all survive a transition untouched, so the
+    /// result is cycle-identical to both other engines whatever the
+    /// switch schedule.
+    Hybrid,
 }
 
 /// Full machine configuration.
@@ -99,6 +108,30 @@ impl SimConfig {
             futex_latency: 150,
             line_size: 64,
         }
+    }
+
+    /// The Table 2 machine scaled to `cores` cores: every latency stays
+    /// at paper values and only the mesh is resized — `paper_scaled(32)`
+    /// keeps the paper's exact 8×4 grid, any other count gets the
+    /// smallest near-square mesh with at least `cores` nodes (nodes past
+    /// the core count are routers only). This is both the scale-*down*
+    /// used by small experiment runs and the scale-*up* behind the
+    /// 128/256-core machines (`litmus_run --machine 128|256`) the paper
+    /// never evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn paper_scaled(cores: usize) -> Self {
+        assert!(cores >= 1, "need at least 1 core, got {cores}");
+        let mut c = SimConfig::paper_table2();
+        if cores != 32 {
+            c.coherence.num_cores = cores;
+            let width = (cores as f64).sqrt().ceil() as usize;
+            c.coherence.mesh.width = width;
+            c.coherence.mesh.height = cores.div_ceil(width);
+        }
+        c
     }
 
     /// A small configuration for unit tests.
@@ -184,6 +217,23 @@ mod tests {
         assert!(c.parallel_drain);
         assert!(c.validate().is_ok());
         assert_eq!(c, SimConfig::default());
+    }
+
+    #[test]
+    fn paper_scaled_keeps_latencies_at_every_size() {
+        assert_eq!(SimConfig::paper_scaled(32), SimConfig::paper_table2());
+        for cores in [1, 8, 128, 256] {
+            let c = SimConfig::paper_scaled(cores);
+            assert_eq!(c.num_cores(), cores);
+            assert_eq!(c.coherence.l1_latency, 2);
+            assert_eq!(c.coherence.l2_latency, 6);
+            assert_eq!(c.coherence.memory_latency, 300);
+            assert!(c.mesh().num_nodes() >= cores);
+            assert!(c.validate().is_ok());
+        }
+        // The big machines stay near-square: 128 → 12×11, 256 → 16×16.
+        assert_eq!(SimConfig::paper_scaled(128).mesh().num_nodes(), 132);
+        assert_eq!(SimConfig::paper_scaled(256).mesh().num_nodes(), 256);
     }
 
     #[test]

@@ -225,6 +225,13 @@ pub(crate) struct Core {
 
 impl Core {
     pub fn new(id: usize, trace: Trace, config: &SimConfig) -> Self {
+        // Every destination-less read and RMW records one observed value;
+        // sizing the log up front keeps reallocation out of the hot tick.
+        let recorded = trace
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Read(_) | Op::Rmw(..)))
+            .count();
         Core {
             id,
             trace,
@@ -240,7 +247,7 @@ impl Core {
             futex_sleep: None,
             woken_at: None,
             spin_since: None,
-            reads: Vec::new(),
+            reads: Vec::with_capacity(recorded),
             stats: SimStats::default(),
         }
     }
@@ -523,18 +530,25 @@ impl Core {
             }
         }
         let line = addr.line(config.line_size);
-        if shared.coherence.read_denied_by(self.id, line).is_some() {
-            // Blocked on a foreign lock; woken when the holder
-            // makes progress (its unlock arms an Advance event).
-            if self.read_blocked_since.is_none() {
-                self.read_blocked_since = Some(now);
+        if self.read_blocked_since.is_some() {
+            // Blocked re-poll: a non-mutating probe, so lockstep's
+            // per-cycle re-polls and the event engine's release-time
+            // re-probes leave identical protocol statistics.
+            if shared.coherence.read_denied_by(self.id, line).is_some() {
+                return false;
             }
-            return false;
         }
-        let acc = shared
-            .coherence
-            .read(self.id, line, now)
-            .expect("denial probe said the read proceeds");
+        let acc = match shared.coherence.read(self.id, line, now) {
+            Ok(acc) => acc,
+            Err(_) => {
+                // First denial: blocked on a foreign lock; woken when the
+                // holder makes progress (its unlock arms an Advance
+                // event). Both engines attempt the transaction at this
+                // same cycle, so the denial count stays engine-identical.
+                self.read_blocked_since = Some(now);
+                return false;
+            }
+        };
         if let Some(since) = self.read_blocked_since.take() {
             self.stats.lock_retries += now - since;
         }
@@ -673,6 +687,9 @@ impl Core {
         shared: &mut Shared,
         config: &SimConfig,
     ) -> bool {
+        if self.wb.is_empty() {
+            return false;
+        }
         let mut changed = false;
         let eager = config.parallel_drain && self.draining_for_rmw();
         let issue_count = if eager {
@@ -681,44 +698,36 @@ impl Core {
             config.wb_outstanding.min(self.wb.len())
         };
 
+        let id = self.id;
         let mut all_prior_accepted = true;
-        for i in 0..issue_count {
-            let (line, addr, value, accepted, request_arrives) = {
-                let e = &self.wb[i];
-                (
-                    e.line,
-                    e.addr,
-                    e.value,
-                    e.issued_done.is_some(),
-                    e.request_arrives,
-                )
-            };
-            if accepted {
+        let mut lock_retries = 0;
+        for e in self.wb.iter_mut().take(issue_count) {
+            if e.issued_done.is_some() {
                 continue;
             }
-            match request_arrives {
+            match e.request_arrives {
                 None => {
-                    let arrival = now + shared.coherence.request_latency(self.id, line);
-                    self.wb[i].request_arrives = Some(arrival);
+                    let arrival = now + shared.coherence.request_latency(id, e.line);
+                    e.request_arrives = Some(arrival);
                     // Clamped like every arm: a zero-latency arrival is
                     // still acted on at the next tick, as in lockstep.
                     shared.sched.wake_core(
                         now,
                         arrival.max(now + 1),
-                        self.id,
+                        id,
                         EventKind::WbRequestArrival,
                     );
                     changed = true;
                 }
                 Some(arr) if now >= arr && all_prior_accepted => {
-                    match shared.coherence.write(self.id, line, now) {
+                    match shared.coherence.write(id, e.line, now) {
                         Ok(acc) => {
-                            shared.memory.insert(addr, value);
-                            self.wb[i].issued_done = Some(acc.done_at);
+                            shared.memory.insert(e.addr, e.value);
+                            e.issued_done = Some(acc.done_at);
                             shared.sched.wake_core(
                                 now,
                                 acc.done_at.max(now + 1),
-                                self.id,
+                                id,
                                 EventKind::WbCompletion,
                             );
                         }
@@ -726,16 +735,17 @@ impl Core {
                             // Denied by a lock: retry from scratch (the
                             // re-send goes out next cycle, so the retry
                             // cadence is one request round trip).
-                            self.stats.lock_retries += 1;
-                            self.wb[i].request_arrives = None;
+                            lock_retries += 1;
+                            e.request_arrives = None;
                         }
                     }
                     changed = true;
                 }
                 Some(_) => {} // in flight, or waiting for FIFO order
             }
-            all_prior_accepted &= self.wb[i].issued_done.is_some();
+            all_prior_accepted &= e.issued_done.is_some();
         }
+        self.stats.lock_retries += lock_retries;
 
         // Pop completed head entries (one per cycle is enough at this
         // timescale, but draining benefits from popping all ready heads).

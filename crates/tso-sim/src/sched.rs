@@ -17,12 +17,15 @@
 //! size, with a bitmap for next-event scans) backed by a
 //! binary-heap overflow for arms beyond the wheel horizon. Every latency
 //! the Table 2 machine can produce (300-cycle memory + mesh traversals)
-//! fits the horizon, so in practice arming and draining are O(1) —
-//! important because short programs on big machines arm only a few
-//! hundred events and the queue must not dominate them. Two invariants
-//! keep the wheel exact: every arm is strictly in the future, and the
-//! machine visits *every* armed cycle, so a bucket is fully drained at
-//! its cycle and never holds entries from two different cycles.
+//! fits the horizon, so in practice arming and draining are O(1).
+//! Each bucket is a per-core **bitmap** rather than an event list:
+//! arming is a single OR (duplicates are absorbed for free), and a drain
+//! merges the bucket's words straight into the due-core bitmap — the
+//! queue costs a fraction of a core tick even on kernels that arm
+//! millions of `now + 1` wakeups. Two invariants keep the wheel exact:
+//! every arm is strictly in the future, and the machine visits *every*
+//! armed cycle, so a bucket is fully drained at its cycle and never
+//! holds entries from two different cycles.
 //!
 //! # Exactness contract
 //!
@@ -119,6 +122,14 @@ const BITMAP_WORDS: usize = WHEEL_SIZE / 64;
 const TARGET_BLOCKED: u32 = u32::MAX - 1;
 const TARGET_MACHINE: u32 = u32::MAX;
 
+/// Sets per-bucket flag bit `idx`, returning whether it was newly set.
+fn set_bucket_flag(flags: &mut [u64; BITMAP_WORDS], idx: usize) -> bool {
+    let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+    let newly = flags[word] & bit == 0;
+    flags[word] |= bit;
+    newly
+}
+
 /// What [`Scheduler::drain_due`] found armed at the drained cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Due {
@@ -129,43 +140,51 @@ pub struct Due {
     pub machine: bool,
 }
 
-/// Sentinel "no entry" index for the bucket lists.
-const NIL: u32 = u32::MAX;
-
-/// A pooled bucket-list node.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    at: Cycle,
-    target: u32,
-    next: u32,
-}
-
 /// Calendar-wheel event queue keyed by `(cycle, target)`.
 ///
-/// Buckets are intrusive singly-linked lists over one growable slot pool
-/// (plus a free list), so arming allocates nothing after the pool warms
-/// up — the queue must stay cheap for short programs on big machines
-/// that arm only a few hundred events.
+/// Each bucket is a **core bitmap** (one bit per core id, word-major
+/// across buckets) plus two per-bucket sentinel flags, so arming is one
+/// OR and draining a bucket is a handful of word reads merged straight
+/// into the due-core bitmap. Nothing is allocated per event — the dense
+/// kernels arm millions of near-future wakeups and the queue must stay
+/// a fraction of a tick's cost, not a multiple of it.
 ///
 /// Arming is idempotent and conservative: duplicate events are permitted
-/// (they drain as no-op wakeups), missing events are not — see the module
+/// (the bitmap absorbs them), missing events are not — see the module
 /// docs for the exactness contract. A scheduler constructed disabled
 /// ([`Scheduler::new(false)`](Scheduler::new)) ignores all arms; the
 /// lockstep engine uses one so `Core` can arm unconditionally without
 /// filling a queue nobody drains.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
-    /// Head slot index per cycle modulo [`WHEEL_SIZE`]; every entry of a
-    /// bucket holds the same cycle (see module docs).
-    buckets: Box<[u32; WHEEL_SIZE]>,
-    /// Slot pool backing the bucket lists.
-    slots: Vec<Slot>,
-    /// Head of the free-slot list.
-    free: u32,
     /// Occupancy bit per bucket.
     bitmap: [u64; BITMAP_WORDS],
+    /// Per-bucket core bitmaps, word-major: core `id`'s bit for bucket
+    /// `b` is bit `id % 64` of `wheel_bits[(id / 64) * WHEEL_SIZE + b]`.
+    /// Word-major keeps growth (a wider machine's first arm) a plain
+    /// append with no re-layout.
+    wheel_bits: Vec<u64>,
+    /// Core-bitmap words per bucket (`wheel_bits.len() / WHEEL_SIZE`).
+    core_words: usize,
+    /// Bit per bucket: a blocked-wakeup sentinel is armed there.
+    blocked_bits: [u64; BITMAP_WORDS],
+    /// Bit per bucket: a machine-level (delivery) arm is armed there.
+    machine_bits: [u64; BITMAP_WORDS],
+    /// The cycle each occupied bucket holds, for the single-cycle
+    /// invariant check (debug builds only — release recomputes the cycle
+    /// from the bucket index, which the invariant makes unambiguous).
+    #[cfg(debug_assertions)]
+    bucket_cycle: Box<[Cycle; WHEEL_SIZE]>,
     /// Arms at or beyond the wheel horizon.
     overflow: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Due-core bitmap (one bit per core id), reused across drains. Set
+    /// bits are collected in ascending id order and cleared on the way
+    /// out, so a drain is sort-free and duplicate-free by construction.
+    due_bits: Vec<u64>,
+    /// When nonzero, core/blocked arms targeting exactly this cycle are
+    /// dropped (see [`Scheduler::set_skip_core_arms_at`]). Machine-level
+    /// arms always land.
+    skip_core_arms_at: Cycle,
     enabled: bool,
     pending: usize,
     armed: u64,
@@ -177,11 +196,16 @@ impl Scheduler {
     /// no-op.
     pub fn new(enabled: bool) -> Self {
         Scheduler {
-            buckets: Box::new([NIL; WHEEL_SIZE]),
-            slots: Vec::new(),
-            free: NIL,
             bitmap: [0; BITMAP_WORDS],
+            wheel_bits: Vec::new(),
+            core_words: 0,
+            blocked_bits: [0; BITMAP_WORDS],
+            machine_bits: [0; BITMAP_WORDS],
+            #[cfg(debug_assertions)]
+            bucket_cycle: Box::new([0; WHEEL_SIZE]),
             overflow: BinaryHeap::new(),
+            due_bits: Vec::new(),
+            skip_core_arms_at: 0,
             enabled,
             pending: 0,
             armed: 0,
@@ -194,6 +218,22 @@ impl Scheduler {
         self.enabled
     }
 
+    /// Drops core- and blocked-targeted arms landing at exactly `at`
+    /// (`0` disables — cycle 0 can never be armed, as arms are strictly
+    /// future). The hybrid engine's dense phase ticks **every** live core
+    /// each cycle, so an arm for the very next dense cycle is redundant;
+    /// dropping it at the source removes the wheel/drain churn that
+    /// otherwise dominates dense stepping. Machine-level (delivery) arms
+    /// still land: the engine caches which delivery cycle it armed, and
+    /// that cache must stay truthful across phase switches.
+    ///
+    /// Exactness: the caller must guarantee the skipped cycle is ticked
+    /// densely (all live cores + unconditional delivery + blocked
+    /// re-probe), which subsumes every dropped wakeup.
+    pub fn set_skip_core_arms_at(&mut self, at: Cycle) {
+        self.skip_core_arms_at = at;
+    }
+
     /// Arms `(at, target)`. `at` must be strictly in the future relative
     /// to the cycle the caller is executing — `Machine` visits every armed
     /// cycle, which keeps each bucket single-cycled.
@@ -202,29 +242,42 @@ impl Scheduler {
             return;
         }
         debug_assert!(at > now_hint, "arm must be in the future");
+        if at == self.skip_core_arms_at && target != TARGET_MACHINE {
+            return;
+        }
         if at - now_hint >= WHEEL_SIZE as u64 {
             self.overflow.push(Reverse((at, target)));
+            self.pending += 1;
         } else {
             let idx = (at & WHEEL_MASK) as usize;
-            let slot = Slot {
-                at,
-                target,
-                next: self.buckets[idx],
+            #[cfg(debug_assertions)]
+            {
+                let occupied = self.bitmap[idx / 64] & (1 << (idx % 64)) != 0;
+                debug_assert!(
+                    !occupied || self.bucket_cycle[idx] == at,
+                    "bucket holds a single cycle"
+                );
+                self.bucket_cycle[idx] = at;
+            }
+            let newly = match target {
+                TARGET_MACHINE => set_bucket_flag(&mut self.machine_bits, idx),
+                TARGET_BLOCKED => set_bucket_flag(&mut self.blocked_bits, idx),
+                id => {
+                    let w = id as usize / 64;
+                    if w >= self.core_words {
+                        self.core_words = w + 1;
+                        self.wheel_bits.resize(self.core_words * WHEEL_SIZE, 0);
+                    }
+                    let cell = &mut self.wheel_bits[w * WHEEL_SIZE + idx];
+                    let bit = 1u64 << (id % 64);
+                    let newly = *cell & bit == 0;
+                    *cell |= bit;
+                    newly
+                }
             };
-            let slot_idx = if self.free != NIL {
-                let i = self.free;
-                self.free = self.slots[i as usize].next;
-                self.slots[i as usize] = slot;
-                i
-            } else {
-                let i = self.slots.len() as u32;
-                self.slots.push(slot);
-                i
-            };
-            self.buckets[idx] = slot_idx;
+            self.pending += usize::from(newly);
             self.bitmap[idx / 64] |= 1 << (idx % 64);
         }
-        self.pending += 1;
         self.armed += 1;
         self.armed_by_kind[kind.index()] += 1;
     }
@@ -255,25 +308,76 @@ impl Scheduler {
     /// Pops every event armed at exactly `now`, appending due core ids to
     /// `due_cores` in ascending order without duplicates. Returns the
     /// machine-level flags.
+    ///
+    /// The drain is **batched**: a bucket holding many same-cycle events
+    /// is emptied in one pass behind a single bitmap probe, and due core
+    /// ids are accumulated as bits in the reusable due bitmap — ascending
+    /// order and dedup fall out of the bit extraction, with no per-drain
+    /// sort. The same bitmap canonicalizes ordering across the
+    /// wheel/overflow boundary: a core due at `now` ticks at the same
+    /// position whether its arm sat in a wheel bucket or spilled to the
+    /// overflow heap, so results are horizon-choice-independent.
     pub fn drain_due(&mut self, now: Cycle, due_cores: &mut Vec<usize>) -> Due {
+        let due = self.drain_raw(now);
+        for w in 0..self.due_bits.len() {
+            let mut word = self.due_bits[w];
+            if word == 0 {
+                continue;
+            }
+            self.due_bits[w] = 0;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                due_cores.push(w * 64 + bit);
+            }
+        }
+        due
+    }
+
+    /// Like [`Scheduler::drain_due`], but only *counts* the distinct due
+    /// cores instead of materializing their id list. The hybrid engine's
+    /// dense phase ticks every live core regardless and needs the count
+    /// only as its armed-density signal.
+    pub fn drain_due_counted(&mut self, now: Cycle) -> (Due, u64) {
+        let due = self.drain_raw(now);
+        let mut count = 0u64;
+        for w in &mut self.due_bits {
+            count += u64::from(w.count_ones());
+            *w = 0;
+        }
+        (due, count)
+    }
+
+    /// Empties the bucket and overflow entries due at `now` into the
+    /// due-core bitmap, returning the machine-level flags.
+    fn drain_raw(&mut self, now: Cycle) -> Due {
         let mut due = Due::default();
         let idx = (now & WHEEL_MASK) as usize;
-        if self.bitmap[idx / 64] & (1 << (idx % 64)) != 0 {
-            self.bitmap[idx / 64] &= !(1 << (idx % 64));
-            let mut head = self.buckets[idx];
-            self.buckets[idx] = NIL;
-            while head != NIL {
-                let Slot { at, target, next } = self.slots[head as usize];
-                debug_assert_eq!(at, now, "bucket holds a single cycle");
-                self.slots[head as usize].next = self.free;
-                self.free = head;
-                head = next;
-                self.pending -= 1;
-                match target {
-                    TARGET_MACHINE => due.machine = true,
-                    TARGET_BLOCKED => due.wake_blocked = true,
-                    id => due_cores.push(id as usize),
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if self.bitmap[word] & bit != 0 {
+            self.bitmap[word] &= !bit;
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(self.bucket_cycle[idx], now, "bucket holds a single cycle");
+            if self.due_bits.len() < self.core_words {
+                self.due_bits.resize(self.core_words, 0);
+            }
+            for cw in 0..self.core_words {
+                let cell = &mut self.wheel_bits[cw * WHEEL_SIZE + idx];
+                if *cell != 0 {
+                    self.pending -= cell.count_ones() as usize;
+                    self.due_bits[cw] |= *cell;
+                    *cell = 0;
                 }
+            }
+            if self.blocked_bits[word] & bit != 0 {
+                self.blocked_bits[word] &= !bit;
+                self.pending -= 1;
+                due.wake_blocked = true;
+            }
+            if self.machine_bits[word] & bit != 0 {
+                self.machine_bits[word] &= !bit;
+                self.pending -= 1;
+                due.machine = true;
             }
         }
         while let Some(&Reverse((at, target))) = self.overflow.peek() {
@@ -288,12 +392,20 @@ impl Scheduler {
             match target {
                 TARGET_MACHINE => due.machine = true,
                 TARGET_BLOCKED => due.wake_blocked = true,
-                id => due_cores.push(id as usize),
+                id => self.mark_due(id),
             }
         }
-        due_cores.sort_unstable();
-        due_cores.dedup();
         due
+    }
+
+    /// Sets `id`'s bit in the reusable due-core bitmap (overflow drains;
+    /// wheel drains merge whole words instead).
+    fn mark_due(&mut self, id: u32) {
+        let w = id as usize / 64;
+        if w >= self.due_bits.len() {
+            self.due_bits.resize(w + 1, 0);
+        }
+        self.due_bits[w] |= 1 << (id % 64);
     }
 
     /// The earliest armed cycle strictly after `now`. Returns `None` when
@@ -317,8 +429,14 @@ impl Scheduler {
             if word != 0 {
                 let bit = word.trailing_zeros() as usize;
                 let idx = word_idx * 64 + bit;
-                let at = self.slots[self.buckets[idx] as usize].at;
-                debug_assert!(at > now);
+                // All wheel entries lie in (now, now + WHEEL_SIZE), so the
+                // bucket index determines the cycle unambiguously.
+                let mut at = (now & !WHEEL_MASK) + idx as u64;
+                if at <= now {
+                    at += WHEEL_SIZE as u64;
+                }
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(self.bucket_cycle[idx], at, "bucket holds a single cycle");
                 best = Some(at);
                 break 'scan;
             }
@@ -407,6 +525,75 @@ mod tests {
         let _ = s.drain_due(far, &mut due);
         assert_eq!(due, vec![2]);
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn batched_drain_empties_a_dense_bucket_in_id_order() {
+        let mut s = Scheduler::new(true);
+        // Arm every core of a large machine at one cycle, in a scrambled
+        // order with duplicates — the dense-kernel worst case the batched
+        // drain exists for.
+        for i in 0..256usize {
+            let id = (i * 97 + 13) % 256;
+            s.wake_core(0, 7, id, EventKind::CoreReady);
+            s.wake_core(0, 7, id, EventKind::Advance);
+        }
+        let mut due = Vec::new();
+        s.drain_due(7, &mut due);
+        assert_eq!(due, (0..256).collect::<Vec<_>>());
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn counted_drain_matches_the_list_drain() {
+        let mk = || {
+            let mut s = Scheduler::new(true);
+            s.wake_core(0, 9, 4, EventKind::CoreReady);
+            s.wake_core(0, 9, 1, EventKind::Advance);
+            s.wake_core(0, 9, 4, EventKind::WbCompletion);
+            s.wake_machine(0, 9, EventKind::NetDelivery);
+            s.wake_core(0, 600, 2, EventKind::CoreReady); // overflow, later
+            s
+        };
+        let mut listed = mk();
+        let mut counted = mk();
+        let mut due = Vec::new();
+        let fa = listed.drain_due(9, &mut due);
+        let (fb, n) = counted.drain_due_counted(9);
+        assert_eq!(due, vec![1, 4]);
+        assert_eq!(n, due.len() as u64);
+        assert_eq!(fa, fb);
+        assert_eq!(listed.pending(), counted.pending());
+        // The counted drain leaves the bitmap clean for the next cycle.
+        due.clear();
+        counted.drain_due(600, &mut due);
+        assert_eq!(due, vec![2]);
+    }
+
+    #[test]
+    fn wheel_and_overflow_arms_drain_in_the_same_order() {
+        // The same set of (cycle, core) arms must tick in the same order
+        // whether each arm sat in a wheel bucket or spilled to the
+        // overflow heap — the drain order is a function of the armed set,
+        // not of the horizon the arm happened to land on.
+        let at = 600u64;
+        let cores = [9usize, 2, 7, 2, 0, 31, 7];
+        let mut wheel = Scheduler::new(true);
+        let mut spilled = Scheduler::new(true);
+        for &c in &cores {
+            // now_hint 200: at - 200 < WHEEL_SIZE, lands in a bucket.
+            wheel.wake_core(200, at, c, EventKind::CoreReady);
+            // now_hint 0: at - 0 >= WHEEL_SIZE, spills to the heap.
+            spilled.wake_core(0, at, c, EventKind::CoreReady);
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let fa = wheel.drain_due(at, &mut a);
+        let fb = spilled.drain_due(at, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0, 2, 7, 9, 31]);
+        assert_eq!(fa, fb);
+        assert_eq!(wheel.pending(), 0);
+        assert_eq!(spilled.pending(), 0);
     }
 
     #[test]

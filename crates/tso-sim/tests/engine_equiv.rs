@@ -1,21 +1,26 @@
-//! Engine-equivalence suite: the event-driven cycle-skipping engine must
-//! be an **observational no-op** relative to the lockstep reference — only
-//! faster.
+//! Engine-equivalence suite: the event-driven cycle-skipping engine and
+//! the adaptive hybrid engine must be **observational no-ops** relative to
+//! the lockstep reference — only faster.
 //!
-//! Every shape is run under both [`StepMode`]s and the full `SimResult` is
-//! compared **cycle-exactly**: aggregate and per-core `SimStats`
-//! (including `cycles`, stall and retry counters), read values, final
-//! memory, interconnect traffic, and the deadlock flag. Coverage:
+//! Every shape is run under all three [`StepMode`]s and the full
+//! `SimResult` is compared **cycle-exactly**: aggregate and per-core
+//! `SimStats` (including `cycles`, stall and retry counters), read values,
+//! final memory, interconnect traffic, and the deadlock flag. Coverage:
 //!
 //! * the hand-written classic + paper litmus corpus × all three RMW
 //!   atomicities (lock contention, broadcasts, reverted drains);
 //! * the §4 workload kernels (spinlock suite, TL2-style STM, Chase–Lev
 //!   work stealing) on paper-latency configurations, including a
-//!   32-core Table 2 machine;
+//!   32-core Table 2 machine and a scaled 128-core machine;
 //! * the Fig. 10 write-deadlock (watchdog equivalence in event time);
+//! * adversarial density traces that force hybrid mode switches right at
+//!   the `last_progress + threshold + 1` watchdog edge and the
+//!   `max_cycles` truncation boundary;
 //! * random traces (proptest) over all atomicities;
-//! * scheduler-level properties: time never moves backwards and never
-//!   skips past an armed wakeup.
+//! * scheduler-level properties: time never moves backwards, never skips
+//!   past an armed wakeup, and drains the same-cycle due set in the same
+//!   order whether the arms landed in a wheel bucket or in the overflow
+//!   heap.
 
 use proptest::prelude::*;
 use rmw_types::{Addr, Atomicity, RmwKind};
@@ -23,27 +28,27 @@ use tso_sim::{
     lower_with_line_size, Machine, Op, Scheduler, SimConfig, SimResult, Src, StepMode, Trace,
 };
 
-/// Runs the same configuration + traces under both engines and asserts
-/// cycle-identical results; returns the event-driven result.
+/// Runs the same configuration + traces under all three engines and
+/// asserts cycle-identical results; returns the event-driven result.
 fn assert_engines_agree(mut cfg: SimConfig, traces: Vec<Trace>, label: &str) -> SimResult {
-    cfg.step_mode = StepMode::EventDriven;
-    let ev = Machine::new(cfg, traces.clone()).run();
     cfg.step_mode = StepMode::Lockstep;
-    let ls = Machine::new(cfg, traces).run();
-    assert_eq!(ev.stats, ls.stats, "{label}: aggregate stats diverged");
-    assert_eq!(ev.per_core, ls.per_core, "{label}: per-core stats diverged");
-    assert_eq!(ev.reads, ls.reads, "{label}: read values diverged");
-    assert_eq!(ev.memory, ls.memory, "{label}: final memory diverged");
-    assert_eq!(ev.net, ls.net, "{label}: interconnect traffic diverged");
-    assert_eq!(
-        ev.deadlocked, ls.deadlocked,
-        "{label}: deadlock flag diverged"
-    );
-    assert_eq!(
-        ev.truncated, ls.truncated,
-        "{label}: truncation flag diverged"
-    );
-    ev
+    let ls = Machine::new(cfg, traces.clone()).run();
+    let mut ev = None;
+    for mode in [StepMode::EventDriven, StepMode::Hybrid] {
+        cfg.step_mode = mode;
+        let r = Machine::new(cfg, traces.clone()).run();
+        assert_eq!(r.stats, ls.stats, "{label}/{mode:?}: aggregate stats");
+        assert_eq!(r.per_core, ls.per_core, "{label}/{mode:?}: per-core stats");
+        assert_eq!(r.reads, ls.reads, "{label}/{mode:?}: read values");
+        assert_eq!(r.memory, ls.memory, "{label}/{mode:?}: final memory");
+        assert_eq!(r.net, ls.net, "{label}/{mode:?}: interconnect traffic");
+        assert_eq!(r.deadlocked, ls.deadlocked, "{label}/{mode:?}: deadlock");
+        assert_eq!(r.truncated, ls.truncated, "{label}/{mode:?}: truncation");
+        if mode == StepMode::EventDriven {
+            ev = Some(r);
+        }
+    }
+    ev.expect("event-driven run always executes")
 }
 
 #[test]
@@ -62,18 +67,10 @@ fn litmus_corpus_is_engine_equivalent() {
     }
 }
 
-/// A paper-latency configuration scaled to `cores` (the Table 2 machine
-/// when `cores == 32`, a near-square mesh below that — mirrors
-/// `bench::config_for`, which cannot be used here without a dependency
-/// cycle).
+/// A paper-latency configuration scaled to `cores` with the chosen RMW
+/// atomicity (see [`SimConfig::paper_scaled`]).
 fn paper_scale(cores: usize, atomicity: Atomicity) -> SimConfig {
-    let mut cfg = SimConfig::paper_table2();
-    if cores != 32 {
-        cfg.coherence.num_cores = cores;
-        let width = (cores as f64).sqrt().ceil() as usize;
-        cfg.coherence.mesh.width = width;
-        cfg.coherence.mesh.height = cores.div_ceil(width);
-    }
+    let mut cfg = SimConfig::paper_scaled(cores);
     cfg.rmw_atomicity = atomicity;
     cfg
 }
@@ -107,6 +104,78 @@ fn paper_table2_machine_is_engine_equivalent() {
     let r = assert_engines_agree(cfg, traces, "raytrace 32-core table2");
     assert!(!r.deadlocked);
     assert!(r.stats.rmw_count > 0);
+}
+
+#[test]
+fn scaled_128_core_machine_is_engine_equivalent() {
+    // The 128-core scaled machine (`--machine 128`): Table 2 latencies on
+    // a 12×11 mesh with router-only nodes past the core count. All three
+    // engines must agree on a workload that actually spreads over the
+    // wide machine.
+    let traces = workloads::benchmark(workloads::Benchmark::Genome, 128, 60, 11);
+    let cfg = paper_scale(128, Atomicity::Type3);
+    let r = assert_engines_agree(cfg, traces, "vacation 128-core scaled");
+    assert!(!r.deadlocked);
+    assert!(r.stats.rmw_count > 0);
+}
+
+#[test]
+fn hybrid_switches_at_the_watchdog_edge_are_cycle_exact() {
+    // Adversarial density: a dense spin phase long enough to push the
+    // hybrid engine into dense mode, then a quiescent wedge. The watchdog
+    // must fire at exactly `last_progress + threshold + 1` no matter
+    // which mode the engine is in when the window turns sparse — sweep
+    // the threshold so the edge lands at different offsets inside the
+    // hybrid policy window.
+    for threshold in [900, 1_000, 1_063, 1_089] {
+        let mut cfg = SimConfig::small(2);
+        cfg.deadlock_threshold = threshold;
+        let spin = |n| {
+            let mut ops = Vec::new();
+            for _ in 0..n {
+                ops.push(Op::read(Addr(0)));
+            }
+            // Park on a flag nobody ever sets: a genuine wedge.
+            ops.push(Op::FutexWait(Addr(64), Src::Imm(0)));
+            Trace::new(ops)
+        };
+        let r = assert_engines_agree(
+            cfg,
+            vec![spin(400), spin(300)],
+            &format!("watchdog edge / threshold {threshold}"),
+        );
+        assert!(r.deadlocked, "orphaned sleepers must wedge");
+    }
+}
+
+#[test]
+fn hybrid_truncation_at_the_cycle_ceiling_is_cycle_exact() {
+    // `max_cycles` lands inside (and right at the edge of) the watchdog
+    // interval of a wedged dense phase: `stop = fire.min(max_cycles)`
+    // must resolve identically in every engine, flipping between
+    // truncated and deadlocked as the ceiling crosses the fire cycle.
+    for max_cycles in [500, 1_000, 1_490, 1_505, 2_000] {
+        let mut cfg = SimConfig::small(2);
+        cfg.deadlock_threshold = 700;
+        cfg.max_cycles = max_cycles;
+        let spin = |n| {
+            let mut ops = Vec::new();
+            for _ in 0..n {
+                ops.push(Op::read(Addr(0)));
+            }
+            ops.push(Op::FutexWait(Addr(64), Src::Imm(0)));
+            Trace::new(ops)
+        };
+        let r = assert_engines_agree(
+            cfg,
+            vec![spin(200), spin(150)],
+            &format!("truncation edge / max {max_cycles}"),
+        );
+        assert!(
+            r.deadlocked || r.truncated,
+            "wedge must end in watchdog or ceiling"
+        );
+    }
 }
 
 #[test]
@@ -368,6 +437,42 @@ proptest! {
         }
         prop_assert_eq!(visited, expected, "armed wakeups skipped or invented");
         prop_assert_eq!(sched.pending(), 0);
+    }
+
+    /// Arms landing at the same cycle drain in the same ascending-id tick
+    /// order whether they sit in a wheel bucket (armed near the target) or
+    /// spilled to the overflow heap (armed from beyond the wheel horizon)
+    /// — the batched bitmap drain makes the order canonical by
+    /// construction, so the machine's tick order cannot depend on how far
+    /// in advance an event was armed.
+    #[test]
+    fn wheel_and_overflow_drains_are_order_identical(
+        cores in proptest::collection::vec(0usize..200, 1..40),
+        at in 600u64..5_000,
+    ) {
+        let mut wheel = Scheduler::new(true);
+        let mut overflow = Scheduler::new(true);
+        for (i, &core) in cores.iter().enumerate() {
+            let kind = tso_sim::EventKind::ALL[i % tso_sim::EventKind::ALL.len()];
+            // Armed one cycle out: lands in a wheel bucket.
+            wheel.wake_core(at - 1, at, core, kind);
+            // Armed from cycle 0: beyond the horizon, lands in the
+            // overflow heap.
+            overflow.wake_core(0, at, core, kind);
+        }
+        prop_assert_eq!(wheel.next_after(at - 1), Some(at));
+        prop_assert_eq!(overflow.next_after(0), Some(at));
+        let (mut wd, mut od) = (Vec::new(), Vec::new());
+        let wf = wheel.drain_due(at, &mut wd);
+        let of = overflow.drain_due(at, &mut od);
+        let mut want = cores.clone();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(&wd, &want, "wheel drain order not ascending ids");
+        prop_assert_eq!(wd, od, "tick order depends on arm distance");
+        prop_assert_eq!(wf, of, "due flags depend on arm distance");
+        prop_assert_eq!(wheel.pending(), 0);
+        prop_assert_eq!(overflow.pending(), 0);
     }
 
     /// Late arms interleaved with visits (the machine's actual usage
