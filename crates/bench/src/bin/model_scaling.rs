@@ -10,13 +10,23 @@
 //! (3 threads × 3 rounds ≈ 5.7 · 10⁷ candidates, tens of GiB materialized)
 //! is streaming-only: the legacy enumerator cannot finish it in memory.
 //!
-//! Every shape is then re-run on the **parallel** engine
+//! Every shape is then re-run on the **adaptive parallel** engine
 //! (`allowed_outcomes_par`) at each `--par-workers` count, asserting the
 //! outcome set is identical to the sequential stream and recording the
-//! wall-clock ratio. Equality must hold everywhere; the speedup is only
-//! meaningful when the host actually has cores
-//! (`host_parallelism` is recorded in the JSON so CI can gate the ≥2×
-//! floor on it).
+//! wall-clock ratio plus whether the engine actually chose to fan out
+//! (`split`). The adaptive policy must keep every shape within noise of
+//! sequential (the `adaptive.never_slower` headline, gated in CI
+//! unconditionally); the ≥2× `best_speedup` floor is only meaningful when
+//! the host actually has cores (`host_parallelism` is recorded in the
+//! JSON so CI can gate it on that).
+//!
+//! A final sweep measures **prefix-certificate sharing**
+//! (`tso_model::prefix`) on the `dekker_rmw` family: each `(n, rounds)`
+//! shape is queried under all three RMW atomicities through the verdict
+//! cache; the first rewrite searches, the siblings replay its certificate,
+//! and the JSON records the reduction in *searched* decision nodes versus
+//! the attributed (3-searches) total. CI gates `reduction ≥ 2` on the
+//! family totals.
 //!
 //! Usage:
 //!
@@ -29,14 +39,15 @@
 //! job); `--out` overrides the JSON path (default `BENCH_model.json` in the
 //! current directory).
 
-use bench::model_shapes::{dekker_variant, dekker_variant_candidates};
+use bench::model_shapes::{dekker_rmw, dekker_variant, dekker_variant_candidates};
+use rmw_types::Atomicity;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::ops::ControlFlow;
 use std::time::Instant;
 use tso_model::{
-    allowed_outcomes_par, check_validity, enumerate_candidates, for_each_valid_execution, Outcome,
-    SearchStats,
+    allowed_outcomes, allowed_outcomes_cached, allowed_outcomes_par_with_stats, check_validity,
+    enumerate_candidates, for_each_valid_execution, Outcome, SearchStats,
 };
 
 /// Shapes smaller than this (materialized candidates) are calibration
@@ -44,11 +55,24 @@ use tso_model::{
 /// from the headline `shared` speedup aggregate.
 const SHARED_MIN_CANDIDATES: f64 = 1000.0;
 
+/// Absolute wall-clock slack for the `never_slower` adaptive gate: shapes
+/// finish in tens of microseconds, where scheduler jitter easily exceeds
+/// any relative bound, so a row only violates the floor when it is slower
+/// by *both* the 0.9× ratio and this many milliseconds.
+const ADAPTIVE_NOISE_MS: f64 = 0.5;
+
+/// Relative floor for the adaptive gate: parallel must stay within
+/// `1/ADAPTIVE_FLOOR` of sequential on every shape.
+const ADAPTIVE_FLOOR: f64 = 0.9;
+
 /// One parallel measurement of a shape.
 struct ParRow {
     workers: usize,
     ms: f64,
     outcomes_match: bool,
+    /// True when the adaptive engine fanned out (stats.tasks > 1) instead
+    /// of taking its sequential path.
+    split: bool,
 }
 
 /// One measured shape.
@@ -108,11 +132,12 @@ fn measure(threads: usize, rounds: usize, run_legacy: bool, par_workers: &[usize
         .iter()
         .map(|&workers| {
             let start = Instant::now();
-            let par = allowed_outcomes_par(&program, workers);
+            let (par, par_stats) = allowed_outcomes_par_with_stats(&program, workers);
             ParRow {
                 workers,
                 ms: start.elapsed().as_secs_f64() * 1e3,
                 outcomes_match: par == streamed,
+                split: par_stats.tasks > 1,
             }
         })
         .collect();
@@ -132,6 +157,62 @@ fn measure(threads: usize, rounds: usize, run_legacy: bool, par_workers: &[usize
     }
 }
 
+/// One `(n, rounds)` family of the prefix-sharing sweep: three atomicity
+/// rewrites queried through the verdict cache.
+struct PrefixRow {
+    name: String,
+    threads: usize,
+    rounds: usize,
+    /// Decision nodes of searches that actually ran for this family.
+    searched_nodes: u64,
+    /// Attributed nodes summed over all three rewrites — what three
+    /// independent searches would have cost.
+    attributed_nodes: u64,
+    /// Rewrites answered by certificate replay.
+    prefix_hits: u64,
+    /// Every rewrite's cached outcome set equals its direct search.
+    outcomes_match: bool,
+    ms: f64,
+}
+
+impl PrefixRow {
+    fn reduction(&self) -> f64 {
+        self.attributed_nodes as f64 / (self.searched_nodes.max(1)) as f64
+    }
+}
+
+/// Queries one `dekker_rmw` family (all three atomicities) through the
+/// verdict cache and tallies how much of the decision work certificate
+/// replay avoided.
+fn measure_prefix_family(threads: usize, rounds: usize) -> PrefixRow {
+    let start = Instant::now();
+    let mut searched_nodes = 0u64;
+    let mut attributed_nodes = 0u64;
+    let mut prefix_hits = 0u64;
+    let mut outcomes_match = true;
+    for atomicity in Atomicity::ALL {
+        let program = dekker_rmw(threads, rounds, atomicity);
+        let got = allowed_outcomes_cached(&program);
+        attributed_nodes += got.stats.nodes;
+        if got.prefix_hit {
+            prefix_hits += 1;
+        } else if !got.hit {
+            searched_nodes += got.stats.nodes;
+        }
+        outcomes_match &= got.outcomes == allowed_outcomes(&program);
+    }
+    PrefixRow {
+        name: format!("dekker-rmw n={threads} r={rounds}"),
+        threads,
+        rounds,
+        searched_nodes,
+        attributed_nodes,
+        prefix_hits,
+        outcomes_match,
+        ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
 fn json_num(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{v:.0}")
@@ -140,7 +221,7 @@ fn json_num(v: f64) -> String {
     }
 }
 
-fn to_json(rows: &[Row], mode: &str, host_parallelism: usize) -> String {
+fn to_json(rows: &[Row], prefix_rows: &[PrefixRow], mode: &str, host_parallelism: usize) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"experiment\": \"model_scaling\",");
@@ -167,10 +248,11 @@ fn to_json(rows: &[Row], mode: &str, host_parallelism: usize) -> String {
             let _ = writeln!(
                 s,
                 "        {{\"workers\": {}, \"ms\": {}, \"speedup_vs_sequential\": {}, \
-                 \"outcomes_match\": {}}}{comma}",
+                 \"split\": {}, \"outcomes_match\": {}}}{comma}",
                 p.workers,
                 json_num(p.ms),
                 json_num(r.par_speedup(p)),
+                p.split,
                 p.outcomes_match
             );
         }
@@ -246,6 +328,72 @@ fn to_json(rows: &[Row], mode: &str, host_parallelism: usize) -> String {
     let _ = writeln!(s, "  \"parallel\": {{");
     let _ = writeln!(s, "    \"all_outcomes_match\": {all_match},");
     let _ = writeln!(s, "    \"best_speedup\": {}", json_num(best));
+    let _ = writeln!(s, "  }},");
+    // The adaptive never-slower gate: on EVERY shape (including the tiny
+    // calibration rows) the adaptive engine must stay within the relative
+    // floor of sequential, modulo an absolute noise allowance — the whole
+    // point of the split-size estimator is that small shapes no longer pay
+    // fan-out overhead.
+    let min_par_speedup = rows
+        .iter()
+        .flat_map(|r| r.parallel.iter().map(move |p| r.par_speedup(p)))
+        .fold(f64::INFINITY, f64::min);
+    let never_slower = rows.iter().all(|r| {
+        r.parallel
+            .iter()
+            .all(|p| p.ms <= r.streaming_ms / ADAPTIVE_FLOOR + ADAPTIVE_NOISE_MS)
+    });
+    let _ = writeln!(s, "  \"adaptive\": {{");
+    let _ = writeln!(s, "    \"floor\": {},", json_num(ADAPTIVE_FLOOR));
+    let _ = writeln!(s, "    \"noise_ms\": {},", json_num(ADAPTIVE_NOISE_MS));
+    let _ = writeln!(
+        s,
+        "    \"min_speedup\": {},",
+        json_num(if min_par_speedup.is_finite() {
+            min_par_speedup
+        } else {
+            0.0
+        })
+    );
+    let _ = writeln!(s, "    \"never_slower\": {never_slower}");
+    let _ = writeln!(s, "  }},");
+    // Prefix-certificate sharing over the dekker_rmw family: three
+    // atomicity rewrites per shape, one search + two replays each when
+    // the certificate tier works.
+    let _ = writeln!(s, "  \"prefix_sharing\": {{");
+    let _ = writeln!(s, "    \"rows\": [");
+    for (i, r) in prefix_rows.iter().enumerate() {
+        let comma = if i + 1 < prefix_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"name\": \"{}\", \"threads\": {}, \"rounds\": {}, \
+             \"searched_nodes\": {}, \"attributed_nodes\": {}, \"prefix_hits\": {}, \
+             \"reduction\": {}, \"ms\": {}, \"outcomes_match\": {}}}{comma}",
+            r.name,
+            r.threads,
+            r.rounds,
+            r.searched_nodes,
+            r.attributed_nodes,
+            r.prefix_hits,
+            json_num(r.reduction()),
+            json_num(r.ms),
+            r.outcomes_match
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let searched: u64 = prefix_rows.iter().map(|r| r.searched_nodes).sum();
+    let attributed: u64 = prefix_rows.iter().map(|r| r.attributed_nodes).sum();
+    let hits: u64 = prefix_rows.iter().map(|r| r.prefix_hits).sum();
+    let prefix_match = prefix_rows.iter().all(|r| r.outcomes_match);
+    let _ = writeln!(s, "    \"total_searched_nodes\": {searched},");
+    let _ = writeln!(s, "    \"total_attributed_nodes\": {attributed},");
+    let _ = writeln!(s, "    \"prefix_hits\": {hits},");
+    let _ = writeln!(
+        s,
+        "    \"reduction\": {},",
+        json_num(attributed as f64 / searched.max(1) as f64)
+    );
+    let _ = writeln!(s, "    \"all_outcomes_match\": {prefix_match}");
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     s
@@ -301,6 +449,10 @@ fn main() {
         if smoke { "smoke" } else { "full" },
         par_workers
     );
+    // Warm the adaptive engine's once-per-process node-rate calibration
+    // outside the timed region, so the first parallel row measures the
+    // engine, not the calibration run.
+    let _ = allowed_outcomes_par_with_stats(&dekker_variant(2, 1), 2);
     println!(
         "{:<16} {:>8} {:>14} {:>12} {:>12} {:>8} {:>10} {:>16}",
         "shape",
@@ -347,8 +499,45 @@ fn main() {
         rows.push(row);
     }
 
+    // Prefix-certificate sharing sweep: dekker_rmw families, three
+    // atomicities each, through the verdict cache. Start from empty
+    // process-wide caches so the reduction numbers are the sweep's own.
+    let prefix_shapes: &[(usize, usize)] = if smoke {
+        &[(2, 1), (2, 2)]
+    } else {
+        &[(2, 1), (2, 2), (3, 1), (2, 3)]
+    };
+    tso_model::cache::clear();
+    tso_model::prefix::clear();
+    println!(
+        "\n{:<18} {:>14} {:>16} {:>12} {:>10} {:>10}",
+        "prefix family", "searched", "attributed", "reduction", "hits", "ms"
+    );
+    let mut prefix_rows = Vec::new();
+    for &(n, r) in prefix_shapes {
+        let row = measure_prefix_family(n, r);
+        println!(
+            "{:<18} {:>14} {:>16} {:>11.1}x {:>10} {:>10.2}",
+            row.name,
+            row.searched_nodes,
+            row.attributed_nodes,
+            row.reduction(),
+            row.prefix_hits,
+            row.ms,
+        );
+        if !row.outcomes_match {
+            eprintln!(
+                "ERROR: {}: certificate replay disagrees with a direct search",
+                row.name
+            );
+            std::process::exit(1);
+        }
+        prefix_rows.push(row);
+    }
+
     let json = to_json(
         &rows,
+        &prefix_rows,
         if smoke { "smoke" } else { "full" },
         host_parallelism,
     );

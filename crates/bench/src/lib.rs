@@ -100,7 +100,7 @@ pub fn f(v: f64) -> String {
 /// Model-search scaling shapes shared by the `model_search` criterion bench
 /// and the `model_scaling` experiment binary (`BENCH_model.json`).
 pub mod model_shapes {
-    use rmw_types::Addr;
+    use rmw_types::{Addr, Atomicity, RmwKind};
     use tso_model::{Program, ProgramBuilder};
 
     /// An `n`-thread, `rounds`-round Dekker variant: thread `i` alternates
@@ -140,6 +140,34 @@ pub mod model_shapes {
         let rf: f64 = ((rounds + 1) as f64).powi((n * rounds) as i32);
         let fact: f64 = (1..=rounds).product::<usize>() as f64;
         rf * fact.powi(n as i32)
+    }
+
+    /// The RMW Dekker family: [`dekker_variant`] with every write replaced
+    /// by a fetch-and-add under the given `atomicity` — thread `i`
+    /// alternates `RMW(x_i, +=k); R(x_{i+1 mod n})`.
+    ///
+    /// The three atomicity rewrites of one `(n, rounds)` shape share their
+    /// atomicity-masked canonical key, so they are the measurement family
+    /// for **prefix-certificate sharing** (`tso_model::prefix`): the first
+    /// rewrite pays the pruned search, the siblings replay its recorded
+    /// leaves and re-solve only the leaf-level atomicity disjunctions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1` or `rounds < 1`.
+    pub fn dekker_rmw(n: usize, rounds: usize, atomicity: Atomicity) -> Program {
+        assert!(n >= 1 && rounds >= 1, "need at least 1 thread and 1 round");
+        let mut b = ProgramBuilder::new();
+        for i in 0..n {
+            let mine = Addr(i as u64);
+            let other = Addr(((i + 1) % n) as u64);
+            let mut t = b.thread();
+            for k in 1..=rounds {
+                t.rmw(mine, RmwKind::FetchAndAdd(k as u64), atomicity)
+                    .read(other);
+            }
+        }
+        b.build()
     }
 }
 

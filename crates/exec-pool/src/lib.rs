@@ -28,8 +28,20 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+
+/// Worker threads spawned by [`run_indexed`] since process start. The
+/// inline single-worker path spawns none, so the delta across a call is a
+/// direct observation of whether work left the calling thread — tests for
+/// adaptive engines pin their "stayed sequential" claims on it.
+static SPAWNED_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of pool worker threads ever spawned by this process
+/// (see `SPAWNED_THREADS`).
+pub fn spawned_threads() -> u64 {
+    SPAWNED_THREADS.load(Ordering::Relaxed)
+}
 
 thread_local! {
     /// True on threads spawned as pool workers (see the oversubscription
@@ -102,6 +114,7 @@ where
             let task_rx = Arc::clone(&task_rx);
             let res_tx = res_tx.clone();
             let f = &f;
+            SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
             scope.spawn(move || {
                 IN_POOL_WORKER.with(|w| w.set(true));
                 loop {
@@ -220,6 +233,18 @@ mod tests {
         let stop = AtomicBool::new(true); // pre-set: nothing should execute
         let out: Vec<Option<usize>> = run_indexed(4, 100, &stop, |_, idx| idx);
         assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn spawned_threads_moves_with_multi_worker_pools() {
+        // The counter is process-wide and only ever grows; concurrent
+        // tests can add to it but never subtract, so the delta across a
+        // 3-worker run is at least 3. (The complementary zero-spawn
+        // assertion lives in tso-model's single-test `adaptive_pool`
+        // integration binary, where no concurrent pool can race it.)
+        let before = spawned_threads();
+        let _ = run_all(3, 8, |_, i| i);
+        assert!(spawned_threads() >= before + 3);
     }
 
     #[test]

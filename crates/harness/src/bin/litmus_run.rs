@@ -175,6 +175,7 @@ fn corpus_main(argv: Vec<String>) {
             std::process::exit(2);
         }));
         tso_model::cache::set_store(shared.clone());
+        tso_model::prefix::set_store(shared.clone());
         (shared, path)
     });
 
@@ -229,16 +230,21 @@ fn corpus_main(argv: Vec<String>) {
         // warm-up, and the timed runs — queries vs. invocations is the
         // memoization + symmetry saving for the whole corpus run.
         model_cache: Some(tso_model::cache::counters()),
+        prefix_cache: Some(tso_model::prefix::counters()),
     };
 
     if let Some((shared, path)) = &store {
         let _ = tso_model::cache::take_store();
+        let _ = tso_model::prefix::take_store();
         eprintln!(
-            "store {}: {} verdicts loaded, {} appended, {} keys on disk",
+            "store {}: {} verdicts + {} certs loaded, {} records appended, \
+             {} keys + {} certs on disk",
             path.display(),
             shared.loads(),
+            shared.cert_loads(),
             shared.with(|s| s.appended()),
             shared.with(|s| s.len()),
+            shared.with(|s| s.cert_count()),
         );
     }
 

@@ -187,10 +187,15 @@ pub struct StoreCounters {
     pub path: String,
     /// Model-cache misses answered from the store (searches avoided).
     pub loads: u64,
-    /// Fresh verdicts appended this run.
+    /// Prefix certificates served from the store (sibling searches
+    /// replayed instead of re-run, even cold).
+    pub cert_loads: u64,
+    /// Fresh records appended this run (verdicts + certificates).
     pub appended: u64,
-    /// Distinct keys in the store after the run.
+    /// Distinct verdict keys in the store after the run.
     pub keys: u64,
+    /// Distinct certificate keys in the store after the run.
+    pub certs: u64,
     /// Bytes dropped from a torn tail when the store was opened.
     pub recovered_bytes: u64,
     /// Swallowed write failures (persistence is best-effort).
@@ -211,6 +216,8 @@ pub struct CampaignReport {
     pub elapsed_ms: f64,
     /// Process-wide model cache counters at report time.
     pub model_cache: tso_model::CacheCounters,
+    /// Process-wide prefix-certificate counters at report time.
+    pub prefix_cache: tso_model::prefix::PrefixCounters,
     /// Store activity, when a store was configured.
     pub store: Option<StoreCounters>,
 }
@@ -257,13 +264,25 @@ impl CampaignReport {
         let _ = writeln!(s, "    \"store_hits\": {},", c.store_hits);
         let _ = writeln!(s, "    \"entries\": {}", c.entries);
         let _ = writeln!(s, "  }},");
+        let p = &self.prefix_cache;
+        let _ = writeln!(s, "  \"prefix_cache\": {{");
+        let _ = writeln!(s, "    \"queries\": {},", p.queries);
+        let _ = writeln!(s, "    \"hits\": {},", p.hits);
+        let _ = writeln!(s, "    \"store_hits\": {},", p.store_hits);
+        let _ = writeln!(s, "    \"stored\": {},", p.stored);
+        let _ = writeln!(s, "    \"nodes_saved\": {},", p.nodes_saved);
+        let _ = writeln!(s, "    \"replayed_leaves\": {},", p.replayed_leaves);
+        let _ = writeln!(s, "    \"entries\": {}", p.entries);
+        let _ = writeln!(s, "  }},");
         match &self.store {
             Some(st) => {
                 let _ = writeln!(s, "  \"store\": {{");
                 let _ = writeln!(s, "    \"path\": \"{}\",", json_escape(&st.path));
                 let _ = writeln!(s, "    \"loads\": {},", st.loads);
+                let _ = writeln!(s, "    \"cert_loads\": {},", st.cert_loads);
                 let _ = writeln!(s, "    \"appended\": {},", st.appended);
                 let _ = writeln!(s, "    \"keys\": {},", st.keys);
+                let _ = writeln!(s, "    \"certs\": {},", st.certs);
                 let _ = writeln!(s, "    \"recovered_bytes\": {},", st.recovered_bytes);
                 let _ = writeln!(s, "    \"save_errors\": {}", st.save_errors);
                 let _ = writeln!(s, "  }},");
@@ -431,6 +450,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> io::Result<CampaignReport> {
             let path = shard_store_path(base, cfg.shard, cfg.shards);
             let shared = Arc::new(SharedStore::open(&path)?);
             tso_model::cache::set_store(shared.clone());
+            tso_model::prefix::set_store(shared.clone());
             Some((shared, path))
         }
         None => None,
@@ -468,12 +488,15 @@ pub fn run_campaign(cfg: &CampaignConfig) -> io::Result<CampaignReport> {
 
     let store_counters = store.map(|(shared, path)| {
         let _ = tso_model::cache::take_store();
+        let _ = tso_model::prefix::take_store();
         StoreCounters {
             path: path.display().to_string(),
             loads: shared.loads(),
+            cert_loads: shared.cert_loads(),
             save_errors: shared.save_errors(),
             appended: shared.with(|s| s.appended()),
             keys: shared.with(|s| s.len() as u64),
+            certs: shared.with(|s| s.cert_count() as u64),
             recovered_bytes: shared.with(|s| s.recovered_bytes()),
         }
     });
@@ -484,6 +507,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> io::Result<CampaignReport> {
         state,
         elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
         model_cache: tso_model::cache::counters(),
+        prefix_cache: tso_model::prefix::counters(),
         store: store_counters,
     })
 }

@@ -370,6 +370,7 @@ mod tests {
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             baseline_jobs1_ms: None,
             model_cache: Some(tso_model::cache::counters()),
+            prefix_cache: Some(tso_model::prefix::counters()),
         };
         let v = parse(&report.to_json()).unwrap();
         assert_eq!(

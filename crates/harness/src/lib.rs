@@ -166,6 +166,12 @@ pub struct TestOutcome {
     pub model_queries: u32,
     /// How many of those were served from the memoized verdict cache.
     pub model_cache_hits: u32,
+    /// How many verdict-cache misses were answered by replaying a prefix
+    /// certificate from an atomicity sibling instead of searching.
+    pub prefix_hits: u32,
+    /// How many of this test's model queries ran a search that fanned
+    /// out across pool workers (the adaptive engine chose to split).
+    pub split_decisions: u32,
 }
 
 impl TestOutcome {
@@ -224,6 +230,8 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
     let mut model_stats = check.model_stats;
     let mut model_queries = 1u32;
     let mut model_cache_hits = u32::from(check.cache_hit);
+    let mut prefix_hits = u32::from(check.prefix_hit);
+    let mut split_decisions = u32::from(check.split);
 
     let mut differential = Vec::with_capacity(Atomicity::ALL.len());
     for atomicity in Atomicity::ALL {
@@ -237,6 +245,8 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
         model_stats.absorb(&allowed.stats);
         model_queries += 1;
         model_cache_hits += u32::from(allowed.hit);
+        prefix_hits += u32::from(allowed.prefix_hit);
+        split_decisions += u32::from(allowed.split);
         let agreed = !result.deadlocked
             && allowed.outcomes.iter().any(|o| {
                 o.read_values() == sim_reads
@@ -269,6 +279,8 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
         model_stats,
         model_queries,
         model_cache_hits,
+        prefix_hits,
+        split_decisions,
     }
 }
 

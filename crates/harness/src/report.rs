@@ -2,6 +2,7 @@
 
 use crate::{MachineKind, TestOutcome};
 use std::fmt::Write as _;
+use tso_model::prefix::PrefixCounters;
 use tso_model::CacheCounters;
 
 /// Aggregated result of one harness run.
@@ -25,6 +26,10 @@ pub struct Report {
     /// many model searches actually ran — the memoization + symmetry
     /// savings, observable from the JSON alone.
     pub model_cache: Option<CacheCounters>,
+    /// Process-wide prefix-certificate counters at report time: how many
+    /// verdict-cache misses were answered by replaying an atomicity
+    /// sibling's pruned search, and how many decision nodes that skipped.
+    pub prefix_cache: Option<PrefixCounters>,
 }
 
 impl Report {
@@ -128,6 +133,21 @@ impl Report {
             .sum()
     }
 
+    /// Verdict-cache misses across the reported tests that a prefix
+    /// certificate replay answered instead of a fresh search.
+    pub fn prefix_hits(&self) -> u64 {
+        self.outcomes.iter().map(|o| u64::from(o.prefix_hits)).sum()
+    }
+
+    /// Model searches across the reported tests where the adaptive engine
+    /// chose to fan out across pool workers.
+    pub fn split_decisions(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| u64::from(o.split_decisions))
+            .sum()
+    }
+
     /// The full report as JSON (hand-rolled — the build is hermetic, no
     /// serde). Failures carry their diagnosis; passing tests are counted,
     /// not listed.
@@ -162,6 +182,8 @@ impl Report {
         let _ = writeln!(s, "  \"passed\": {},", self.passed());
         let _ = writeln!(s, "  \"model_queries\": {},", self.model_queries());
         let _ = writeln!(s, "  \"model_query_hits\": {},", self.model_query_hits());
+        let _ = writeln!(s, "  \"prefix_hits\": {},", self.prefix_hits());
+        let _ = writeln!(s, "  \"split_decisions\": {},", self.split_decisions());
         match &self.model_cache {
             Some(c) => {
                 let _ = writeln!(s, "  \"model_cache\": {{");
@@ -174,6 +196,22 @@ impl Report {
             }
             None => {
                 let _ = writeln!(s, "  \"model_cache\": null,");
+            }
+        }
+        match &self.prefix_cache {
+            Some(p) => {
+                let _ = writeln!(s, "  \"prefix_cache\": {{");
+                let _ = writeln!(s, "    \"queries\": {},", p.queries);
+                let _ = writeln!(s, "    \"hits\": {},", p.hits);
+                let _ = writeln!(s, "    \"store_hits\": {},", p.store_hits);
+                let _ = writeln!(s, "    \"stored\": {},", p.stored);
+                let _ = writeln!(s, "    \"nodes_saved\": {},", p.nodes_saved);
+                let _ = writeln!(s, "    \"replayed_leaves\": {},", p.replayed_leaves);
+                let _ = writeln!(s, "    \"entries\": {}", p.entries);
+                let _ = writeln!(s, "  }},");
+            }
+            None => {
+                let _ = writeln!(s, "  \"prefix_cache\": null,");
             }
         }
         let _ = writeln!(s, "  \"failures\": [");
@@ -199,7 +237,8 @@ impl Report {
                 "    {{\"name\": \"{}\", \"worker\": {}, \"micros\": {}, \
                  \"model_nodes\": {}, \"model_pruned\": {}, \"model_valid\": {}, \
                  \"model_tasks\": {}, \"model_workers\": {}, \
-                 \"model_queries\": {}, \"model_cache_hits\": {}}}{comma}",
+                 \"model_queries\": {}, \"model_cache_hits\": {}, \
+                 \"prefix_hits\": {}, \"split_decisions\": {}}}{comma}",
                 json_escape(&o.name),
                 o.worker,
                 o.micros,
@@ -210,6 +249,8 @@ impl Report {
                 o.model_stats.workers,
                 o.model_queries,
                 o.model_cache_hits,
+                o.prefix_hits,
+                o.split_decisions,
             );
         }
         let _ = writeln!(s, "  ]");
@@ -267,6 +308,7 @@ mod tests {
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             baseline_jobs1_ms: Some(10.0),
             model_cache: Some(tso_model::cache::counters()),
+            prefix_cache: Some(tso_model::prefix::counters()),
         }
     }
 
@@ -287,6 +329,10 @@ mod tests {
             "\"model_query_hits\":",
             "\"model_cache\": {",
             "\"invocations\":",
+            "\"prefix_cache\": {",
+            "\"nodes_saved\":",
+            "\"prefix_hits\":",
+            "\"split_decisions\":",
             "\"failures\": [",
             "\"tests\": [",
             "\"worker\":",
@@ -329,6 +375,7 @@ mod tests {
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             baseline_jobs1_ms: None,
             model_cache: None,
+            prefix_cache: None,
         };
         assert!(!r.passed());
         assert_eq!(r.model_failures(), 1);

@@ -1,5 +1,6 @@
 //! The persistent verdict store: an append-only record file that keeps
-//! model verdicts across `litmus_run` invocations.
+//! model verdicts (and prefix certificates) across `litmus_run`
+//! invocations.
 //!
 //! The in-memory verdict cache (`tso_model::cache`) eliminates repeated
 //! model searches *within* a process; this store eliminates them *across*
@@ -7,32 +8,62 @@
 //! over a corpus pays every model search once and appends each result;
 //! every later run — a resumed shard, a re-run, a different shard sharing
 //! the file, tomorrow's regression sweep — answers those queries with a
-//! file lookup instead of a search.
+//! file lookup instead of a search. Since format version 2 the same file
+//! also persists **prefix certificates**
+//! ([`tso_model::prefix`]): the recorded complete-leaf paths that let
+//! atomicity siblings replay one pruned search instead of re-running it.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
 //!
 //! Everything is little-endian. The file is a fixed 8-byte header
 //! followed by length-prefixed records (see `DESIGN.md` "verdict store"
 //! for the normative byte-level specification):
 //!
 //! ```text
-//! file   := magic record*
-//! magic  := "RMWVST01"                      (8 bytes: format + version)
-//! record := len:u32 checksum:u64 payload    (len = 8 + payload bytes)
-//! payload:= fingerprint:u64
-//!           key_words:u32  key:u64[key_words]
-//!           stats:u64[6]                    (nodes pruned complete valid tasks workers)
-//!           outcome_count:u32 outcome*
-//! outcome:= reads:u32 read_value:u64[reads]
-//!           mem:u32  (addr:u64 value:u64)[mem]
+//! file    := magic record*
+//! magic   := "RMWVST02"                      (8 bytes: format + version)
+//! record  := len:u32 checksum:u64 payload    (len = 8 + payload bytes)
+//! payload := kind:u32 body
+//! kind 1 (verdict):
+//! body    := fingerprint:u64
+//!            key_words:u32  key:u64[key_words]
+//!            stats:u64[6]                    (nodes pruned complete valid tasks workers)
+//!            outcome_count:u32 outcome*
+//! outcome := reads:u32 read_value:u64[reads]
+//!            mem:u32  (addr:u64 value:u64)[mem]
+//! kind 2 (certificate):
+//! body    := fingerprint:u64
+//!            key_words:u32  key:u64[key_words]
+//!            nodes:u64 pruned:u64 complete:u64
+//!            leaf_count:u32 leaf*
+//! leaf    := ws:u32 event:u64[ws]  rf:u32 event:u64[rf]
 //! ```
 //!
-//! The record key is the program's **full canonical serialization**
-//! (`tso_model::Canonical::key`) — collision-proof by construction; the
-//! 64-bit `fingerprint` rides along for diagnostics and shard routing.
-//! Outcome reads/memory are in the canonical program's coordinates, which
-//! is exactly what the in-memory cache stores; coordinate translation back
-//! to each caller's frame stays where it always was, in `tso_model::cache`.
+//! A verdict's record key is the program's **full canonical
+//! serialization** (`tso_model::Canonical::key`); a certificate's is the
+//! **atomicity-masked** canonical key (`tso_model::canon::masked_key`
+//! zeroes the per-RMW atomicity rank words) — both collision-proof by
+//! construction, with the 64-bit `fingerprint` riding along for
+//! diagnostics and shard routing. Outcome reads/memory and certificate
+//! leaf paths are in the canonical program's coordinates, which is exactly
+//! what the in-memory tiers store; coordinate translation back to each
+//! caller's frame stays where it always was, in `tso_model::cache`.
+//!
+//! # Forward and backward compatibility
+//!
+//! * **Unknown record kinds are skipped, not treated as corruption.** A
+//!   record whose checksum validates but whose `kind` this build does not
+//!   know is counted in [`OpenStats::skipped_records`] and replay
+//!   continues at the next record — a file written by a newer build loses
+//!   only the records this build cannot read. Checksum failures still cut
+//!   the replay (see below): the checksum guards record *boundaries*,
+//!   the kind tags record *content*.
+//! * **Version-1 files still open.** `"RMWVST01"` files (bare verdict
+//!   payloads, no kind tag) replay fully; appends through a v1 handle keep
+//!   writing v1 verdict records so older tools sharing the file stay
+//!   functional, and certificate appends on a v1 file are dropped (v1 has
+//!   no encoding for them). [`Store::compact`] always rewrites in the
+//!   current format, upgrading the file.
 //!
 //! # Crash safety
 //!
@@ -44,7 +75,7 @@
 //! the checksum (fasthash of the payload) matches. At the first invalid
 //! record the file is truncated back to the end of the valid prefix and
 //! the dropped byte count is reported in [`Store::recovered_bytes`]. A
-//! torn tail therefore costs at most one verdict — which the next run
+//! torn tail therefore costs at most one record — which the next run
 //! simply recomputes and re-appends.
 //!
 //! Later records win: appending the same key again shadows the earlier
@@ -92,10 +123,21 @@ use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use tso_model::prefix::{CertData, CertificateStore};
 use tso_model::{Outcome, SearchStats, VerdictStore};
 
 /// File magic: format name + on-disk version in one 8-byte prefix.
-pub const MAGIC: &[u8; 8] = b"RMWVST01";
+pub const MAGIC: &[u8; 8] = b"RMWVST02";
+
+/// The previous format's magic. Version-1 files (verdict records only,
+/// no kind tags) open read/write in their own format; see the module docs.
+pub const MAGIC_V1: &[u8; 8] = b"RMWVST01";
+
+/// Record kind tag for a verdict record (format version 2).
+pub const KIND_VERDICT: u32 = 1;
+
+/// Record kind tag for a prefix-certificate record (format version 2).
+pub const KIND_CERT: u32 = 2;
 
 /// Number of `u64` stats words in a record (`nodes`, `pruned`, `complete`,
 /// `valid`, `tasks`, `workers` — the additive [`SearchStats`] counters).
@@ -171,12 +213,16 @@ impl StoredVerdict {
 /// Statistics from opening a store file — how much survived recovery.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpenStats {
-    /// Valid records replayed (including shadowed duplicates).
+    /// Valid records replayed (verdicts and certificates, including
+    /// shadowed duplicates).
     pub records: u64,
-    /// Distinct keys in the index after replay.
+    /// Distinct verdict keys in the index after replay.
     pub keys: u64,
     /// Bytes dropped from a torn tail (0 on a clean file).
     pub recovered_bytes: u64,
+    /// Checksummed records whose kind this build does not understand,
+    /// skipped during replay (forward compatibility — see module docs).
+    pub skipped_records: u64,
 }
 
 /// The append-only verdict store. See the module docs for the format and
@@ -185,15 +231,29 @@ pub struct OpenStats {
 pub struct Store {
     path: PathBuf,
     file: File,
+    /// On-disk format version of the open file (1 or 2); appends through
+    /// this handle stay in the file's own format.
+    version: u8,
     index: FastHashMap<Vec<u64>, StoredVerdict>,
+    certs: FastHashMap<Vec<u64>, CertData>,
     open_stats: OpenStats,
     appended: u64,
+}
+
+/// One decoded record during replay.
+enum Record {
+    Verdict(Vec<u64>, StoredVerdict),
+    Cert(Vec<u64>, CertData),
+    /// Checksummed but not interpretable by this build (unknown kind, or a
+    /// malformed body behind a valid checksum) — skipped, never truncated.
+    Skipped,
 }
 
 impl Store {
     /// Opens (creating if absent) the store at `path`, replaying every
     /// valid record into the in-memory index and truncating any torn
-    /// tail left by a crash mid-append.
+    /// tail left by a crash mid-append. New files are created in the
+    /// current format; existing version-1 files open in theirs.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
@@ -211,24 +271,44 @@ impl Store {
             return Ok(Store {
                 path,
                 file,
+                version: 2,
                 index: FastHashMap::default(),
+                certs: FastHashMap::default(),
                 open_stats: OpenStats::default(),
                 appended: 0,
             });
         }
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: not a verdict store (bad magic)", path.display()),
-            ));
-        }
+        let version = match bytes.get(..MAGIC.len()) {
+            Some(m) if m == MAGIC => 2,
+            Some(m) if m == MAGIC_V1 => 1,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: not a verdict store (bad magic)", path.display()),
+                ))
+            }
+        };
 
         let mut index = FastHashMap::default();
+        let mut certs = FastHashMap::default();
         let mut records = 0u64;
+        let mut skipped_records = 0u64;
         let mut pos = MAGIC.len();
-        while let Some((consumed, key, verdict)) = parse_record(&bytes[pos..]) {
-            index.insert(key, verdict);
-            records += 1;
+        while let Some((consumed, payload)) = parse_frame(&bytes[pos..]) {
+            match parse_payload(payload, version) {
+                Some(Record::Verdict(key, verdict)) => {
+                    index.insert(key, verdict);
+                    records += 1;
+                }
+                Some(Record::Cert(key, cert)) => {
+                    certs.insert(key, cert);
+                    records += 1;
+                }
+                Some(Record::Skipped) => skipped_records += 1,
+                // v1 only: a checksummed record that fails to parse as a
+                // verdict ends the replay, exactly as it always did.
+                None => break,
+            }
             pos += consumed;
         }
         let recovered_bytes = (bytes.len() - pos) as u64;
@@ -242,11 +322,14 @@ impl Store {
         Ok(Store {
             path,
             file,
+            version,
             index,
+            certs,
             open_stats: OpenStats {
                 records,
                 keys,
                 recovered_bytes,
+                skipped_records,
             },
             appended: 0,
         })
@@ -257,14 +340,29 @@ impl Store {
         &self.path
     }
 
+    /// The on-disk format version of the open file (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
     /// Looks up the verdict for a canonical-serialization key.
     pub fn lookup(&self, key: &[u64]) -> Option<&StoredVerdict> {
         self.index.get(key)
     }
 
-    /// Distinct keys currently indexed.
+    /// Looks up the prefix certificate for an atomicity-masked key.
+    pub fn lookup_cert(&self, masked_key: &[u64]) -> Option<&CertData> {
+        self.certs.get(masked_key)
+    }
+
+    /// Distinct verdict keys currently indexed.
     pub fn len(&self) -> usize {
         self.index.len()
+    }
+
+    /// Distinct certificate keys currently indexed.
+    pub fn cert_count(&self) -> usize {
+        self.certs.len()
     }
 
     /// True when the store holds no verdicts.
@@ -296,17 +394,38 @@ impl Store {
         fingerprint: u64,
         verdict: &StoredVerdict,
     ) -> io::Result<()> {
-        let record = encode_record(key, fingerprint, verdict);
-        self.file.write_all(&record)?;
+        let payload = encode_verdict_payload(key, fingerprint, verdict, self.version);
+        self.file.write_all(&encode_frame(&payload))?;
         self.file.flush()?;
         self.index.insert(key.to_vec(), verdict.clone());
         self.appended += 1;
         Ok(())
     }
 
+    /// Appends a prefix-certificate record keyed by the atomicity-masked
+    /// canonical key. On a version-1 file this is a no-op (v1 has no
+    /// certificate encoding); [`Store::compact`] upgrades such files.
+    pub fn append_cert(
+        &mut self,
+        masked_key: &[u64],
+        fingerprint: u64,
+        cert: &CertData,
+    ) -> io::Result<()> {
+        if self.version < 2 {
+            return Ok(());
+        }
+        let payload = encode_cert_payload(masked_key, fingerprint, cert);
+        self.file.write_all(&encode_frame(&payload))?;
+        self.file.flush()?;
+        self.certs.insert(masked_key.to_vec(), cert.clone());
+        self.appended += 1;
+        Ok(())
+    }
+
     /// Rewrites the file with exactly one record per key (later appends
-    /// already won at replay time), atomically via a temp file + rename.
-    /// Returns `(records_before, records_after)`.
+    /// already won at replay time), atomically via a temp file + rename,
+    /// always in the current format — compaction upgrades version-1
+    /// files. Returns `(records_before, records_after)`.
     pub fn compact(&mut self) -> io::Result<(u64, u64)> {
         let before = self.open_stats.records + self.appended;
         let tmp = self.path.with_extension("tmp");
@@ -320,7 +439,18 @@ impl Store {
             entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
             for (key, verdict) in entries {
                 let fingerprint = fingerprint_of(key);
-                buf.extend_from_slice(&encode_record(key, fingerprint, verdict));
+                buf.extend_from_slice(&encode_frame(&encode_verdict_payload(
+                    key,
+                    fingerprint,
+                    verdict,
+                    2,
+                )));
+            }
+            let mut cert_entries: Vec<(&Vec<u64>, &CertData)> = self.certs.iter().collect();
+            cert_entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            for (key, cert) in cert_entries {
+                let fingerprint = fingerprint_of(key);
+                buf.extend_from_slice(&encode_frame(&encode_cert_payload(key, fingerprint, cert)));
             }
             out.write_all(&buf)?;
             out.sync_all()?;
@@ -329,20 +459,29 @@ impl Store {
         // Reopen the handle on the rewritten file, positioned at its end.
         self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         self.file.seek(SeekFrom::End(0))?;
-        let after = self.index.len() as u64;
+        self.version = 2;
+        let after = (self.index.len() + self.certs.len()) as u64;
         self.open_stats.records = after;
+        self.open_stats.skipped_records = 0;
         self.appended = 0;
         Ok((before, after))
     }
 
-    /// Folds every verdict of `other` into this store (appending records
-    /// for keys this store doesn't already have — existing entries win,
-    /// matching "first prover wins" semantics across shard files).
+    /// Folds every verdict and certificate of `other` into this store
+    /// (appending records for keys this store doesn't already have —
+    /// existing entries win, matching "first prover wins" semantics
+    /// across shard files). Returns the number of records appended.
     pub fn absorb(&mut self, other: &Store) -> io::Result<u64> {
         let mut added = 0;
         for (key, verdict) in &other.index {
             if !self.index.contains_key(key) {
                 self.append(key, fingerprint_of(key), verdict)?;
+                added += 1;
+            }
+        }
+        for (key, cert) in &other.certs {
+            if self.version >= 2 && !self.certs.contains_key(key) {
+                self.append_cert(key, fingerprint_of(key), cert)?;
                 added += 1;
             }
         }
@@ -360,8 +499,27 @@ fn fingerprint_of(key: &[u64]) -> u64 {
     hasher.finish()
 }
 
-fn encode_record(key: &[u64], fingerprint: u64, verdict: &StoredVerdict) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(32 + key.len() * 8);
+/// Wraps a payload in the record framing: `len:u32 checksum:u64 payload`.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut checksum = FastHasher::default();
+    checksum.write(payload);
+    let mut record = Vec::with_capacity(12 + payload.len());
+    record.extend_from_slice(&((payload.len() + 8) as u32).to_le_bytes());
+    record.extend_from_slice(&checksum.finish().to_le_bytes());
+    record.extend_from_slice(payload);
+    record
+}
+
+fn encode_verdict_payload(
+    key: &[u64],
+    fingerprint: u64,
+    verdict: &StoredVerdict,
+    version: u8,
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(36 + key.len() * 8);
+    if version >= 2 {
+        payload.extend_from_slice(&KIND_VERDICT.to_le_bytes());
+    }
     payload.extend_from_slice(&fingerprint.to_le_bytes());
     payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
     for &w in key {
@@ -382,19 +540,39 @@ fn encode_record(key: &[u64], fingerprint: u64, verdict: &StoredVerdict) -> Vec<
             payload.extend_from_slice(&v.to_le_bytes());
         }
     }
-    let mut checksum = FastHasher::default();
-    checksum.write(&payload);
-    let mut record = Vec::with_capacity(12 + payload.len());
-    record.extend_from_slice(&((payload.len() + 8) as u32).to_le_bytes());
-    record.extend_from_slice(&checksum.finish().to_le_bytes());
-    record.extend_from_slice(&payload);
-    record
+    payload
 }
 
-/// Parses one record from the front of `bytes`. Returns the bytes
-/// consumed, the key, and the verdict — or `None` if the prefix is not a
-/// complete, checksummed record (torn tail).
-fn parse_record(bytes: &[u8]) -> Option<(usize, Vec<u64>, StoredVerdict)> {
+fn encode_cert_payload(masked_key: &[u64], fingerprint: u64, cert: &CertData) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(48 + masked_key.len() * 8);
+    payload.extend_from_slice(&KIND_CERT.to_le_bytes());
+    payload.extend_from_slice(&fingerprint.to_le_bytes());
+    payload.extend_from_slice(&(masked_key.len() as u32).to_le_bytes());
+    for &w in masked_key {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    payload.extend_from_slice(&cert.nodes.to_le_bytes());
+    payload.extend_from_slice(&cert.pruned.to_le_bytes());
+    payload.extend_from_slice(&cert.complete.to_le_bytes());
+    payload.extend_from_slice(&(cert.leaves.len() as u32).to_le_bytes());
+    for (ws, rf) in &cert.leaves {
+        payload.extend_from_slice(&(ws.len() as u32).to_le_bytes());
+        for &e in ws {
+            payload.extend_from_slice(&e.to_le_bytes());
+        }
+        payload.extend_from_slice(&(rf.len() as u32).to_le_bytes());
+        for &e in rf {
+            payload.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+    payload
+}
+
+/// Validates one record frame at the front of `bytes`: a complete length
+/// field, a complete body, and a matching payload checksum. Returns the
+/// bytes consumed and the payload — or `None` on a torn/corrupt frame,
+/// which ends the replay (suffix loss, never silent corruption).
+fn parse_frame(bytes: &[u8]) -> Option<(usize, &[u8])> {
     let len = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
     let body = bytes.get(4..4 + len)?;
     let stored_checksum = u64::from_le_bytes(body.get(..8)?.try_into().ok()?);
@@ -404,7 +582,37 @@ fn parse_record(bytes: &[u8]) -> Option<(usize, Vec<u64>, StoredVerdict)> {
     if checksum.finish() != stored_checksum {
         return None;
     }
+    Some((4 + len, payload))
+}
+
+/// Interprets a checksummed payload under the file's format version.
+/// Version 2 never returns `None`: an unknown kind (or a malformed body
+/// behind a valid checksum) is [`Record::Skipped`], because the checksum
+/// already proved the record *boundary* and truncating would throw away a
+/// valid suffix. Version 1 keeps its original strictness: a payload that
+/// is not a verdict ends the replay (`None`).
+fn parse_payload(payload: &[u8], version: u8) -> Option<Record> {
+    if version < 2 {
+        return parse_verdict_body(payload).map(|(k, v)| Record::Verdict(k, v));
+    }
     let mut cur = Cursor { bytes: payload };
+    let kind = cur.u32()?;
+    Some(match kind {
+        KIND_VERDICT => match parse_verdict_body(cur.bytes) {
+            Some((k, v)) => Record::Verdict(k, v),
+            None => Record::Skipped,
+        },
+        KIND_CERT => match parse_cert_body(cur.bytes) {
+            Some((k, c)) => Record::Cert(k, c),
+            None => Record::Skipped,
+        },
+        _ => Record::Skipped,
+    })
+}
+
+/// Parses a verdict body (the payload minus any kind tag).
+fn parse_verdict_body(bytes: &[u8]) -> Option<(Vec<u64>, StoredVerdict)> {
+    let mut cur = Cursor { bytes };
     let _fingerprint = cur.u64()?;
     let key_words = cur.u32()? as usize;
     let mut key = Vec::with_capacity(key_words);
@@ -435,7 +643,48 @@ fn parse_record(bytes: &[u8]) -> Option<(usize, Vec<u64>, StoredVerdict)> {
     if !cur.bytes.is_empty() {
         return None; // trailing garbage inside a checksummed record
     }
-    Some((4 + len, key, StoredVerdict { outcomes, stats }))
+    Some((key, StoredVerdict { outcomes, stats }))
+}
+
+/// Parses a certificate body (the payload minus the kind tag).
+fn parse_cert_body(bytes: &[u8]) -> Option<(Vec<u64>, CertData)> {
+    let mut cur = Cursor { bytes };
+    let _fingerprint = cur.u64()?;
+    let key_words = cur.u32()? as usize;
+    let mut key = Vec::with_capacity(key_words);
+    for _ in 0..key_words {
+        key.push(cur.u64()?);
+    }
+    let nodes = cur.u64()?;
+    let pruned = cur.u64()?;
+    let complete = cur.u64()?;
+    let leaf_count = cur.u32()? as usize;
+    let mut leaves = Vec::with_capacity(leaf_count);
+    for _ in 0..leaf_count {
+        let ws_len = cur.u32()? as usize;
+        let mut ws = Vec::with_capacity(ws_len);
+        for _ in 0..ws_len {
+            ws.push(cur.u64()?);
+        }
+        let rf_len = cur.u32()? as usize;
+        let mut rf = Vec::with_capacity(rf_len);
+        for _ in 0..rf_len {
+            rf.push(cur.u64()?);
+        }
+        leaves.push((ws, rf));
+    }
+    if !cur.bytes.is_empty() {
+        return None;
+    }
+    Some((
+        key,
+        CertData {
+            leaves,
+            nodes,
+            pruned,
+            complete,
+        },
+    ))
 }
 
 struct Cursor<'a> {
@@ -456,18 +705,21 @@ impl Cursor<'_> {
     }
 }
 
-/// A [`Store`] behind a mutex, implementing the model cache's
-/// [`VerdictStore`] hook — this is what `litmus_run` installs with
-/// `tso_model::cache::set_store` so every model query in the process
-/// reads and writes one shared file.
+/// A [`Store`] behind a mutex, implementing both of the model's
+/// persistence hooks: the verdict cache's
+/// [`VerdictStore`] and the certificate tier's
+/// [`CertificateStore`] — this is what `litmus_run` installs with
+/// `tso_model::cache::set_store` and `tso_model::prefix::set_store` so
+/// every model query in the process reads and writes one shared file.
 ///
-/// Write errors during [`VerdictStore::save`] are counted
-/// ([`SharedStore::save_errors`]) but otherwise swallowed: persistence is
-/// an optimization, and a full disk must not fail a verification run.
+/// Write errors during a save are counted ([`SharedStore::save_errors`])
+/// but otherwise swallowed: persistence is an optimization, and a full
+/// disk must not fail a verification run.
 #[derive(Debug)]
 pub struct SharedStore {
     inner: Mutex<Store>,
     loads: AtomicU64,
+    cert_loads: AtomicU64,
     save_errors: AtomicU64,
 }
 
@@ -477,6 +729,7 @@ impl SharedStore {
         SharedStore {
             inner: Mutex::new(store),
             loads: AtomicU64::new(0),
+            cert_loads: AtomicU64::new(0),
             save_errors: AtomicU64::new(0),
         }
     }
@@ -491,7 +744,12 @@ impl SharedStore {
         self.loads.load(Ordering::Relaxed)
     }
 
-    /// Failed (swallowed) [`VerdictStore::save`] attempts so far.
+    /// Successful [`CertificateStore::load_cert`] answers served so far.
+    pub fn cert_loads(&self) -> u64 {
+        self.cert_loads.load(Ordering::Relaxed)
+    }
+
+    /// Failed (swallowed) save attempts so far (verdicts + certificates).
     pub fn save_errors(&self) -> u64 {
         self.save_errors.load(Ordering::Relaxed)
     }
@@ -532,6 +790,24 @@ impl VerdictStore for SharedStore {
     }
 }
 
+impl CertificateStore for SharedStore {
+    fn load_cert(&self, masked_key: &[u64]) -> Option<CertData> {
+        let inner = self.inner.lock().expect("verdict store poisoned");
+        let found = inner.lookup_cert(masked_key).cloned();
+        if found.is_some() {
+            self.cert_loads.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn save_cert(&self, masked_key: &[u64], fingerprint: u64, cert: &CertData) {
+        let mut inner = self.inner.lock().expect("verdict store poisoned");
+        if inner.append_cert(masked_key, fingerprint, cert).is_err() {
+            self.save_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +830,18 @@ mod tests {
         )
     }
 
+    fn sample_cert(tag: u64) -> (Vec<u64>, CertData) {
+        (
+            vec![2, 0, 0, 7, tag],
+            CertData {
+                leaves: vec![(vec![3, 1, tag], vec![0, 2]), (vec![1, 3, tag], vec![2, 0])],
+                nodes: 40 + tag,
+                pruned: 11,
+                complete: 2,
+            },
+        )
+    }
+
     #[test]
     fn roundtrips_records_across_reopen() {
         let path = tmp("roundtrip");
@@ -561,6 +849,7 @@ mod tests {
         {
             let mut s = Store::open(&path).unwrap();
             assert!(s.is_empty());
+            assert_eq!(s.version(), 2);
             for tag in 0..5 {
                 let (k, v) = sample(tag);
                 s.append(&k, tag, &v).unwrap();
@@ -571,6 +860,7 @@ mod tests {
         let s = Store::open(&path).unwrap();
         assert_eq!(s.len(), 5);
         assert_eq!(s.open_stats().records, 5);
+        assert_eq!(s.open_stats().skipped_records, 0);
         assert_eq!(s.recovered_bytes(), 0);
         for tag in 0..5 {
             let (k, v) = sample(tag);
@@ -624,7 +914,9 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let shared = SharedStore::open(&path).unwrap();
         assert!(VerdictStore::load(&shared, &[1, 2, 3]).is_none());
+        assert!(CertificateStore::load_cert(&shared, &[1, 2, 3]).is_none());
         assert_eq!(shared.loads(), 0, "misses are not loads");
+        assert_eq!(shared.cert_loads(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -633,6 +925,93 @@ mod tests {
         let path = tmp("magic");
         std::fs::write(&path, b"definitely not a store").unwrap();
         assert!(Store::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cert_records_roundtrip_and_survive_compaction() {
+        let path = tmp("cert-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (vk, v) = sample(3);
+        let (ck, c) = sample_cert(8);
+        {
+            let mut s = Store::open(&path).unwrap();
+            s.append(&vk, 3, &v).unwrap();
+            s.append_cert(&ck, 8, &c).unwrap();
+            assert_eq!(s.cert_count(), 1);
+        }
+        let mut s = Store::open(&path).unwrap();
+        assert_eq!(s.open_stats().records, 2, "verdict + certificate");
+        assert_eq!(s.lookup(&vk), Some(&v));
+        assert_eq!(s.lookup_cert(&ck), Some(&c));
+        let (before, after) = s.compact().unwrap();
+        assert_eq!((before, after), (2, 2));
+        drop(s);
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.lookup(&vk), Some(&v), "verdicts survive compaction");
+        assert_eq!(s.lookup_cert(&ck), Some(&c), "certs survive compaction");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_record_kinds_are_skipped_not_truncated() {
+        let path = tmp("unknown-kind");
+        let _ = std::fs::remove_file(&path);
+        let (k1, v1) = sample(1);
+        let (k2, v2) = sample(2);
+        {
+            let mut s = Store::open(&path).unwrap();
+            s.append(&k1, 1, &v1).unwrap();
+        }
+        // Splice in a record from "the future": valid frame, unknown kind.
+        let mut future = 99u32.to_le_bytes().to_vec();
+        future.extend_from_slice(b"fields this build has never heard of");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&encode_frame(&future));
+        bytes.extend_from_slice(&encode_frame(&encode_verdict_payload(&k2, 2, &v2, 2)));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.open_stats().skipped_records, 1, "unknown kind skipped");
+        assert_eq!(s.recovered_bytes(), 0, "…but nothing was truncated");
+        assert_eq!(s.len(), 2, "the record after the unknown one replays");
+        assert_eq!(s.lookup(&k1), Some(&v1));
+        assert_eq!(s.lookup(&k2), Some(&v2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_1_files_open_replay_and_append_in_their_own_format() {
+        let path = tmp("v1-compat");
+        let _ = std::fs::remove_file(&path);
+        let (k1, v1) = sample(1);
+        let (k2, v2) = sample(2);
+        // Hand-build a v1 file: old magic, bare verdict payloads.
+        let mut bytes = MAGIC_V1.to_vec();
+        bytes.extend_from_slice(&encode_frame(&encode_verdict_payload(&k1, 1, &v1, 1)));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut s = Store::open(&path).unwrap();
+        assert_eq!(s.version(), 1, "old magic probes as version 1");
+        assert_eq!(s.lookup(&k1), Some(&v1), "v1 records replay");
+        s.append(&k2, 2, &v2).unwrap();
+        // A certificate append on a v1 file is dropped, not an error.
+        let (ck, c) = sample_cert(5);
+        s.append_cert(&ck, 5, &c).unwrap();
+        drop(s);
+
+        let mut s = Store::open(&path).unwrap();
+        assert_eq!(s.version(), 1, "appends kept the file v1");
+        assert_eq!(s.len(), 2, "v1 append is readable as v1");
+        assert_eq!(s.lookup(&k2), Some(&v2));
+        assert_eq!(s.cert_count(), 0, "no cert encoding in v1");
+
+        // Compaction upgrades to the current format.
+        s.compact().unwrap();
+        drop(s);
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.version(), 2, "compaction rewrote with the new magic");
+        assert_eq!(s.len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 }

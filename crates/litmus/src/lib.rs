@@ -114,6 +114,14 @@ pub struct CheckResult {
     /// True when the verdict was served from the memoized outcome-set
     /// cache (no model search ran for this call).
     pub cache_hit: bool,
+    /// True when the verdict-cache miss was answered by replaying a
+    /// prefix certificate from an atomicity sibling instead of searching
+    /// (`tso_model::prefix`). Always false on a cache hit.
+    pub prefix_hit: bool,
+    /// True when the search behind this verdict fanned out across pool
+    /// workers (the adaptive engine chose to split). Always false on a
+    /// cache or prefix hit.
+    pub split: bool,
 }
 
 impl CheckResult {
@@ -177,6 +185,8 @@ impl Litmus {
             witness,
             model_stats: cached.stats,
             cache_hit: cached.hit,
+            prefix_hit: cached.prefix_hit,
+            split: cached.split,
         }
     }
 }

@@ -22,10 +22,14 @@
 //! equivalent tests compute the search once and one of them blocks
 //! briefly instead of both burning a core.
 //!
-//! On a miss the search runs on the parallel root-split engine
-//! ([`crate::par`]) at [`exec_pool::default_workers`] — full machine width
-//! from a top-level caller, automatically sequential inside a harness
-//! worker (the oversubscription guard), and identical results either way.
+//! On a miss the query drops to the prefix-certificate tier
+//! ([`crate::prefix`]): a program sharing its atomicity-masked canonical
+//! key with an already searched sibling replays that sibling's
+//! certificate instead of searching, and a genuinely novel program runs
+//! the *adaptive* engine ([`crate::par`]) at
+//! [`exec_pool::default_workers`] — sequential on small shapes (fan-out
+//! overhead never amortizes there), split across the pool on large ones,
+//! and identical results and stats either way.
 //!
 //! The cache grows with distinct canonical programs. Litmus-scale
 //! workloads (a few hundred small entries) make eviction pointless;
@@ -181,6 +185,13 @@ pub struct CachedOutcomes {
     pub stats: SearchStats,
     /// True when no search ran for this query.
     pub hit: bool,
+    /// True when this query was answered by replaying a prefix
+    /// certificate ([`crate::prefix`]) recorded for a masked-key sibling
+    /// — set only on the query that did the work, like `hit`'s negation.
+    pub prefix_hit: bool,
+    /// True when this query ran a fresh search and the adaptive engine
+    /// decided to fan out across the worker pool.
+    pub split: bool,
     /// The canonical fingerprint the entry is filed under (diagnostics).
     pub fingerprint: u64,
 }
@@ -202,6 +213,8 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
         Arc::clone(map.entry(canon.key().to_vec()).or_default())
     };
     let mut searched = false;
+    let mut prefix_hit = false;
+    let mut split = false;
     let entry = Arc::clone(cell.get_or_init(|| {
         // Memory miss: the persistent store (when installed) is the next
         // tier — a store hit costs a lookup, not a search.
@@ -213,16 +226,24 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
         }
         searched = true;
         MISSES.fetch_add(1, Ordering::Relaxed);
-        let workers = exec_pool::default_workers();
-        let (outcomes, stats) = if workers > 1 {
-            crate::par::allowed_outcomes_par_with_stats(canon.program(), workers)
-        } else {
-            crate::outcome::allowed_outcomes_with_stats(canon.program())
-        };
+        // The certificate tier replays a masked-key sibling's pruned
+        // search when it can, and otherwise runs the recording adaptive
+        // engine (sequential below the split floor, fanned out above it).
+        let answer = crate::prefix::query(canon, exec_pool::default_workers());
+        prefix_hit = answer.prefix_hit;
+        split = answer.split;
         if let Some(store) = current_store() {
-            store.save(canon.key(), canon.fingerprint(), &outcomes, &stats);
+            store.save(
+                canon.key(),
+                canon.fingerprint(),
+                &answer.outcomes,
+                &answer.stats,
+            );
         }
-        Arc::new(Entry { outcomes, stats })
+        Arc::new(Entry {
+            outcomes: answer.outcomes,
+            stats: answer.stats,
+        })
     }));
     let outcomes = entry
         .outcomes
@@ -233,6 +254,8 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
         outcomes,
         stats: entry.stats,
         hit: !searched,
+        prefix_hit,
+        split,
         fingerprint: canon.fingerprint(),
     }
 }

@@ -34,14 +34,20 @@
 //! (each observationally invisible — same sets, same verdicts, same
 //! decision stats):
 //!
-//! * [`par`] — root-split **parallel search**: the first decision levels
-//!   are expanded into independent subtree tasks fanned out on the
-//!   shared `exec-pool` workers, merged deterministically;
+//! * [`par`] — **adaptive parallel search**: shapes predicted (via a
+//!   once-per-process calibrated node rate) to be too small to amortize
+//!   fan-out run sequentially; larger ones expand their first decision
+//!   levels into independent subtree tasks fanned out on the shared
+//!   `exec-pool` workers, merged deterministically;
 //! * [`canon`] — **symmetry reduction**: programs are canonicalized
 //!   under thread- and address-renaming
 //!   ([`Program::canonicalize`](program::Program::canonicalize));
 //! * [`cache`] — **verdict memoization**: [`allowed_outcomes_cached`]
-//!   proves each canonical class once, process-wide.
+//!   proves each canonical class once, process-wide;
+//! * [`prefix`] — **prefix-certificate sharing**: programs identical up
+//!   to per-RMW atomicity (equal atomicity-masked canonical keys) share
+//!   one pruned search; siblings replay its recorded complete leaves and
+//!   re-solve only the leaf-level atomicity disjunctions.
 //!
 //! # Quickstart
 //!
@@ -72,6 +78,7 @@ pub mod graph;
 pub mod lemmas;
 pub mod outcome;
 pub mod par;
+pub mod prefix;
 pub mod program;
 pub mod search;
 pub mod validity;
@@ -86,7 +93,7 @@ pub use outcome::{
 };
 pub use par::{
     allowed_outcomes_par, allowed_outcomes_par_with_stats, fold_valid_executions_par,
-    outcome_allowed_par, valid_executions_par,
+    fold_valid_executions_split, outcome_allowed_par, valid_executions_par,
 };
 pub use program::{Instr, Program, ProgramBuilder, ThreadBuilder};
 pub use search::{any_valid_execution, for_each_valid_execution, valid_executions, SearchStats};

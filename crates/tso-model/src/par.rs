@@ -24,6 +24,26 @@
 //! next decision node, and the pool drains unstarted tasks without
 //! running them.
 //!
+//! # Adaptive policy
+//!
+//! Fanning out is not free: the split phase, per-task base-graph clones,
+//! and thread handoff cost a fixed overhead that small subtrees never
+//! amortize — the seed's BENCH_model.json showed 0.23–0.97× *slowdowns*
+//! on every small shape. The public entry points are therefore
+//! *adaptive*: they predict the sequential cost from
+//! `SearchCtx::estimate_nodes` (the unpruned decision-tree size) divided
+//! by a nodes-per-µs rate calibrated once per process
+//! (`estimated_nodes_per_us`), stay fully sequential below
+//! `MIN_SPLIT_EST_US` (and always on single-hardware-thread hosts,
+//! where fan-out can only lose), and above it pick a split target so
+//! each prefix task carries at least `MIN_TASK_EST_US` of predicted
+//! work. The
+//! sequential fallback reports `tasks = workers = 1`; the decision
+//! counters are engine-independent either way, so results and stats stay
+//! bit-identical to the sequential engine. The always-split engine
+//! remains available as [`fold_valid_executions_split`] for equivalence
+//! tests and scaling benches.
+//!
 //! The sequential engine remains the reference implementation;
 //! `tests/par_equiv.rs` asserts both yield identical execution sequences,
 //! outcome sets, verdicts, and decision stats over the full litmus
@@ -31,18 +51,106 @@
 
 use crate::execution::CandidateExecution;
 use crate::outcome::Outcome;
-use crate::program::Program;
-use crate::search::{self, for_each_valid_execution, SearchStats};
+use crate::program::{Program, ProgramBuilder};
+use crate::search::{self, for_each_valid_execution, Prefix, SearchCtx, SearchStats};
 use rmw_types::fasthash::FastHashSet;
-use rmw_types::Value;
+use rmw_types::{Addr, Value};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Subtree tasks to aim for per worker: enough oversplit that one heavy
 /// subtree does not serialize the pool, little enough that split overhead
 /// stays negligible.
 const TASKS_PER_WORKER: usize = 4;
+
+/// Predicted sequential microseconds below which the adaptive engine
+/// refuses to fan out. Split/replay overhead is on the order of tens to a
+/// few hundred µs; requiring ~20 ms of predicted work keeps the worst
+/// case (the estimate overshooting a heavily pruned shape) well under the
+/// 10% regression budget, while every shape that actually benefits from
+/// parallelism predicts far above this floor.
+const MIN_SPLIT_EST_US: f64 = 20_000.0;
+
+/// Predicted microseconds of subtree work per task once the engine does
+/// fan out: the split depth is capped so no task falls below this, which
+/// keeps per-task replay overhead in the low single digits percent.
+const MIN_TASK_EST_US: f64 = 1_000.0;
+
+/// A mid-size Dekker-like shape (2 threads × 3 write/read rounds) used to
+/// calibrate the node rate: deep enough that one sequential run takes on
+/// the order of a millisecond, small enough that the one-time calibration
+/// is negligible.
+fn calibration_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    for i in 0..2u64 {
+        let mine = Addr(i);
+        let other = Addr((i + 1) % 2);
+        let mut t = b.thread();
+        for k in 1..=3u64 {
+            t.write(mine, k).read(other);
+        }
+    }
+    b.build()
+}
+
+/// *Estimated* decision nodes searched per microsecond, calibrated once
+/// per process by timing the sequential engine on
+/// [`calibration_program`] and dividing its `estimate_nodes` (not its
+/// real node count) by the elapsed time. Using the estimate on both
+/// sides makes the units cancel: `predicted_us(P) =
+/// estimate_nodes(P) / rate` is exact for the calibration shape and
+/// biased safely for others — shapes shallower than the calibration
+/// shape overestimate the rate's applicability *downward* (they stay
+/// sequential; they are small anyway), deeper shapes upward (they split;
+/// they are large anyway). The best of three runs is kept, so transient
+/// scheduler noise can only make the engine *more* reluctant to split.
+fn estimated_nodes_per_us() -> f64 {
+    static RATE: OnceLock<f64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        let p = calibration_program();
+        let sc = search::build_ctx(&p);
+        let est = sc.estimate_nodes() as f64;
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let mut sink = |_: &CandidateExecution| ControlFlow::Continue(());
+            let _ = search::run_ctx(&sc, &mut sink, None);
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            best = best.max(est / us.max(1.0));
+        }
+        best.max(1.0)
+    })
+}
+
+/// Predicted sequential search cost of `sc`'s program in microseconds —
+/// the quantity the adaptive split decision thresholds on.
+pub(crate) fn predicted_us(sc: &SearchCtx) -> f64 {
+    sc.estimate_nodes() as f64 / estimated_nodes_per_us()
+}
+
+/// Worker count the *adaptive* engines plan with: `requested` clamped by
+/// [`exec_pool::effective_workers`] and by the host's available
+/// parallelism. On a single-hardware-thread host splitting can only lose
+/// (every task still runs serially, plus fan-out overhead), so the
+/// adaptive policy treats such hosts as `workers = 1` and stays
+/// sequential no matter what was requested. The forced split engine
+/// ([`fold_valid_executions_split`]) deliberately does *not* apply this
+/// cap — equivalence tests need the split path exercised everywhere.
+fn adaptive_workers(requested: usize) -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    let hw = *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    exec_pool::effective_workers(requested).min(hw)
+}
+
+/// Split target for a shape predicted to cost `est_us`: capped both by
+/// worker appetite and by the per-task work floor.
+fn split_target(workers: usize, est_us: f64) -> usize {
+    let cap = (est_us / MIN_TASK_EST_US) as usize;
+    (workers * TASKS_PER_WORKER).min(cap.max(2))
+}
 
 /// The workhorse: folds every valid execution of `program` into per-task
 /// accumulators on `workers` threads. `make` builds one accumulator per
@@ -68,7 +176,7 @@ where
     A: Fn() -> T + Sync,
     F: Fn(&mut T, &CandidateExecution) -> ControlFlow<()> + Sync,
 {
-    let workers = exec_pool::effective_workers(workers);
+    let workers = adaptive_workers(workers);
     if workers <= 1 {
         let mut acc = make();
         let stats = for_each_valid_execution(program, |exec| fold(&mut acc, exec));
@@ -76,7 +184,58 @@ where
     }
 
     let sc = search::build_ctx(program);
-    let (prefixes, mut stats) = search::split_prefixes(&sc, workers * TASKS_PER_WORKER);
+    let est_us = predicted_us(&sc);
+    if est_us < MIN_SPLIT_EST_US {
+        // Too small to amortize fan-out: run sequentially on the calling
+        // thread (same context, same stats, `tasks = workers = 1`).
+        let mut acc = make();
+        let stats = search::run_ctx(&sc, &mut |exec| fold(&mut acc, exec), None);
+        return (vec![acc], stats);
+    }
+    split_from_ctx(&sc, workers, split_target(workers, est_us), &make, &fold)
+}
+
+/// The always-split engine: fans out over `workers` regardless of shape
+/// size, exactly as [`fold_valid_executions_par`] did before the adaptive
+/// policy. Kept public for the `par_equiv` equivalence suite and the
+/// `model_scaling` bench, which need the split path exercised on shapes
+/// the adaptive policy would run sequentially. `workers <= 1` still falls
+/// through to the sequential engine.
+pub fn fold_valid_executions_split<T, A, F>(
+    program: &Program,
+    workers: usize,
+    make: A,
+    fold: F,
+) -> (Vec<T>, SearchStats)
+where
+    T: Send,
+    A: Fn() -> T + Sync,
+    F: Fn(&mut T, &CandidateExecution) -> ControlFlow<()> + Sync,
+{
+    let workers = exec_pool::effective_workers(workers);
+    if workers <= 1 {
+        let mut acc = make();
+        let stats = for_each_valid_execution(program, |exec| fold(&mut acc, exec));
+        return (vec![acc], stats);
+    }
+    let sc = search::build_ctx(program);
+    split_from_ctx(&sc, workers, workers * TASKS_PER_WORKER, &make, &fold)
+}
+
+/// The shared split-and-merge body behind both fold entry points.
+fn split_from_ctx<T, A, F>(
+    sc: &SearchCtx,
+    workers: usize,
+    target: usize,
+    make: &A,
+    fold: &F,
+) -> (Vec<T>, SearchStats)
+where
+    T: Send,
+    A: Fn() -> T + Sync,
+    F: Fn(&mut T, &CandidateExecution) -> ControlFlow<()> + Sync,
+{
+    let (prefixes, mut stats) = search::split_prefixes(sc, target);
     let stop = AtomicBool::new(false);
     let results = exec_pool::run_indexed(workers, prefixes.len(), &stop, |_worker, i| {
         let mut acc = make();
@@ -87,7 +246,7 @@ where
                 ControlFlow::Break(())
             }
         };
-        let task_stats = search::run_prefix(&sc, &prefixes[i], &mut visitor, Some(&stop));
+        let task_stats = search::run_prefix(sc, &prefixes[i], &mut visitor, Some(&stop));
         (acc, task_stats)
     });
 
@@ -137,6 +296,70 @@ pub fn allowed_outcomes_par_with_stats(
         out.extend(set);
     }
     (out, stats)
+}
+
+/// [`allowed_outcomes_par`] that additionally records the decision path
+/// of every complete leaf, in sequential DFS order — the capture side of
+/// prefix certificates ([`crate::prefix`]). The adaptive policy applies:
+/// small shapes record on the sequential engine; large shapes split, and
+/// the per-task leaf logs concatenated in task order reproduce the
+/// sequential DFS leaf order exactly (the same argument that makes
+/// [`valid_executions_par`] order-exact).
+pub(crate) fn allowed_outcomes_recording(
+    program: &Program,
+    workers: usize,
+) -> (BTreeSet<Outcome>, SearchStats, Vec<Prefix>) {
+    let workers = adaptive_workers(workers);
+    let sc = search::build_ctx(program);
+    let est_us = predicted_us(&sc);
+    if workers <= 1 || est_us < MIN_SPLIT_EST_US {
+        let mut set = FastHashSet::<Outcome>::default();
+        let mut leaves = Vec::new();
+        let stats = search::run_ctx(
+            &sc,
+            &mut |exec| {
+                set.insert(Outcome::of_execution(exec));
+                ControlFlow::Continue(())
+            },
+            Some(&mut leaves),
+        );
+        let mut out = BTreeSet::new();
+        out.extend(set);
+        return (out, stats, leaves);
+    }
+
+    let (prefixes, mut stats) = search::split_prefixes(&sc, split_target(workers, est_us));
+    let stop = AtomicBool::new(false);
+    let results = exec_pool::run_indexed(workers, prefixes.len(), &stop, |_worker, i| {
+        let mut set = FastHashSet::<Outcome>::default();
+        let mut leaves = Vec::new();
+        let mut visitor = |exec: &CandidateExecution| {
+            set.insert(Outcome::of_execution(exec));
+            ControlFlow::Continue(())
+        };
+        let task_stats = search::run_prefix_with(
+            &sc,
+            &prefixes[i],
+            &mut visitor,
+            Some(&stop),
+            Some(&mut leaves),
+        );
+        (set, leaves, task_stats)
+    });
+
+    let mut out = BTreeSet::new();
+    let mut leaves = Vec::new();
+    for result in results {
+        // No early exit here, so the stop flag never fires and every task
+        // runs to completion.
+        let (set, task_leaves, task_stats) = result.expect("recording search never stops early");
+        stats.absorb(&task_stats);
+        out.extend(set);
+        leaves.extend(task_leaves);
+    }
+    stats.tasks = prefixes.len() as u64;
+    stats.workers = workers.min(prefixes.len().max(1)) as u64;
+    (out, stats, leaves)
 }
 
 /// Parallel [`valid_executions`](crate::search::valid_executions): because
@@ -258,6 +481,58 @@ mod tests {
             assert!(!outcome_allowed_par(&p, workers, |rv| rv
                 .iter()
                 .all(|&v| v == 99)));
+        }
+    }
+
+    #[test]
+    fn adaptive_runs_small_shapes_sequentially() {
+        // mixed_program predicts far below the split floor, so even a
+        // generous worker budget must stay on the calling thread.
+        let p = mixed_program();
+        let (_, stats) = allowed_outcomes_par_with_stats(&p, 8);
+        assert_eq!((stats.tasks, stats.workers), (1, 1));
+    }
+
+    #[test]
+    fn forced_split_matches_sequential_on_small_shapes() {
+        // The always-split engine keeps the split path testable on shapes
+        // the adaptive policy runs sequentially.
+        let p = mixed_program();
+        let seq = allowed_outcomes(&p);
+        for workers in [2, 8] {
+            let (sets, stats) = fold_valid_executions_split(
+                &p,
+                workers,
+                FastHashSet::<Outcome>::default,
+                |set, exec| {
+                    set.insert(Outcome::of_execution(exec));
+                    ControlFlow::Continue(())
+                },
+            );
+            let mut par = BTreeSet::new();
+            for set in sets {
+                par.extend(set);
+            }
+            assert_eq!(par, seq, "workers={workers}");
+            assert!(stats.tasks > 1, "forced split must fan out");
+        }
+    }
+
+    #[test]
+    fn recording_search_matches_plain_search() {
+        let p = mixed_program();
+        let plain = allowed_outcomes(&p);
+        let seq_stats = for_each_valid_execution(&p, |_| ControlFlow::Continue(()));
+        for workers in [1, 2, 8] {
+            let (outs, stats, leaves) = allowed_outcomes_recording(&p, workers);
+            assert_eq!(outs, plain, "workers={workers}");
+            assert_eq!(stats.nodes, seq_stats.nodes, "workers={workers}");
+            assert_eq!(stats.complete, seq_stats.complete, "workers={workers}");
+            assert_eq!(
+                leaves.len() as u64,
+                stats.complete,
+                "one recorded leaf per complete assignment"
+            );
         }
     }
 

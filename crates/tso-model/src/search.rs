@@ -342,6 +342,41 @@ impl SearchCtx {
         }
         factors
     }
+
+    /// The decision shape `(total non-init writes, reads)` — the exact
+    /// lengths a full-depth leaf path must have. [`crate::prefix`] uses
+    /// this (plus [`SearchCtx::max_event_id`]) to reject a persisted
+    /// certificate that does not structurally fit the program before
+    /// replaying it.
+    pub(crate) fn decision_shape(&self) -> (usize, usize) {
+        let writes = self.locs.iter().map(|l| l.writes.len()).sum();
+        (writes, self.reads.len())
+    }
+
+    /// One past the largest valid [`EventId`] index for this program.
+    pub(crate) fn max_event_id(&self) -> usize {
+        self.ctx.events.len()
+    }
+
+    /// Upper estimate of the decision nodes a search of this program can
+    /// visit: the node count of the *unpruned* decision tree, i.e. the sum
+    /// over decision levels of the running product of branching factors.
+    /// Pruning only shrinks the real count, so thresholding on this value
+    /// errs toward "the subtree is big" — the safe direction for the
+    /// adaptive split policy in [`crate::par`], which only fans out above
+    /// a generous floor. Saturates instead of overflowing on deep shapes.
+    pub(crate) fn estimate_nodes(&self) -> u64 {
+        let mut total = 1u64; // the root itself
+        let mut width = 1u64;
+        for &f in &self.level_factors() {
+            width = width.saturating_mul(f as u64);
+            total = total.saturating_add(width);
+            if total >= u64::MAX / 2 {
+                return u64::MAX / 2;
+            }
+        }
+        total
+    }
 }
 
 /// A decision prefix identifying one independent subtree of the search:
@@ -349,10 +384,10 @@ impl SearchCtx {
 /// order), and — only when every write is already placed — the first
 /// `rf` choices. Produced by [`split_prefixes`], consumed by
 /// [`run_prefix`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct Prefix {
-    ws: Vec<EventId>,
-    rf: Vec<EventId>,
+    pub(crate) ws: Vec<EventId>,
+    pub(crate) rf: Vec<EventId>,
 }
 
 /// Enumerates the viable decision prefixes at a depth chosen so their
@@ -385,6 +420,28 @@ pub(crate) fn split_prefixes(sc: &SearchCtx, target: usize) -> (Vec<Prefix>, Sea
     (out, stats)
 }
 
+/// Runs the full sequential DFS from a prebuilt context, optionally
+/// recording the decision path of every complete leaf into `leaves` (in
+/// DFS order — the order [`run_prefix`] replays them for a certificate
+/// hit, see [`crate::prefix`]). Reports `tasks = workers = 1` like
+/// [`for_each_valid_execution`]; the context must be `ValidOnly` when
+/// recording (only complete leaves of the pruned engine are meaningful
+/// certificate entries).
+pub(crate) fn run_ctx(
+    sc: &SearchCtx,
+    visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+    leaves: Option<&mut Vec<Prefix>>,
+) -> SearchStats {
+    let mut search = Search::new(sc, visitor, None);
+    search.leaves = leaves;
+    // A `Break` here is just the early exit reaching the root.
+    let _ = search.search_ws(0);
+    let mut stats = search.stats;
+    stats.tasks = 1;
+    stats.workers = 1;
+    stats
+}
+
 /// Replays `prefix` (whose viability the split already established) and
 /// resumes the ordinary DFS below it, yielding to `visitor`. `stop` is a
 /// cooperative cancellation flag checked at every decision node.
@@ -394,7 +451,25 @@ pub(crate) fn run_prefix(
     visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
     stop: Option<&AtomicBool>,
 ) -> SearchStats {
+    run_prefix_with(sc, prefix, visitor, stop, None)
+}
+
+/// [`run_prefix`] with optional complete-leaf recording (the recording
+/// engine behind certificate capture on the split path). A *full-depth*
+/// `prefix` — one naming every `ws` placement and every `rf` choice —
+/// replays straight to the leaf: zero decision nodes, one `complete`,
+/// with the atomicity disjunctions solved for *this* context's program.
+/// That degenerate case is exactly how [`crate::prefix`] replays a
+/// certificate's leaves for a sibling program.
+pub(crate) fn run_prefix_with(
+    sc: &SearchCtx,
+    prefix: &Prefix,
+    visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+    stop: Option<&AtomicBool>,
+    leaves: Option<&mut Vec<Prefix>>,
+) -> SearchStats {
     let mut search = Search::new(sc, visitor, stop);
+    search.leaves = leaves;
 
     // Replay the ws placements. Decision order fills locations in order,
     // so the prefix entries for the current location form the contiguous
@@ -459,6 +534,9 @@ struct Search<'a> {
     stats: SearchStats,
     stop: Option<&'a AtomicBool>,
     visitor: &'a mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+    /// When set, every complete leaf's full decision path is appended (in
+    /// DFS order) — the raw material of a prefix certificate.
+    leaves: Option<&'a mut Vec<Prefix>>,
 }
 
 fn run(
@@ -467,13 +545,7 @@ fn run(
     visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
 ) -> SearchStats {
     let sc = SearchCtx::build(program, mode);
-    let mut search = Search::new(&sc, visitor, None);
-    // A `Break` here is just the early exit reaching the root.
-    let _ = search.search_ws(0);
-    let mut stats = search.stats;
-    stats.tasks = 1;
-    stats.workers = 1;
-    stats
+    run_ctx(&sc, visitor, None)
 }
 
 impl<'a> Search<'a> {
@@ -492,7 +564,21 @@ impl<'a> Search<'a> {
             stats: SearchStats::default(),
             stop,
             visitor,
+            leaves: None,
         }
+    }
+
+    /// The full decision path of the current (complete) assignment: every
+    /// location's non-init serialization in decision order, then every
+    /// read's `rf` source in read order. Feeding this back through
+    /// [`run_prefix`] replays straight to the same leaf.
+    fn leaf_path(&self) -> Prefix {
+        let mut ws = Vec::new();
+        for loc in &self.sc.locs {
+            ws.extend_from_slice(&self.ws[&loc.addr][1..]);
+        }
+        let rf = self.sc.reads.iter().map(|r| self.rf[r]).collect();
+        Prefix { ws, rf }
     }
 
     /// True when a cooperative stop was requested; the caller unwinds with
@@ -651,6 +737,14 @@ impl<'a> Search<'a> {
     /// validity check (the atomicity disjunctions), and yield.
     fn complete(&mut self) -> ControlFlow<()> {
         self.stats.complete += 1;
+        if self.leaves.is_some() {
+            // `leaf_path` needs `&self`, so the path is built before the
+            // mutable re-borrow of the log.
+            let path = self.leaf_path();
+            if let Some(leaves) = &mut self.leaves {
+                leaves.push(path);
+            }
+        }
         let Some(values) = resolve_values(&self.sc.ctx.events, &self.rf) else {
             // Unreachable: the dep graph is acyclic on this path, and it
             // contains every value dependency `resolve_values` follows.
@@ -1057,6 +1151,69 @@ mod tests {
                 ControlFlow::Continue(())
             });
             assert_eq!(yielded, seq_yield, "target {target}");
+        }
+    }
+
+    #[test]
+    fn recorded_leaves_replay_to_the_same_executions() {
+        // The invariant prefix certificates rest on: replaying each
+        // recorded full-depth leaf path reproduces the sequential yield
+        // sequence with zero decision nodes and one `complete` per leaf.
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .write(X, 1)
+            .rmw(Y, RmwKind::FetchAndAdd(1), Atomicity::Type2);
+        b.thread().write(Y, 5).read(X);
+        let p = b.build();
+        let sc = build_ctx(&p);
+        let mut leaves = Vec::new();
+        let mut seq_yield = Vec::new();
+        let stats = run_ctx(
+            &sc,
+            &mut |e| {
+                seq_yield.push(e.read_values());
+                ControlFlow::Continue(())
+            },
+            Some(&mut leaves),
+        );
+        assert_eq!(leaves.len() as u64, stats.complete);
+        let mut replay_yield = Vec::new();
+        let mut replay = SearchStats::default();
+        for leaf in &leaves {
+            replay.absorb(&run_prefix(
+                &sc,
+                leaf,
+                &mut |e| {
+                    replay_yield.push(e.read_values());
+                    ControlFlow::Continue(())
+                },
+                None,
+            ));
+        }
+        assert_eq!(replay.nodes, 0, "full-depth replay explores no decisions");
+        assert_eq!(replay.complete, stats.complete);
+        assert_eq!(replay.valid, stats.valid);
+        assert_eq!(replay_yield, seq_yield);
+    }
+
+    #[test]
+    fn estimate_nodes_bounds_the_real_search_from_above() {
+        for p in [sb(), {
+            let mut b = ProgramBuilder::new();
+            b.thread().write(X, 1).write(X, 2).read(Y);
+            b.thread()
+                .write(Y, 1)
+                .rmw(X, RmwKind::TestAndSet, Atomicity::Type1);
+            b.build()
+        }] {
+            let sc = build_ctx(&p);
+            let real = for_each_valid_execution(&p, |_| ControlFlow::Continue(()));
+            assert!(
+                sc.estimate_nodes() >= real.nodes,
+                "estimate {} below real {}",
+                sc.estimate_nodes(),
+                real.nodes
+            );
         }
     }
 

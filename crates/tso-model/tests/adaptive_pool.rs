@@ -1,0 +1,47 @@
+//! Pins the adaptive engine's cheap path: a verdict-cache miss on a
+//! small shape must run sequentially on the calling thread — **zero**
+//! worker threads spawned — even though the miss routes through the
+//! certificate tier and the parallel entry points.
+//!
+//! This is deliberately the only test in its binary:
+//! [`exec_pool::spawned_threads`] is a process-wide monotone counter, so
+//! any sibling test that legitimately fans out would race the zero-delta
+//! assertion.
+
+use rmw_types::{Addr, Atomicity, RmwKind};
+use tso_model::{allowed_outcomes, allowed_outcomes_cached, allowed_outcomes_par, ProgramBuilder};
+
+#[test]
+fn small_shape_misses_spawn_zero_pool_threads() {
+    let baseline = exec_pool::spawned_threads();
+
+    // A handful of small litmus-style shapes, each unique (values are not
+    // quotiented by canonicalization) so every query is a genuine miss.
+    for tag in 0..4u64 {
+        let mut b = ProgramBuilder::new();
+        b.thread()
+            .rmw(Addr(0), RmwKind::FetchAndAdd(7000 + tag), Atomicity::Type2)
+            .read(Addr(1));
+        b.thread().write(Addr(1), 8000 + tag).read(Addr(0));
+        let p = b.build();
+
+        // Cache miss → certificate tier → recording adaptive search: all
+        // of it predicted far below the split floor, so all sequential.
+        let cached = allowed_outcomes_cached(&p);
+        assert!(!cached.hit, "unique program must miss");
+        assert!(!cached.split, "small shapes must not fan out");
+        assert_eq!((cached.stats.tasks, cached.stats.workers), (1, 1));
+        assert_eq!(cached.outcomes, allowed_outcomes(&p));
+
+        // The explicit parallel entry point makes the same call: workers
+        // are *requested*, but the adaptive policy declines them.
+        let par = allowed_outcomes_par(&p, 8);
+        assert_eq!(par, cached.outcomes);
+    }
+
+    assert_eq!(
+        exec_pool::spawned_threads(),
+        baseline,
+        "a small-shape miss must never wake the worker pool"
+    );
+}
