@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
@@ -155,6 +156,83 @@ where
         .collect()
 }
 
+/// A task that panicked inside a crash-isolated pool run
+/// ([`run_indexed_catching`]): which worker it died on and the rendered
+/// panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Dense id of the worker the task panicked on (the worker itself
+    /// survives and keeps pulling tasks).
+    pub worker: usize,
+    /// The panic payload, rendered to a string (`&str` and `String`
+    /// payloads verbatim; anything else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task panicked on worker {}: {}",
+            self.worker, self.message
+        )
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Crash-isolated [`run_indexed`]: each task runs under
+/// [`catch_unwind`], so a panicking task comes back as
+/// `Some(Err(TaskPanic))` instead of tearing down the pool — the worker
+/// that caught it is reused for the next task, and every other task's
+/// result survives. `None` still means "drained by the stop flag without
+/// running".
+///
+/// The closure must not hold state it expects to be consistent after a
+/// panic (the pool asserts unwind safety on the caller's behalf —
+/// callers fold per-task results, they do not share mutable state across
+/// tasks). Panics still print through the process panic hook, so a
+/// crashing task is loud in logs even though it no longer kills the run.
+pub fn run_indexed_catching<T, F>(
+    workers: usize,
+    tasks: usize,
+    stop: &AtomicBool,
+    f: F,
+) -> Vec<Option<Result<T, TaskPanic>>>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    run_indexed(workers, tasks, stop, |worker, idx| {
+        catch_unwind(AssertUnwindSafe(|| f(worker, idx))).map_err(|payload| TaskPanic {
+            worker,
+            message: panic_message(payload),
+        })
+    })
+}
+
+/// [`run_indexed_catching`] without early exit: every task runs and
+/// yields either its result or its [`TaskPanic`].
+pub fn run_all_catching<T, F>(workers: usize, tasks: usize, f: F) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let never = AtomicBool::new(false);
+    run_indexed_catching(workers, tasks, &never, f)
+        .into_iter()
+        .map(|r| r.expect("no stop flag, every task ran"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +331,74 @@ mod tests {
         assert!(out.is_empty());
         let out = run_all(0, 2, |_, i| i);
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn a_panicking_task_is_isolated_and_the_pool_survives() {
+        // Task 3 panics; every other task must still produce its result,
+        // on both the inline path and the threaded pool.
+        for workers in [1, 4] {
+            let out = run_all_catching(workers, 8, |_, idx| {
+                assert!(idx != 3 || panic!("injected panic for task 3"));
+                idx * 2
+            });
+            assert_eq!(out.len(), 8);
+            for (idx, res) in out.iter().enumerate() {
+                if idx == 3 {
+                    let err = res.as_ref().expect_err("task 3 panicked");
+                    assert_eq!(err.message, "injected panic for task 3");
+                    assert!(err.worker < workers.max(1));
+                } else {
+                    assert_eq!(*res, Ok(idx * 2), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workers_are_reused_after_catching_a_panic() {
+        // One worker, first task panics: the same (only) worker must run
+        // every later task, proving catch_unwind keeps it alive.
+        let out = run_all_catching(1, 5, |worker, idx| {
+            assert_eq!(worker, 0);
+            if idx == 0 {
+                panic!("first task dies");
+            }
+            idx
+        });
+        assert!(out[0].is_err());
+        for (idx, res) in out.iter().enumerate().skip(1) {
+            assert_eq!(*res, Ok(idx));
+        }
+    }
+
+    #[test]
+    fn string_and_str_panic_payloads_are_rendered() {
+        let out = run_all_catching(1, 2, |_, idx| {
+            if idx == 0 {
+                panic!("{}", String::from("formatted payload"));
+            }
+            std::panic::panic_any(42u32);
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().message, "formatted payload");
+        assert_eq!(
+            out[1].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
+    }
+
+    #[test]
+    fn catching_pools_still_honor_the_stop_flag() {
+        let stop = AtomicBool::new(false);
+        let out = run_indexed_catching(1, 10, &stop, |_, idx| {
+            if idx == 1 {
+                stop.store(true, Ordering::Relaxed);
+            }
+            idx
+        });
+        assert_eq!(out[0], Some(Ok(0)));
+        assert_eq!(out[1], Some(Ok(1)));
+        assert!(out[2..].iter().all(Option::is_none));
     }
 
     #[test]

@@ -44,12 +44,15 @@
 //! `merge`, if the merged campaign failed).
 
 use harness::campaign::{
-    default_checkpoint_name, merge_reports, run_campaign, CampaignConfig, DEFAULT_CHUNK,
+    default_checkpoint_name, merge_reports, run_campaign, CampaignConfig, StoreCounters,
+    DEFAULT_CHUNK,
 };
 use harness::store::{SharedStore, Store};
-use harness::{full_corpus, run_batch_on, smoke_filter, MachineKind, Report, SMOKE_CAP};
+use harness::{faults, full_corpus, run_batch_on, smoke_filter, MachineKind, Report, SMOKE_CAP};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
+use tso_model::SearchBudget;
 
 struct Args {
     filter: Option<String>,
@@ -62,16 +65,21 @@ struct Args {
     baseline: bool,
     machine: MachineKind,
     store: Option<PathBuf>,
+    faults: Option<(u64, u64)>,
+    budget_nodes: Option<u64>,
+    budget_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: litmus_run [--filter SUBSTR] [--jobs N] [--smoke] [--machine small|paper|128|256]\n\
          \x20                [--format summary|json|tap] [--out PATH] [--seed N] [--random N]\n\
-         \x20                [--store PATH] [--no-baseline]\n\
+         \x20                [--store PATH] [--no-baseline] [--faults SEED:RATE]\n\
+         \x20                [--budget-nodes N] [--budget-ms N]\n\
          \x20      litmus_run campaign [--count N] [--shard I/N] [--seed N] [--jobs N]\n\
          \x20                [--machine small|paper|128|256] [--chunk N] [--store PATH | --no-store]\n\
          \x20                [--checkpoint PATH] [--resume] [--out PATH] [--max-chunks N]\n\
+         \x20                [--faults SEED:RATE]\n\
          \x20      litmus_run merge REPORT... [--out PATH]\n\
          \x20      litmus_run compact STORE... [--merge OUT]"
     );
@@ -86,6 +94,27 @@ fn next_value(it: &mut impl Iterator<Item = String>, name: &str) -> String {
     })
 }
 
+/// Parses a `--faults SEED:RATE` value or dies with usage.
+fn parse_faults(spec: &str) -> (u64, u64) {
+    faults::parse_spec(spec).unwrap_or_else(|| {
+        eprintln!("--faults must be SEED:RATE with RATE a probability in [0, 1] (e.g. 42:0.01)");
+        usage()
+    })
+}
+
+/// Writes a rendered report to `--out`, degrading to a warning on
+/// failure: the report is already on stdout, and a full disk must not
+/// turn a passing run into a failing one.
+fn write_out(path: &str, rendered: &str) {
+    let write = std::fs::File::create(path).and_then(|mut f| {
+        harness::faults::write_point(&mut f, rendered.as_bytes(), "report.out.write")
+    });
+    match write {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path} ({e}) — report remains on stdout"),
+    }
+}
+
 fn parse_corpus_args(rest: Vec<String>) -> Args {
     let mut args = Args {
         filter: None,
@@ -98,6 +127,9 @@ fn parse_corpus_args(rest: Vec<String>) -> Args {
         baseline: true,
         machine: MachineKind::Small,
         store: None,
+        faults: None,
+        budget_nodes: None,
+        budget_ms: None,
     };
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
@@ -123,6 +155,23 @@ fn parse_corpus_args(rest: Vec<String>) -> Args {
             }
             "--no-baseline" => args.baseline = false,
             "--store" => args.store = Some(PathBuf::from(next_value(&mut it, "--store"))),
+            "--faults" => {
+                args.faults = Some(parse_faults(&next_value(&mut it, "--faults")));
+            }
+            "--budget-nodes" => {
+                args.budget_nodes = Some(
+                    next_value(&mut it, "--budget-nodes")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--budget-ms" => {
+                args.budget_ms = Some(
+                    next_value(&mut it, "--budget-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--machine" => {
                 args.machine =
                     MachineKind::parse(&next_value(&mut it, "--machine")).unwrap_or_else(|| {
@@ -166,18 +215,44 @@ fn main() {
 fn corpus_main(argv: Vec<String>) {
     let args = parse_corpus_args(argv);
 
+    // Fault injection first, so even the store open is under test.
+    if let Some((seed, rate_ppm)) = args.faults {
+        eprintln!("litmus_run: fault injection active (seed {seed}, rate {rate_ppm} ppm)");
+        faults::install_random(seed, rate_ppm);
+    }
+    // Search budgets: exhausted searches answer `unknown` (reported,
+    // never cached) instead of running unboundedly.
+    if args.budget_nodes.is_some() || args.budget_ms.is_some() {
+        tso_model::set_budget(SearchBudget {
+            max_nodes: args.budget_nodes,
+            max_time: args.budget_ms.map(Duration::from_millis),
+        });
+    }
+
     // Install the persistent verdict store (if any) before corpus
     // generation: the generated families derive their verdicts through
-    // the model cache, so a warm store already pays off there.
-    let store = args.store.as_ref().map(|path| {
-        let shared = Arc::new(SharedStore::open(path).unwrap_or_else(|e| {
-            eprintln!("cannot open store {}: {e}", path.display());
-            std::process::exit(2);
-        }));
-        tso_model::cache::set_store(shared.clone());
-        tso_model::prefix::set_store(shared.clone());
-        (shared, path)
-    });
+    // the model cache, so a warm store already pays off there. A store
+    // that fails to open degrades to a store-less run (reported via the
+    // JSON `degraded` flag) — persistence is an optimization, not a
+    // prerequisite for verification.
+    let store = args
+        .store
+        .as_ref()
+        .map(|path| match SharedStore::open(path) {
+            Ok(shared) => {
+                let shared = Arc::new(shared);
+                tso_model::cache::set_store(shared.clone());
+                tso_model::prefix::set_store(shared.clone());
+                (Some(shared), path, None)
+            }
+            Err(e) => {
+                eprintln!(
+                    "cannot open store {} ({e}) — continuing without persistence",
+                    path.display()
+                );
+                (None, path, Some(e.to_string()))
+            }
+        });
 
     let corpus = full_corpus(args.seed, args.random);
     let corpus_total = corpus.len();
@@ -218,6 +293,36 @@ fn corpus_main(argv: Vec<String>) {
         elapsed.as_secs_f64() * 1e3
     });
     let (outcomes, elapsed) = run_batch_on(&selected, args.jobs, args.machine);
+
+    let store_counters = store.as_ref().map(|(shared, path, open_error)| {
+        let path = path.display().to_string();
+        match shared {
+            Some(shared) => StoreCounters {
+                path,
+                open_error: open_error.clone(),
+                loads: shared.loads(),
+                cert_loads: shared.cert_loads(),
+                save_errors: shared.save_errors(),
+                appended: shared.with(|s| s.appended()),
+                keys: shared.with(|s| s.len() as u64),
+                certs: shared.with(|s| s.cert_count() as u64),
+                recovered_bytes: shared.with(|s| s.recovered_bytes()),
+                skipped_records: shared.with(|s| s.open_stats().skipped_records),
+            },
+            None => StoreCounters {
+                path,
+                open_error: open_error.clone(),
+                loads: 0,
+                cert_loads: 0,
+                save_errors: 0,
+                appended: 0,
+                keys: 0,
+                certs: 0,
+                recovered_bytes: 0,
+                skipped_records: 0,
+            },
+        }
+    });
     let report = Report {
         outcomes,
         corpus_total,
@@ -231,20 +336,26 @@ fn corpus_main(argv: Vec<String>) {
         // memoization + symmetry saving for the whole corpus run.
         model_cache: Some(tso_model::cache::counters()),
         prefix_cache: Some(tso_model::prefix::counters()),
+        store: store_counters,
     };
 
-    if let Some((shared, path)) = &store {
+    if let Some((Some(shared), path, _)) = &store {
         let _ = tso_model::cache::take_store();
         let _ = tso_model::prefix::take_store();
         eprintln!(
             "store {}: {} verdicts + {} certs loaded, {} records appended, \
-             {} keys + {} certs on disk",
+             {} keys + {} certs on disk{}",
             path.display(),
             shared.loads(),
             shared.cert_loads(),
             shared.with(|s| s.appended()),
             shared.with(|s| s.len()),
             shared.with(|s| s.cert_count()),
+            if shared.save_errors() > 0 {
+                format!(" ({} save errors swallowed)", shared.save_errors())
+            } else {
+                String::new()
+            },
         );
     }
 
@@ -258,11 +369,7 @@ fn corpus_main(argv: Vec<String>) {
         eprintln!("{}", report.summary());
     }
     if let Some(path) = &args.out {
-        std::fs::write(path, &rendered).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-        eprintln!("wrote {path}");
+        write_out(path, &rendered);
     }
 
     if !report.passed() {
@@ -290,9 +397,11 @@ fn campaign_main(argv: Vec<String>) {
     cfg.chunk = DEFAULT_CHUNK;
     let mut out: Option<String> = None;
     let mut checkpoint_set = false;
+    let mut fault_spec: Option<(u64, u64)> = None;
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" => fault_spec = Some(parse_faults(&next_value(&mut it, "--faults"))),
             "--seed" => {
                 cfg.seed = next_value(&mut it, "--seed")
                     .parse()
@@ -354,6 +463,10 @@ fn campaign_main(argv: Vec<String>) {
     if !checkpoint_set {
         cfg.checkpoint_path = PathBuf::from(default_checkpoint_name(cfg.shard, cfg.shards));
     }
+    if let Some((seed, rate_ppm)) = fault_spec {
+        eprintln!("litmus_run campaign: fault injection active (seed {seed}, rate {rate_ppm} ppm)");
+        faults::install_random(seed, rate_ppm);
+    }
 
     eprintln!(
         "litmus_run campaign: shard {}/{} of {} drafts (seed {}), chunk {}, {} jobs, {} machine{}{}",
@@ -397,11 +510,7 @@ fn campaign_main(argv: Vec<String>) {
         },
     );
     if let Some(path) = &out {
-        std::fs::write(path, &rendered).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-        eprintln!("wrote {path}");
+        write_out(path, &rendered);
     }
     if !report.passed() {
         for (name, diagnosis) in &report.state.failures {

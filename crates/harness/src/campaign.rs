@@ -36,13 +36,14 @@
 //! differ — and those are excluded from the digest.
 
 use crate::report::json_escape;
-use crate::store::SharedStore;
-use crate::{differential_check_on, jsonx, MachineKind, TestOutcome};
+use crate::store::{fsync_parent, SharedStore};
+use crate::{differential_check_on, faults, jsonx, MachineKind, TestOutcome};
 use litmus::gen::campaign_draft;
 use litmus::Expect;
 use rmw_types::fasthash::FastHasher;
+use std::collections::BTreeSet;
 use std::hash::Hasher as _;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -148,6 +149,13 @@ pub struct CampaignState {
     /// verdicts, per-atomicity agreement and read values). Shards XOR
     /// their digests at merge time.
     pub digest: u64,
+    /// In-shard tests whose worker panicked: no verdict was produced, so
+    /// they count here instead of `processed` and stay out of the digest
+    /// (a crashed test contributes *nothing*, wrong contributes never).
+    pub crashed: u64,
+    /// Draft indices of crashed tests, persisted in the checkpoint so a
+    /// resumed run skips known-crashers instead of dying on them again.
+    pub quarantine: BTreeSet<u64>,
     /// Recorded failures, capped at [`MAX_RECORDED_FAILURES`].
     pub failures: Vec<(String, String)>,
 }
@@ -178,6 +186,18 @@ impl CampaignState {
             self.failures.push((o.name.clone(), o.diagnosis()));
         }
     }
+
+    /// Records a test whose worker panicked: quarantined by draft index,
+    /// counted, surfaced as a failure — but never folded into `processed`
+    /// or the digest.
+    fn fold_crash(&mut self, index: u64, name: &str, message: &str) {
+        self.crashed += 1;
+        self.quarantine.insert(index);
+        if self.failures.len() < MAX_RECORDED_FAILURES {
+            self.failures
+                .push((name.to_owned(), format!("crashed: {message}")));
+        }
+    }
 }
 
 /// Verdict-store activity during a campaign run.
@@ -185,6 +205,10 @@ impl CampaignState {
 pub struct StoreCounters {
     /// The per-shard store file actually used.
     pub path: String,
+    /// Why the store failed to open, when it did: the campaign degrades
+    /// to store-less operation instead of failing (see
+    /// [`StoreCounters::degraded`]).
+    pub open_error: Option<String>,
     /// Model-cache misses answered from the store (searches avoided).
     pub loads: u64,
     /// Prefix certificates served from the store (sibling searches
@@ -198,8 +222,20 @@ pub struct StoreCounters {
     pub certs: u64,
     /// Bytes dropped from a torn tail when the store was opened.
     pub recovered_bytes: u64,
+    /// Checksummed records with a kind this build does not understand,
+    /// skipped during replay.
+    pub skipped_records: u64,
     /// Swallowed write failures (persistence is best-effort).
     pub save_errors: u64,
+}
+
+impl StoreCounters {
+    /// True when persistence ran degraded: the store failed to open (the
+    /// run continued store-less) or some saves were swallowed. Results
+    /// are still correct — only reuse is lost.
+    pub fn degraded(&self) -> bool {
+        self.open_error.is_some() || self.save_errors > 0
+    }
 }
 
 /// The result of [`run_campaign`] for one shard.
@@ -220,12 +256,25 @@ pub struct CampaignReport {
     pub prefix_cache: tso_model::prefix::PrefixCounters,
     /// Store activity, when a store was configured.
     pub store: Option<StoreCounters>,
+    /// Checkpoint writes that failed and were tolerated: the run
+    /// continued, at the cost of resume granularity (a kill replays back
+    /// to the last checkpoint that did land).
+    pub checkpoint_errors: u64,
 }
 
 impl CampaignReport {
-    /// True iff every processed test passed both checks.
+    /// True iff every processed test passed both checks and no test
+    /// crashed (a crashed test proved nothing, which is still a failure
+    /// of the run).
     pub fn passed(&self) -> bool {
-        self.state.model_failures == 0 && self.state.disagreements == 0
+        self.state.model_failures == 0 && self.state.disagreements == 0 && self.state.crashed == 0
+    }
+
+    /// True when any persistence seam ran degraded this invocation:
+    /// store open failure, swallowed store saves, or tolerated
+    /// checkpoint-write failures. Verdicts are unaffected.
+    pub fn degraded(&self) -> bool {
+        self.checkpoint_errors > 0 || self.store.as_ref().is_some_and(StoreCounters::degraded)
     }
 
     /// The shard report as JSON — the input format of `litmus_run merge`.
@@ -253,7 +302,16 @@ impl CampaignReport {
             self.state.disagreements
         );
         let _ = writeln!(s, "  \"deadlocks\": {},", self.state.deadlocks);
+        let _ = writeln!(s, "  \"crashed\": {},", self.state.crashed);
+        let _ = writeln!(
+            s,
+            "  \"quarantine\": [{}],",
+            quarantine_csv(&self.state.quarantine)
+        );
         let _ = writeln!(s, "  \"passed\": {},", self.passed());
+        let _ = writeln!(s, "  \"degraded\": {},", self.degraded());
+        let _ = writeln!(s, "  \"checkpoint_errors\": {},", self.checkpoint_errors);
+        let _ = writeln!(s, "  \"faults_fired\": {},", faults::fired());
         let _ = writeln!(s, "  \"digest\": {},", self.state.digest);
         let _ = writeln!(s, "  \"elapsed_ms\": {:.3},", self.elapsed_ms);
         let c = &self.model_cache;
@@ -278,12 +336,22 @@ impl CampaignReport {
             Some(st) => {
                 let _ = writeln!(s, "  \"store\": {{");
                 let _ = writeln!(s, "    \"path\": \"{}\",", json_escape(&st.path));
+                let _ = writeln!(s, "    \"degraded\": {},", st.degraded());
+                match &st.open_error {
+                    Some(e) => {
+                        let _ = writeln!(s, "    \"open_error\": \"{}\",", json_escape(e));
+                    }
+                    None => {
+                        let _ = writeln!(s, "    \"open_error\": null,");
+                    }
+                }
                 let _ = writeln!(s, "    \"loads\": {},", st.loads);
                 let _ = writeln!(s, "    \"cert_loads\": {},", st.cert_loads);
                 let _ = writeln!(s, "    \"appended\": {},", st.appended);
                 let _ = writeln!(s, "    \"keys\": {},", st.keys);
                 let _ = writeln!(s, "    \"certs\": {},", st.certs);
                 let _ = writeln!(s, "    \"recovered_bytes\": {},", st.recovered_bytes);
+                let _ = writeln!(s, "    \"skipped_records\": {},", st.skipped_records);
                 let _ = writeln!(s, "    \"save_errors\": {}", st.save_errors);
                 let _ = writeln!(s, "  }},");
             }
@@ -295,6 +363,14 @@ impl CampaignReport {
         let _ = writeln!(s, "}}");
         s
     }
+}
+
+fn quarantine_csv(quarantine: &BTreeSet<u64>) -> String {
+    quarantine
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn failures_json(failures: &[(String, String)], indent: &str) -> String {
@@ -330,6 +406,12 @@ fn checkpoint_json(cfg: &CampaignConfig, state: &CampaignState) -> String {
     let _ = writeln!(s, "  \"model_failures\": {},", state.model_failures);
     let _ = writeln!(s, "  \"disagreements\": {},", state.disagreements);
     let _ = writeln!(s, "  \"deadlocks\": {},", state.deadlocks);
+    let _ = writeln!(s, "  \"crashed\": {},", state.crashed);
+    let _ = writeln!(
+        s,
+        "  \"quarantine\": [{}],",
+        quarantine_csv(&state.quarantine)
+    );
     let _ = writeln!(s, "  \"digest\": {},", state.digest);
     let _ = write!(s, "{}", failures_json(&state.failures, "  "));
     let _ = writeln!(s, "}}");
@@ -345,11 +427,25 @@ pub fn write_checkpoint(
 ) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
+        faults::io_point("campaign.checkpoint.create")?;
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(checkpoint_json(cfg, state).as_bytes())?;
+        faults::write_point(
+            &mut f,
+            checkpoint_json(cfg, state).as_bytes(),
+            "campaign.checkpoint.write",
+        )?;
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    faults::io_point("campaign.checkpoint.rename")?;
+    std::fs::rename(&tmp, path)?;
+    // The rename is a directory-entry update; sync the parent so the new
+    // checkpoint (not just its bytes) survives power loss.
+    fsync_parent(path)?;
+    // The chaos campaign's random-mode kill lives *after* the commit:
+    // every attempt that reaches it has durably banked its chunk, so a
+    // kill/resume loop always makes progress and terminates.
+    faults::kill_point("campaign.checkpoint.post_commit");
+    Ok(())
 }
 
 fn invalid<T>(msg: String) -> io::Result<T> {
@@ -415,6 +511,17 @@ pub fn load_checkpoint(path: &Path, cfg: &CampaignConfig) -> io::Result<Campaign
             failures.push((name.to_owned(), diagnosis.to_owned()));
         }
     }
+    // Crash-isolation fields are parsed leniently: checkpoints written
+    // before they existed simply resume with nothing quarantined.
+    let crashed = v.get("crashed").and_then(jsonx::Value::as_u64).unwrap_or(0);
+    let mut quarantine = BTreeSet::new();
+    if let Some(arr) = v.get("quarantine").and_then(jsonx::Value::as_arr) {
+        for q in arr {
+            if let Some(i) = q.as_u64() {
+                quarantine.insert(i);
+            }
+        }
+    }
     Ok(CampaignState {
         next_index: field(&v, "next_index")?,
         scanned: field(&v, "scanned")?,
@@ -423,6 +530,8 @@ pub fn load_checkpoint(path: &Path, cfg: &CampaignConfig) -> io::Result<Campaign
         disagreements: field(&v, "disagreements")?,
         deadlocks: field(&v, "deadlocks")?,
         digest: field(&v, "digest")?,
+        crashed,
+        quarantine,
         failures,
     })
 }
@@ -445,13 +554,27 @@ pub fn run_campaign(cfg: &CampaignConfig) -> io::Result<CampaignReport> {
         return invalid("chunk size must be positive".to_owned());
     }
 
+    // Graceful degradation: a store that fails to open costs persistence
+    // (every search is paid again), never the campaign. The failure is
+    // surfaced as `open_error` + the report's `degraded` flag.
     let store = match &cfg.store_path {
         Some(base) => {
             let path = shard_store_path(base, cfg.shard, cfg.shards);
-            let shared = Arc::new(SharedStore::open(&path)?);
-            tso_model::cache::set_store(shared.clone());
-            tso_model::prefix::set_store(shared.clone());
-            Some((shared, path))
+            match SharedStore::open(&path) {
+                Ok(shared) => {
+                    let shared = Arc::new(shared);
+                    tso_model::cache::set_store(shared.clone());
+                    tso_model::prefix::set_store(shared.clone());
+                    Some((Some(shared), path, None))
+                }
+                Err(e) => {
+                    eprintln!(
+                        "campaign: cannot open store {} ({e}) — continuing without persistence",
+                        path.display()
+                    );
+                    Some((None, path, Some(e.to_string())))
+                }
+            }
         }
         None => None,
     };
@@ -464,40 +587,76 @@ pub fn run_campaign(cfg: &CampaignConfig) -> io::Result<CampaignReport> {
 
     let started = Instant::now();
     let mut chunks_done = 0u64;
+    let mut checkpoint_errors = 0u64;
     while state.next_index < cfg.count {
         let end = (state.next_index + cfg.chunk).min(cfg.count);
-        let drafts: Vec<litmus::gen::CampaignDraft> = (state.next_index..end)
-            .map(|i| campaign_draft(cfg.seed, i))
-            .filter(|d| d.fingerprint() % u64::from(cfg.shards) == u64::from(cfg.shard))
+        let drafts: Vec<(u64, litmus::gen::CampaignDraft)> = (state.next_index..end)
+            .map(|i| (i, campaign_draft(cfg.seed, i)))
+            .filter(|(_, d)| d.fingerprint() % u64::from(cfg.shards) == u64::from(cfg.shard))
+            // Known-crashers from the checkpoint stay quarantined: a
+            // resumed run skips them instead of dying on them again.
+            .filter(|(i, _)| !state.quarantine.contains(i))
             .collect();
         state.scanned += end - state.next_index;
         let jobs = cfg.jobs.max(1).min(drafts.len().max(1));
-        let outcomes = exec_pool::run_all(jobs, drafts.len(), |_, idx| {
-            differential_check_on(&drafts[idx].clone().finish(), cfg.machine)
+        let results = exec_pool::run_all_catching(jobs, drafts.len(), |_, idx| {
+            differential_check_on(&drafts[idx].1.clone().finish(), cfg.machine)
         });
-        for o in &outcomes {
-            state.fold(o);
+        for (slot, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(o) => state.fold(&o),
+                Err(panic) => {
+                    let (index, draft) = &drafts[slot];
+                    state.fold_crash(*index, &draft.name, &panic.message);
+                }
+            }
         }
         state.next_index = end;
-        write_checkpoint(&cfg.checkpoint_path, cfg, &state)?;
+        // A failed checkpoint write is tolerated: the campaign keeps its
+        // in-memory state and only resume granularity suffers (a kill
+        // now replays back to the last checkpoint that landed).
+        if let Err(e) = write_checkpoint(&cfg.checkpoint_path, cfg, &state) {
+            checkpoint_errors += 1;
+            eprintln!("campaign: checkpoint write failed ({e}) — continuing without it");
+        }
         chunks_done += 1;
         if cfg.max_chunks.is_some_and(|max| chunks_done >= max) {
             break;
         }
     }
 
-    let store_counters = store.map(|(shared, path)| {
-        let _ = tso_model::cache::take_store();
-        let _ = tso_model::prefix::take_store();
-        StoreCounters {
-            path: path.display().to_string(),
-            loads: shared.loads(),
-            cert_loads: shared.cert_loads(),
-            save_errors: shared.save_errors(),
-            appended: shared.with(|s| s.appended()),
-            keys: shared.with(|s| s.len() as u64),
-            certs: shared.with(|s| s.cert_count() as u64),
-            recovered_bytes: shared.with(|s| s.recovered_bytes()),
+    let store_counters = store.map(|(shared, path, open_error)| {
+        let path = path.display().to_string();
+        match shared {
+            Some(shared) => {
+                let _ = tso_model::cache::take_store();
+                let _ = tso_model::prefix::take_store();
+                StoreCounters {
+                    path,
+                    open_error,
+                    loads: shared.loads(),
+                    cert_loads: shared.cert_loads(),
+                    save_errors: shared.save_errors(),
+                    appended: shared.with(|s| s.appended()),
+                    keys: shared.with(|s| s.len() as u64),
+                    certs: shared.with(|s| s.cert_count() as u64),
+                    recovered_bytes: shared.with(|s| s.recovered_bytes()),
+                    skipped_records: shared.with(|s| s.open_stats().skipped_records),
+                }
+            }
+            // The store never opened: all-zero counters, open_error set.
+            None => StoreCounters {
+                path,
+                open_error,
+                loads: 0,
+                cert_loads: 0,
+                save_errors: 0,
+                appended: 0,
+                keys: 0,
+                certs: 0,
+                recovered_bytes: 0,
+                skipped_records: 0,
+            },
         }
     });
 
@@ -509,6 +668,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> io::Result<CampaignReport> {
         model_cache: tso_model::cache::counters(),
         prefix_cache: tso_model::prefix::counters(),
         store: store_counters,
+        checkpoint_errors,
     })
 }
 
@@ -531,6 +691,7 @@ pub fn merge_reports(inputs: &[(String, String)]) -> Result<String, String> {
         name: String,
         shard: u64,
         processed: u64,
+        crashed: u64,
         scanned: u64,
         model_failures: u64,
         disagreements: u64,
@@ -594,6 +755,8 @@ pub fn merge_reports(inputs: &[(String, String)]) -> Result<String, String> {
             name: name.clone(),
             shard: num("shard")?,
             processed: num("processed")?,
+            // Lenient: reports from before crash isolation have no field.
+            crashed: v.get("crashed").and_then(jsonx::Value::as_u64).unwrap_or(0),
             scanned: num("scanned")?,
             model_failures: num("model_failures")?,
             disagreements: num("differential_disagreements")?,
@@ -630,10 +793,13 @@ pub fn merge_reports(inputs: &[(String, String)]) -> Result<String, String> {
         }
     }
     let processed: u64 = shards_seen.iter().map(|s| s.processed).sum();
-    if processed != count {
+    let crashed: u64 = shards_seen.iter().map(|s| s.crashed).sum();
+    // Crashed tests produced no verdict but still account for their
+    // draft index — missing, never double-counted, never silently lost.
+    if processed + crashed != count {
         return Err(format!(
-            "shards processed {processed} tests in total, campaign has {count} — \
-             the shard partition was not disjoint and complete"
+            "shards processed {processed} tests (+{crashed} crashed) in total, campaign \
+             has {count} — the shard partition was not disjoint and complete"
         ));
     }
     let model_failures: u64 = shards_seen.iter().map(|s| s.model_failures).sum();
@@ -653,13 +819,14 @@ pub fn merge_reports(inputs: &[(String, String)]) -> Result<String, String> {
     let _ = writeln!(out, "  \"shards\": {shards},");
     let _ = writeln!(out, "  \"machine\": \"{machine}\",");
     let _ = writeln!(out, "  \"processed\": {processed},");
+    let _ = writeln!(out, "  \"crashed\": {crashed},");
     let _ = writeln!(out, "  \"model_failures\": {model_failures},");
     let _ = writeln!(out, "  \"differential_disagreements\": {disagreements},");
     let _ = writeln!(out, "  \"deadlocks\": {deadlocks},");
     let _ = writeln!(
         out,
         "  \"passed\": {},",
-        model_failures == 0 && disagreements == 0
+        model_failures == 0 && disagreements == 0 && crashed == 0
     );
     let _ = writeln!(out, "  \"digest\": {digest},");
     let _ = writeln!(out, "  \"shard_elapsed_ms_sum\": {cpu_ms:.3},");

@@ -371,6 +371,7 @@ mod tests {
             baseline_jobs1_ms: None,
             model_cache: Some(tso_model::cache::counters()),
             prefix_cache: Some(tso_model::prefix::counters()),
+            store: None,
         };
         let v = parse(&report.to_json()).unwrap();
         assert_eq!(

@@ -114,6 +114,7 @@ impl core::fmt::Display for MachineKind {
 }
 
 pub mod campaign;
+pub mod faults;
 pub mod report;
 pub mod store;
 
@@ -172,18 +173,56 @@ pub struct TestOutcome {
     /// How many of this test's model queries ran a search that fanned
     /// out across pool workers (the adaptive engine chose to split).
     pub split_decisions: u32,
+    /// True when a model query behind this test hit its search budget:
+    /// the answer is a sound subset, so non-observation is *unknown*, not
+    /// a verdict. Unknown checks are forced to pass (missing, never
+    /// wrong) and surfaced in the report's `unknown` count.
+    pub unknown: bool,
+    /// True when the test panicked inside its worker: no verdict at all.
+    /// The panic message is in `failure_detail`. Crashed tests fail the
+    /// run but are excluded from `model_failures` (they proved nothing)
+    /// and from campaign digests (they processed nothing).
+    pub crashed: bool,
 }
 
 impl TestOutcome {
+    /// The outcome of a test whose worker panicked: no verdicts, fails
+    /// the run, carries the panic message as its failure detail.
+    pub fn crashed(name: String, expect: Expect, worker: usize, message: String) -> TestOutcome {
+        TestOutcome {
+            name,
+            expect,
+            observed_allowed: false,
+            model_passed: false,
+            failure_detail: Some(message),
+            differential: Vec::new(),
+            micros: 0,
+            worker,
+            model_stats: SearchStats::default(),
+            model_queries: 0,
+            model_cache_hits: 0,
+            prefix_hits: 0,
+            split_decisions: 0,
+            unknown: false,
+            crashed: true,
+        }
+    }
+
     /// True iff the model verdict passed and every atomicity agreed.
     pub fn passed(&self) -> bool {
-        self.model_passed && self.differential.iter().all(|d| d.agreed)
+        !self.crashed && self.model_passed && self.differential.iter().all(|d| d.agreed)
     }
 
     /// Short diagnosis for TAP/JSON failure lines.
     pub fn diagnosis(&self) -> String {
         if self.passed() {
             return String::new();
+        }
+        if self.crashed {
+            return format!(
+                "crashed: {}",
+                self.failure_detail.as_deref().unwrap_or("worker panicked")
+            );
         }
         let mut parts = Vec::new();
         if !self.model_passed {
@@ -225,7 +264,11 @@ pub fn differential_check(l: &Litmus) -> TestOutcome {
 /// in the corpus cost none.
 pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
     let started = Instant::now();
+    // Plan-mode chaos tests inject a panic here to simulate a harness bug
+    // inside a worker; random mode never fires at panic points.
+    faults::panic_point("harness.test");
     let check = l.check();
+    let mut unknown = check.unknown;
     let failure_detail = (!check.passed).then(|| check.report());
     let mut model_stats = check.model_stats;
     let mut model_queries = 1u32;
@@ -247,18 +290,25 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
         model_cache_hits += u32::from(allowed.hit);
         prefix_hits += u32::from(allowed.prefix_hit);
         split_decisions += u32::from(allowed.split);
-        let agreed = !result.deadlocked
-            && allowed.outcomes.iter().any(|o| {
-                o.read_values() == sim_reads
-                    && o.final_memory().iter().all(|&(a, v)| {
-                        result
-                            .memory
-                            .get(&sim_addr(a, line_size))
-                            .copied()
-                            .unwrap_or(0)
-                            == v
-                    })
-            });
+        let found = allowed.outcomes.iter().any(|o| {
+            o.read_values() == sim_reads
+                && o.final_memory().iter().all(|&(a, v)| {
+                    result
+                        .memory
+                        .get(&sim_addr(a, line_size))
+                        .copied()
+                        .unwrap_or(0)
+                        == v
+                })
+        });
+        // A budget-truncated set is a sound subset: membership proves
+        // agreement, but absence proves nothing — report unknown, not a
+        // disagreement (deadlock is the simulator's own property and
+        // stays a failure regardless).
+        if allowed.unknown && !found {
+            unknown = true;
+        }
+        let agreed = !result.deadlocked && (found || allowed.unknown);
         differential.push(DiffOutcome {
             atomicity,
             agreed,
@@ -281,6 +331,8 @@ pub fn differential_check_on(l: &Litmus, machine: MachineKind) -> TestOutcome {
         model_cache_hits,
         prefix_hits,
         split_decisions,
+        unknown,
+        crashed: false,
     }
 }
 
@@ -322,11 +374,26 @@ pub fn run_batch_on(
 ) -> (Vec<TestOutcome>, Duration) {
     let jobs = jobs.max(1).min(tests.len().max(1));
     let started = Instant::now();
-    let outcomes = exec_pool::run_all(jobs, tests.len(), |worker, idx| {
+    // Crash isolation: a panicking test (a harness bug, an injected
+    // fault) becomes a reported `crashed` outcome and its worker keeps
+    // pulling tests — one bad test cannot take the batch down.
+    let outcomes = exec_pool::run_all_catching(jobs, tests.len(), |worker, idx| {
         let mut outcome = differential_check_on(&tests[idx], machine);
         outcome.worker = worker;
         outcome
-    });
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(idx, r)| match r {
+        Ok(outcome) => outcome,
+        Err(panic) => TestOutcome::crashed(
+            tests[idx].name.clone(),
+            tests[idx].expect,
+            panic.worker,
+            panic.message,
+        ),
+    })
+    .collect();
     (outcomes, started.elapsed())
 }
 

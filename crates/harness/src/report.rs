@@ -1,6 +1,7 @@
 //! Harness reports: aggregation plus JSON, TAP, and human summaries.
 
-use crate::{MachineKind, TestOutcome};
+use crate::campaign::StoreCounters;
+use crate::{faults, MachineKind, TestOutcome};
 use std::fmt::Write as _;
 use tso_model::prefix::PrefixCounters;
 use tso_model::CacheCounters;
@@ -30,6 +31,11 @@ pub struct Report {
     /// verdict-cache misses were answered by replaying an atomicity
     /// sibling's pruned search, and how many decision nodes that skipped.
     pub prefix_cache: Option<PrefixCounters>,
+    /// Persistent verdict-store activity, when `--store` was given —
+    /// including `open_error`/`save_errors`/`recovered_bytes`/
+    /// `skipped_records`, so persistence degradation is visible from the
+    /// top-level JSON alone.
+    pub store: Option<StoreCounters>,
 }
 
 impl Report {
@@ -38,9 +44,33 @@ impl Report {
         self.outcomes.len()
     }
 
-    /// Tests whose model verdict contradicted the expectation.
+    /// Tests whose model verdict contradicted the expectation. Crashed
+    /// tests are excluded: they proved nothing either way (they fail the
+    /// run through [`Report::crashed`] instead).
     pub fn model_failures(&self) -> usize {
-        self.outcomes.iter().filter(|o| !o.model_passed).count()
+        self.outcomes
+            .iter()
+            .filter(|o| !o.model_passed && !o.crashed)
+            .count()
+    }
+
+    /// Tests whose worker panicked (reported, quarantine-able, fatal to
+    /// the run's exit status but not a model failure).
+    pub fn crashed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.crashed).count()
+    }
+
+    /// Tests with an inconclusive (budget-truncated) model answer. These
+    /// pass — missing, never wrong — but the count keeps truncation
+    /// visible.
+    pub fn unknowns(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.unknown).count()
+    }
+
+    /// True when persistence ran degraded: the store failed to open or
+    /// swallowed save errors.
+    pub fn degraded(&self) -> bool {
+        self.store.as_ref().is_some_and(StoreCounters::degraded)
     }
 
     /// (test, atomicity) pairs where the simulator left the model's
@@ -97,6 +127,15 @@ impl Report {
             self.jobs,
             self.tests_per_sec(),
         );
+        if self.crashed() > 0 {
+            let _ = write!(s, " [{} crashed]", self.crashed());
+        }
+        if self.unknowns() > 0 {
+            let _ = write!(s, " [{} unknown: budget hit]", self.unknowns());
+        }
+        if self.degraded() {
+            let _ = write!(s, " [store degraded]");
+        }
         if self.machine != MachineKind::Small {
             let _ = write!(s, " [machine: {}]", self.machine);
         }
@@ -179,6 +218,10 @@ impl Report {
             self.disagreements()
         );
         let _ = writeln!(s, "  \"deadlocks\": {},", self.deadlocks());
+        let _ = writeln!(s, "  \"crashed\": {},", self.crashed());
+        let _ = writeln!(s, "  \"unknown\": {},", self.unknowns());
+        let _ = writeln!(s, "  \"degraded\": {},", self.degraded());
+        let _ = writeln!(s, "  \"faults_fired\": {},", faults::fired());
         let _ = writeln!(s, "  \"passed\": {},", self.passed());
         let _ = writeln!(s, "  \"model_queries\": {},", self.model_queries());
         let _ = writeln!(s, "  \"model_query_hits\": {},", self.model_query_hits());
@@ -212,6 +255,33 @@ impl Report {
             }
             None => {
                 let _ = writeln!(s, "  \"prefix_cache\": null,");
+            }
+        }
+        match &self.store {
+            Some(st) => {
+                let _ = writeln!(s, "  \"store\": {{");
+                let _ = writeln!(s, "    \"path\": \"{}\",", json_escape(&st.path));
+                let _ = writeln!(s, "    \"degraded\": {},", st.degraded());
+                match &st.open_error {
+                    Some(e) => {
+                        let _ = writeln!(s, "    \"open_error\": \"{}\",", json_escape(e));
+                    }
+                    None => {
+                        let _ = writeln!(s, "    \"open_error\": null,");
+                    }
+                }
+                let _ = writeln!(s, "    \"loads\": {},", st.loads);
+                let _ = writeln!(s, "    \"cert_loads\": {},", st.cert_loads);
+                let _ = writeln!(s, "    \"appended\": {},", st.appended);
+                let _ = writeln!(s, "    \"keys\": {},", st.keys);
+                let _ = writeln!(s, "    \"certs\": {},", st.certs);
+                let _ = writeln!(s, "    \"recovered_bytes\": {},", st.recovered_bytes);
+                let _ = writeln!(s, "    \"skipped_records\": {},", st.skipped_records);
+                let _ = writeln!(s, "    \"save_errors\": {}", st.save_errors);
+                let _ = writeln!(s, "  }},");
+            }
+            None => {
+                let _ = writeln!(s, "  \"store\": null,");
             }
         }
         let _ = writeln!(s, "  \"failures\": [");
@@ -309,6 +379,7 @@ mod tests {
             baseline_jobs1_ms: Some(10.0),
             model_cache: Some(tso_model::cache::counters()),
             prefix_cache: Some(tso_model::prefix::counters()),
+            store: None,
         }
     }
 
@@ -333,6 +404,11 @@ mod tests {
             "\"nodes_saved\":",
             "\"prefix_hits\":",
             "\"split_decisions\":",
+            "\"crashed\": 0",
+            "\"unknown\": 0",
+            "\"degraded\": false",
+            "\"faults_fired\":",
+            "\"store\": null",
             "\"failures\": [",
             "\"tests\": [",
             "\"worker\":",
@@ -376,6 +452,7 @@ mod tests {
             baseline_jobs1_ms: None,
             model_cache: None,
             prefix_cache: None,
+            store: None,
         };
         assert!(!r.passed());
         assert_eq!(r.model_failures(), 1);

@@ -115,6 +115,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+use crate::faults;
 use rmw_types::fasthash::{FastHashMap, FastHasher};
 use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
@@ -205,6 +206,7 @@ impl StoredVerdict {
             tasks,
             workers,
             stopped_early: false,
+            budget_exhausted: false,
         };
         (outcomes, stats)
     }
@@ -238,6 +240,22 @@ pub struct Store {
     certs: FastHashMap<Vec<u64>, CertData>,
     open_stats: OpenStats,
     appended: u64,
+    /// Byte offset of the last known-good record boundary. A failed
+    /// append rolls the file back here, so one bad write (full disk,
+    /// injected fault) can tear at most itself — never the records a
+    /// later append would otherwise strand behind it.
+    end_offset: u64,
+}
+
+/// `fsync`s the directory containing `path`, making a just-renamed file
+/// durable against power loss (the rename itself lives in the directory,
+/// not the file).
+pub fn fsync_parent(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
 }
 
 /// One decoded record during replay.
@@ -255,6 +273,7 @@ impl Store {
     /// tail left by a crash mid-append. New files are created in the
     /// current format; existing version-1 files open in theirs.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
+        faults::io_point("store.open")?;
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -276,6 +295,7 @@ impl Store {
                 certs: FastHashMap::default(),
                 open_stats: OpenStats::default(),
                 appended: 0,
+                end_offset: MAGIC.len() as u64,
             });
         }
         let version = match bytes.get(..MAGIC.len()) {
@@ -332,6 +352,7 @@ impl Store {
                 skipped_records,
             },
             appended: 0,
+            end_offset: pos as u64,
         })
     }
 
@@ -395,9 +416,27 @@ impl Store {
         verdict: &StoredVerdict,
     ) -> io::Result<()> {
         let payload = encode_verdict_payload(key, fingerprint, verdict, self.version);
-        self.file.write_all(&encode_frame(&payload))?;
-        self.file.flush()?;
+        self.append_record(&encode_frame(&payload), "store.append.write")?;
         self.index.insert(key.to_vec(), verdict.clone());
+        Ok(())
+    }
+
+    /// Writes one framed record at the current end, rolling the file back
+    /// to the last good boundary if the write fails partway (so a failed
+    /// append never strands later records behind a torn frame).
+    fn append_record(&mut self, record: &[u8], point: &str) -> io::Result<()> {
+        let write = faults::write_point(&mut self.file, record, point).and_then(|()| {
+            faults::io_point("store.append.flush")?;
+            self.file.flush()
+        });
+        if let Err(e) = write {
+            // Best-effort rollback; if it fails too, the torn tail is
+            // truncated by the next open instead.
+            let _ = self.file.set_len(self.end_offset);
+            let _ = self.file.seek(SeekFrom::Start(self.end_offset));
+            return Err(e);
+        }
+        self.end_offset += record.len() as u64;
         self.appended += 1;
         Ok(())
     }
@@ -415,10 +454,8 @@ impl Store {
             return Ok(());
         }
         let payload = encode_cert_payload(masked_key, fingerprint, cert);
-        self.file.write_all(&encode_frame(&payload))?;
-        self.file.flush()?;
+        self.append_record(&encode_frame(&payload), "store.append_cert.write")?;
         self.certs.insert(masked_key.to_vec(), cert.clone());
-        self.appended += 1;
         Ok(())
     }
 
@@ -430,6 +467,7 @@ impl Store {
         let before = self.open_stats.records + self.appended;
         let tmp = self.path.with_extension("tmp");
         {
+            faults::io_point("store.compact.create")?;
             let mut out = File::create(&tmp)?;
             let mut buf = Vec::with_capacity(MAGIC.len());
             buf.extend_from_slice(MAGIC);
@@ -452,13 +490,17 @@ impl Store {
                 let fingerprint = fingerprint_of(key);
                 buf.extend_from_slice(&encode_frame(&encode_cert_payload(key, fingerprint, cert)));
             }
-            out.write_all(&buf)?;
+            faults::write_point(&mut out, &buf, "store.compact.write")?;
             out.sync_all()?;
         }
+        faults::io_point("store.compact.rename")?;
         std::fs::rename(&tmp, &self.path)?;
+        // The rename lives in the directory entry: sync the parent so the
+        // compacted file survives power loss, not just a process crash.
+        fsync_parent(&self.path)?;
         // Reopen the handle on the rewritten file, positioned at its end.
         self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        self.file.seek(SeekFrom::End(0))?;
+        self.end_offset = self.file.seek(SeekFrom::End(0))?;
         self.version = 2;
         let after = (self.index.len() + self.certs.len()) as u64;
         self.open_stats.records = after;

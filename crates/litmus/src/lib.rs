@@ -122,6 +122,15 @@ pub struct CheckResult {
     /// workers (the adaptive engine chose to split). Always false on a
     /// cache or prefix hit.
     pub split: bool,
+    /// True when the verdict is *inconclusive*: the model search hit an
+    /// installed [`tso_model::SearchBudget`] and the target outcome was
+    /// not among the (sound but possibly incomplete) outcomes it did
+    /// prove. An unknown check reports `passed: true` — a truncated
+    /// search can make verdicts go missing, never wrong. When the target
+    /// *was* observed the verdict is conclusive even under a budget
+    /// (every yielded execution is genuinely valid), so `unknown` stays
+    /// false and a failed `Forbidden` expectation still fails.
+    pub unknown: bool,
 }
 
 impl CheckResult {
@@ -173,10 +182,14 @@ impl Litmus {
         } else {
             None
         };
-        let passed = match self.expect {
-            Expect::Allowed => observed_allowed,
-            Expect::Forbidden => !observed_allowed,
-        };
+        // Budget-truncated outcome sets are sound subsets: observation is
+        // conclusive, non-observation is not (see `CheckResult::unknown`).
+        let unknown = cached.unknown && !observed_allowed;
+        let passed = unknown
+            || match self.expect {
+                Expect::Allowed => observed_allowed,
+                Expect::Forbidden => !observed_allowed,
+            };
         CheckResult {
             name: self.name.clone(),
             observed_allowed,
@@ -187,6 +200,7 @@ impl Litmus {
             cache_hit: cached.hit,
             prefix_hit: cached.prefix_hit,
             split: cached.split,
+            unknown,
         }
     }
 }

@@ -192,6 +192,14 @@ pub struct CachedOutcomes {
     /// True when this query ran a fresh search and the adaptive engine
     /// decided to fan out across the worker pool.
     pub split: bool,
+    /// True when an installed [`SearchBudget`](crate::budget::SearchBudget)
+    /// ran out mid-search: `outcomes` is a sound but possibly incomplete
+    /// subset (*missing, never wrong* — every member is genuinely
+    /// allowed, but absence proves nothing). Truncated answers are never
+    /// committed to the in-memory cache, the [`VerdictStore`], or the
+    /// certificate tier, so a later query recomputes. Always false when
+    /// no budget is installed.
+    pub unknown: bool,
     /// The canonical fingerprint the entry is filed under (diagnostics).
     pub fingerprint: u64,
 }
@@ -212,6 +220,12 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
         let mut map = cache().lock().expect("model cache lock");
         Arc::clone(map.entry(canon.key().to_vec()).or_default())
     };
+    if crate::budget::installed() {
+        // A limiting budget might truncate the search, and a `OnceLock`
+        // cell cannot be un-populated — so budgeted queries take a path
+        // that only commits complete answers.
+        return budgeted_canonical(canon, &cell);
+    }
     let mut searched = false;
     let mut prefix_hit = false;
     let mut split = false;
@@ -256,6 +270,81 @@ pub fn allowed_outcomes_canonical(canon: &Canonical) -> CachedOutcomes {
         hit: !searched,
         prefix_hit,
         split,
+        unknown: false,
+        fingerprint: canon.fingerprint(),
+    }
+}
+
+/// Builds a [`CachedOutcomes`] hit answer from a committed entry, mapped
+/// back into the caller's coordinates. Committed entries are always
+/// complete (truncated answers never reach a cell), hence `unknown:
+/// false`.
+fn from_entry(canon: &Canonical, entry: &Entry) -> CachedOutcomes {
+    CachedOutcomes {
+        outcomes: entry
+            .outcomes
+            .iter()
+            .map(|o| canon.outcome_to_original(o))
+            .collect(),
+        stats: entry.stats,
+        hit: true,
+        prefix_hit: false,
+        split: false,
+        unknown: false,
+        fingerprint: canon.fingerprint(),
+    }
+}
+
+/// The budget-aware query path: same tiers as the `OnceLock` path
+/// (memory → persistent store → prefix/search), but a budget-exhausted
+/// search result is returned as an explicit *unknown* answer without
+/// being written to the cell, the [`VerdictStore`], or (via the
+/// `stopped_early` gate in [`crate::prefix`]) the certificate tier.
+/// Concurrent misses on the same key may each search — the miss-collapse
+/// optimization is traded away while a budget is installed, results are
+/// unaffected.
+fn budgeted_canonical(canon: &Canonical, cell: &Cell) -> CachedOutcomes {
+    if let Some(entry) = cell.get() {
+        return from_entry(canon, entry);
+    }
+    if let Some(store) = current_store() {
+        if let Some((outcomes, stats)) = store.load(canon.key()) {
+            STORE_HITS.fetch_add(1, Ordering::Relaxed);
+            let entry = Arc::new(Entry { outcomes, stats });
+            let answer = from_entry(canon, &entry);
+            let _ = cell.set(entry); // a racing loser changes nothing
+            return answer;
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let answer = crate::prefix::query(canon, exec_pool::default_workers());
+    let outcomes = answer
+        .outcomes
+        .iter()
+        .map(|o| canon.outcome_to_original(o))
+        .collect();
+    let truncated = answer.stats.budget_exhausted;
+    if !truncated {
+        if let Some(store) = current_store() {
+            store.save(
+                canon.key(),
+                canon.fingerprint(),
+                &answer.outcomes,
+                &answer.stats,
+            );
+        }
+        let _ = cell.set(Arc::new(Entry {
+            outcomes: answer.outcomes,
+            stats: answer.stats,
+        }));
+    }
+    CachedOutcomes {
+        outcomes,
+        stats: answer.stats,
+        hit: false,
+        prefix_hit: answer.prefix_hit,
+        split: answer.split,
+        unknown: truncated,
         fingerprint: canon.fingerprint(),
     }
 }

@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod canon;
 pub mod event;
@@ -83,6 +84,7 @@ pub mod program;
 pub mod search;
 pub mod validity;
 
+pub use budget::{current_budget, set_budget, take_budget, SearchBudget};
 pub use cache::{allowed_outcomes_cached, CacheCounters, CachedOutcomes, VerdictStore};
 pub use canon::Canonical;
 pub use event::{Event, EventId, EventKind, RmwHalf};

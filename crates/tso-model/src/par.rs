@@ -312,16 +312,23 @@ pub(crate) fn allowed_outcomes_recording(
     let workers = adaptive_workers(workers);
     let sc = search::build_ctx(program);
     let est_us = predicted_us(&sc);
+    // One shared budget accounting for the whole query, across every
+    // subtree task (`None` when no limiting budget is installed — the
+    // common case, where the engine below is bit-identical to pre-budget
+    // behavior). The calibration inside `predicted_us` above runs through
+    // the un-budgeted `run_ctx`, so a tight budget cannot skew the rate.
+    let budget = crate::budget::begin_query();
     if workers <= 1 || est_us < MIN_SPLIT_EST_US {
         let mut set = FastHashSet::<Outcome>::default();
         let mut leaves = Vec::new();
-        let stats = search::run_ctx(
+        let stats = search::run_ctx_budgeted(
             &sc,
             &mut |exec| {
                 set.insert(Outcome::of_execution(exec));
                 ControlFlow::Continue(())
             },
             Some(&mut leaves),
+            budget.as_deref(),
         );
         let mut out = BTreeSet::new();
         out.extend(set);
@@ -337,12 +344,16 @@ pub(crate) fn allowed_outcomes_recording(
             set.insert(Outcome::of_execution(exec));
             ControlFlow::Continue(())
         };
+        // Budget exhaustion is signalled through the shared `QueryBudget`
+        // (not the pool stop flag), so every task still runs — each
+        // aborts at its own next decision node and reports its stats.
         let task_stats = search::run_prefix_with(
             &sc,
             &prefixes[i],
             &mut visitor,
             Some(&stop),
             Some(&mut leaves),
+            budget.as_deref(),
         );
         (set, leaves, task_stats)
     });

@@ -300,6 +300,7 @@ pub(crate) fn query(canon: &Canonical, workers: usize) -> PrefixAnswer {
             stats.tasks = 1;
             stats.workers = 1;
             stats.stopped_early = false;
+            stats.budget_exhausted = false;
             return PrefixAnswer {
                 outcomes,
                 stats,
@@ -311,7 +312,10 @@ pub(crate) fn query(canon: &Canonical, workers: usize) -> PrefixAnswer {
         // miss (and left in place for whichever program it does fit).
     }
 
-    // Fresh search, recording the leaves for the certificate.
+    // Fresh search, recording the leaves for the certificate. The
+    // `stopped_early` gate below also covers budget exhaustion (which
+    // always sets it), so a truncated search never certifies its
+    // incomplete leaf set.
     let (outcomes, stats, leaves) =
         crate::par::allowed_outcomes_recording(canon.program(), workers);
     let split = stats.tasks > 1;

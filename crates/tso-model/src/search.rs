@@ -53,6 +53,7 @@
 //! `split stats + Σ task stats` equals the sequential [`SearchStats`]
 //! identically, at any task granularity.
 
+use crate::budget::QueryBudget;
 use crate::event::{EventId, RmwHalf};
 use crate::execution::{
     bar_graph_of, build_events, poloc_graph_of, ppo_graph_of, resolve_values, CandidateExecution,
@@ -94,6 +95,13 @@ pub struct SearchStats {
     pub workers: u64,
     /// True when the visitor stopped the search early.
     pub stopped_early: bool,
+    /// True when a [`SearchBudget`](crate::budget::SearchBudget) ran out
+    /// mid-search: the run stopped at a decision node with subtrees
+    /// unexplored, so the yielded set is a (sound but possibly
+    /// incomplete) subset. Always implies `stopped_early`. Never set on
+    /// un-budgeted runs, so stats stay bit-identical when no budget is
+    /// installed or the installed one is not hit.
+    pub budget_exhausted: bool,
 }
 
 impl SearchStats {
@@ -110,6 +118,7 @@ impl SearchStats {
         self.tasks += other.tasks;
         self.workers = self.workers.max(other.workers);
         self.stopped_early |= other.stopped_early;
+        self.budget_exhausted |= other.budget_exhausted;
     }
 }
 
@@ -432,8 +441,23 @@ pub(crate) fn run_ctx(
     visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
     leaves: Option<&mut Vec<Prefix>>,
 ) -> SearchStats {
+    run_ctx_budgeted(sc, visitor, leaves, None)
+}
+
+/// [`run_ctx`] under an optional [`QueryBudget`]: the DFS additionally
+/// charges every decision node against `budget` and aborts (marking the
+/// stats budget-exhausted) when it runs out. `budget = None` is exactly
+/// [`run_ctx`] — the calibration path and every pre-budget caller go
+/// through that and can never be truncated.
+pub(crate) fn run_ctx_budgeted(
+    sc: &SearchCtx,
+    visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
+    leaves: Option<&mut Vec<Prefix>>,
+    budget: Option<&QueryBudget>,
+) -> SearchStats {
     let mut search = Search::new(sc, visitor, None);
     search.leaves = leaves;
+    search.budget = budget;
     // A `Break` here is just the early exit reaching the root.
     let _ = search.search_ws(0);
     let mut stats = search.stats;
@@ -451,7 +475,7 @@ pub(crate) fn run_prefix(
     visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
     stop: Option<&AtomicBool>,
 ) -> SearchStats {
-    run_prefix_with(sc, prefix, visitor, stop, None)
+    run_prefix_with(sc, prefix, visitor, stop, None, None)
 }
 
 /// [`run_prefix`] with optional complete-leaf recording (the recording
@@ -467,9 +491,11 @@ pub(crate) fn run_prefix_with(
     visitor: &mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
     stop: Option<&AtomicBool>,
     leaves: Option<&mut Vec<Prefix>>,
+    budget: Option<&QueryBudget>,
 ) -> SearchStats {
     let mut search = Search::new(sc, visitor, stop);
     search.leaves = leaves;
+    search.budget = budget;
 
     // Replay the ws placements. Decision order fills locations in order,
     // so the prefix entries for the current location form the contiguous
@@ -533,6 +559,10 @@ struct Search<'a> {
     rf: BTreeMap<EventId, EventId>,
     stats: SearchStats,
     stop: Option<&'a AtomicBool>,
+    /// When set, every decision node is charged against this (shared)
+    /// query budget; exhaustion aborts the run with
+    /// `stats.budget_exhausted` set.
+    budget: Option<&'a QueryBudget>,
     visitor: &'a mut dyn FnMut(&CandidateExecution) -> ControlFlow<()>,
     /// When set, every complete leaf's full decision path is appended (in
     /// DFS order) — the raw material of a prefix certificate.
@@ -563,6 +593,7 @@ impl<'a> Search<'a> {
             rf: BTreeMap::new(),
             stats: SearchStats::default(),
             stop,
+            budget: None,
             visitor,
             leaves: None,
         }
@@ -581,14 +612,20 @@ impl<'a> Search<'a> {
         Prefix { ws, rf }
     }
 
-    /// True when a cooperative stop was requested; the caller unwinds with
-    /// `Break` (marking the run as stopped early).
+    /// True when a cooperative stop was requested or the query budget ran
+    /// out; the caller unwinds with `Break` (marking the run as stopped
+    /// early, and as budget-exhausted in the latter case).
     fn should_stop(&mut self) -> bool {
-        let stopped = self.stop.is_some_and(|flag| flag.load(Ordering::Relaxed));
-        if stopped {
+        if self.stop.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
             self.stats.stopped_early = true;
+            return true;
         }
-        stopped
+        if self.budget.is_some_and(QueryBudget::charge) {
+            self.stats.stopped_early = true;
+            self.stats.budget_exhausted = true;
+            return true;
+        }
+        false
     }
 
     /// DFS level 1: serialize the writes of location `li` (then recurse to
@@ -1095,6 +1132,7 @@ mod tests {
             tasks: 1,
             workers: 4,
             stopped_early: false,
+            budget_exhausted: false,
         };
         let b = SearchStats {
             nodes: 5,
@@ -1104,6 +1142,7 @@ mod tests {
             tasks: 2,
             workers: 2,
             stopped_early: true,
+            budget_exhausted: true,
         };
         a.absorb(&b);
         assert_eq!(a.nodes, 15);
@@ -1113,6 +1152,7 @@ mod tests {
         assert_eq!(a.tasks, 3);
         assert_eq!(a.workers, 4);
         assert!(a.stopped_early);
+        assert!(a.budget_exhausted);
     }
 
     #[test]

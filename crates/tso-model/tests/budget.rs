@@ -1,0 +1,223 @@
+//! Search-budget integration: exhausted budgets return explicit unknown
+//! answers and never poison any cache tier; unhit budgets are
+//! observationally invisible.
+//!
+//! The budget slot, verdict cache, and certificate cache are process-wide,
+//! so every test here serializes on one mutex and uses programs made
+//! unique by written values.
+
+use rmw_types::{Addr, Atomicity, RmwKind};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use tso_model::cache::{self, VerdictStore};
+use tso_model::{
+    allowed_outcomes, allowed_outcomes_cached, for_each_valid_execution, set_budget, take_budget,
+    Outcome, Program, ProgramBuilder, SearchBudget, SearchStats,
+};
+
+const X: Addr = Addr(0);
+const Y: Addr = Addr(1);
+
+fn budget_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A panicking holder poisons the mutex but leaves nothing corrupt.
+    match LOCK.get_or_init(Mutex::default).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A Dekker-like shape big enough that even its pruned search explores
+/// thousands of decision nodes — room for a budget to bite mid-flight.
+fn deep_program(tag: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    for i in 0..2u64 {
+        let mine = Addr(i);
+        let other = Addr((i + 1) % 2);
+        let mut t = b.thread();
+        for k in 1..=3u64 {
+            t.write(mine, tag + k).read(other);
+        }
+    }
+    b.build()
+}
+
+fn small_program(tag: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.thread().write(X, 7000 + tag).read(Y);
+    b.thread().write(Y, 8000 + tag).read(X);
+    b.build()
+}
+
+#[derive(Default)]
+struct CountingStore {
+    saves: AtomicU64,
+    loads: AtomicU64,
+}
+
+impl VerdictStore for CountingStore {
+    fn load(&self, _key: &[u64]) -> Option<(BTreeSet<Outcome>, SearchStats)> {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+    fn save(
+        &self,
+        _key: &[u64],
+        _fingerprint: u64,
+        _outcomes: &BTreeSet<Outcome>,
+        _stats: &SearchStats,
+    ) {
+        self.saves.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn exhausted_budget_returns_unknown_and_poisons_nothing() {
+    let _guard = budget_lock();
+    let p = deep_program(100_000);
+    let full = allowed_outcomes(&p);
+
+    let store = std::sync::Arc::new(CountingStore::default());
+    cache::set_store(std::sync::Arc::clone(&store) as std::sync::Arc<dyn VerdictStore>);
+    set_budget(SearchBudget {
+        max_nodes: Some(10),
+        max_time: None,
+    });
+
+    let truncated = allowed_outcomes_cached(&p);
+    assert!(truncated.unknown, "a 10-node budget must exhaust");
+    assert!(truncated.stats.budget_exhausted);
+    assert!(truncated.stats.stopped_early);
+    assert!(!truncated.hit);
+    assert!(
+        truncated.outcomes.is_subset(&full),
+        "truncated answers are sound subsets"
+    );
+    assert_eq!(
+        store.saves.load(Ordering::Relaxed),
+        0,
+        "a truncated answer must never reach the verdict store"
+    );
+
+    // Still budgeted: the cache was not poisoned, so the query recomputes
+    // (and exhausts again) instead of serving the truncated set as a hit.
+    let before = cache::counters();
+    let again = allowed_outcomes_cached(&p);
+    let after = cache::counters();
+    assert!(again.unknown);
+    assert!(!again.hit, "truncated answers must not become cache hits");
+    assert!(after.invocations > before.invocations, "the search re-ran");
+
+    // Budget lifted: the same query now completes, matches the direct
+    // engine, and is cached + persisted like any normal miss.
+    take_budget();
+    let complete = allowed_outcomes_cached(&p);
+    assert!(!complete.unknown);
+    assert!(!complete.stats.budget_exhausted);
+    assert_eq!(complete.outcomes, full);
+    assert!(store.saves.load(Ordering::Relaxed) >= 1);
+    let warm = allowed_outcomes_cached(&p);
+    assert!(warm.hit, "the complete answer is cached normally");
+    cache::take_store();
+}
+
+#[test]
+fn exhausted_budget_records_no_prefix_certificate() {
+    let _guard = budget_lock();
+    let mk = |a: Atomicity| {
+        let mut b = ProgramBuilder::new();
+        let mut t = b.thread();
+        t.rmw(X, RmwKind::FetchAndAdd(200_000), a);
+        for k in 1..=2u64 {
+            t.write(X, 200_000 + k).read(Y);
+        }
+        let mut t = b.thread();
+        for k in 1..=2u64 {
+            t.write(Y, 200_100 + k).read(X);
+        }
+        b.build()
+    };
+    set_budget(SearchBudget {
+        max_nodes: Some(5),
+        max_time: None,
+    });
+    let before = tso_model::prefix::counters();
+    let truncated = allowed_outcomes_cached(&mk(Atomicity::Type1));
+    let after = tso_model::prefix::counters();
+    assert!(truncated.unknown);
+    assert_eq!(
+        after.stored, before.stored,
+        "a truncated search must not certify its incomplete leaf set"
+    );
+    take_budget();
+
+    // The atomicity sibling cannot replay a (nonexistent) truncated cert:
+    // it runs a full search and matches the direct engine.
+    let sibling = mk(Atomicity::Type3);
+    let complete = allowed_outcomes_cached(&sibling);
+    assert!(!complete.unknown);
+    assert_eq!(complete.outcomes, allowed_outcomes(&sibling));
+}
+
+#[test]
+fn unhit_budget_is_bit_identical_to_no_budget() {
+    let _guard = budget_lock();
+    let p = small_program(1);
+    let reference = allowed_outcomes(&p);
+    let seq_stats = for_each_valid_execution(&p, |_| ControlFlow::Continue(()));
+
+    set_budget(SearchBudget {
+        max_nodes: Some(u64::MAX),
+        max_time: Some(Duration::from_secs(3600)),
+    });
+    let budgeted = allowed_outcomes_cached(&p);
+    take_budget();
+
+    assert!(!budgeted.unknown);
+    assert!(!budgeted.stats.budget_exhausted);
+    assert_eq!(budgeted.outcomes, reference);
+    assert_eq!(budgeted.stats.nodes, seq_stats.nodes);
+    assert_eq!(budgeted.stats.pruned, seq_stats.pruned);
+    assert_eq!(budgeted.stats.complete, seq_stats.complete);
+    assert_eq!(budgeted.stats.valid, seq_stats.valid);
+
+    // And the committed entry serves un-budgeted queries as a plain hit.
+    let warm = allowed_outcomes_cached(&p);
+    assert!(warm.hit);
+    assert_eq!(warm.stats, budgeted.stats);
+}
+
+#[test]
+fn zero_deadline_exhausts_deep_searches() {
+    let _guard = budget_lock();
+    let p = deep_program(300_000);
+    set_budget(SearchBudget {
+        max_nodes: None,
+        max_time: Some(Duration::ZERO),
+    });
+    let truncated = allowed_outcomes_cached(&p);
+    take_budget();
+    assert!(
+        truncated.unknown,
+        "an already-expired deadline must exhaust a multi-thousand-node search"
+    );
+
+    // Unknown never sticks: the next (un-budgeted) query is complete.
+    let complete = allowed_outcomes_cached(&p);
+    assert!(!complete.unknown);
+    assert_eq!(complete.outcomes, allowed_outcomes(&p));
+}
+
+#[test]
+fn an_unlimited_budget_is_ignored_entirely() {
+    let _guard = budget_lock();
+    let p = small_program(2);
+    set_budget(SearchBudget::default());
+    let answer = allowed_outcomes_cached(&p);
+    take_budget();
+    assert!(!answer.unknown);
+    assert_eq!(answer.outcomes, allowed_outcomes(&p));
+}
